@@ -1,0 +1,44 @@
+//! Checkerboard vs dense kinetic multiply.
+//!
+//! The split-bond kinetic operator applies in O(N·bonds) per column instead
+//! of a dense O(N²) GEMM row — the advantage that makes very large lattices
+//! tractable. This bench measures both at growing N.
+//!
+//! `cargo bench -p bench --bench checkerboard`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lattice::{Checkerboard, Lattice};
+use linalg::{gemm, Matrix, Op};
+use std::hint::black_box;
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkerboard");
+    group.sample_size(10);
+    for &lside in &[8usize, 16, 24] {
+        let n = lside * lside;
+        let lat = Lattice::square(lside, lside, 1.0);
+        let cb = Checkerboard::new(&lat);
+        let (dense, _) = lat.expk(0.125, 0.0);
+        let mut rng = util::Rng::new(lside as u64);
+        let m = Matrix::random(n, n, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("dense-gemm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm(1.0, &dense, Op::NoTrans, &m, Op::NoTrans, 0.0, &mut out);
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("split-bond", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = m.clone();
+                cb.apply_left(-0.125, false, &mut out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

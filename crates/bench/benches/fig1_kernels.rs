@@ -1,0 +1,38 @@
+//! Criterion benches behind Figure 1: DGEMM vs DGEQRF vs DGEQP3.
+//!
+//! `cargo bench -p bench --bench fig1_kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use linalg::{gemm, Matrix, Op};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = util::Rng::new(n as u64);
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("dgemm", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut out = Matrix::zeros(n, n);
+                gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut out);
+                black_box(out)
+            })
+        });
+
+        group.throughput(Throughput::Elements((4 * n * n * n / 3) as u64));
+        group.bench_with_input(BenchmarkId::new("dgeqrf", n), &n, |bench, _| {
+            bench.iter(|| black_box(linalg::qr::qr_in_place(a.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("dgeqp3", n), &n, |bench, _| {
+            bench.iter(|| black_box(linalg::qrp::qrp_in_place(a.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches behind Figures 3/4: Green's-function evaluation with
+//! the original (QRP, rebuild-everything) and improved (pre-pivot, recycle)
+//! stratification pipelines.
+//!
+//! `cargo bench -p bench --bench fig3_greens`
+
+use bench::{square_model, thermalised_state};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqmc::{greens_from_udt, stratify, ClusterCache, Spin, StratAlgo};
+use std::hint::black_box;
+
+fn bench_greens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    let k = 10;
+    for &lside in &[6usize, 8, 10] {
+        let model = square_model(lside, 4.0, 8.0, 0.2); // L = 40
+        let (fac, h) = thermalised_state(&model, 2, 99);
+        let slices = model.slices;
+
+        group.bench_with_input(
+            BenchmarkId::new("qrp-rebuild", lside * lside),
+            &lside,
+            |bench, _| {
+                let mut cache = ClusterCache::new(slices, k);
+                bench.iter(|| {
+                    cache.invalidate_all();
+                    let f = cache.factors_after_slice(&fac, &h, slices - 1, Spin::Up);
+                    black_box(greens_from_udt(&stratify(&f, StratAlgo::Qrp)))
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("prepivot-recycle", lside * lside),
+            &lside,
+            |bench, _| {
+                let mut cache = ClusterCache::new(slices, k);
+                let _ = cache.factors_after_slice(&fac, &h, slices - 1, Spin::Up);
+                bench.iter(|| {
+                    cache.invalidate_slice(0); // one stale cluster, as in a sweep
+                    let f = cache.factors_after_slice(&fac, &h, slices - 1, Spin::Up);
+                    black_box(greens_from_udt(&stratify(&f, StratAlgo::PrePivot)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greens);
+criterion_main!(benches);

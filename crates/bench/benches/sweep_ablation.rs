@@ -1,0 +1,52 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - delayed-update block size (1 = plain rank-1 `ger`s vs QUEST's 32),
+//! - cluster size k (1 = stratify every slice vs the paper's 10),
+//! - cluster recycling on/off.
+//!
+//! Each configuration runs one full DQMC sweep on the same seed; the
+//! physics is identical (asserted in the dqmc tests), only the cost moves.
+//!
+//! `cargo bench -p bench --bench sweep_ablation`
+
+use bench::square_model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqmc::{sweep::DqmcCore, SimParams};
+use std::hint::black_box;
+
+fn sweep_once(params: SimParams) {
+    let mut core = DqmcCore::new(params);
+    core.sweep(None);
+    black_box(core.acceptance_rate());
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let lside = 6;
+    let model = square_model(lside, 4.0, 8.0, 0.2); // N = 36, L = 40
+    let base = SimParams::new(model).with_seed(5);
+
+    let mut group = c.benchmark_group("sweep_ablation");
+    group.sample_size(10);
+
+    for &nb in &[1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("delay_block", nb), &nb, |b, _| {
+            b.iter(|| sweep_once(base.clone().with_delay_block(nb)))
+        });
+    }
+    for &k in &[1usize, 4, 10] {
+        group.bench_with_input(BenchmarkId::new("cluster_size", k), &k, |b, _| {
+            b.iter(|| sweep_once(base.clone().with_cluster_size(k)))
+        });
+    }
+    for &recycle in &[false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("recycle", recycle),
+            &recycle,
+            |b, _| b.iter(|| sweep_once(base.clone().with_recycle(recycle))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

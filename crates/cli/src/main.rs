@@ -1,0 +1,119 @@
+//! `dqmc` — run a DQMC simulation from a QUEST-style input file.
+//!
+//! ```sh
+//! dqmc path/to/input.in        # or: dqmc - < input.in
+//! ```
+
+use dqmc::Simulation;
+use dqmc_cli::InputFile;
+use std::io::Read;
+use util::table::{fmt_f, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 1 || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: dqmc <input-file>   (or 'dqmc -' to read stdin)");
+        eprintln!("input keys: lx ly layers periodic_z t tz u mu_tilde dtau");
+        eprintln!("  slices|beta warmup sweeps seed cluster_size delay_block");
+        eprintln!("  algorithm(qrp|prepivot) recycle checkerboard unequal_time bin_size");
+        std::process::exit(if args.first().map(String::as_str) == Some("--help") {
+            0
+        } else {
+            2
+        });
+    }
+    let text = if args[0] == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("reading stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&args[0]).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", args[0]);
+            std::process::exit(2);
+        })
+    };
+    let cfg = InputFile::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let model = cfg.sim_params().model.clone();
+    println!(
+        "# dqmc: {}x{}x{} lattice (N={}), U={}, mu~={}, beta={} (L={}, dtau={})",
+        cfg.lx,
+        cfg.ly,
+        cfg.layers,
+        model.nsites(),
+        cfg.u,
+        cfg.mu_tilde,
+        model.beta(),
+        cfg.slices,
+        cfg.dtau
+    );
+    println!(
+        "# {} warmup + {} measurement sweeps, seed {}, {:?}, k={}, delay={}, recycle={}, checkerboard={}",
+        cfg.warmup,
+        cfg.sweeps,
+        cfg.seed,
+        cfg.algorithm,
+        cfg.cluster_size,
+        cfg.delay_block,
+        cfg.recycle,
+        cfg.checkerboard
+    );
+
+    let mut sim = Simulation::new(cfg.sim_params());
+    sim.run();
+
+    let obs = sim.observables();
+    let (sign, sign_err) = obs.avg_sign();
+    let (rho, rho_err) = obs.density();
+    let (docc, docc_err) = obs.double_occupancy();
+    let (ekin, ekin_err) = obs.kinetic_energy();
+    let (epot, epot_err) = obs.potential_energy();
+    let (saf, saf_err) = obs.af_structure_factor();
+
+    println!("\n## scalar observables (per site)");
+    let mut t = Table::new(vec!["observable", "value", "error"]);
+    t.row(vec!["sign".into(), fmt_f(sign, 6), fmt_f(sign_err, 6)]);
+    t.row(vec!["density".into(), fmt_f(rho, 6), fmt_f(rho_err, 6)]);
+    t.row(vec!["double-occ".into(), fmt_f(docc, 6), fmt_f(docc_err, 6)]);
+    t.row(vec!["e-kinetic".into(), fmt_f(ekin, 6), fmt_f(ekin_err, 6)]);
+    t.row(vec!["e-potential".into(), fmt_f(epot, 6), fmt_f(epot_err, 6)]);
+    t.row(vec!["S(pi,pi)".into(), fmt_f(saf, 6), fmt_f(saf_err, 6)]);
+    t.row(vec![
+        "P_s(q=0)".into(),
+        fmt_f(obs.swave_structure_factor(), 6),
+        "-".into(),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\nacceptance {:.3}, max wrap error {:.2e}",
+        sim.acceptance_rate(),
+        sim.max_wrap_error()
+    );
+
+    // Momentum distribution along the symmetry path (square even lattices).
+    if cfg.layers == 1 && cfg.lx == cfg.ly && cfg.lx % 2 == 0 {
+        println!("\n## <n_k> along (0,0)->(pi,pi)->(pi,0)->(0,0)");
+        for (arc, v) in obs.momentum_distribution_path() {
+            println!("{arc:.4}  {v:.4}");
+        }
+    }
+
+    if let Some(tdm) = sim.time_dependent() {
+        println!("\n## G_loc(tau)");
+        for (tau, (g, e)) in tdm.taus().iter().zip(tdm.gloc()) {
+            println!("{tau:.4}  {g:.5}  {e:.5}");
+        }
+    }
+
+    println!("\n## phase breakdown");
+    for (phase, secs, pct) in sim.phase_report().rows {
+        if secs > 0.0 {
+            println!("{phase:<16} {secs:>9.3}s  {pct:>5.1}%");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Matrix-cluster cache (the paper's "recycling", §III-B2).
+//!
+//! Within one sweep only the cluster containing the slice currently being
+//! updated changes; the other `L_k − 1` cluster products are bitwise
+//! reusable across Green's-function recomputations — and across the sweep
+//! boundary into the next sweep. Storing them trades O(L_k·N²) memory (tens
+//! of MB at N = 1024, as the paper notes) for skipping most of the
+//! clustering GEMMs.
+
+use crate::bmat::BMatrixFactory;
+use crate::hs::HsField;
+use crate::hubbard::Spin;
+use linalg::Matrix;
+
+/// Cache of per-spin cluster products `B̂_c = B_{(c+1)k−1} ⋯ B_{ck}` with
+/// dirty tracking.
+#[derive(Clone, Debug)]
+pub struct ClusterCache {
+    k: usize,
+    slices: usize,
+    nclusters: usize,
+    /// `store[spin][c]`: cached product, `None` until first use.
+    store: [Vec<Option<Matrix>>; 2],
+    /// Rebuild counters (for the Table I "clustering" cost attribution).
+    rebuilds: usize,
+    hits: usize,
+}
+
+impl ClusterCache {
+    /// Creates an empty cache for `slices` time slices clustered by `k`.
+    pub fn new(slices: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= slices, "cluster size must be in 1..=L");
+        let nclusters = slices.div_ceil(k);
+        ClusterCache {
+            k,
+            slices,
+            nclusters,
+            store: [vec![None; nclusters], vec![None; nclusters]],
+            rebuilds: 0,
+            hits: 0,
+        }
+    }
+
+    /// Cluster size `k`.
+    pub fn cluster_size(&self) -> usize {
+        self.k
+    }
+
+    /// Number of clusters `L_k`.
+    pub fn nclusters(&self) -> usize {
+        self.nclusters
+    }
+
+    /// Cluster index containing time slice `l`.
+    pub fn cluster_of(&self, l: usize) -> usize {
+        debug_assert!(l < self.slices);
+        l / self.k
+    }
+
+    /// Slice range `[lo, hi)` of cluster `c`.
+    pub fn range(&self, c: usize) -> (usize, usize) {
+        debug_assert!(c < self.nclusters);
+        (c * self.k, ((c + 1) * self.k).min(self.slices))
+    }
+
+    /// Invalidates the cluster containing slice `l` for both spins
+    /// (call after any accepted flip on that slice).
+    pub fn invalidate_slice(&mut self, l: usize) {
+        let c = self.cluster_of(l);
+        self.store[0][c] = None;
+        self.store[1][c] = None;
+    }
+
+    /// Invalidates everything (e.g. after externally replacing the field).
+    pub fn invalidate_all(&mut self) {
+        for s in &mut self.store {
+            for e in s.iter_mut() {
+                *e = None;
+            }
+        }
+    }
+
+    /// Returns cluster `c` for `spin`, rebuilding from the field if dirty.
+    pub fn get(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        c: usize,
+        spin: Spin,
+    ) -> &Matrix {
+        let slot = &mut self.store[spin.index()][c];
+        if slot.is_none() {
+            let (lo, hi) = (c * self.k, ((c + 1) * self.k).min(self.slices));
+            *slot = Some(fac.cluster(h, lo, hi, spin));
+            self.rebuilds += 1;
+        } else {
+            self.hits += 1;
+        }
+        slot.as_ref().expect("just filled")
+    }
+
+    /// Collects the factor sequence for the Green's function used at slice
+    /// `l+1` (i.e. after wrapping past slice `l`): the product
+    /// `B_l ⋯ B_0 · B_{L−1} ⋯ B_{l+1}`, as clusters in application order
+    /// (rightmost factor first). `l` must be the last slice of its cluster.
+    pub fn factors_after_slice(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+    ) -> Vec<Matrix> {
+        let c = self.cluster_of(l);
+        let (_, hi) = self.range(c);
+        assert_eq!(l + 1, hi, "recompute must land on a cluster boundary");
+        let mut order = Vec::with_capacity(self.nclusters);
+        // Applied first: cluster c+1 (its rightmost factor is B_{l+1}), then
+        // wrap around to cluster c last.
+        for off in 1..=self.nclusters {
+            let cc = (c + off) % self.nclusters;
+            order.push(self.get(fac, h, cc, spin).clone());
+        }
+        order
+    }
+
+    /// `(rebuilds, hits)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.rebuilds, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubbard::ModelParams;
+    use lattice::Lattice;
+
+    fn setup() -> (BMatrixFactory, HsField) {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 12);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(1);
+        let h = HsField::random(4, 12, &mut rng);
+        (fac, h)
+    }
+
+    #[test]
+    fn geometry_of_clusters() {
+        let c = ClusterCache::new(12, 4);
+        assert_eq!(c.nclusters(), 3);
+        assert_eq!(c.cluster_of(0), 0);
+        assert_eq!(c.cluster_of(3), 0);
+        assert_eq!(c.cluster_of(4), 1);
+        assert_eq!(c.range(2), (8, 12));
+    }
+
+    #[test]
+    fn ragged_final_cluster() {
+        let c = ClusterCache::new(10, 4);
+        assert_eq!(c.nclusters(), 3);
+        assert_eq!(c.range(2), (8, 10));
+    }
+
+    #[test]
+    fn get_matches_direct_cluster() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let got = cache.get(&fac, &h, 1, Spin::Up).clone();
+        let want = fac.cluster(&h, 4, 8, Spin::Up);
+        assert!(got.max_abs_diff(&want) < 1e-15);
+    }
+
+    #[test]
+    fn cache_hit_avoids_rebuild() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let _ = cache.get(&fac, &h, 0, Spin::Up);
+        let _ = cache.get(&fac, &h, 0, Spin::Up);
+        let _ = cache.get(&fac, &h, 0, Spin::Down);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn invalidate_slice_forces_rebuild() {
+        let (fac, mut h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let before = cache.get(&fac, &h, 0, Spin::Up).clone();
+        h.flip(2, 1); // slice 2 lives in cluster 0
+        cache.invalidate_slice(2);
+        let after = cache.get(&fac, &h, 0, Spin::Up).clone();
+        assert!(before.max_abs_diff(&after) > 1e-12, "must reflect the flip");
+        let direct = fac.cluster(&h, 0, 4, Spin::Up);
+        assert!(after.max_abs_diff(&direct) < 1e-15);
+    }
+
+    #[test]
+    fn factors_order_rotates_correctly() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        // After slice 7 (end of cluster 1), updating slice 8 uses
+        // B_7…B_0 B_11…B_8: application order = cluster 2, cluster 0, cluster 1.
+        let factors = cache.factors_after_slice(&fac, &h, 7, Spin::Up);
+        assert_eq!(factors.len(), 3);
+        assert!(factors[0].max_abs_diff(&fac.cluster(&h, 8, 12, Spin::Up)) < 1e-15);
+        assert!(factors[1].max_abs_diff(&fac.cluster(&h, 0, 4, Spin::Up)) < 1e-15);
+        assert!(factors[2].max_abs_diff(&fac.cluster(&h, 4, 8, Spin::Up)) < 1e-15);
+    }
+
+    #[test]
+    fn canonical_order_at_sweep_end() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        // After the last slice (11): canonical order, cluster 0 first.
+        let factors = cache.factors_after_slice(&fac, &h, 11, Spin::Down);
+        assert!(factors[0].max_abs_diff(&fac.cluster(&h, 0, 4, Spin::Down)) < 1e-15);
+        assert!(factors[2].max_abs_diff(&fac.cluster(&h, 8, 12, Spin::Down)) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster boundary")]
+    fn mid_cluster_recompute_rejected() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let _ = cache.factors_after_slice(&fac, &h, 5, Spin::Up);
+    }
+}

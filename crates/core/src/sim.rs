@@ -1,0 +1,291 @@
+//! Top-level simulation driver: warmup, measurement, reporting.
+
+use crate::hubbard::{SimParams, Spin};
+use crate::measure::Observables;
+use crate::profile::{phases, report, PhaseReport};
+use crate::sweep::DqmcCore;
+use crate::tdm::{unequal_time_greens_stable, TimeDependentObs};
+use linalg::Matrix;
+
+/// A complete DQMC simulation (the paper's 1000-warmup / 2000-measurement
+/// runs are `run()` with the corresponding sweep counts).
+#[derive(Debug)]
+pub struct Simulation {
+    core: DqmcCore,
+    obs: Observables,
+    tdm: Option<TimeDependentObs>,
+    warmup_done: usize,
+    measure_done: usize,
+}
+
+impl Simulation {
+    /// Builds the simulation state (field initialisation + first Green's
+    /// function evaluation happen here).
+    pub fn new(params: SimParams) -> Self {
+        let obs = Observables::new(&params.model, params.bin_size);
+        let tdm = params.measure_unequal_time.then(|| {
+            TimeDependentObs::new(
+                &params.model.lattice,
+                params.cluster_size,
+                params.model.slices,
+                params.model.dtau,
+                params.bin_size,
+            )
+        });
+        let core = DqmcCore::new(params);
+        Simulation {
+            core,
+            obs,
+            tdm,
+            warmup_done: 0,
+            measure_done: 0,
+        }
+    }
+
+    /// Runs the configured warmup and measurement sweeps.
+    pub fn run(&mut self) {
+        let (w, m) = (
+            self.core.params.warmup_sweeps,
+            self.core.params.measure_sweeps,
+        );
+        self.warmup(w);
+        self.measure(m);
+    }
+
+    /// Runs `n` thermalisation sweeps (no measurements).
+    pub fn warmup(&mut self, n: usize) {
+        for _ in 0..n {
+            self.core.sweep(None);
+        }
+        self.warmup_done += n;
+    }
+
+    /// Runs `n` measurement sweeps.
+    pub fn measure(&mut self, n: usize) {
+        for _ in 0..n {
+            self.core.sweep(Some(&mut self.obs));
+            if let Some(tdm) = self.tdm.as_mut() {
+                // Dynamic measurements via the stable block-matrix TDGF
+                // (accurate at any β; see `tdm` module docs for why the
+                // forward UDT propagation is not used here).
+                let t0 = std::time::Instant::now();
+                let k = self.core.params.cluster_size;
+                let gu =
+                    unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
+                let gd =
+                    unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Down);
+                tdm.record(&gu, &gd, self.core.sign);
+                self.core.timer.add(phases::MEASUREMENT, t0.elapsed());
+            }
+        }
+        self.measure_done += n;
+    }
+
+    /// Time-dependent observables, when enabled via
+    /// [`SimParams::with_unequal_time`].
+    pub fn time_dependent(&self) -> Option<&TimeDependentObs> {
+        self.tdm.as_ref()
+    }
+
+    /// Accumulated observables.
+    pub fn observables(&self) -> &Observables {
+        &self.obs
+    }
+
+    /// Simulation parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.core.params
+    }
+
+    /// Sweeps completed as `(warmup, measurement)`.
+    pub fn sweeps_done(&self) -> (usize, usize) {
+        (self.warmup_done, self.measure_done)
+    }
+
+    /// Metropolis acceptance rate.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.core.acceptance_rate()
+    }
+
+    /// Current Green's function for a spin (canonical position).
+    pub fn greens(&self, spin: Spin) -> &Matrix {
+        self.core.greens(spin)
+    }
+
+    /// Largest observed wrap-vs-recompute relative difference.
+    pub fn max_wrap_error(&self) -> f64 {
+        let m = self.core.wrap_diff.max();
+        if m.is_finite() {
+            m
+        } else {
+            0.0
+        }
+    }
+
+    /// Table I style phase breakdown of the time spent so far.
+    pub fn phase_report(&self) -> PhaseReport {
+        report(&self.core.timer)
+    }
+
+    /// Cluster cache `(rebuilds, hits)` — recycling effectiveness.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.core.cache.stats()
+    }
+
+    /// Access to the underlying engine (benchmarks and tests).
+    pub fn core_mut(&mut self) -> &mut DqmcCore {
+        &mut self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubbard::ModelParams;
+    use lattice::Lattice;
+
+    fn quick_sim(u: f64, seed: u64) -> Simulation {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), u, 0.0, 0.125, 8);
+        Simulation::new(
+            SimParams::new(model)
+                .with_sweeps(10, 20)
+                .with_seed(seed)
+                .with_cluster_size(4) // two clusters, so recycling can hit
+                .with_bin_size(2),
+        )
+    }
+
+    #[test]
+    fn run_produces_measurements() {
+        let mut sim = quick_sim(4.0, 1);
+        sim.run();
+        assert_eq!(sim.sweeps_done(), (10, 20));
+        assert_eq!(sim.observables().count(), 20);
+        let (s, _) = sim.observables().avg_sign();
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn half_filling_density_near_one() {
+        let mut sim = quick_sim(4.0, 2);
+        sim.run();
+        let (rho, err) = sim.observables().density();
+        // Particle-hole symmetry pins ρ = 1 exactly in expectation.
+        assert!((rho - 1.0).abs() < 0.05 + 3.0 * err, "rho {rho} ± {err}");
+    }
+
+    #[test]
+    fn repulsion_suppresses_double_occupancy() {
+        let mut free = quick_sim(0.0, 3);
+        free.run();
+        let mut interacting = quick_sim(8.0, 3);
+        interacting.run();
+        let (d0, _) = free.observables().double_occupancy();
+        let (d8, _) = interacting.observables().double_occupancy();
+        assert!(
+            d8 < d0 - 0.02,
+            "U should suppress double occupancy: {d8} !< {d0}"
+        );
+    }
+
+    #[test]
+    fn phase_report_sums_to_hundred() {
+        let mut sim = quick_sim(4.0, 4);
+        sim.run();
+        let rep = sim.phase_report();
+        let total_pct: f64 = rep.rows.iter().map(|(_, _, p)| p).sum();
+        assert!((total_pct - 100.0).abs() < 1e-6, "{total_pct}");
+        assert!(rep.total > 0.0);
+    }
+
+    #[test]
+    fn recycling_hits_accumulate() {
+        let mut sim = quick_sim(4.0, 5);
+        sim.run();
+        let (rebuilds, hits) = sim.cache_stats();
+        assert!(rebuilds > 0);
+        assert!(hits > 0, "recycling should produce cache hits");
+    }
+
+    #[test]
+    fn wrap_error_stays_tiny_on_small_system() {
+        let mut sim = quick_sim(6.0, 6);
+        sim.run();
+        assert!(sim.max_wrap_error() < 1e-6, "{}", sim.max_wrap_error());
+    }
+
+    #[test]
+    fn unequal_time_measurements_recorded() {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 8);
+        let mut sim = Simulation::new(
+            SimParams::new(model)
+                .with_sweeps(5, 10)
+                .with_seed(9)
+                .with_cluster_size(4)
+                .with_unequal_time(true),
+        );
+        sim.run();
+        let tdm = sim.time_dependent().expect("enabled");
+        assert_eq!(tdm.count(), 10);
+        let gloc = tdm.gloc();
+        assert_eq!(gloc.len(), 3); // τ = 0, β/2, β
+        // Anti-periodicity in the trace: G_loc(0) + G_loc(β) =
+        // Tr(G + (I−G))/N / spin-avg = 1.
+        let sum = gloc[0].0 + gloc[2].0;
+        assert!((sum - 1.0).abs() < 1e-8, "G(0)+G(beta) = {sum}");
+        // G decays away from τ = 0 at half filling.
+        assert!(gloc[1].0 < gloc[0].0);
+    }
+
+    #[test]
+    fn checkerboard_gives_same_physics_within_trotter() {
+        let run = |cb: bool| {
+            let model = ModelParams::new(Lattice::square(4, 4, 1.0), 4.0, 0.0, 0.1, 20);
+            let mut sim = Simulation::new(
+                SimParams::new(model)
+                    .with_sweeps(20, 60)
+                    .with_seed(31)
+                    .with_checkerboard(cb),
+            );
+            sim.run();
+            let (rho, _) = sim.observables().density();
+            let (docc, derr) = sim.observables().double_occupancy();
+            (rho, docc, derr)
+        };
+        let (rho_d, docc_d, err_d) = run(false);
+        let (rho_c, docc_c, err_c) = run(true);
+        assert!((rho_d - 1.0).abs() < 0.05 && (rho_c - 1.0).abs() < 0.05);
+        // Same O(Δτ²) class: observables agree within a few σ + Trotter.
+        assert!(
+            (docc_d - docc_c).abs() < 0.01 + 4.0 * (err_d + err_c),
+            "docc dense {docc_d}±{err_d} vs checkerboard {docc_c}±{err_c}"
+        );
+    }
+
+    #[test]
+    fn per_cluster_measurements_multiply_samples() {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 8);
+        let base = SimParams::new(model)
+            .with_sweeps(5, 10)
+            .with_seed(41)
+            .with_cluster_size(4)
+            .with_bin_size(2);
+        let mut once = Simulation::new(base.clone());
+        once.run();
+        let mut per = Simulation::new(base.with_measure_per_cluster(true));
+        per.run();
+        // L/k = 2 boundaries per sweep: one mid-sweep + one final record.
+        assert_eq!(once.observables().count(), 10);
+        assert_eq!(per.observables().count(), 20);
+        // Same Markov chain (measurement never changes the walk).
+        let (d1, _) = once.observables().density();
+        let (d2, _) = per.observables().density();
+        assert!((d1 - 1.0).abs() < 0.1 && (d2 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn unequal_time_disabled_by_default() {
+        let sim = quick_sim(4.0, 10);
+        assert!(sim.time_dependent().is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! The DQMC sweep engine — Algorithm 1 of the paper plus the stabilisation
+//! machinery of §III.
+//!
+//! One sweep visits every element of the HS field once. For each time slice
+//! `l` (with the current Green's functions valid for that slice, i.e. `B_l`
+//! rightmost in the chain):
+//!
+//! 1. every site is visited; the Metropolis ratio `r = d₊d₋` with
+//!    `d_σ = 1 + α_σ(1 − G_σ(i,i))` costs O(1) thanks to the delayed-update
+//!    accumulators,
+//! 2. accepted flips update both Green's functions by delayed rank-1 updates,
+//! 3. the Green's functions are *wrapped* to the next slice,
+//!    `G ← B_l G B_l⁻¹`, and every `k` slices they are instead *recomputed*
+//!    from scratch by stratification over the (recycled) cluster products;
+//!    the wrapped and recomputed matrices are compared to monitor accuracy.
+
+use crate::bmat::BMatrixFactory;
+use crate::greens::{self, greens_from_udt};
+use crate::hs::HsField;
+use crate::hubbard::{SimParams, Spin};
+use crate::measure::Observables;
+use crate::profile::phases;
+use crate::recycle::ClusterCache;
+use crate::stratify::stratify;
+use crate::update::SliceUpdater;
+use linalg::Matrix;
+use util::{PhaseTimer, Rng, RunningStats};
+
+/// The complete mutable state of a DQMC run.
+#[derive(Debug)]
+pub struct DqmcCore {
+    /// Configuration (immutable after construction).
+    pub params: SimParams,
+    /// B-matrix factory (holds `e^{∓ΔτK}`).
+    pub fac: BMatrixFactory,
+    /// Current HS field.
+    pub h: HsField,
+    /// Cluster product cache.
+    pub cache: ClusterCache,
+    /// Green's functions, `g[0]` = up, `g[1]` = down.
+    pub g: [Matrix; 2],
+    /// Sign of the configuration weight `det M₊ det M₋`, tracked
+    /// incrementally and re-synchronised at every recomputation.
+    pub sign: f64,
+    /// Metropolis random stream.
+    pub rng: Rng,
+    /// Phase timer (Table I attribution).
+    pub timer: PhaseTimer,
+    /// Relative wrap-vs-recompute differences (accuracy monitor).
+    pub wrap_diff: RunningStats,
+    /// Accepted proposals.
+    pub accepted: u64,
+    /// Total proposals.
+    pub proposed: u64,
+}
+
+impl DqmcCore {
+    /// Initialises a run: random HS field from the seed, Green's functions
+    /// from a full stratified evaluation.
+    pub fn new(params: SimParams) -> Self {
+        let fac = if params.checkerboard {
+            BMatrixFactory::new_checkerboard(&params.model)
+        } else {
+            BMatrixFactory::new(&params.model)
+        };
+        let mut rng = Rng::new(params.seed);
+        let n = params.model.nsites();
+        let l = params.model.slices;
+        let h = HsField::random(n, l, &mut rng);
+        let cache = ClusterCache::new(l, params.cluster_size);
+        let mut core = DqmcCore {
+            params,
+            fac,
+            h,
+            cache,
+            g: [Matrix::zeros(n, n), Matrix::zeros(n, n)],
+            sign: 1.0,
+            rng,
+            timer: PhaseTimer::new(),
+            wrap_diff: RunningStats::new(),
+            accepted: 0,
+            proposed: 0,
+        };
+        core.recompute_greens(l - 1);
+        core
+    }
+
+    /// Number of sites.
+    pub fn nsites(&self) -> usize {
+        self.params.model.nsites()
+    }
+
+    /// Acceptance rate so far.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+
+    /// Green's function for a spin.
+    pub fn greens(&self, spin: Spin) -> &Matrix {
+        &self.g[spin.index()]
+    }
+
+    /// Recomputes both Green's functions from scratch for the position after
+    /// wrapping past slice `l` (must be the last slice of its cluster), and
+    /// re-synchronises the configuration sign from the determinants.
+    pub fn recompute_greens(&mut self, l: usize) {
+        let algo = self.params.algo;
+        let mut sign = 1.0;
+        for spin in Spin::BOTH {
+            if !self.params.recycle {
+                self.cache.invalidate_all();
+            }
+            let factors = self.timer.time(phases::CLUSTERING, || {
+                self.cache.factors_after_slice(&self.fac, &self.h, l, spin)
+            });
+            let gf = self.timer.time(phases::STRATIFICATION, || {
+                greens_from_udt(&stratify(&factors, algo))
+            });
+            sign *= gf.sign;
+            self.g[spin.index()] = gf.g;
+        }
+        self.sign = sign;
+    }
+
+    /// Runs one full sweep (all `L·N` proposals); records measurements into
+    /// `obs` afterwards when provided.
+    pub fn sweep(&mut self, mut obs: Option<&mut Observables>) {
+        let l_slices = self.params.model.slices;
+        let n = self.nsites();
+        let nu = self.fac.nu();
+        let nb = self.params.delay_block;
+        let k = self.params.cluster_size;
+
+        for l in 0..l_slices {
+            // --- Metropolis site loop with delayed updates ---
+            let t0 = std::time::Instant::now();
+            let gup = std::mem::replace(&mut self.g[0], Matrix::zeros(0, 0));
+            let gdn = std::mem::replace(&mut self.g[1], Matrix::zeros(0, 0));
+            let mut up = SliceUpdater::new(gup, nb);
+            let mut dn = SliceUpdater::new(gdn, nb);
+            let mut any_accept = false;
+            for i in 0..n {
+                let hli = self.h.get(l, i);
+                let alpha_up = (-2.0 * nu * hli).exp() - 1.0;
+                let alpha_dn = (2.0 * nu * hli).exp() - 1.0;
+                let d_up = 1.0 + alpha_up * (1.0 - up.gii(i));
+                let d_dn = 1.0 + alpha_dn * (1.0 - dn.gii(i));
+                let r = d_up * d_dn;
+                self.proposed += 1;
+                let p_accept = self.params.acceptance.probability(r.abs());
+                if self.rng.next_f64() < p_accept {
+                    self.h.flip(l, i);
+                    up.accept(i, alpha_up, d_up);
+                    dn.accept(i, alpha_dn, d_dn);
+                    if r < 0.0 {
+                        self.sign = -self.sign;
+                    }
+                    self.accepted += 1;
+                    any_accept = true;
+                }
+            }
+            self.g[0] = up.into_g();
+            self.g[1] = dn.into_g();
+            self.timer.add(phases::DELAYED_UPDATE, t0.elapsed());
+            if any_accept {
+                self.cache.invalidate_slice(l);
+            }
+
+            // --- Advance to the next slice: wrap, and recompute at cluster
+            //     boundaries (monitoring the wrap error there) ---
+            let at_boundary = (l + 1) % k == 0 || l + 1 == l_slices;
+            let wrapped = self.timer.time(phases::WRAPPING, || {
+                [
+                    greens::wrap(&self.fac, &self.h, l, Spin::Up, &self.g[0]),
+                    greens::wrap(&self.fac, &self.h, l, Spin::Down, &self.g[1]),
+                ]
+            });
+            if at_boundary {
+                let incr_sign = self.sign;
+                self.recompute_greens(l);
+                let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
+                self.wrap_diff.push(diff);
+                debug_assert_eq!(
+                    incr_sign, self.sign,
+                    "incremental sign diverged from determinant sign"
+                );
+                // Mid-sweep measurement: equal-time observables are
+                // τ-translation invariant, so the freshly recomputed G at
+                // this boundary is as good a sample as the sweep-end one.
+                if self.params.measure_per_cluster && l + 1 != l_slices {
+                    if let Some(obs) = obs.as_deref_mut() {
+                        let (gup, gdn, sign, u) =
+                            (&self.g[0], &self.g[1], self.sign, self.params.model.u);
+                        self.timer
+                            .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
+                    }
+                }
+            } else {
+                self.g = wrapped;
+            }
+        }
+
+        if let Some(obs) = obs.as_deref_mut() {
+            let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);
+            self.timer
+                .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubbard::ModelParams;
+    use crate::stratify::StratAlgo;
+    use lattice::Lattice;
+
+    fn small_params(u: f64, l: usize, seed: u64) -> SimParams {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), u, 0.0, 0.125, l);
+        SimParams::new(model)
+            .with_seed(seed)
+            .with_cluster_size(4)
+            .with_delay_block(3)
+    }
+
+    #[test]
+    fn initial_greens_match_naive() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 1));
+        for spin in Spin::BOTH {
+            let naive = greens::greens_naive(&core.fac, &core.h, spin);
+            let diff = greens::relative_difference(core.greens(spin), &naive.g);
+            assert!(diff < 1e-10, "{spin:?}: {diff}");
+        }
+        let _ = &mut core;
+    }
+
+    #[test]
+    fn sweep_preserves_greens_consistency() {
+        // After a sweep, the stored G must equal a from-scratch evaluation
+        // for the final field configuration.
+        let mut core = DqmcCore::new(small_params(4.0, 8, 2));
+        core.sweep(None);
+        for spin in Spin::BOTH {
+            let naive = greens::greens_naive(&core.fac, &core.h, spin);
+            let diff = greens::relative_difference(core.greens(spin), &naive.g);
+            assert!(diff < 1e-8, "{spin:?}: {diff}");
+        }
+    }
+
+    #[test]
+    fn sign_is_positive_at_half_filling() {
+        let mut core = DqmcCore::new(small_params(6.0, 8, 3));
+        for _ in 0..5 {
+            core.sweep(None);
+            assert_eq!(core.sign, 1.0, "half filling must be sign-free");
+        }
+    }
+
+    #[test]
+    fn wrap_error_is_monitored_and_small() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 4));
+        core.sweep(None);
+        assert!(core.wrap_diff.count() > 0);
+        assert!(
+            core.wrap_diff.max() < 1e-6,
+            "wrap error too large: {}",
+            core.wrap_diff.max()
+        );
+    }
+
+    #[test]
+    fn acceptance_rate_reasonable() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 5));
+        for _ in 0..5 {
+            core.sweep(None);
+        }
+        let rate = core.acceptance_rate();
+        assert!(rate > 0.05 && rate < 0.99, "acceptance rate {rate}");
+        assert_eq!(core.proposed, 5 * 8 * 4);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let run = |seed| {
+            let mut core = DqmcCore::new(small_params(4.0, 8, seed));
+            for _ in 0..3 {
+                core.sweep(None);
+            }
+            (core.h.clone(), core.greens(Spin::Up).clone(), core.accepted)
+        };
+        let (h1, g1, a1) = run(7);
+        let (h2, g2, a2) = run(7);
+        assert_eq!(h1, h2);
+        assert_eq!(a1, a2);
+        assert!(g1.max_abs_diff(&g2) == 0.0);
+        let (h3, _, _) = run(8);
+        assert!(h3 != h1, "different seeds should diverge");
+    }
+
+    #[test]
+    fn algorithms_produce_identical_markov_chains() {
+        // Algorithms 2 and 3 differ by ~1e-12 in G; with the same random
+        // stream the accept/reject decisions should coincide for short runs,
+        // making the *field trajectories* identical.
+        let run = |algo| {
+            let mut core = DqmcCore::new(small_params(4.0, 8, 11).with_algo(algo));
+            for _ in 0..3 {
+                core.sweep(None);
+            }
+            core.h.clone()
+        };
+        assert_eq!(run(StratAlgo::Qrp), run(StratAlgo::PrePivot));
+    }
+
+    #[test]
+    fn recycling_gives_same_results() {
+        let run = |recycle| {
+            let mut core = DqmcCore::new(small_params(4.0, 8, 13).with_recycle(recycle));
+            for _ in 0..3 {
+                core.sweep(None);
+            }
+            (core.h.clone(), core.greens(Spin::Down).clone())
+        };
+        let (h1, g1) = run(true);
+        let (h2, g2) = run(false);
+        assert_eq!(h1, h2);
+        assert!(g1.max_abs_diff(&g2) < 1e-12);
+    }
+
+    #[test]
+    fn delay_block_size_does_not_change_physics() {
+        let run = |nb| {
+            let mut core = DqmcCore::new(small_params(4.0, 8, 17).with_delay_block(nb));
+            for _ in 0..3 {
+                core.sweep(None);
+            }
+            core.h.clone()
+        };
+        let h1 = run(1);
+        let h2 = run(4);
+        let h3 = run(64);
+        assert_eq!(h1, h2);
+        assert_eq!(h2, h3);
+    }
+
+    #[test]
+    fn timer_covers_all_phases() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 19));
+        let model = core.params.model.clone();
+        let mut obs = Observables::new(&model, 1);
+        core.sweep(Some(&mut obs));
+        for p in [
+            phases::DELAYED_UPDATE,
+            phases::STRATIFICATION,
+            phases::CLUSTERING,
+            phases::WRAPPING,
+            phases::MEASUREMENT,
+        ] {
+            assert!(
+                core.timer.get(p) > std::time::Duration::ZERO,
+                "phase {p} untimed"
+            );
+        }
+    }
+
+    #[test]
+    fn u_zero_never_rejects() {
+        // At U = 0, ν = 0, α = 0, r = 1: every proposal accepted, G never
+        // changes, sign stays +1.
+        let mut core = DqmcCore::new(small_params(0.0, 4, 23));
+        let g0 = core.greens(Spin::Up).clone();
+        core.sweep(None);
+        assert_eq!(core.accepted, core.proposed);
+        assert!(core.greens(Spin::Up).max_abs_diff(&g0) < 1e-9);
+        assert_eq!(core.sign, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the DQMC engine's invariants.
+
+use dqmc::{greens_from_udt, stratify, BMatrixFactory, HsField, ModelParams, Spin, StratAlgo};
+use lattice::Lattice;
+use linalg::blas3::{matmul, Op};
+use linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small Hubbard model with a random HS field.
+fn dqmc_setup() -> impl Strategy<Value = (ModelParams, u64)> {
+    (2usize..=3, 2usize..=3, 4usize..=12, 0.0f64..8.0, 0u64..10_000).prop_map(
+        |(lx, ly, slices, u, seed)| {
+            (
+                ModelParams::new(Lattice::square(lx, ly, 1.0), u, 0.0, 0.125, slices),
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn stratified_greens_matches_naive((model, seed) in dqmc_setup()) {
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(seed);
+        let h = HsField::random(model.nsites(), model.slices, &mut rng);
+        let bs: Vec<Matrix> = (0..model.slices)
+            .map(|l| fac.b_matrix(&h, l, Spin::Up))
+            .collect();
+        let naive = dqmc::greens::greens_naive(&fac, &h, Spin::Up);
+        for algo in [StratAlgo::Qrp, StratAlgo::PrePivot] {
+            let gf = greens_from_udt(&stratify(&bs, algo));
+            let rel = dqmc::greens::relative_difference(&gf.g, &naive.g);
+            prop_assert!(rel < 1e-8, "{algo:?}: {rel}");
+            prop_assert_eq!(gf.sign, naive.sign);
+        }
+    }
+
+    #[test]
+    fn udt_reproduces_chain_action((model, seed) in dqmc_setup()) {
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(seed);
+        let h = HsField::random(model.nsites(), model.slices, &mut rng);
+        let bs: Vec<Matrix> = (0..model.slices)
+            .map(|l| fac.b_matrix(&h, l, Spin::Down))
+            .collect();
+        let udt = stratify(&bs, StratAlgo::PrePivot);
+        // Apply both representations to a random vector.
+        let n = model.nsites();
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut direct = x.clone();
+        for b in &bs {
+            let mut next = vec![0.0; n];
+            linalg::blas2::gemv(1.0, b, &direct, 0.0, &mut next);
+            direct = next;
+        }
+        let via_udt = udt.apply(&x);
+        let scale = direct.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-300);
+        for (a, b) in via_udt.iter().zip(direct.iter()) {
+            prop_assert!((a - b).abs() / scale < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_round_trip_is_identity((model, seed) in dqmc_setup()) {
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(seed);
+        let h = HsField::random(model.nsites(), model.slices, &mut rng);
+        let g0 = dqmc::greens::greens_naive(&fac, &h, Spin::Up).g;
+        // wrap with B_0 then unwrap: B₀⁻¹ (B₀ G B₀⁻¹) B₀ = G.
+        let w = dqmc::greens::wrap(&fac, &h, 0, Spin::Up, &g0);
+        let b0 = fac.b_matrix(&h, 0, Spin::Up);
+        let binv = linalg::lu::inverse(&b0).unwrap();
+        let t = matmul(&binv, Op::NoTrans, &w, Op::NoTrans);
+        let back = matmul(&t, Op::NoTrans, &b0, Op::NoTrans);
+        prop_assert!(dqmc::greens::relative_difference(&back, &g0) < 1e-7);
+    }
+
+    #[test]
+    fn delayed_updates_match_naive_sequence(
+        n in 3usize..10,
+        nb in 1usize..6,
+        seed in 0u64..10_000,
+        steps in 1usize..12,
+    ) {
+        let mut rng = util::Rng::new(seed);
+        let mut g = Matrix::random(n, n, &mut rng);
+        g.scale(0.3);
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        let mut naive = g.clone();
+        let mut delayed = dqmc::update::SliceUpdater::new(g, nb);
+        for _ in 0..steps {
+            let i = rng.next_range(n as u64) as usize;
+            let alpha = rng.next_f64() - 0.3;
+            let d_naive = 1.0 + alpha * (1.0 - naive[(i, i)]);
+            let d_del = 1.0 + alpha * (1.0 - delayed.gii(i));
+            prop_assert!((d_naive - d_del).abs() < 1e-9);
+            if d_naive.abs() < 0.05 {
+                continue; // skip near-singular updates (unphysical here)
+            }
+            dqmc::update::rank1_update_naive(&mut naive, i, alpha, d_naive);
+            delayed.accept(i, alpha, d_del);
+        }
+        let got = delayed.into_g();
+        prop_assert!(got.max_abs_diff(&naive) < 1e-8);
+    }
+
+    #[test]
+    fn split_d_identity(d in proptest::collection::vec(-1e6f64..1e6, 1..20)) {
+        let d: Vec<f64> = d.into_iter().filter(|x| *x != 0.0).collect();
+        prop_assume!(!d.is_empty());
+        let (db, ds) = dqmc::greens::split_d(&d);
+        for i in 0..d.len() {
+            prop_assert!(db[i] > 0.0 && db[i] <= 1.0);
+            prop_assert!(ds[i].abs() <= 1.0);
+            prop_assert!((ds[i] / db[i] - d[i]).abs() <= 1e-9 * d[i].abs());
+        }
+    }
+
+    #[test]
+    fn metropolis_ratio_fast_vs_determinant((model, seed) in dqmc_setup()) {
+        // r = 1 + α(1 − G_ii) against the explicit determinant ratio, for
+        // the canonical G and a slice-0 flip.
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(seed);
+        let mut h = HsField::random(model.nsites(), model.slices, &mut rng);
+        let i = rng.next_range(model.nsites() as u64) as usize;
+        let before = dqmc::greens::greens_naive(&fac, &h, Spin::Up);
+        let alpha = (-2.0 * model.nu() * h.get(0, i)).exp() - 1.0;
+        let fast = 1.0 + alpha * (1.0 - before.g[(i, i)]);
+        h.flip(0, i);
+        let after = dqmc::greens::greens_naive(&fac, &h, Spin::Up);
+        let explicit = after.sign / before.sign * (after.log_det - before.log_det).exp();
+        prop_assert!(
+            (fast - explicit).abs() < 1e-6 * explicit.abs().max(1.0),
+            "fast {fast} vs explicit {explicit}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Occupation-number basis with fermionic sign bookkeeping.
+//!
+//! Each spin species occupies its own `2^N`-dimensional Fock sector; a
+//! many-body state is the pair `(up_mask, dn_mask)` with flat index
+//! `up_mask · 2^N + dn_mask`. All Hamiltonian terms are same-spin bilinears
+//! or density products, so inter-species anticommutation phases cancel and
+//! the Jordan–Wigner string only needs to be tracked within a sector.
+
+/// One spin sector of `n` orbitals: `2^n` occupation masks.
+#[derive(Clone, Copy, Debug)]
+pub struct Sector {
+    /// Number of orbitals.
+    pub n: usize,
+}
+
+impl Sector {
+    /// Creates a sector (capped to keep dense ED tractable).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 10, "ED sector too large: {n} orbitals");
+        Sector { n }
+    }
+
+    /// Sector dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.n
+    }
+
+    /// Occupation of orbital `i` in `mask`.
+    #[inline]
+    pub fn occupied(mask: usize, i: usize) -> bool {
+        mask & (1 << i) != 0
+    }
+
+    /// Jordan–Wigner sign `(−1)^{#occupied orbitals below i}`.
+    #[inline]
+    pub fn jw_sign(mask: usize, i: usize) -> f64 {
+        let below = mask & ((1 << i) - 1);
+        if below.count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Applies `c_i` to `mask`: returns `(new_mask, sign)` or `None` if empty.
+    #[inline]
+    pub fn annihilate(mask: usize, i: usize) -> Option<(usize, f64)> {
+        if Self::occupied(mask, i) {
+            Some((mask ^ (1 << i), Self::jw_sign(mask, i)))
+        } else {
+            None
+        }
+    }
+
+    /// Applies `c†_i` to `mask`: returns `(new_mask, sign)` or `None` if full.
+    #[inline]
+    pub fn create(mask: usize, i: usize) -> Option<(usize, f64)> {
+        if Self::occupied(mask, i) {
+            None
+        } else {
+            Some((mask | (1 << i), Self::jw_sign(mask, i)))
+        }
+    }
+
+    /// Matrix element action of `c†_i c_j` on `mask`:
+    /// `(new_mask, amplitude)` or `None`.
+    #[inline]
+    pub fn hop(mask: usize, i: usize, j: usize) -> Option<(usize, f64)> {
+        let (m1, s1) = Self::annihilate(mask, j)?;
+        let (m2, s2) = Self::create(m1, i)?;
+        Some((m2, s1 * s2))
+    }
+
+    /// Number of particles in `mask`.
+    #[inline]
+    pub fn count(mask: usize) -> usize {
+        mask.count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupation_and_count() {
+        assert!(Sector::occupied(0b101, 0));
+        assert!(!Sector::occupied(0b101, 1));
+        assert_eq!(Sector::count(0b1011), 3);
+    }
+
+    #[test]
+    fn jw_signs() {
+        // mask 0b0110: orbitals 1,2 occupied.
+        assert_eq!(Sector::jw_sign(0b0110, 0), 1.0); // none below 0
+        assert_eq!(Sector::jw_sign(0b0110, 2), -1.0); // one below (orb 1)
+        assert_eq!(Sector::jw_sign(0b0110, 3), 1.0); // two below
+    }
+
+    #[test]
+    fn annihilate_create_roundtrip() {
+        let (m, s1) = Sector::annihilate(0b101, 2).unwrap();
+        assert_eq!(m, 0b001);
+        let (m2, s2) = Sector::create(m, 2).unwrap();
+        assert_eq!(m2, 0b101);
+        assert_eq!(s1 * s2, 1.0, "c† c = n on occupied states");
+        assert!(Sector::annihilate(0b100, 0).is_none());
+        assert!(Sector::create(0b100, 2).is_none());
+    }
+
+    #[test]
+    fn anticommutation_on_states() {
+        // {c_0, c†_1} = 0: c_0 c†_1 |m⟩ = −c†_1 c_0 |m⟩ on states where
+        // both act nontrivially.
+        let m = 0b01; // orbital 0 occupied
+        let path1 = Sector::create(m, 1).and_then(|(m1, s1)| {
+            Sector::annihilate(m1, 0).map(|(m2, s2)| (m2, s1 * s2))
+        });
+        let path2 = Sector::annihilate(m, 0).and_then(|(m1, s1)| {
+            Sector::create(m1, 1).map(|(m2, s2)| (m2, s1 * s2))
+        });
+        let (ma, sa) = path1.unwrap();
+        let (mb, sb) = path2.unwrap();
+        assert_eq!(ma, mb);
+        assert_eq!(sa, -sb, "fermionic anticommutation sign");
+    }
+
+    #[test]
+    fn hop_moves_particle_with_sign() {
+        // c†_2 c_0 on 0b011 (orbitals 0,1): annihilate 0 (+1, no JW below),
+        // create at 2 over mask 0b010 (one below ⇒ −1).
+        let (m, s) = Sector::hop(0b011, 2, 0).unwrap();
+        assert_eq!(m, 0b110);
+        assert_eq!(s, -1.0);
+        assert!(Sector::hop(0b011, 1, 0).is_none(), "target occupied");
+        assert!(Sector::hop(0b100, 1, 0).is_none(), "source empty");
+    }
+
+    #[test]
+    fn number_operator_via_hop() {
+        // c†_i c_i = n_i with sign +1.
+        let (m, s) = Sector::hop(0b101, 2, 2).unwrap();
+        assert_eq!(m, 0b101);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_sector_rejected() {
+        let _ = Sector::new(20);
+    }
+}

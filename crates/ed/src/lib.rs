@@ -1,0 +1,22 @@
+//! Exact diagonalisation of small Hubbard clusters.
+//!
+//! Ground truth for validating the DQMC engine: for clusters up to ~4 sites
+//! the full many-body spectrum (Hilbert dimension `4^N`) fits comfortably in
+//! a dense symmetric eigensolve, and every finite-temperature observable the
+//! paper measures — densities, double occupancy, momentum distribution,
+//! spin–spin correlations, energies — has an exact grand-canonical value
+//!
+//! ```text
+//! ⟨O⟩ = Tr(O e^{−βH}) / Tr(e^{−βH})
+//! ```
+//!
+//! computed in the eigenbasis. The Hamiltonian convention matches the DQMC
+//! crate exactly: `H = −t Σ c†c + U Σ n₊n₋ − (μ̃ + U/2) Σ n`, so DQMC
+//! results must converge to these values as `Δτ → 0`.
+
+pub mod basis;
+pub mod hamiltonian;
+pub mod thermal;
+
+pub use hamiltonian::HubbardEd;
+pub use thermal::ThermalEnsemble;

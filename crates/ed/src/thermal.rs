@@ -1,0 +1,369 @@
+//! Grand-canonical thermal averages in the exact eigenbasis.
+
+use crate::hamiltonian::HubbardEd;
+use lattice::fourier;
+use linalg::blas3::{matmul, Op};
+use linalg::{eig, Matrix};
+
+/// Diagonalised Hubbard cluster at inverse temperature β.
+#[derive(Clone, Debug)]
+pub struct ThermalEnsemble {
+    ed: HubbardEd,
+    beta: f64,
+    /// Eigenvalues (ascending).
+    evals: Vec<f64>,
+    /// Eigenvectors (columns).
+    evecs: Matrix,
+    /// Normalised Boltzmann weights.
+    weights: Vec<f64>,
+}
+
+impl ThermalEnsemble {
+    /// Diagonalises `H` and prepares Boltzmann weights at `beta`.
+    pub fn new(ed: HubbardEd, beta: f64) -> Self {
+        assert!(beta > 0.0);
+        let h = ed.hamiltonian();
+        let e = eig::sym_eig(&h).expect("ED eigensolve");
+        // Shift by the ground state to avoid overflow in e^{−βE}.
+        let e0 = e.values[0];
+        let mut weights: Vec<f64> = e
+            .values
+            .iter()
+            .map(|&ev| (-beta * (ev - e0)).exp())
+            .collect();
+        let z: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= z;
+        }
+        ThermalEnsemble {
+            ed,
+            beta,
+            evals: e.values,
+            evecs: e.vectors,
+            weights,
+        }
+    }
+
+    /// Inverse temperature.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The underlying ED problem.
+    pub fn ed(&self) -> &HubbardEd {
+        &self.ed
+    }
+
+    /// Thermal average of a dense operator.
+    pub fn average(&self, op: &Matrix) -> f64 {
+        // ⟨O⟩ = Σ_n w_n (Vᵀ O V)_{nn}
+        let ov = matmul(op, Op::NoTrans, &self.evecs, Op::NoTrans);
+        let mut acc = 0.0;
+        for (n, &w) in self.weights.iter().enumerate() {
+            acc += w * linalg::blas1::dot(self.evecs.col(n), ov.col(n));
+        }
+        acc
+    }
+
+    /// Thermal average of a diagonal operator.
+    pub fn average_diag(&self, diag: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (n, &w) in self.weights.iter().enumerate() {
+            let v = self.evecs.col(n);
+            let mut x = 0.0;
+            for (vi, di) in v.iter().zip(diag.iter()) {
+                x += vi * vi * di;
+            }
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// Thermal energy `⟨H⟩`.
+    pub fn energy(&self) -> f64 {
+        self.evals
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(e, w)| e * w)
+            .sum()
+    }
+
+    /// Density per site `⟨n₊ + n₋⟩ / N`.
+    pub fn density(&self) -> f64 {
+        let n = self.ed.nsites();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.average_diag(&self.ed.density_diag(i, true));
+            acc += self.average_diag(&self.ed.density_diag(i, false));
+        }
+        acc / n as f64
+    }
+
+    /// Double occupancy per site `⟨n₊n₋⟩ / N`.
+    pub fn double_occupancy(&self) -> f64 {
+        let n = self.ed.nsites();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.average_diag(&self.ed.density_product_diag(i, true, i, false));
+        }
+        acc / n as f64
+    }
+
+    /// Equal-time Green's function `G_σ[(i, j)] = ⟨c_{iσ} c†_{jσ}⟩`
+    /// (up spin by symmetry; the Hamiltonian is spin-balanced).
+    pub fn greens(&self) -> Matrix {
+        let n = self.ed.nsites();
+        Matrix::from_fn(n, n, |i, j| {
+            // ⟨c_i c†_j⟩ = δ_ij − ⟨c†_j c_i⟩
+            let delta = if i == j { 1.0 } else { 0.0 };
+            delta - self.average(&self.ed.bilinear(j, i, true))
+        })
+    }
+
+    /// Spin–spin correlation `⟨(n_{b↑}−n_{b↓})(n_{a↑}−n_{a↓})⟩` matrix.
+    pub fn spin_correlation(&self) -> Matrix {
+        let n = self.ed.nsites();
+        Matrix::from_fn(n, n, |b, a| {
+            let mut acc = 0.0;
+            for &(su, s2u, sign) in &[
+                (true, true, 1.0),
+                (false, false, 1.0),
+                (true, false, -1.0),
+                (false, true, -1.0),
+            ] {
+                acc += sign * self.average_diag(&self.ed.density_product_diag(b, su, a, s2u));
+            }
+            acc
+        })
+    }
+
+    /// Unequal-time Green's function
+    /// `G_ij(τ) = ⟨c_{i↑}(τ) c†_{j↑}(0)⟩` for `τ ∈ [0, β]`, from the
+    /// spectral (Lehmann) representation — the exact reference for the
+    /// DQMC crate's dynamic measurements.
+    pub fn greens_tau(&self, tau: f64) -> Matrix {
+        assert!(
+            (0.0..=self.beta + 1e-12).contains(&tau),
+            "τ must lie in [0, β]"
+        );
+        let n = self.ed.nsites();
+        let dim = self.ed.dim();
+        let e0 = self.evals[0];
+        // A_i = Vᵀ c_i V in the eigenbasis.
+        let a: Vec<Matrix> = (0..n)
+            .map(|i| {
+                let c = self.ed.annihilation_up(i);
+                let cv = matmul(&c, Op::NoTrans, &self.evecs, Op::NoTrans);
+                matmul(&self.evecs, Op::Trans, &cv, Op::NoTrans)
+            })
+            .collect();
+        let zshift: f64 = self
+            .evals
+            .iter()
+            .map(|&ev| (-self.beta * (ev - e0)).exp())
+            .sum();
+        let mut g = Matrix::zeros(n, n);
+        for m in 0..dim {
+            let wm = (-(self.beta - tau) * (self.evals[m] - e0)).exp();
+            if wm == 0.0 {
+                continue;
+            }
+            for nn in 0..dim {
+                let w = wm * (-tau * (self.evals[nn] - e0)).exp();
+                if w == 0.0 {
+                    continue;
+                }
+                for i in 0..n {
+                    let aim = a[i][(m, nn)];
+                    if aim == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        g[(i, j)] += w * aim * a[j][(m, nn)];
+                    }
+                }
+            }
+        }
+        g.scale(1.0 / zshift);
+        g
+    }
+
+    /// Local imaginary-time Green's function `G_loc(τ) = Tr G(τ)/N`.
+    pub fn greens_tau_local(&self, tau: f64) -> f64 {
+        let g = self.greens_tau(tau);
+        (0..self.ed.nsites()).map(|i| g[(i, i)]).sum::<f64>() / self.ed.nsites() as f64
+    }
+
+    /// Momentum distribution on the lattice's k grid.
+    pub fn momentum_distribution(&self) -> Matrix {
+        let n = self.ed.nsites();
+        // dm[(r, r')] = ⟨c†_{r'} c_r⟩ = δ − G.
+        let g = self.greens();
+        let mut dm = Matrix::identity(n);
+        dm.axpy(-1.0, &g);
+        fourier::momentum_distribution(self.ed.lattice(), &dm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lattice::Lattice;
+
+    fn dimer(u: f64, mu_tilde: f64, beta: f64) -> ThermalEnsemble {
+        ThermalEnsemble::new(HubbardEd::new(Lattice::square(2, 1, 1.0), u, mu_tilde), beta)
+    }
+
+    #[test]
+    fn weights_normalised() {
+        let t = dimer(4.0, 0.0, 2.0);
+        let s: f64 = t.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(t.weights[0] >= *t.weights.last().unwrap());
+    }
+
+    #[test]
+    fn half_filling_density_exactly_one() {
+        for &u in &[0.0, 2.0, 8.0] {
+            let t = dimer(u, 0.0, 3.0);
+            assert!((t.density() - 1.0).abs() < 1e-10, "U={u}: {}", t.density());
+        }
+    }
+
+    #[test]
+    fn single_site_analytics() {
+        // One site: Z = 1 + 2e^{βμe} + e^{−β(U−2μe)}, μe = μ̃ + U/2.
+        let u = 4.0;
+        let mu_t = 0.7;
+        let beta = 1.3;
+        let t = ThermalEnsemble::new(
+            HubbardEd::new(Lattice::square(1, 1, 1.0), u, mu_t),
+            beta,
+        );
+        let mue = mu_t + u / 2.0;
+        let z = 1.0 + 2.0 * (beta * mue).exp() + (-beta * (u - 2.0 * mue)).exp();
+        let rho = (2.0 * (beta * mue).exp() + 2.0 * (-beta * (u - 2.0 * mue)).exp()) / z;
+        let docc = (-beta * (u - 2.0 * mue)).exp() / z;
+        assert!((t.density() - rho).abs() < 1e-10, "{} vs {rho}", t.density());
+        assert!((t.double_occupancy() - docc).abs() < 1e-10);
+    }
+
+    #[test]
+    fn u0_greens_matches_free_fermions() {
+        // U = 0: G must equal (I + e^{−βK})⁻¹ with K including −μeff = 0.
+        let t = dimer(0.0, 0.0, 2.0);
+        let k = t.ed().lattice().kinetic_matrix(0.0);
+        let e = linalg::sym_expm(&k, -2.0).unwrap();
+        let mut m = Matrix::identity(2);
+        m.axpy(1.0, &e);
+        let g_free = linalg::lu::inverse(&m).unwrap();
+        let g_ed = t.greens();
+        assert!(
+            g_ed.max_abs_diff(&g_free) < 1e-10,
+            "{}",
+            g_ed.max_abs_diff(&g_free)
+        );
+    }
+
+    #[test]
+    fn greens_diagonal_matches_density() {
+        let t = dimer(4.0, 0.3, 2.0);
+        let g = t.greens();
+        // ⟨n_σ⟩ per site = 1 − G_ii; total density = 2 × average over sites.
+        let rho_from_g: f64 =
+            (0..2).map(|i| 2.0 * (1.0 - g[(i, i)])).sum::<f64>() / 2.0;
+        assert!((rho_from_g - t.density()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spin_correlation_sum_rule() {
+        // C(0) = ρ − 2·docc at any parameters.
+        let t = dimer(5.0, 0.2, 1.7);
+        let c = t.spin_correlation();
+        let expect = t.density() - 2.0 * t.double_occupancy();
+        // C(0) per site: average diagonal.
+        let c00 = (c[(0, 0)] + c[(1, 1)]) / 2.0;
+        assert!((c00 - expect).abs() < 1e-10, "{c00} vs {expect}");
+    }
+
+    #[test]
+    fn strong_u_builds_antiferromagnetic_dimer_correlation() {
+        let weak = dimer(0.0, 0.0, 4.0);
+        let strong = dimer(8.0, 0.0, 4.0);
+        let cw = weak.spin_correlation();
+        let cs = strong.spin_correlation();
+        // Nearest-neighbour spin correlation grows more negative with U.
+        assert!(cs[(0, 1)] < cw[(0, 1)] - 0.1, "{} vs {}", cs[(0, 1)], cw[(0, 1)]);
+    }
+
+    #[test]
+    fn energy_decreases_with_beta_ground_state_limit() {
+        let hot = dimer(4.0, 0.0, 0.5);
+        let cold = dimer(4.0, 0.0, 20.0);
+        assert!(cold.energy() < hot.energy());
+        // β → ∞ limit approaches E₀.
+        assert!((cold.energy() - cold.evals[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn greens_tau_zero_matches_equal_time() {
+        let t = dimer(4.0, 0.2, 2.0);
+        let g0 = t.greens();
+        let gt = t.greens_tau(0.0);
+        assert!(gt.max_abs_diff(&g0) < 1e-10, "{}", gt.max_abs_diff(&g0));
+    }
+
+    #[test]
+    fn greens_tau_beta_antiperiodicity() {
+        // G(β)_ij = ⟨c†_j c_i⟩ = δ_ij − G(0)_ij.
+        let t = dimer(4.0, 0.0, 2.0);
+        let g0 = t.greens();
+        let gb = t.greens_tau(t.beta());
+        let mut expect = Matrix::identity(2);
+        expect.axpy(-1.0, &g0);
+        assert!(gb.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn greens_tau_u0_matches_free_propagator() {
+        // U = 0: G(τ) = e^{−τK}(I + e^{−βK})⁻¹ exactly.
+        let t = dimer(0.0, 0.0, 2.0);
+        let k = t.ed().lattice().kinetic_matrix(0.0);
+        for &tau in &[0.3, 1.0, 1.7] {
+            let gt = t.greens_tau(tau);
+            let prop = linalg::sym_expm(&k, -tau).unwrap();
+            let mut m = Matrix::identity(2);
+            m.axpy(1.0, &linalg::sym_expm(&k, -2.0).unwrap());
+            let g0 = linalg::lu::inverse(&m).unwrap();
+            let expect =
+                linalg::blas3::matmul(&prop, Op::NoTrans, &g0, Op::NoTrans);
+            assert!(
+                gt.max_abs_diff(&expect) < 1e-10,
+                "τ={tau}: {}",
+                gt.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn greens_tau_local_decays_from_zero() {
+        let t = dimer(4.0, 0.0, 4.0);
+        let g0 = t.greens_tau_local(0.0);
+        let gmid = t.greens_tau_local(2.0);
+        assert!(gmid < g0, "{gmid} !< {g0}");
+        assert!(gmid > 0.0);
+    }
+
+    #[test]
+    fn momentum_distribution_sums_to_density() {
+        let t = dimer(3.0, 0.4, 2.0);
+        let nk = t.momentum_distribution();
+        // Σ_k n_k = N ⟨n⟩_σ-avg… with our conventions: Σ_k n_k = Σ_r ⟨c†c⟩
+        // per spin = N·ρ/2.
+        let total: f64 = nk.as_slice().iter().sum();
+        assert!(
+            (total - 2.0 * t.density() / 2.0 * 1.0).abs() < 1e-9,
+            "{total}"
+        );
+    }
+}

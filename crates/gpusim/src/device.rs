@@ -1,0 +1,406 @@
+//! The device model: real numerics, simulated time.
+
+use linalg::blas3::{gemm, Op};
+use linalg::{scale, Matrix};
+use util::SimClock;
+
+/// Performance characteristics of a (simulated) accelerator.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Device name (reporting only).
+    pub name: &'static str,
+    /// Asymptotic sustained double-precision GEMM rate, GFlop/s.
+    pub gemm_gflops: f64,
+    /// Matrix order at which GEMM reaches half its asymptotic rate
+    /// (GPUs need large tiles to saturate; CPUs saturate much earlier).
+    pub gemm_half_n: f64,
+    /// Device memory bandwidth for coalesced access, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Fraction of bandwidth achieved by non-coalesced (row-wise) access.
+    pub uncoalesced_fraction: f64,
+    /// Host↔device transfer bandwidth, GB/s (0 ⇒ no transfer cost: host).
+    pub pcie_bandwidth_gbs: f64,
+    /// Per-transfer latency, seconds.
+    pub pcie_latency_s: f64,
+    /// Per-kernel launch overhead, seconds.
+    pub kernel_launch_s: f64,
+}
+
+impl DeviceSpec {
+    /// A Tesla C2050-class accelerator (the paper's §VI hardware): ~515
+    /// GFlop/s DP peak, ~170 sustained DGEMM at large N, 144 GB/s memory,
+    /// PCIe 2.0 ×16.
+    pub fn tesla_c2050() -> Self {
+        DeviceSpec {
+            name: "sim-tesla-c2050",
+            gemm_gflops: 170.0,
+            gemm_half_n: 128.0,
+            mem_bandwidth_gbs: 120.0,
+            uncoalesced_fraction: 0.15,
+            pcie_bandwidth_gbs: 3.0,
+            pcie_latency_s: 10e-6,
+            kernel_launch_s: 7e-6,
+        }
+    }
+
+    /// Effective GEMM rate at order `n` (saturation curve).
+    pub fn gemm_rate(&self, n: usize) -> f64 {
+        let n = n as f64;
+        self.gemm_gflops * n / (n + self.gemm_half_n)
+    }
+}
+
+/// Performance model of the host CPU used by the hybrid driver — a
+/// two-socket four-core Nehalem node like the paper's Carver (§VI-C).
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// Sustained DGEMM rate, GFlop/s.
+    pub gemm_gflops: f64,
+    /// Matrix order at which DGEMM reaches half rate.
+    pub gemm_half_n: f64,
+    /// QR (DGEQRF) fraction of the GEMM rate (panel overhead).
+    pub qr_fraction: f64,
+    /// Pivoted QR (DGEQP3) fraction of the GEMM rate (level-2 bound).
+    pub qrp_fraction: f64,
+    /// Memory bandwidth for level-1/2 sweeps, GB/s.
+    pub mem_bandwidth_gbs: f64,
+}
+
+impl HostSpec {
+    /// Eight Nehalem cores with MKL-class efficiency.
+    pub fn nehalem_2s4c() -> Self {
+        HostSpec {
+            gemm_gflops: 70.0,
+            gemm_half_n: 48.0,
+            qr_fraction: 0.55,
+            qrp_fraction: 0.17,
+            mem_bandwidth_gbs: 32.0,
+        }
+    }
+
+    /// Effective host GEMM rate at order `n`.
+    pub fn gemm_rate(&self, n: usize) -> f64 {
+        let n = n as f64;
+        self.gemm_gflops * n / (n + self.gemm_half_n)
+    }
+
+    /// Modelled seconds for an `n³`-order kernel at a fraction of GEMM rate.
+    pub fn level3_time(&self, flops: f64, n: usize, fraction: f64) -> f64 {
+        flops / (self.gemm_rate(n) * fraction * 1e9)
+    }
+}
+
+/// A matrix resident in (simulated) device memory.
+#[derive(Clone, Debug)]
+pub struct DMatrix {
+    m: Matrix,
+}
+
+impl DMatrix {
+    /// Host view of the device contents (free of simulated cost — test hook;
+    /// use [`Device::get_matrix`] to model the PCIe read).
+    pub fn host_view(&self) -> &Matrix {
+        &self.m
+    }
+
+    /// Matrix order helpers.
+    pub fn nrows(&self) -> usize {
+        self.m.nrows()
+    }
+
+    /// Column count.
+    pub fn ncols(&self) -> usize {
+        self.m.ncols()
+    }
+}
+
+/// The simulated accelerator: a CUBLAS-like handle whose operations compute
+/// exact host results while advancing a simulated clock.
+#[derive(Clone, Debug)]
+pub struct Device {
+    spec: DeviceSpec,
+    clock: SimClock,
+    bytes_transferred: u64,
+    kernels_launched: u64,
+}
+
+impl Device {
+    /// Creates a device from a spec with the clock at zero.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Device {
+            spec,
+            clock: SimClock::new(),
+            bytes_transferred: 0,
+            kernels_launched: 0,
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Total host↔device bytes moved.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Kernels launched (including CUBLAS calls).
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Resets the clock and counters (contents of device matrices persist).
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+        self.bytes_transferred = 0;
+        self.kernels_launched = 0;
+    }
+
+    fn transfer(&mut self, bytes: usize) {
+        self.bytes_transferred += bytes as u64;
+        self.clock.advance(
+            self.spec.pcie_latency_s + bytes as f64 / (self.spec.pcie_bandwidth_gbs * 1e9),
+        );
+    }
+
+    fn launch(&mut self) {
+        self.kernels_launched += 1;
+        self.clock.advance(self.spec.kernel_launch_s);
+    }
+
+    /// `cublasSetMatrix`: host → device copy.
+    pub fn set_matrix(&mut self, host: &Matrix) -> DMatrix {
+        self.transfer(host.as_slice().len() * 8);
+        DMatrix { m: host.clone() }
+    }
+
+    /// `cublasSetVector`: host → device copy of a diagonal/vector.
+    pub fn set_vector(&mut self, v: &[f64]) -> Vec<f64> {
+        self.transfer(v.len() * 8);
+        v.to_vec()
+    }
+
+    /// `cublasGetMatrix`: device → host copy.
+    pub fn get_matrix(&mut self, d: &DMatrix) -> Matrix {
+        self.transfer(d.m.as_slice().len() * 8);
+        d.m.clone()
+    }
+
+    /// Allocates an uninitialised (zero) device matrix (no PCIe cost).
+    pub fn alloc(&mut self, nrows: usize, ncols: usize) -> DMatrix {
+        DMatrix {
+            m: Matrix::zeros(nrows, ncols),
+        }
+    }
+
+    /// `cublasDcopy` of a whole matrix.
+    pub fn dcopy(&mut self, src: &DMatrix) -> DMatrix {
+        self.launch();
+        // Device-side copy: read + write at full bandwidth.
+        let bytes = (src.m.as_slice().len() * 16) as f64;
+        self.clock
+            .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
+        DMatrix { m: src.m.clone() }
+    }
+
+    /// `cublasDgemm`: `C = alpha·A·B + beta·C`.
+    pub fn dgemm(&mut self, alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix) {
+        self.launch();
+        let (m, k, n) = (a.m.nrows(), a.m.ncols(), b.m.ncols());
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let order = ((m * n * k) as f64).cbrt() as usize;
+        self.clock
+            .advance(flops / (self.spec.gemm_rate(order) * 1e9));
+        gemm(alpha, &a.m, Op::NoTrans, &b.m, Op::NoTrans, beta, &mut c.m);
+    }
+
+    /// One `cublasDscal` on `len` elements with the given coalescing quality.
+    fn dscal_cost(&mut self, len: usize, coalesced: bool) {
+        self.launch();
+        let frac = if coalesced {
+            1.0
+        } else {
+            self.spec.uncoalesced_fraction
+        };
+        let bytes = (len * 16) as f64; // read + write
+        self.clock
+            .advance(bytes / (self.spec.mem_bandwidth_gbs * frac * 1e9));
+    }
+
+    /// Algorithm 4's scaling: one `cublasDscal` per row (N launches,
+    /// non-coalesced row access). `a ← diag(v)·a`.
+    pub fn scale_rows_cublas(&mut self, v: &[f64], a: &mut DMatrix) {
+        let n = a.m.nrows();
+        assert_eq!(v.len(), n);
+        for _ in 0..n {
+            self.dscal_cost(a.m.ncols(), false);
+        }
+        scale::row_scale(v, &mut a.m);
+    }
+
+    /// Algorithm 5: custom row-scaling kernel — one launch, one thread per
+    /// row, coalesced reads/writes. `a ← diag(v)·a`.
+    pub fn scale_rows_kernel(&mut self, v: &[f64], a: &mut DMatrix) {
+        assert_eq!(v.len(), a.m.nrows());
+        self.dscal_cost(a.m.as_slice().len(), true);
+        scale::row_scale(v, &mut a.m);
+    }
+
+    /// Algorithm 4's scaling in column form: one `cublasDscal` per column.
+    /// Columns are contiguous in device memory, so each launch streams
+    /// coalesced — but the `N` launch overheads remain. `a ← a·diag(v)`.
+    pub fn scale_cols_cublas(&mut self, v: &[f64], a: &mut DMatrix) {
+        let n = a.m.ncols();
+        assert_eq!(v.len(), n);
+        for _ in 0..n {
+            self.dscal_cost(a.m.nrows(), true);
+        }
+        scale::col_scale(v, &mut a.m);
+    }
+
+    /// Algorithm 5 in column form: one launch, coalesced. `a ← a·diag(v)`.
+    pub fn scale_cols_kernel(&mut self, v: &[f64], a: &mut DMatrix) {
+        assert_eq!(v.len(), a.m.ncols());
+        self.dscal_cost(a.m.as_slice().len(), true);
+        scale::col_scale(v, &mut a.m);
+    }
+
+    /// Algorithm 7: custom two-sided scaling kernel
+    /// `G ← diag(v)·G·diag(v)⁻¹` — one launch; the column factor arrives via
+    /// the texture cache, modelled as a modest bandwidth penalty.
+    pub fn wrap_scale_kernel(&mut self, v: &[f64], g: &mut DMatrix) {
+        assert_eq!(v.len(), g.m.nrows());
+        self.launch();
+        let bytes = (g.m.as_slice().len() * 16) as f64;
+        // Texture-cached gather: ~70 % of streaming bandwidth.
+        self.clock
+            .advance(bytes / (self.spec.mem_bandwidth_gbs * 0.7 * 1e9));
+        let vinv: Vec<f64> = v.iter().map(|&x| 1.0 / x).collect();
+        scale::row_col_scale(v, &vinv, &mut g.m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use util::Rng;
+
+    fn dev() -> Device {
+        Device::new(DeviceSpec::tesla_c2050())
+    }
+
+    #[test]
+    fn transfers_advance_clock_and_counters() {
+        let mut d = dev();
+        let m = Matrix::identity(64);
+        let dm = d.set_matrix(&m);
+        assert!(d.elapsed() > 0.0);
+        assert_eq!(d.bytes_transferred(), 64 * 64 * 8);
+        let back = d.get_matrix(&dm);
+        assert_eq!(back, m);
+        assert_eq!(d.bytes_transferred(), 2 * 64 * 64 * 8);
+    }
+
+    #[test]
+    fn dgemm_matches_host_bitwise() {
+        let mut rng = Rng::new(1);
+        let a = Matrix::random(40, 40, &mut rng);
+        let b = Matrix::random(40, 40, &mut rng);
+        let mut d = dev();
+        let da = d.set_matrix(&a);
+        let db = d.set_matrix(&b);
+        let mut dc = d.alloc(40, 40);
+        d.dgemm(1.0, &da, &db, 0.0, &mut dc);
+        let mut host = Matrix::zeros(40, 40);
+        gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut host);
+        assert_eq!(dc.host_view(), &host, "device result must be bit-identical");
+    }
+
+    #[test]
+    fn gemm_rate_saturates_with_n() {
+        let s = DeviceSpec::tesla_c2050();
+        assert!(s.gemm_rate(64) < s.gemm_rate(512));
+        assert!(s.gemm_rate(512) < s.gemm_rate(4096));
+        assert!(s.gemm_rate(4096) < s.gemm_gflops);
+        // Half rate at gemm_half_n.
+        assert!((s.gemm_rate(128) - 0.5 * s.gemm_gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_kernel_faster_than_cublas_row_loop() {
+        // The Algorithm 5 kernel must beat Algorithm 4's per-row dscal loop
+        // (the paper's §VI-A point).
+        let mut rng = Rng::new(2);
+        let a = Matrix::random(256, 256, &mut rng);
+        let v: Vec<f64> = (0..256).map(|i| 1.0 + i as f64 * 1e-3).collect();
+
+        let mut d1 = dev();
+        let mut m1 = d1.set_matrix(&a);
+        d1.reset_clock();
+        d1.scale_rows_cublas(&v, &mut m1);
+        let slow = d1.elapsed();
+
+        let mut d2 = dev();
+        let mut m2 = d2.set_matrix(&a);
+        d2.reset_clock();
+        d2.scale_rows_kernel(&v, &mut m2);
+        let fast = d2.elapsed();
+
+        assert!(fast < slow / 5.0, "kernel {fast} vs row-loop {slow}");
+        assert_eq!(m1.host_view(), m2.host_view(), "same numerics");
+    }
+
+    #[test]
+    fn wrap_scale_kernel_correct() {
+        let mut rng = Rng::new(3);
+        let g = Matrix::random(32, 32, &mut rng);
+        let v: Vec<f64> = (0..32).map(|i| (0.1 * i as f64).exp()).collect();
+        let mut d = dev();
+        let mut dg = d.set_matrix(&g);
+        d.wrap_scale_kernel(&v, &mut dg);
+        for i in 0..32 {
+            for j in 0..32 {
+                let expect = v[i] * g[(i, j)] / v[j];
+                assert!((dg.host_view()[(i, j)] - expect).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn dcopy_duplicates_and_costs() {
+        let mut d = dev();
+        let m = d.set_matrix(&Matrix::identity(16));
+        let t0 = d.elapsed();
+        let c = d.dcopy(&m);
+        assert!(d.elapsed() > t0);
+        assert_eq!(c.host_view(), m.host_view());
+    }
+
+    #[test]
+    fn kernel_launches_counted() {
+        let mut d = dev();
+        let mut m = d.set_matrix(&Matrix::identity(8));
+        let v = vec![2.0; 8];
+        d.scale_rows_cublas(&v, &mut m); // 8 launches
+        d.scale_rows_kernel(&v, &mut m); // 1 launch
+        assert_eq!(d.kernels_launched(), 9);
+    }
+
+    #[test]
+    fn host_spec_rates_ordered() {
+        let h = HostSpec::nehalem_2s4c();
+        // The Figure 1 ordering: GEMM > QR > QRP.
+        assert!(h.qr_fraction > h.qrp_fraction);
+        assert!(h.gemm_rate(1024) > h.gemm_rate(64));
+        let t_gemm = h.level3_time(1e9, 512, 1.0);
+        let t_qr = h.level3_time(1e9, 512, h.qr_fraction);
+        let t_qrp = h.level3_time(1e9, 512, h.qrp_fraction);
+        assert!(t_gemm < t_qr && t_qr < t_qrp);
+    }
+}

@@ -1,0 +1,189 @@
+//! Hybrid CPU+GPU Green's-function evaluation (§VI-C, Figure 10).
+//!
+//! The paper's hybrid scheme keeps the stratification's QR factorizations on
+//! the multicore host and offloads the matrix clustering (and wrapping) to
+//! the accelerator. This module reproduces that division of labour: the
+//! cluster products run through the simulated [`Device`] (real numerics,
+//! simulated time) and the host-side stratification work is charged to a
+//! [`HostSpec`] cost model, flop-counted term by term. The same flop count
+//! charged entirely to the host model yields the CPU-only baseline, so the
+//! hybrid-vs-CPU comparison of Figure 10 is internally consistent.
+
+use crate::cluster::{cluster_custom_kernel, upload_expk};
+use crate::device::{Device, HostSpec};
+use dqmc::{greens_from_udt, stratify, BMatrixFactory, GreensFunction, HsField, Spin, StratAlgo};
+
+/// Outcome of one hybrid evaluation.
+#[derive(Clone, Debug)]
+pub struct HybridReport {
+    /// The Green's function (exact, computed with the host kernels).
+    pub greens: GreensFunction,
+    /// Simulated seconds for the hybrid CPU+GPU pipeline.
+    pub hybrid_seconds: f64,
+    /// Simulated seconds for the same work on the CPU alone.
+    pub cpu_seconds: f64,
+    /// Flops attributed to one full evaluation.
+    pub flops: f64,
+}
+
+impl HybridReport {
+    /// Effective hybrid GFlop/s.
+    pub fn hybrid_gflops(&self) -> f64 {
+        self.flops / self.hybrid_seconds / 1e9
+    }
+
+    /// Effective CPU-only GFlop/s.
+    pub fn cpu_gflops(&self) -> f64 {
+        self.flops / self.cpu_seconds / 1e9
+    }
+}
+
+/// Stratification cost on the host model for `lk` iterations at order `n`.
+///
+/// Per iteration: one GEMM (2n³), column scaling (n² streaming), one QR
+/// (4/3 n³ at the QR or QRP fraction), explicit Q formation (4/3 n³ at the
+/// QR fraction), and the triangular T update (n³ at GEMM rate). The final
+/// assembly adds an LU solve (2/3 n³ + 2n³).
+fn host_stratification_seconds(host: &HostSpec, n: usize, lk: usize, algo: StratAlgo) -> f64 {
+    let nf = n as f64;
+    let qr_frac = match algo {
+        StratAlgo::PrePivot => host.qr_fraction,
+        StratAlgo::Qrp => host.qrp_fraction,
+    };
+    let per_iter = host.level3_time(2.0 * nf.powi(3), n, 1.0)
+        + host.level3_time(4.0 / 3.0 * nf.powi(3), n, qr_frac)
+        + host.level3_time(4.0 / 3.0 * nf.powi(3), n, host.qr_fraction)
+        + host.level3_time(nf.powi(3), n, 0.8)
+        + 3.0 * nf * nf * 8.0 / (host.mem_bandwidth_gbs * 1e9);
+    let assembly = host.level3_time(8.0 / 3.0 * nf.powi(3), n, 0.8);
+    lk as f64 * per_iter + assembly
+}
+
+/// Clustering cost on the host model: `lk · (k−1)` GEMMs plus scalings.
+fn host_clustering_seconds(host: &HostSpec, n: usize, lk: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    let gemms = (lk * (k - 1)) as f64;
+    gemms * host.level3_time(2.0 * nf.powi(3), n, 1.0)
+        + (lk * k) as f64 * nf * nf * 8.0 / (host.mem_bandwidth_gbs * 1e9)
+}
+
+/// Total flops attributed to one evaluation (clustering + stratification).
+fn evaluation_flops(n: usize, lk: usize, k: usize) -> f64 {
+    let nf = n as f64;
+    let clustering = (lk * (k - 1)) as f64 * 2.0 * nf.powi(3);
+    let strat = lk as f64 * (2.0 + 4.0 / 3.0 + 4.0 / 3.0 + 1.0) * nf.powi(3);
+    let assembly = 8.0 / 3.0 * nf.powi(3);
+    clustering + strat + assembly
+}
+
+/// Evaluates `G_σ = (I + B_{L}⋯B_1)⁻¹` with clustering on the device and
+/// stratification charged to the host model. Returns the exact Green's
+/// function plus modelled hybrid and CPU-only times.
+#[allow(clippy::too_many_arguments)]
+pub fn hybrid_greens(
+    dev: &mut Device,
+    host: &HostSpec,
+    fac: &BMatrixFactory,
+    h: &HsField,
+    spin: Spin,
+    k: usize,
+    algo: StratAlgo,
+) -> HybridReport {
+    let n = fac.nsites();
+    let slices = h.slices();
+    assert!(k >= 1 && k <= slices);
+    let expk_dev = upload_expk(dev, fac);
+
+    // --- Device-side clustering (advances the device clock) ---
+    dev.reset_clock();
+    let mut clusters = Vec::new();
+    let mut lo = 0;
+    while lo < slices {
+        let hi = (lo + k).min(slices);
+        clusters.push(cluster_custom_kernel(dev, &expk_dev, fac, h, lo, hi, spin));
+        lo = hi;
+    }
+    let device_seconds = dev.elapsed();
+    let lk = clusters.len();
+
+    // --- Host-side stratification (real numerics; modelled time) ---
+    let udt = stratify(&clusters, algo);
+    let greens = greens_from_udt(&udt);
+    let host_strat = host_stratification_seconds(host, n, lk, algo);
+
+    let hybrid_seconds = device_seconds + host_strat;
+    let cpu_seconds = host_clustering_seconds(host, n, lk, k) + host_strat;
+    HybridReport {
+        greens,
+        hybrid_seconds,
+        cpu_seconds,
+        flops: evaluation_flops(n, lk, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use dqmc::ModelParams;
+    use lattice::Lattice;
+
+    fn setup(nside: usize, slices: usize) -> (BMatrixFactory, HsField) {
+        let model =
+            ModelParams::new(Lattice::square(nside, nside, 1.0), 4.0, 0.0, 0.125, slices);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(3);
+        let h = HsField::random(nside * nside, slices, &mut rng);
+        (fac, h)
+    }
+
+    #[test]
+    fn hybrid_result_is_exact() {
+        let (fac, h) = setup(3, 16);
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let host = HostSpec::nehalem_2s4c();
+        let rep = hybrid_greens(&mut dev, &host, &fac, &h, Spin::Up, 4, StratAlgo::PrePivot);
+        let naive = dqmc::greens::greens_naive(&fac, &h, Spin::Up);
+        let diff = dqmc::greens::relative_difference(&rep.greens.g, &naive.g);
+        assert!(diff < 1e-9, "{diff}");
+        assert_eq!(rep.greens.sign, naive.sign);
+    }
+
+    #[test]
+    fn hybrid_beats_cpu_at_scale() {
+        // Figure 10's point: at DQMC sizes the hybrid pipeline outruns the
+        // CPU-only evaluation.
+        let (fac, h) = setup(12, 20); // N = 144
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let host = HostSpec::nehalem_2s4c();
+        let rep = hybrid_greens(&mut dev, &host, &fac, &h, Spin::Up, 10, StratAlgo::PrePivot);
+        assert!(
+            rep.hybrid_seconds < rep.cpu_seconds,
+            "hybrid {} !< cpu {}",
+            rep.hybrid_seconds,
+            rep.cpu_seconds
+        );
+        assert!(rep.hybrid_gflops() > rep.cpu_gflops());
+    }
+
+    #[test]
+    fn prepivot_faster_than_qrp_in_model() {
+        let (fac, h) = setup(8, 20);
+        let host = HostSpec::nehalem_2s4c();
+        let mut d1 = Device::new(DeviceSpec::tesla_c2050());
+        let r_pre = hybrid_greens(&mut d1, &host, &fac, &h, Spin::Up, 10, StratAlgo::PrePivot);
+        let mut d2 = Device::new(DeviceSpec::tesla_c2050());
+        let r_qrp = hybrid_greens(&mut d2, &host, &fac, &h, Spin::Up, 10, StratAlgo::Qrp);
+        assert!(r_pre.hybrid_seconds < r_qrp.hybrid_seconds);
+        // Same physics either way.
+        let diff = dqmc::greens::relative_difference(&r_pre.greens.g, &r_qrp.greens.g);
+        assert!(diff < 1e-9, "{diff}");
+    }
+
+    #[test]
+    fn flop_attribution_positive_and_scales() {
+        let f1 = evaluation_flops(64, 4, 10);
+        let f2 = evaluation_flops(128, 4, 10);
+        assert!(f2 > 7.0 * f1, "≈n³ scaling: {f1} → {f2}");
+    }
+}

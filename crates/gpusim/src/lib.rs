@@ -1,0 +1,36 @@
+//! Simulated GPU accelerator for DQMC (§VI of the paper).
+//!
+//! The paper's GPU experiments ran CUBLAS on a Tesla C2050. This crate
+//! substitutes a *deterministic device model*: every operation computes its
+//! true numerical result on the host (via `linalg`, so results are exact and
+//! testable) while advancing a simulated clock according to a calibrated
+//! cost model — sustained GEMM throughput with a small-matrix saturation
+//! curve, device memory bandwidth with/without coalescing, PCIe transfer
+//! bandwidth + latency, and per-kernel launch overhead.
+//!
+//! That cost model captures precisely the effects Section VI discusses:
+//!
+//! - **matrix clustering (Algorithm 4)** ships `k` diagonal vectors and gets
+//!   `k` GEMMs back per round trip, so it approaches device-GEMM speed;
+//!   its naive per-row `cublasDscal` scaling loop pays `N` kernel launches
+//!   and non-coalesced access, which the custom kernel of **Algorithm 5**
+//!   eliminates;
+//! - **wrapping (Algorithm 6)** does only two GEMMs per `G` round trip, so
+//!   transfers bite and it lands between host and device GEMM rates;
+//! - the **hybrid driver** (Figure 10) clusters on the device and runs the
+//!   stratification's QR/solve on the (modelled) host.
+//!
+//! Timings are simulated; *numerics are real* — `gpusim` results are
+//! bit-identical to the host path and are asserted as such in tests.
+
+pub mod cluster;
+pub mod device;
+pub mod gpu_strat;
+pub mod hybrid;
+pub mod wrap;
+
+pub use cluster::{cluster_cublas, cluster_custom_kernel};
+pub use device::{DMatrix, Device, DeviceSpec, HostSpec};
+pub use gpu_strat::{gpu_stratified_greens, GpuStratReport};
+pub use hybrid::{hybrid_greens, HybridReport};
+pub use wrap::wrap_on_device;

@@ -1,0 +1,118 @@
+//! Device-side Green's-function wrapping — Algorithms 6 and 7 of the paper.
+//!
+//! `G ← B_l G B_l⁻¹`: the Green's function goes down over PCIe, two GEMMs
+//! against the resident `e^{∓ΔτK}` run on the device, the two-sided diagonal
+//! scaling runs as the Algorithm 7 texture-cache kernel, and `G` comes back.
+//! Only two GEMMs amortise each matrix round trip, so wrapping cannot reach
+//! clustering's efficiency (the Figure 9 gap).
+
+use crate::device::{DMatrix, Device};
+use dqmc::{BMatrixFactory, HsField, Spin};
+use linalg::Matrix;
+
+/// Uploads `e^{+ΔτK}` (the inverse-side operand) at simulation start.
+pub fn upload_expk_inv(dev: &mut Device, fac: &BMatrixFactory) -> DMatrix {
+    dev.set_matrix(fac.expk_inv())
+}
+
+/// Algorithm 6: wraps `G ← B_l G B_l⁻¹` on the device.
+///
+/// With `B = e^{−ΔτK}·V`: `B G B⁻¹ = e^{−ΔτK} (V G V⁻¹) e^{+ΔτK}` — one
+/// Algorithm 7 scaling between two GEMMs.
+pub fn wrap_on_device(
+    dev: &mut Device,
+    expk_dev: &DMatrix,
+    expk_inv_dev: &DMatrix,
+    fac: &BMatrixFactory,
+    h: &HsField,
+    l: usize,
+    spin: Spin,
+    g: &Matrix,
+) -> Matrix {
+    let n = fac.nsites();
+    let mut dg = dev.set_matrix(g);
+    let v = dev.set_vector(&fac.v_diag(h, l, spin));
+    // V G V⁻¹ via the texture-cache kernel.
+    dev.wrap_scale_kernel(&v, &mut dg);
+    // e^{−ΔτK} · (VGV⁻¹)
+    let mut t = dev.alloc(n, n);
+    dev.dgemm(1.0, expk_dev, &dg, 0.0, &mut t);
+    // · e^{+ΔτK}
+    let mut out = dev.alloc(n, n);
+    dev.dgemm(1.0, &t, expk_inv_dev, 0.0, &mut out);
+    dev.get_matrix(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::upload_expk;
+    use crate::device::DeviceSpec;
+    use dqmc::ModelParams;
+    use lattice::Lattice;
+
+    fn setup() -> (BMatrixFactory, HsField, Matrix) {
+        let model = ModelParams::new(Lattice::square(4, 4, 1.0), 4.0, 0.0, 0.125, 8);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(7);
+        let h = HsField::random(16, 8, &mut rng);
+        let g = dqmc::greens::greens_naive(&fac, &h, Spin::Up).g;
+        (fac, h, g)
+    }
+
+    #[test]
+    fn device_wrap_matches_host_wrap() {
+        let (fac, h, g) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        let got = wrap_on_device(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g);
+        let want = dqmc::greens::wrap(&fac, &h, 0, Spin::Up, &g);
+        assert!(
+            got.max_abs_diff(&want) < 1e-12,
+            "{}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn wrap_transfers_two_matrices_and_a_vector() {
+        let (fac, h, g) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        let before = dev.bytes_transferred();
+        let _ = wrap_on_device(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g);
+        let moved = (dev.bytes_transferred() - before) as usize;
+        let n = 16usize;
+        assert_eq!(moved, 2 * n * n * 8 + n * 8);
+    }
+
+    #[test]
+    fn wrapping_slower_per_flop_than_clustering() {
+        // Figure 9: clustering's effective rate exceeds wrapping's.
+        let model = ModelParams::new(Lattice::square(8, 8, 1.0), 4.0, 0.0, 0.125, 10);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(8);
+        let h = HsField::random(64, 10, &mut rng);
+        let g = dqmc::greens::greens_naive(&fac, &h, Spin::Up).g;
+
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        dev.reset_clock();
+        let _ = crate::cluster::cluster_custom_kernel(&mut dev, &ek, &fac, &h, 0, 10, Spin::Up);
+        let t_cluster = dev.elapsed();
+        let rate_cluster = 9.0 * 2.0 * 64f64.powi(3) / t_cluster;
+
+        dev.reset_clock();
+        let _ = wrap_on_device(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g);
+        let t_wrap = dev.elapsed();
+        let rate_wrap = 2.0 * 2.0 * 64f64.powi(3) / t_wrap;
+
+        assert!(
+            rate_cluster > rate_wrap,
+            "cluster rate {rate_cluster} !> wrap rate {rate_wrap}"
+        );
+    }
+}

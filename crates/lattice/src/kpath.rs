@@ -1,0 +1,128 @@
+//! Momentum-space symmetry path for square lattices.
+//!
+//! Figure 5 of the paper plots ⟨n_k⟩ along
+//! `(0,0) → (π,π) → (π,0) → (0,0)`, the standard Γ→M→X→Γ circuit of the
+//! square-lattice Brillouin zone. Only lattices with even `L` contain the
+//! corner points exactly.
+
+use crate::geometry::Lattice;
+
+/// One point on the symmetry path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KPathPoint {
+    /// Grid index along x (`kx = 2π nx / L`).
+    pub nx: usize,
+    /// Grid index along y.
+    pub ny: usize,
+    /// Momentum component in radians.
+    pub kx: f64,
+    /// Momentum component in radians.
+    pub ky: f64,
+    /// Arc length from Γ along the path (for the plot's x-axis).
+    pub arc: f64,
+}
+
+/// Builds the Γ→M→X→Γ path on the momentum grid of a square `L × L` lattice.
+///
+/// Panics unless the lattice is square in-plane with even extent (so that
+/// (π,π) and (π,0) are grid points), matching the lattices in the paper
+/// (12², 16², …, 32²).
+pub fn symmetry_path(lat: &Lattice) -> Vec<KPathPoint> {
+    use std::f64::consts::PI;
+    let l = lat.lx();
+    assert_eq!(lat.lx(), lat.ly(), "symmetry path requires a square lattice");
+    assert_eq!(l % 2, 0, "symmetry path requires even lattice extent");
+    let h = l / 2; // index of k = π
+    let step = 2.0 * PI / l as f64;
+    let mut out = Vec::new();
+    let mut arc = 0.0;
+    let mut push = |nx: usize, ny: usize, arc: f64| {
+        out.push(KPathPoint {
+            nx,
+            ny,
+            kx: step * nx as f64,
+            ky: step * ny as f64,
+            arc,
+        });
+    };
+    // Γ = (0,0) → M = (π,π): diagonal, step length √2·(2π/L).
+    for i in 0..=h {
+        push(i, i, arc + (i as f64) * step * std::f64::consts::SQRT_2);
+    }
+    arc += h as f64 * step * std::f64::consts::SQRT_2;
+    // M = (π,π) → X = (π,0): ky decreasing (skip the repeated M point).
+    for i in 1..=h {
+        push(h, h - i, arc + i as f64 * step);
+    }
+    arc += h as f64 * step;
+    // X = (π,0) → Γ = (0,0): kx decreasing (skip the repeated X point).
+    for i in 1..=h {
+        push(h - i, 0, arc + i as f64 * step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn path_endpoints_and_corners() {
+        let lat = Lattice::square(8, 8, 1.0);
+        let path = symmetry_path(&lat);
+        let first = path.first().unwrap();
+        let last = path.last().unwrap();
+        assert_eq!((first.nx, first.ny), (0, 0));
+        assert_eq!((last.nx, last.ny), (0, 0));
+        // M and X present exactly once each.
+        let m_count = path.iter().filter(|p| p.nx == 4 && p.ny == 4).count();
+        let x_count = path.iter().filter(|p| p.nx == 4 && p.ny == 0).count();
+        assert_eq!(m_count, 1);
+        assert_eq!(x_count, 1);
+    }
+
+    #[test]
+    fn path_length_formula() {
+        // Segments have h+1, h, h points: total 3h + 1.
+        for &l in &[4usize, 8, 12, 16, 32] {
+            let lat = Lattice::square(l, l, 1.0);
+            assert_eq!(symmetry_path(&lat).len(), 3 * (l / 2) + 1);
+        }
+    }
+
+    #[test]
+    fn momenta_match_indices() {
+        let lat = Lattice::square(12, 12, 1.0);
+        for p in symmetry_path(&lat) {
+            assert!((p.kx - 2.0 * PI * p.nx as f64 / 12.0).abs() < 1e-15);
+            assert!((p.ky - 2.0 * PI * p.ny as f64 / 12.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn arc_is_strictly_increasing() {
+        let lat = Lattice::square(16, 16, 1.0);
+        let path = symmetry_path(&lat);
+        for w in path.windows(2) {
+            assert!(w[1].arc > w[0].arc);
+        }
+        // Total arc = √2·π + π + π.
+        let total = path.last().unwrap().arc;
+        assert!((total - PI * (2.0 + std::f64::consts::SQRT_2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_lattice_rejected() {
+        let lat = Lattice::square(5, 5, 1.0);
+        let _ = symmetry_path(&lat);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_lattice_rejected() {
+        let lat = Lattice::square(4, 6, 1.0);
+        let _ = symmetry_path(&lat);
+    }
+}

@@ -1,0 +1,261 @@
+//! Symmetric eigensolver via the cyclic Jacobi method (DSYEV analogue).
+//!
+//! Jacobi is slower than tridiagonalisation+QR but simple, embarrassingly
+//! accurate (small relative errors even for graded matrices — see Drmač &
+//! Veselić, cited by the paper), and used here only once per simulation to
+//! exponentiate the hopping matrix `K`. Translation-invariant lattices bypass
+//! it entirely via the analytic plane-wave diagonalisation in the `lattice`
+//! crate.
+
+use crate::matrix::Matrix;
+use crate::{Error, Result};
+
+/// Maximum number of cyclic sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition of a symmetric matrix: `A = V diag(values) Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymEig {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, matching `values` order.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input must be symmetric to machine precision (checked cheaply);
+/// returns [`Error::NoConvergence`] if the off-diagonal mass does not reach
+/// round-off within the sweep cap (does not happen for finite inputs in
+/// practice).
+pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
+    let n = a.nrows();
+    assert!(a.is_square(), "sym_eig: matrix must be square");
+    debug_assert!(is_symmetric(a, 1e-12), "sym_eig: matrix not symmetric");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off_norm = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for j in 0..n {
+            for i in 0..j {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+
+    let fro = m.norm_fro().max(f64::MIN_POSITIVE);
+    let tol = 1e-15 * fro;
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if off_norm(&m) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable rotation computation (Golub & Van Loan §8.5).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                rotate(&mut m, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+    }
+    if !converged && off_norm(&m) > tol * 10.0 {
+        return Err(Error::NoConvergence);
+    }
+
+    // Extract and sort ascending, carrying eigenvectors along.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        vectors.col_mut(dst).copy_from_slice(v.col(src));
+    }
+    Ok(SymEig { values, vectors })
+}
+
+/// Applies the two-sided Jacobi rotation J(p,q,θ)ᵀ M J(p,q,θ), keeping M
+/// symmetric.
+fn rotate(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.nrows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = m[(i, p)];
+            let aiq = m[(i, q)];
+            m[(i, p)] = c * aip - s * aiq;
+            m[(p, i)] = m[(i, p)];
+            m[(i, q)] = s * aip + c * aiq;
+            m[(q, i)] = m[(i, q)];
+        }
+    }
+}
+
+/// Post-multiplies V by the rotation (accumulates eigenvectors).
+fn rotate_cols(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let (cp, cq) = v.two_cols_mut(p, q);
+    for i in 0..cp.len() {
+        let vip = cp[i];
+        let viq = cq[i];
+        cp[i] = c * vip - s * viq;
+        cq[i] = s * vip + c * viq;
+    }
+}
+
+/// Cheap symmetry check.
+pub fn is_symmetric(a: &Matrix, tol: f64) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let n = a.nrows();
+    let scale = a.max_abs().max(1.0);
+    for j in 0..n {
+        for i in 0..j {
+            if (a[(i, j)] - a[(j, i)]).abs() > tol * scale {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{matmul, Op};
+    use util::Rng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let b = Matrix::random(n, n, &mut rng);
+        let mut a = b.clone();
+        let bt = b.transpose();
+        a.axpy(1.0, &bt);
+        a.scale(0.5);
+        a
+    }
+
+    fn check_decomposition(a: &Matrix, e: &SymEig, tol: f64) {
+        let n = a.nrows();
+        // A V = V diag(λ)
+        let av = matmul(a, Op::NoTrans, &e.vectors, Op::NoTrans);
+        for j in 0..n {
+            for i in 0..n {
+                let expect = e.values[j] * e.vectors[(i, j)];
+                assert!(
+                    (av[(i, j)] - expect).abs() < tol,
+                    "A·v mismatch at ({i},{j}): {} vs {expect}",
+                    av[(i, j)]
+                );
+            }
+        }
+        // VᵀV = I
+        let vtv = matmul(&e.vectors, Op::Trans, &e.vectors, Op::NoTrans);
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)) < tol);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let e = sym_eig(&a).unwrap();
+        assert_eq!(e.values, vec![-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_col_major(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 3.0).abs() < 1e-14);
+        check_decomposition(&a, &e, 1e-13);
+    }
+
+    #[test]
+    fn random_symmetric_decomposition() {
+        for &n in &[1usize, 2, 5, 16, 40] {
+            let a = random_symmetric(n, 50 + n as u64);
+            let e = sym_eig(&a).unwrap();
+            check_decomposition(&a, &e, 1e-11 * n.max(2) as f64);
+            // ascending order
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_frobenius_invariants() {
+        let n = 20;
+        let a = random_symmetric(n, 9);
+        let e = sym_eig(&a).unwrap();
+        let trace_a: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let trace_l: f64 = e.values.iter().sum();
+        assert!((trace_a - trace_l).abs() < 1e-10);
+        let fro2_a: f64 = a.as_slice().iter().map(|x| x * x).sum();
+        let fro2_l: f64 = e.values.iter().map(|x| x * x).sum();
+        assert!((fro2_a - fro2_l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_hopping_matrix_spectrum() {
+        // 1D periodic hopping matrix: eigenvalues are -2 cos(2πk/n).
+        let n = 8;
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            k[(i, (i + 1) % n)] = -1.0;
+            k[((i + 1) % n, i)] = -1.0;
+        }
+        let e = sym_eig(&k).unwrap();
+        let mut expect: Vec<f64> = (0..n)
+            .map(|j| -2.0 * (2.0 * std::f64::consts::PI * j as f64 / n as f64).cos())
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in e.values.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn degenerate_eigenvalues_handled() {
+        // Identity: all eigenvalues 1, any orthonormal basis acceptable.
+        let a = Matrix::identity(6);
+        let e = sym_eig(&a).unwrap();
+        for &v in &e.values {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+        check_decomposition(&a, &e, 1e-13);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(is_symmetric(&a, 1e-12));
+        let b = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 1.0]);
+        assert!(!is_symmetric(&b, 1e-12));
+        assert!(!is_symmetric(&Matrix::zeros(2, 3), 1e-12));
+    }
+}

@@ -1,0 +1,121 @@
+//! Matrix exponential of symmetric matrices.
+//!
+//! DQMC needs `B = e^{−Δτ K}` (and its inverse `e^{+Δτ K}` for wrapping),
+//! where `K` is the symmetric hopping matrix. Both are computed from a single
+//! eigendecomposition `K = S Λ Sᵀ` as `e^{sK} = S e^{sΛ} Sᵀ`, which is exact
+//! up to round-off and — unlike Padé scaling-and-squaring — gives a
+//! *consistent pair* of forward and inverse exponentials.
+
+use crate::blas3::{gemm, Op};
+use crate::eig::{sym_eig, SymEig};
+use crate::matrix::Matrix;
+use crate::scale::col_scale;
+use crate::Result;
+
+/// Computes `e^{s A}` for symmetric `A`.
+pub fn sym_expm(a: &Matrix, s: f64) -> Result<Matrix> {
+    let e = sym_eig(a)?;
+    Ok(expm_from_eig(&e, s))
+}
+
+/// Computes `e^{s A}` from a precomputed eigendecomposition of `A`.
+///
+/// Useful to get `e^{−ΔτK}` and `e^{+ΔτK}` from one factorization.
+pub fn expm_from_eig(e: &SymEig, s: f64) -> Matrix {
+    let n = e.vectors.nrows();
+    // S · diag(e^{sλ}) · Sᵀ
+    let mut scaled = e.vectors.clone();
+    let d: Vec<f64> = e.values.iter().map(|&l| (s * l).exp()).collect();
+    col_scale(&d, &mut scaled);
+    let mut out = Matrix::zeros(n, n);
+    gemm(1.0, &scaled, Op::NoTrans, &e.vectors, Op::Trans, 0.0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::matmul;
+    use util::Rng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let b = Matrix::random(n, n, &mut rng);
+        let mut a = b.clone();
+        let bt = b.transpose();
+        a.axpy(1.0, &bt);
+        a.scale(0.5);
+        a
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let a = Matrix::zeros(5, 5);
+        let e = sym_expm(&a, 1.0).unwrap();
+        assert!(e.max_abs_diff(&Matrix::identity(5)) < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let a = Matrix::from_diag(&[1.0, -2.0, 0.5]);
+        let e = sym_expm(&a, 2.0).unwrap();
+        assert!((e[(0, 0)] - (2.0f64).exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-4.0f64).exp()).abs() < 1e-14);
+        assert!((e[(2, 2)] - (1.0f64).exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn forward_times_inverse_is_identity() {
+        let a = random_symmetric(12, 1);
+        let ef = sym_expm(&a, -0.125).unwrap();
+        let eb = sym_expm(&a, 0.125).unwrap();
+        let prod = matmul(&ef, Op::NoTrans, &eb, Op::NoTrans);
+        assert!(prod.max_abs_diff(&Matrix::identity(12)) < 1e-12);
+    }
+
+    #[test]
+    fn semigroup_property() {
+        // e^{sA} e^{tA} = e^{(s+t)A}
+        let a = random_symmetric(8, 2);
+        let e1 = sym_expm(&a, 0.3).unwrap();
+        let e2 = sym_expm(&a, 0.4).unwrap();
+        let e3 = sym_expm(&a, 0.7).unwrap();
+        let prod = matmul(&e1, Op::NoTrans, &e2, Op::NoTrans);
+        assert!(prod.max_abs_diff(&e3) < 1e-11);
+    }
+
+    #[test]
+    fn matches_taylor_series_for_small_argument() {
+        let a = random_symmetric(6, 3);
+        let s = 1e-3;
+        let e = sym_expm(&a, s).unwrap();
+        // I + sA + (sA)²/2 + (sA)³/6
+        let mut taylor = Matrix::identity(6);
+        taylor.axpy(s, &a);
+        let a2 = matmul(&a, Op::NoTrans, &a, Op::NoTrans);
+        taylor.axpy(s * s / 2.0, &a2);
+        let a3 = matmul(&a2, Op::NoTrans, &a, Op::NoTrans);
+        taylor.axpy(s * s * s / 6.0, &a3);
+        assert!(e.max_abs_diff(&taylor) < 1e-11);
+    }
+
+    #[test]
+    fn exponential_is_symmetric_positive_definite() {
+        let a = random_symmetric(10, 4);
+        let e = sym_expm(&a, -0.5).unwrap();
+        assert!(crate::eig::is_symmetric(&e, 1e-10));
+        // All eigenvalues of e^{sA} are positive.
+        let ee = crate::eig::sym_eig(&e).unwrap();
+        assert!(ee.values.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn shared_eig_reuse_consistent() {
+        let a = random_symmetric(7, 5);
+        let eig = crate::eig::sym_eig(&a).unwrap();
+        let e1 = expm_from_eig(&eig, -0.2);
+        let e2 = sym_expm(&a, -0.2).unwrap();
+        assert!(e1.max_abs_diff(&e2) < 1e-13);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the linear-algebra substrate's invariants.
+
+use linalg::blas3::{gemm_naive, matmul};
+use linalg::{gemm, Matrix, Op, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-1, 1] and bounded dimensions.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-1.0f64..1.0, m * n)
+            .prop_map(move |v| Matrix::from_col_major(m, n, v))
+    })
+}
+
+/// Strategy: a square matrix.
+fn square(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n)
+            .prop_map(move |v| Matrix::from_col_major(n, n, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gemm_matches_naive_all_ops(
+        a in matrix(24),
+        kb in 1usize..24,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        ta in proptest::bool::ANY,
+        tb in proptest::bool::ANY,
+    ) {
+        let (opa, opb) = (
+            if ta { Op::Trans } else { Op::NoTrans },
+            if tb { Op::Trans } else { Op::NoTrans },
+        );
+        let (m, k) = match opa { Op::NoTrans => (a.nrows(), a.ncols()), Op::Trans => (a.ncols(), a.nrows()) };
+        let _ = kb;
+        let mut rng = util::Rng::new(7);
+        let b = match opb {
+            Op::NoTrans => Matrix::random(k, 5, &mut rng),
+            Op::Trans => Matrix::random(5, k, &mut rng),
+        };
+        let c0 = Matrix::random(m, 5, &mut rng);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        gemm(alpha, &a, opa, &b, opb, beta, &mut c1);
+        gemm_naive(alpha, &a, opa, &b, opb, beta, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-11);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthogonal(a in square(20)) {
+        let n = a.nrows();
+        let f = linalg::qr::qr_in_place(a.clone());
+        let q = f.form_q();
+        let qtq = matmul(&q, Op::Trans, &q, Op::NoTrans);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(n)) < 1e-11);
+        let r = Matrix::from_fn(n, n, |i, j| if i <= j { f.a[(i, j)] } else { 0.0 });
+        let rec = matmul(&q, Op::NoTrans, &r, Op::NoTrans);
+        prop_assert!(rec.max_abs_diff(&a) < 1e-10 * (n as f64).max(1.0));
+    }
+
+    #[test]
+    fn qrp_pivots_give_valid_permutation_and_graded_diag(a in square(20)) {
+        let n = a.nrows();
+        let f = linalg::qrp::qrp_in_place(a.clone());
+        // jpvt is a permutation of 0..n.
+        let mut seen = vec![false; n];
+        for &p in &f.jpvt {
+            prop_assert!(p < n && !seen[p]);
+            seen[p] = true;
+        }
+        // |diag(R)| is non-increasing.
+        let d = f.r_diag();
+        for w in d.windows(2) {
+            prop_assert!(w[0].abs() >= w[1].abs() * (1.0 - 1e-9));
+        }
+        // A·P = Q·R columnwise.
+        let q = f.form_q();
+        let r = Matrix::from_fn(n, n, |i, j| if i <= j { f.a[(i, j)] } else { 0.0 });
+        let qr = matmul(&q, Op::NoTrans, &r, Op::NoTrans);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((qr[(i, j)] - a[(i, f.jpvt[j])]).abs() < 1e-10 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solve_residual_small(a0 in square(20)) {
+        let n = a0.nrows();
+        // Diagonally dominate to stay comfortably nonsingular.
+        let mut a = a0;
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let mut rng = util::Rng::new(3);
+        let x = Matrix::random(n, 3, &mut rng);
+        let b = matmul(&a, Op::NoTrans, &x, Op::NoTrans);
+        let sol = linalg::lu::solve(&a, &b).unwrap();
+        prop_assert!(sol.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn lu_det_sign_consistency(a0 in square(12)) {
+        let n = a0.nrows();
+        let mut a = a0;
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let f = linalg::lu::lu_in_place(a).unwrap();
+        let (s, l) = f.sign_log_det();
+        let d = f.det();
+        prop_assert_eq!(s, d.signum());
+        prop_assert!((l - d.abs().ln()).abs() < 1e-8 * l.abs().max(1.0));
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(n in 1usize..30, seed in 0u64..1000) {
+        let mut rng = util::Rng::new(seed);
+        // Random permutation via Fisher–Yates.
+        let mut fwd: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.next_range(i as u64 + 1) as usize;
+            fwd.swap(i, j);
+        }
+        let p = Permutation::from_forward(fwd);
+        let a = Matrix::random(n, n, &mut rng);
+        let back = p.inverse().permute_cols(&p.permute_cols(&a));
+        prop_assert_eq!(back, a.clone());
+        let back2 = p.permute_rows(&p.permute_rows_t(&a));
+        prop_assert_eq!(back2, a);
+    }
+
+    #[test]
+    fn nrm2_scaling_invariant(v in proptest::collection::vec(-1.0f64..1.0, 1..50), s in 1e-10f64..1e10) {
+        let base = linalg::blas1::nrm2(&v);
+        let scaled: Vec<f64> = v.iter().map(|x| x * s).collect();
+        let got = linalg::blas1::nrm2(&scaled);
+        prop_assert!((got - s * base).abs() <= 1e-12 * (s * base).abs());
+    }
+
+    #[test]
+    fn jacobi_eigen_decomposition(a0 in square(12)) {
+        let n = a0.nrows();
+        // Symmetrise.
+        let mut a = a0.clone();
+        a.axpy(1.0, &a0.transpose());
+        a.scale(0.5);
+        let e = linalg::eig::sym_eig(&a).unwrap();
+        let av = matmul(&a, Op::NoTrans, &e.vectors, Op::NoTrans);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((av[(i, j)] - e.values[j] * e.vectors[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstruction_and_invariants(a in matrix(14)) {
+        let work = if a.nrows() >= a.ncols() { a.clone() } else { a.transpose() };
+        let d = linalg::svd(&work).unwrap();
+        // Reconstruction.
+        let mut usv = d.u.clone();
+        linalg::scale::col_scale(&d.s, &mut usv);
+        let rec = matmul(&usv, Op::NoTrans, &d.v, Op::Trans);
+        prop_assert!(rec.max_abs_diff(&work) < 1e-10 * work.max_abs().max(1.0));
+        // σ descending and non-negative.
+        for w in d.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-14);
+        }
+        prop_assert!(d.s.iter().all(|&x| x >= 0.0));
+        // ‖A‖_F² = Σσ².
+        let fro2: f64 = work.as_slice().iter().map(|x| x * x).sum();
+        let s2: f64 = d.s.iter().map(|x| x * x).sum();
+        prop_assert!((fro2 - s2).abs() < 1e-9 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn tsqr_matches_contract(m in 8usize..48, n in 1usize..6, br in 4usize..16, seed in 0u64..500) {
+        prop_assume!(m >= n);
+        let mut rng = util::Rng::new(seed);
+        let a = Matrix::random(m, n, &mut rng);
+        let f = linalg::tsqr(&a, br);
+        let qtq = matmul(&f.q, Op::Trans, &f.q, Op::NoTrans);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(n)) < 1e-11);
+        let rec = matmul(&f.q, Op::NoTrans, &f.r, Op::NoTrans);
+        prop_assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn trsm_inverts_trmm(n in 1usize..24, seed in 0u64..500) {
+        let mut rng = util::Rng::new(seed);
+        let u = Matrix::from_fn(n, n, |i, j| {
+            if i < j { rng.next_f64() - 0.5 } else if i == j { 1.0 + rng.next_f64() } else { 0.0 }
+        });
+        let x = Matrix::random(n, 4, &mut rng);
+        let mut y = x.clone();
+        linalg::tri::trmm_upper(&u, &mut y);
+        linalg::tri::trsm_upper(&u, &mut y);
+        prop_assert!(y.max_abs_diff(&x) < 1e-9);
+    }
+}

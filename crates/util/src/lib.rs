@@ -1,0 +1,24 @@
+//! Shared utilities for the DQMC workspace.
+//!
+//! This crate provides the non-numerical plumbing used by every other crate:
+//!
+//! - [`rng`]: a self-contained, bit-reproducible Xoshiro256++ pseudo-random
+//!   number generator (the Metropolis stream of a DQMC run must be exactly
+//!   reproducible from a seed, so we do not depend on external RNG crates
+//!   whose output may change between versions),
+//! - [`stats`]: running means, standard errors, binned Monte Carlo error
+//!   analysis, and five-number (box-and-whisker) summaries as used by the
+//!   paper's Figure 2,
+//! - [`timer`]: wall-clock phase profiling (Table I of the paper) and a
+//!   simulated clock used by the GPU device model,
+//! - [`table`]: minimal fixed-width table rendering for the figure/table
+//!   harness binaries.
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use rng::Rng;
+pub use stats::{autocorrelation_time, BinnedAccumulator, FiveNumber, RunningStats};
+pub use timer::{PhaseTimer, SimClock};

@@ -1,0 +1,443 @@
+//! Statistics for Monte Carlo estimation and benchmark reporting.
+//!
+//! Three tools cover everything the paper reports:
+//!
+//! - [`RunningStats`]: numerically-stable (Welford) running mean/variance,
+//! - [`BinnedAccumulator`]: bin-averaged Monte Carlo error bars — successive
+//!   sweeps are correlated, so naive standard errors underestimate; binning
+//!   into blocks longer than the autocorrelation time fixes that,
+//! - [`FiveNumber`]: min / Q1 / median / Q3 / max summaries, the
+//!   box-and-whisker statistic of the paper's Figure 2.
+
+/// Numerically stable running mean and variance (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Bin-averaged accumulator for correlated Monte Carlo time series.
+///
+/// Observations are grouped into consecutive bins of `bin_size`; the bin
+/// means are treated as (approximately) independent samples. Incomplete
+/// trailing bins are discarded by [`BinnedAccumulator::mean_and_err`].
+#[derive(Clone, Debug)]
+pub struct BinnedAccumulator {
+    bin_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    bins: Vec<f64>,
+}
+
+impl BinnedAccumulator {
+    /// Creates an accumulator with the given bin size (≥ 1).
+    pub fn new(bin_size: usize) -> Self {
+        assert!(bin_size >= 1);
+        BinnedAccumulator {
+            bin_size,
+            current_sum: 0.0,
+            current_count: 0,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Adds one (possibly autocorrelated) observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.bin_size {
+            self.bins.push(self.current_sum / self.bin_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of complete bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total number of pushed observations, including the incomplete bin.
+    pub fn count(&self) -> usize {
+        self.bins.len() * self.bin_size + self.current_count
+    }
+
+    /// Mean and standard error estimated from complete bin means.
+    ///
+    /// Returns `(mean, err)`; `err` is 0 with fewer than two complete bins.
+    pub fn mean_and_err(&self) -> (f64, f64) {
+        let mut s = RunningStats::new();
+        for &b in &self.bins {
+            s.push(b);
+        }
+        (s.mean(), s.std_err())
+    }
+
+    /// Merges another accumulator's *complete* bins into this one
+    /// (independent-chain ensembles; partial bins of `other` are dropped,
+    /// and the bin sizes must match so bin means stay comparable).
+    pub fn merge(&mut self, other: &BinnedAccumulator) {
+        assert_eq!(
+            self.bin_size, other.bin_size,
+            "cannot merge accumulators with different bin sizes"
+        );
+        self.bins.extend_from_slice(&other.bins);
+    }
+}
+
+/// Five-number summary: the box-and-whisker statistic of the paper's Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum observation.
+    pub min: f64,
+    /// Lower quartile (Q1).
+    pub q1: f64,
+    /// Median (Q2).
+    pub median: f64,
+    /// Upper quartile (Q3).
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Quartiles use linear interpolation between order statistics
+    /// (the "R-7" definition used by most plotting software).
+    pub fn from_samples(samples: &[f64]) -> FiveNumber {
+        assert!(!samples.is_empty(), "five-number summary of empty sample");
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        FiveNumber {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+        }
+    }
+}
+
+/// Integrated autocorrelation time of a Monte Carlo time series, estimated
+/// with the standard self-consistent window (Sokal): sum normalised
+/// autocorrelations ρ(t) for `t ≤ c·τ_int` with `c = 6`.
+///
+/// Returns `τ_int ≥ 0.5` (0.5 = fully independent samples). Used to choose
+/// — and to *justify* — the measurement bin size: bins should span several
+/// `2 τ_int` sweeps for the binned errors to be trustworthy.
+pub fn autocorrelation_time(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 8 {
+        return 0.5;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 0.5;
+    }
+    let rho = |t: usize| -> f64 {
+        let mut s = 0.0;
+        for i in 0..(n - t) {
+            s += (series[i] - mean) * (series[i + t] - mean);
+        }
+        s / ((n - t) as f64 * var)
+    };
+    let mut tau = 0.5;
+    for t in 1..(n / 2) {
+        tau += rho(t);
+        // Self-consistent window: stop once t outruns 6·τ_int.
+        if (t as f64) >= 6.0 * tau {
+            break;
+        }
+    }
+    tau.max(0.5)
+}
+
+/// Linear-interpolated quantile of a sorted slice (R-7 definition).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4 → sample variance 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+    }
+
+    #[test]
+    fn binned_mean_matches_plain_mean() {
+        let mut acc = BinnedAccumulator::new(5);
+        for i in 0..100 {
+            acc.push(i as f64);
+        }
+        let (mean, _) = acc.mean_and_err();
+        assert!((mean - 49.5).abs() < 1e-12);
+        assert_eq!(acc.bin_count(), 20);
+        assert_eq!(acc.count(), 100);
+    }
+
+    #[test]
+    fn binning_inflates_error_for_correlated_series() {
+        // Strongly correlated series: long plateaus.
+        let mut naive = BinnedAccumulator::new(1);
+        let mut binned = BinnedAccumulator::new(50);
+        let mut rngstate = 1u64;
+        let mut level = 0.0;
+        for i in 0..5000 {
+            if i % 50 == 0 {
+                // pseudo-random level change
+                rngstate = rngstate.wrapping_mul(6364136223846793005).wrapping_add(1);
+                level = (rngstate >> 40) as f64 / (1u64 << 24) as f64;
+            }
+            naive.push(level);
+            binned.push(level);
+        }
+        let (_, e_naive) = naive.mean_and_err();
+        let (_, e_binned) = binned.mean_and_err();
+        assert!(
+            e_binned > 3.0 * e_naive,
+            "binned {e_binned} vs naive {e_naive}"
+        );
+    }
+
+    #[test]
+    fn binned_merge_pools_bins() {
+        let mut a = BinnedAccumulator::new(2);
+        let mut b = BinnedAccumulator::new(2);
+        for x in [1.0, 3.0, 5.0, 7.0] {
+            a.push(x);
+        }
+        for x in [9.0, 11.0, 100.0] {
+            b.push(x); // the trailing 100.0 is an incomplete bin: dropped
+        }
+        a.merge(&b);
+        assert_eq!(a.bin_count(), 3);
+        let (mean, _) = a.mean_and_err();
+        assert!((mean - (2.0 + 6.0 + 10.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin sizes")]
+    fn binned_merge_rejects_mismatched_bins() {
+        let mut a = BinnedAccumulator::new(2);
+        let b = BinnedAccumulator::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn five_number_of_known_sample() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let f = FiveNumber::from_samples(&v);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+    }
+
+    #[test]
+    fn five_number_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let f = FiveNumber::from_samples(&v);
+        assert!((f.q1 - 1.75).abs() < 1e-12);
+        assert!((f.median - 2.5).abs() < 1e-12);
+        assert!((f.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_unsorted_input() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let f = FiveNumber::from_samples(&v);
+        assert_eq!(f.median, 3.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_independent_series_is_half() {
+        // A deterministic low-discrepancy stream behaves as independent.
+        let mut state = 1u64;
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let tau = autocorrelation_time(&xs);
+        assert!((tau - 0.5).abs() < 0.2, "tau = {tau}");
+    }
+
+    #[test]
+    fn autocorrelation_detects_plateaus() {
+        // Series constant over stretches of 20: τ_int ≈ 10 (≈ (ℓ+1)/2).
+        let mut state = 7u64;
+        let mut xs = Vec::new();
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let level = (state >> 11) as f64 / (1u64 << 53) as f64;
+            xs.extend(std::iter::repeat(level).take(20));
+        }
+        let tau = autocorrelation_time(&xs);
+        assert!((5.0..20.0).contains(&tau), "tau = {tau}");
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_inputs() {
+        assert_eq!(autocorrelation_time(&[]), 0.5);
+        assert_eq!(autocorrelation_time(&[1.0, 2.0]), 0.5);
+        assert_eq!(autocorrelation_time(&vec![3.0; 100]), 0.5);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.25), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn five_number_empty_panics() {
+        let _ = FiveNumber::from_samples(&[]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal fixed-width table rendering for the figure/table harness binaries.
+//!
+//! The bench binaries print the same rows/series the paper's tables and
+//! figures report; this module keeps that output aligned and parseable
+//! (whitespace-separated, one record per line) so it can be piped into
+//! plotting tools.
+
+/// A simple left-header, right-aligned-numbers text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align first column, right-align the rest.
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", c, w = width[i]));
+                } else {
+                    out.push_str(&format!("{:>w$}", c, w = width[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_line(&self.headers, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of significant decimals.
+pub fn fmt_f(x: f64, decimals: usize) -> String {
+    format!("{:.*}", decimals, x)
+}
+
+/// Formats a float in scientific notation (for the Fig. 2 style output).
+pub fn fmt_e(x: f64, decimals: usize) -> String {
+    format!("{:.*e}", decimals, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["N", "time", "gflops"]);
+        t.row(vec!["256", "1.25", "55.1"]);
+        t.row(vec!["1024", "35.30", "102.7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].starts_with("N"));
+        assert!(lines[3].contains("102.7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_row() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_e(0.000123, 2), "1.23e-4");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

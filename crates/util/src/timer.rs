@@ -1,0 +1,219 @@
+//! Phase profiling and simulated time.
+//!
+//! [`PhaseTimer`] accumulates wall-clock time per named phase and reports
+//! percentage breakdowns — this regenerates Table I of the paper, which
+//! attributes simulation time to delayed updates, stratification, clustering,
+//! wrapping, and physical measurements.
+//!
+//! [`SimClock`] is a *simulated* clock used by the GPU device model
+//! (`gpusim`): device kernels advance it analytically from a cost model
+//! instead of real time, so the GPU experiments are deterministic and run on
+//! machines without an accelerator.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named phase.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    acc: HashMap<&'static str, Duration>,
+    order: Vec<&'static str>,
+}
+
+/// RAII guard returned by [`PhaseTimer::start`]; stops on drop.
+pub struct PhaseGuard<'a> {
+    timer: &'a mut PhaseTimer,
+    phase: &'static str,
+    t0: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.timer.add(self.phase, self.t0.elapsed());
+    }
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts timing `phase`; time is recorded when the guard drops.
+    pub fn start(&mut self, phase: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            t0: Instant::now(),
+            phase,
+            timer: self,
+        }
+    }
+
+    /// Adds an explicit duration to `phase`.
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        if !self.acc.contains_key(phase) {
+            self.order.push(phase);
+        }
+        *self.acc.entry(phase).or_default() += d;
+    }
+
+    /// Times a closure under `phase` and returns its result.
+    pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(phase, t0.elapsed());
+        out
+    }
+
+    /// Total accumulated time of `phase`.
+    pub fn get(&self, phase: &str) -> Duration {
+        self.acc.get(phase).copied().unwrap_or_default()
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.acc.values().sum()
+    }
+
+    /// Phases in first-seen order with their accumulated durations.
+    pub fn phases(&self) -> Vec<(&'static str, Duration)> {
+        self.order.iter().map(|&p| (p, self.acc[p])).collect()
+    }
+
+    /// Percentage breakdown (phase, percent-of-total), first-seen order.
+    pub fn percentages(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total().as_secs_f64();
+        self.phases()
+            .into_iter()
+            .map(|(p, d)| {
+                let pct = if total > 0.0 {
+                    100.0 * d.as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (p, pct)
+            })
+            .collect()
+    }
+
+    /// Merges another timer's accumulations into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (p, d) in other.phases() {
+            self.add(p, d);
+        }
+    }
+
+    /// Clears all accumulated time.
+    pub fn reset(&mut self) {
+        self.acc.clear();
+        self.order.clear();
+    }
+}
+
+/// Deterministic simulated clock, advanced analytically by cost models.
+///
+/// Time is tracked in seconds as `f64`; the device model in `gpusim` adds
+/// kernel/transfer durations computed from bandwidth and throughput figures.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock by `seconds` (must be non-negative and finite).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid advance: {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    /// Resets to t = 0.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn phase_accumulation_and_percentages() {
+        let mut t = PhaseTimer::new();
+        t.add("a", Duration::from_millis(30));
+        t.add("b", Duration::from_millis(70));
+        t.add("a", Duration::from_millis(30));
+        assert_eq!(t.get("a"), Duration::from_millis(60));
+        assert_eq!(t.total(), Duration::from_millis(130));
+        let pct = t.percentages();
+        assert_eq!(pct[0].0, "a");
+        assert!((pct[0].1 - 100.0 * 60.0 / 130.0).abs() < 1e-9);
+        assert!((pct[1].1 - 100.0 * 70.0 / 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let mut t = PhaseTimer::new();
+        {
+            let _g = t.start("work");
+            std::hint::black_box(0u64);
+        }
+        assert!(t.get("work") > Duration::ZERO);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("calc", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get("calc") > Duration::ZERO || t.get("calc") == Duration::ZERO);
+        assert_eq!(t.phases().len(), 1);
+    }
+
+    #[test]
+    fn merge_adds_durations() {
+        let mut a = PhaseTimer::new();
+        a.add("x", Duration::from_secs(1));
+        let mut b = PhaseTimer::new();
+        b.add("x", Duration::from_secs(2));
+        b.add("y", Duration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_secs(3));
+        assert_eq!(a.get("y"), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn empty_timer_percentages() {
+        let t = PhaseTimer::new();
+        assert!(t.percentages().is_empty());
+        assert_eq!(t.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sim_clock_advances() {
+        let mut c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-15);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid advance")]
+    fn sim_clock_rejects_negative() {
+        SimClock::new().advance(-1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the utility crate.
+
+use proptest::prelude::*;
+use util::stats::{quantile_sorted, FiveNumber};
+use util::{BinnedAccumulator, Rng, RunningStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn running_stats_match_direct_formulas(xs in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-8 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * var.max(1.0));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn merge_equals_sequential(
+        xs in proptest::collection::vec(-1e2f64..1e2, 1..100),
+        split in 0usize..100,
+    ) {
+        let cut = split % xs.len();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn binned_mean_equals_plain_mean_on_complete_bins(
+        xs in proptest::collection::vec(-1e2f64..1e2, 1..50),
+        bin in 1usize..8,
+    ) {
+        let mut acc = BinnedAccumulator::new(bin);
+        // Truncate to a whole number of bins so means agree exactly.
+        let keep = (xs.len() / bin) * bin;
+        prop_assume!(keep > 0);
+        for &x in &xs[..keep] {
+            acc.push(x);
+        }
+        let (mean, err) = acc.mean_and_err();
+        let direct = xs[..keep].iter().sum::<f64>() / keep as f64;
+        prop_assert!((mean - direct).abs() < 1e-9);
+        prop_assert!(err >= 0.0);
+    }
+
+    #[test]
+    fn five_number_is_ordered_and_bounded(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let f = FiveNumber::from_samples(&xs);
+        prop_assert!(f.min <= f.q1 + 1e-12);
+        prop_assert!(f.q1 <= f.median + 1e-12);
+        prop_assert!(f.median <= f.q3 + 1e-12);
+        prop_assert!(f.q3 <= f.max + 1e-12);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(f.min, lo);
+        prop_assert_eq!(f.max, hi);
+    }
+
+    #[test]
+    fn quantiles_interpolate_monotonically(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut v = xs;
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&v, lo) <= quantile_sorted(&v, hi) + 1e-12);
+    }
+
+    #[test]
+    fn rng_range_always_in_bounds(seed in 0u64..10_000, n in 1u64..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_range(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_split_streams_decorrelated(seed in 0u64..10_000) {
+        let mut parent = Rng::new(seed);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let matches = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(matches < 2);
+    }
+}

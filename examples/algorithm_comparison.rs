@@ -1,0 +1,50 @@
+//! The paper's core claim, demonstrated end-to-end: stratification with
+//! pre-pivoting (Algorithm 3) produces Green's functions numerically
+//! indistinguishable from the classic QRP stratification (Algorithm 2) —
+//! identical Markov chains, identical physics — while running substantially
+//! faster because unpivoted QR runs at near-GEMM speed.
+//!
+//! Run with: `cargo run --release --example algorithm_comparison`
+
+use dqmc::{ModelParams, SimParams, Simulation, Spin, StratAlgo};
+use lattice::Lattice;
+use std::time::Instant;
+
+fn run(algo: StratAlgo) -> (Simulation, f64) {
+    let model = ModelParams::new(Lattice::square(8, 8, 1.0), 4.0, 0.0, 0.125, 40);
+    let params = SimParams::new(model)
+        .with_sweeps(20, 40)
+        .with_seed(77)
+        .with_algo(algo);
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(params);
+    sim.run();
+    (sim, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    println!("8x8 Hubbard, U=4, beta=5, same seed, two stratification algorithms\n");
+    let (sim_qrp, t_qrp) = run(StratAlgo::Qrp);
+    let (sim_pre, t_pre) = run(StratAlgo::PrePivot);
+
+    let g_qrp = sim_qrp.greens(Spin::Up);
+    let g_pre = sim_pre.greens(Spin::Up);
+    let diff = dqmc::greens::relative_difference(g_pre, g_qrp);
+
+    let (d_qrp, e_qrp) = sim_qrp.observables().double_occupancy();
+    let (d_pre, e_pre) = sim_pre.observables().double_occupancy();
+
+    println!("wall time   QRP (Alg. 2)      : {t_qrp:.2}s");
+    println!("wall time   pre-pivot (Alg. 3): {t_pre:.2}s");
+    println!("speedup                       : {:.2}x", t_qrp / t_pre);
+    println!();
+    println!("final Green's function relative difference: {diff:.2e}");
+    println!("(the Markov chains coincide decision-for-decision, so the");
+    println!(" difference is pure floating-point, ~1e-12 per the paper's Fig. 2)");
+    println!();
+    println!("double occupancy  QRP: {d_qrp:.4} ± {e_qrp:.4}");
+    println!("double occupancy  pre: {d_pre:.4} ± {e_pre:.4}");
+    println!();
+    println!("max wrap error    QRP: {:.2e}", sim_qrp.max_wrap_error());
+    println!("max wrap error    pre: {:.2e}", sim_pre.max_wrap_error());
+}

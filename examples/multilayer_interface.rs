@@ -1,0 +1,79 @@
+//! Multilayer interface: the physics the paper's introduction motivates.
+//!
+//! Simulates a stack of three 4×4 planes with weaker inter-layer hopping
+//! (a crude oxide-interface model) and measures *layer-resolved* densities
+//! and nearest-neighbour spin correlations by working directly with the
+//! Green's functions — demonstrating how to build custom observables on
+//! top of the public API.
+//!
+//! Run with: `cargo run --release --example multilayer_interface`
+
+use dqmc::{ModelParams, SimParams, Simulation, Spin};
+use lattice::Lattice;
+
+fn main() {
+    let (lx, ly, layers) = (4, 4, 3);
+    // In-plane hopping t = 1, inter-layer hopping t_z = 0.5, U = 4.
+    let lattice = Lattice::multilayer(lx, ly, layers, 1.0, 0.5);
+    let model = ModelParams::new(lattice.clone(), 4.0, 0.0, 0.125, 24);
+
+    println!(
+        "running DQMC: {lx}x{ly}x{layers} multilayer (N = {}), U=4, beta=3 ...",
+        model.nsites()
+    );
+    let mut sim = Simulation::new(
+        SimParams::new(model)
+            .with_sweeps(60, 150)
+            .with_seed(11)
+            .with_cluster_size(8),
+    );
+    sim.warmup(60);
+
+    // Layer-resolved accumulation over measurement sweeps.
+    let nmeas = 150;
+    let mut layer_density = vec![0.0; layers];
+    let mut layer_afm = vec![0.0; layers]; // in-plane NN spin correlation
+    for _ in 0..nmeas {
+        sim.measure(1);
+        let gup = sim.greens(Spin::Up);
+        let gdn = sim.greens(Spin::Down);
+        for z in 0..layers {
+            let mut rho = 0.0;
+            let mut afm = 0.0;
+            let mut bonds = 0.0;
+            for y in 0..ly {
+                for x in 0..lx {
+                    let r = lattice.site(x, y, z);
+                    let nup = 1.0 - gup[(r, r)];
+                    let ndn = 1.0 - gdn[(r, r)];
+                    rho += nup + ndn;
+                    // In-plane nearest neighbour (x+1): same-config estimate
+                    // of ⟨(n↑−n↓)_r (n↑−n↓)_r'⟩ via Wick.
+                    let rp = lattice.site((x + 1) % lx, y, z);
+                    let nup2 = 1.0 - gup[(rp, rp)];
+                    let ndn2 = 1.0 - gdn[(rp, rp)];
+                    let same_up = nup2 * nup + (0.0 - gup[(r, rp)]) * gup[(rp, r)];
+                    let same_dn = ndn2 * ndn + (0.0 - gdn[(r, rp)]) * gdn[(rp, r)];
+                    let cross = nup2 * ndn + ndn2 * nup;
+                    afm += same_up + same_dn - cross;
+                    bonds += 1.0;
+                }
+            }
+            layer_density[z] += rho / (lx * ly) as f64 / nmeas as f64;
+            layer_afm[z] += afm / bonds / nmeas as f64;
+        }
+    }
+
+    println!("\nlayer-resolved results (open stacking, layer 1 = centre):");
+    println!("layer  density  nn-spin-corr");
+    for z in 0..layers {
+        println!(
+            "{z:>5}  {:>7.4}  {:>12.4}",
+            layer_density[z], layer_afm[z]
+        );
+    }
+    println!("\nexpect: density 1 in every layer (ph symmetry survives the");
+    println!("interface); antiferromagnetic (negative) in-plane correlations,");
+    println!("strongest in the boundary layers whose effective coordination");
+    println!("is lowest.");
+}

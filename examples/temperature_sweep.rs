@@ -1,0 +1,35 @@
+//! Antiferromagnetic correlations vs temperature, using the parallel
+//! ensemble runner: the AF structure factor S(π,π) of the half-filled
+//! Hubbard model grows as the temperature drops — the physics the paper's
+//! large-β (β = 32) production runs are built to capture.
+//!
+//! Run with: `cargo run --release --example temperature_sweep`
+
+use dqmc::{run_ensemble, ModelParams, SimParams};
+use lattice::Lattice;
+
+fn main() {
+    let lside = 4;
+    let u = 4.0;
+    let dtau = 0.125;
+    println!("S(pi,pi) vs inverse temperature ({lside}x{lside}, U={u}, 2 chains each)\n");
+    println!("beta    T     S(pi,pi)      err     docc");
+    for &slices in &[8usize, 16, 32, 48] {
+        let beta = slices as f64 * dtau;
+        let model = ModelParams::new(Lattice::square(lside, lside, 1.0), u, 0.0, dtau, slices);
+        let params = SimParams::new(model)
+            .with_sweeps(80, 200)
+            .with_seed(1000 + slices as u64)
+            .with_bin_size(10);
+        let res = run_ensemble(&params, 2);
+        let (saf, saf_err) = res.observables.af_structure_factor();
+        let (docc, _) = res.observables.double_occupancy();
+        println!(
+            "{beta:>4}  {:>5.3}  {saf:>9.4}  {saf_err:>7.4}  {docc:>7.4}",
+            1.0 / beta
+        );
+    }
+    println!("\nexpect: S(pi,pi) grows monotonically as T drops (AF correlations");
+    println!("build up), while double occupancy stays suppressed below the");
+    println!("uncorrelated value 0.25.");
+}

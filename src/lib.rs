@@ -1,0 +1,20 @@
+//! Umbrella crate for the DQMC workspace.
+//!
+//! Re-exports the public crates so the `examples/` and `tests/` directories
+//! at the repository root can exercise the whole system through one
+//! dependency. See the individual crates for the real APIs:
+//!
+//! - [`dqmc`] — the determinant quantum Monte Carlo engine (the paper's
+//!   contribution, including stratification with pre-pivoting),
+//! - [`linalg`] — the dense linear-algebra substrate (GEMM/QR/QRP/LU/…),
+//! - [`lattice`] — Hubbard lattice geometry and Fourier analysis,
+//! - [`gpusim`] — the simulated GPU accelerator and hybrid driver,
+//! - [`ed`] — exact diagonalisation of small clusters (validation),
+//! - [`util`] — RNG, statistics, timers.
+
+pub use dqmc;
+pub use ed;
+pub use gpusim;
+pub use lattice;
+pub use linalg;
+pub use util;

@@ -1,0 +1,98 @@
+//! Cross-crate integration of the simulated accelerator: the device path
+//! must be numerically interchangeable with the host path inside a running
+//! DQMC simulation, and its cost model must reproduce the §VI orderings.
+
+use dqmc::{greens_from_udt, stratify, SimParams, Spin, StratAlgo};
+use gpusim::{cluster_custom_kernel, hybrid_greens, wrap_on_device, Device, DeviceSpec, HostSpec};
+use lattice::Lattice;
+
+fn thermalised_core(lside: usize, slices: usize) -> dqmc::sweep::DqmcCore {
+    let model = dqmc::ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
+    let mut core = dqmc::sweep::DqmcCore::new(
+        SimParams::new(model).with_seed(17).with_cluster_size(5),
+    );
+    for _ in 0..3 {
+        core.sweep(None);
+    }
+    core
+}
+
+#[test]
+fn device_clusters_reproduce_simulation_greens() {
+    // Build the Green's function of a thermalised configuration entirely
+    // from device-produced cluster matrices; must match the engine's own.
+    let core = thermalised_core(3, 20);
+    let mut dev = Device::new(DeviceSpec::tesla_c2050());
+    let expk = dev.set_matrix(core.fac.expk());
+
+    for spin in [Spin::Up, Spin::Down] {
+        let mut clusters = Vec::new();
+        let mut lo = 0;
+        while lo < 20 {
+            clusters.push(cluster_custom_kernel(
+                &mut dev, &expk, &core.fac, &core.h, lo, lo + 5, spin,
+            ));
+            lo += 5;
+        }
+        let g = greens_from_udt(&stratify(&clusters, StratAlgo::PrePivot));
+        let rel = dqmc::greens::relative_difference(&g.g, core.greens(spin));
+        assert!(rel < 1e-9, "{spin:?}: {rel}");
+    }
+}
+
+#[test]
+fn device_wrap_chain_matches_host_chain() {
+    // Wrap through four slices alternating host/device: paths interleave
+    // bit-compatibly (same GEMM kernel underneath).
+    let core = thermalised_core(3, 20);
+    let mut dev = Device::new(DeviceSpec::tesla_c2050());
+    let ek = dev.set_matrix(core.fac.expk());
+    let eki = dev.set_matrix(core.fac.expk_inv());
+
+    let mut g_host = core.greens(Spin::Up).clone();
+    let mut g_dev = g_host.clone();
+    for l in 0..4 {
+        g_host = dqmc::greens::wrap(&core.fac, &core.h, l, Spin::Up, &g_host);
+        g_dev = wrap_on_device(&mut dev, &ek, &eki, &core.fac, &core.h, l, Spin::Up, &g_dev);
+    }
+    assert!(
+        g_host.max_abs_diff(&g_dev) < 1e-12,
+        "{}",
+        g_host.max_abs_diff(&g_dev)
+    );
+}
+
+#[test]
+fn hybrid_speedup_grows_with_system_size() {
+    // Figure 10's qualitative content: the hybrid advantage grows with N.
+    let host = HostSpec::nehalem_2s4c();
+    let speedup = |lside: usize| {
+        let model =
+            dqmc::ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, 20);
+        let fac = dqmc::BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(23);
+        let h = dqmc::HsField::random(model.nsites(), 20, &mut rng);
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let rep = hybrid_greens(&mut dev, &host, &fac, &h, Spin::Up, 10, StratAlgo::PrePivot);
+        rep.cpu_seconds / rep.hybrid_seconds
+    };
+    let s_small = speedup(6); // N = 36
+    let s_large = speedup(14); // N = 196
+    assert!(
+        s_large > s_small,
+        "hybrid advantage should grow: {s_small} → {s_large}"
+    );
+    assert!(s_large > 1.0, "hybrid must win at N = 196: {s_large}");
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let run = || {
+        let core = thermalised_core(3, 20);
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let expk = dev.set_matrix(core.fac.expk());
+        let _ = cluster_custom_kernel(&mut dev, &expk, &core.fac, &core.h, 0, 5, Spin::Up);
+        dev.elapsed()
+    };
+    assert_eq!(run(), run(), "device model must be exactly reproducible");
+}
