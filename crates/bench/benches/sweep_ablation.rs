@@ -39,11 +39,9 @@ fn bench_ablation(c: &mut Criterion) {
         });
     }
     for &recycle in &[false, true] {
-        group.bench_with_input(
-            BenchmarkId::new("recycle", recycle),
-            &recycle,
-            |b, _| b.iter(|| sweep_once(base.clone().with_recycle(recycle))),
-        );
+        group.bench_with_input(BenchmarkId::new("recycle", recycle), &recycle, |b, _| {
+            b.iter(|| sweep_once(base.clone().with_recycle(recycle)))
+        });
     }
     group.finish();
 }

@@ -30,8 +30,7 @@ fn main() {
     ]);
     for &lside in sides {
         let n = lside * lside;
-        let model =
-            ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
+        let model = ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
         let fac = BMatrixFactory::new(&model);
         let mut rng = util::Rng::new(opts.seed());
         let h = HsField::random(n, slices, &mut rng);
@@ -40,9 +39,8 @@ fn main() {
         let host = HostSpec::nehalem_2s4c();
         let rep = hybrid_greens(&mut dev, &host, &fac, &h, Spin::Up, k, StratAlgo::PrePivot);
         let mut dev2 = Device::new(DeviceSpec::tesla_c2050());
-        let full = gpu_stratified_greens(
-            &mut dev2, &host, &fac, &h, Spin::Up, k, StratAlgo::PrePivot,
-        );
+        let full =
+            gpu_stratified_greens(&mut dev2, &host, &fac, &h, Spin::Up, k, StratAlgo::PrePivot);
         table.row(vec![
             n.to_string(),
             fmt_f(rep.hybrid_gflops(), 1),

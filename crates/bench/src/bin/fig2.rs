@@ -44,9 +44,7 @@ fn main() {
                     break;
                 }
                 let l = core.params.model.slices - 1;
-                let factors =
-                    core.cache
-                        .factors_after_slice(&core.fac, &core.h, l, spin);
+                let factors = core.cache.factors_after_slice(&core.fac, &core.h, l, spin);
                 let g_qrp = greens_from_udt(&stratify(&factors, StratAlgo::Qrp));
                 let g_pre = greens_from_udt(&stratify(&factors, StratAlgo::PrePivot));
                 diffs.push(dqmc::greens::relative_difference(&g_pre.g, &g_qrp.g));

@@ -55,7 +55,10 @@ fn main() {
     };
     let k = 10;
 
-    println!("# Figure 3: seconds per Green's function evaluation (L = {})", (beta / dtau) as usize);
+    println!(
+        "# Figure 3: seconds per Green's function evaluation (L = {})",
+        (beta / dtau) as usize
+    );
     let mut table = Table::new(vec!["N", "qrp-rebuild", "prepivot-recycle", "speedup"]);
     for lside in site_sweep(opts.full) {
         let n = lside * lside;

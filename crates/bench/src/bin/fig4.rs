@@ -8,7 +8,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig4 [--full]`
 
-use bench::{flops_gemm, flops_qr, site_sweep, square_model, thermalised_state, time_best, BenchOpts};
+use bench::{
+    flops_gemm, flops_qr, site_sweep, square_model, thermalised_state, time_best, BenchOpts,
+};
 use dqmc::{greens_from_udt, stratify, ClusterCache, Spin, StratAlgo};
 use linalg::{gemm, Matrix, Op};
 use util::table::{fmt_f, Table};

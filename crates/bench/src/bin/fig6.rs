@@ -37,7 +37,11 @@ fn main() {
                 // Fold to (−π, π] for the contour plot convention.
                 let fold = |i: usize| {
                     let k = 2.0 * PI * i as f64 / lside as f64;
-                    if k > PI { k - 2.0 * PI } else { k }
+                    if k > PI {
+                        k - 2.0 * PI
+                    } else {
+                        k
+                    }
                 };
                 println!("{:.4}  {:.4}  {:.4}", fold(nx), fold(ny), nk[(nx, ny)]);
             }

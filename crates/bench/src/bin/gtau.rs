@@ -31,10 +31,8 @@ fn main() {
             .with_unequal_time(true),
     );
     sim.run();
-    let exact = ed::ThermalEnsemble::new(
-        ed::HubbardEd::new(Lattice::square(2, 1, 1.0), u, 0.0),
-        beta,
-    );
+    let exact =
+        ed::ThermalEnsemble::new(ed::HubbardEd::new(Lattice::square(2, 1, 1.0), u, 0.0), beta);
     let tdm = sim.time_dependent().expect("enabled");
     println!("tau     dqmc      err       ed");
     for (tau, (g, e)) in tdm.taus().iter().zip(tdm.gloc()) {

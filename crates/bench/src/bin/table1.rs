@@ -13,7 +13,15 @@ use bench::{site_sweep, square_model, BenchOpts};
 use dqmc::{SimParams, Simulation};
 use util::table::{fmt_f, Table};
 
-fn profile_row(lside: usize, beta: f64, dtau: f64, warm: usize, meas: usize, seed: u64, dynamic: bool) -> Vec<String> {
+fn profile_row(
+    lside: usize,
+    beta: f64,
+    dtau: f64,
+    warm: usize,
+    meas: usize,
+    seed: u64,
+    dynamic: bool,
+) -> Vec<String> {
     let n = lside * lside;
     let model = square_model(lside, 4.0, beta, dtau);
     let mut sim = Simulation::new(
@@ -61,7 +69,15 @@ fn main() {
     println!("# (a) static measurements only");
     let mut table = Table::new(headers.clone());
     for lside in site_sweep(opts.full) {
-        table.row(profile_row(lside, beta, dtau, warm, meas, opts.seed(), false));
+        table.row(profile_row(
+            lside,
+            beta,
+            dtau,
+            warm,
+            meas,
+            opts.seed(),
+            false,
+        ));
     }
     print!("{}", table.render());
 
@@ -71,7 +87,15 @@ fn main() {
     println!("\n# (b) with dynamic (unequal-time) measurements, as QUEST runs them");
     let mut table = Table::new(headers);
     for lside in site_sweep(opts.full) {
-        table.row(profile_row(lside, beta, dtau, warm, meas, opts.seed(), true));
+        table.row(profile_row(
+            lside,
+            beta,
+            dtau,
+            warm,
+            meas,
+            opts.seed(),
+            true,
+        ));
     }
     print!("{}", table.render());
     println!("# paper (N=256..1024): 14-17 / 44-49 / 8-12 / 9-12 / 18-20");

@@ -278,7 +278,13 @@ impl InputFile {
 
     /// Converts into engine parameters.
     pub fn sim_params(&self) -> SimParams {
-        let model = ModelParams::new(self.lattice(), self.u, self.mu_tilde, self.dtau, self.slices);
+        let model = ModelParams::new(
+            self.lattice(),
+            self.u,
+            self.mu_tilde,
+            self.dtau,
+            self.slices,
+        );
         SimParams::new(model)
             .with_sweeps(self.warmup, self.sweeps)
             .with_seed(self.seed)
@@ -347,7 +353,9 @@ mod tests {
             StratAlgo::Qrp
         );
         assert_eq!(
-            InputFile::parse("algorithm = PrePivot\n").unwrap().algorithm,
+            InputFile::parse("algorithm = PrePivot\n")
+                .unwrap()
+                .algorithm,
             StratAlgo::PrePivot
         );
         assert!(InputFile::parse("algorithm = magic\n").is_err());

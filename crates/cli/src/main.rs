@@ -79,9 +79,17 @@ fn main() {
     let mut t = Table::new(vec!["observable", "value", "error"]);
     t.row(vec!["sign".into(), fmt_f(sign, 6), fmt_f(sign_err, 6)]);
     t.row(vec!["density".into(), fmt_f(rho, 6), fmt_f(rho_err, 6)]);
-    t.row(vec!["double-occ".into(), fmt_f(docc, 6), fmt_f(docc_err, 6)]);
+    t.row(vec![
+        "double-occ".into(),
+        fmt_f(docc, 6),
+        fmt_f(docc_err, 6),
+    ]);
     t.row(vec!["e-kinetic".into(), fmt_f(ekin, 6), fmt_f(ekin_err, 6)]);
-    t.row(vec!["e-potential".into(), fmt_f(epot, 6), fmt_f(epot_err, 6)]);
+    t.row(vec![
+        "e-potential".into(),
+        fmt_f(epot, 6),
+        fmt_f(epot_err, 6),
+    ]);
     t.row(vec!["S(pi,pi)".into(), fmt_f(saf, 6), fmt_f(saf_err, 6)]);
     t.row(vec![
         "P_s(q=0)".into(),
@@ -96,7 +104,7 @@ fn main() {
     );
 
     // Momentum distribution along the symmetry path (square even lattices).
-    if cfg.layers == 1 && cfg.lx == cfg.ly && cfg.lx % 2 == 0 {
+    if cfg.layers == 1 && cfg.lx == cfg.ly && cfg.lx.is_multiple_of(2) {
         println!("\n## <n_k> along (0,0)->(pi,pi)->(pi,0)->(0,0)");
         for (arc, v) in obs.momentum_distribution_path() {
             println!("{arc:.4}  {v:.4}");

@@ -102,7 +102,15 @@ impl BMatrixFactory {
         let mut vm = m.clone();
         scale::row_scale(&self.v_diag(h, l, spin), &mut vm);
         let mut out = Matrix::zeros(self.n, m.ncols());
-        gemm(1.0, &self.expk, Op::NoTrans, &vm, Op::NoTrans, 0.0, &mut out);
+        gemm(
+            1.0,
+            &self.expk,
+            Op::NoTrans,
+            &vm,
+            Op::NoTrans,
+            0.0,
+            &mut out,
+        );
         out
     }
 
@@ -110,15 +118,19 @@ impl BMatrixFactory {
     ///
     /// `B⁻¹ = V⁻¹ e^{+ΔτK}`, so `M B⁻¹ = (M · diag(1/v)) e^{+ΔτK}`.
     pub fn b_inv_mul_right(&self, h: &HsField, l: usize, spin: Spin, m: &Matrix) -> Matrix {
-        let vinv: Vec<f64> = self
-            .v_diag(h, l, spin)
-            .iter()
-            .map(|&v| 1.0 / v)
-            .collect();
+        let vinv: Vec<f64> = self.v_diag(h, l, spin).iter().map(|&v| 1.0 / v).collect();
         let mut mv = m.clone();
         scale::col_scale(&vinv, &mut mv);
         let mut out = Matrix::zeros(m.nrows(), self.n);
-        gemm(1.0, &mv, Op::NoTrans, &self.expk_inv, Op::NoTrans, 0.0, &mut out);
+        gemm(
+            1.0,
+            &mv,
+            Op::NoTrans,
+            &self.expk_inv,
+            Op::NoTrans,
+            0.0,
+            &mut out,
+        );
         out
     }
 

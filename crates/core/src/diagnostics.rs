@@ -45,6 +45,16 @@ impl ConditionProfile {
     }
 }
 
+/// Cumulative count of pivoted-QR norm-downdate safeguard recomputations
+/// (LAPACK working note 176 criterion) across all QRP calls in the process.
+///
+/// A burst here means the partial column norms lost too much accuracy to
+/// certify the pivot order — the numerical smoke that precedes a grading
+/// failure. Sample before/after a sweep and report the delta.
+pub fn qrp_norm_recomputes() -> u64 {
+    linalg::check::norm_downdate_recomputes()
+}
+
 /// Profiles the conditioning of `B(τ,0)` for one spin species along the
 /// chain, clustered by `k`.
 pub fn condition_profile(
@@ -121,8 +131,7 @@ mod tests {
         let (model, fac0, h) = setup(0.0, 32);
         let prof0 = condition_profile(&fac0, &h, model.dtau, 4, Spin::Up, StratAlgo::PrePivot);
         let (model8, fac8, h8) = setup(8.0, 32);
-        let prof8 =
-            condition_profile(&fac8, &h8, model8.dtau, 4, Spin::Up, StratAlgo::PrePivot);
+        let prof8 = condition_profile(&fac8, &h8, model8.dtau, 4, Spin::Up, StratAlgo::PrePivot);
         assert!(
             prof8.growth_rate() > prof0.growth_rate() * 1.2,
             "U=8 rate {} should exceed U=0 rate {}",

@@ -72,18 +72,13 @@ pub fn greens_from_udt(udt: &Udt) -> GreensFunction {
         log_det -= b.ln();
     }
     let _ = n;
+    linalg::check_finite!(g.as_slice(), "greens_from_udt output ({n}x{n})");
     GreensFunction { g, sign, log_det }
 }
 
 /// Wraps the Green's function from slice `l−1` to slice `l`:
 /// `G ← B_l G B_l⁻¹` (the new slice's B becomes the leftmost factor).
-pub fn wrap(
-    fac: &BMatrixFactory,
-    h: &HsField,
-    l: usize,
-    spin: Spin,
-    g: &Matrix,
-) -> Matrix {
+pub fn wrap(fac: &BMatrixFactory, h: &HsField, l: usize, spin: Spin, g: &Matrix) -> Matrix {
     let bg = fac.b_mul_left(h, l, spin, g);
     fac.b_inv_mul_right(h, l, spin, &bg)
 }
@@ -153,7 +148,9 @@ mod tests {
     fn stratified_matches_naive_short_chain() {
         let (_, fac, h) = setup(8, 4.0);
         for algo in [StratAlgo::Qrp, StratAlgo::PrePivot] {
-            let bs: Vec<Matrix> = (0..8).map(|l| fac.b_matrix(&h, l, crate::Spin::Up)).collect();
+            let bs: Vec<Matrix> = (0..8)
+                .map(|l| fac.b_matrix(&h, l, crate::Spin::Up))
+                .collect();
             let udt = stratify(&bs, algo);
             let gf = greens_from_udt(&udt);
             let gn = greens_naive(&fac, &h, crate::Spin::Up);
@@ -175,7 +172,9 @@ mod tests {
     #[test]
     fn clustered_matches_unclustered() {
         let (_, fac, h) = setup(8, 4.0);
-        let bs: Vec<Matrix> = (0..8).map(|l| fac.b_matrix(&h, l, crate::Spin::Up)).collect();
+        let bs: Vec<Matrix> = (0..8)
+            .map(|l| fac.b_matrix(&h, l, crate::Spin::Up))
+            .collect();
         let g1 = greens_from_udt(&stratify(&bs, StratAlgo::PrePivot));
         let cl = clusters(&fac, &h, 4);
         let g2 = greens_from_udt(&stratify(&cl, StratAlgo::PrePivot));
@@ -257,8 +256,9 @@ mod tests {
         let (model, fac, h0) = setup(8, 4.0);
         let mut h = h0.clone();
         let gf = {
-            let order: Vec<Matrix> =
-                (0..8).map(|l| fac.b_matrix(&h, l, crate::Spin::Up)).collect();
+            let order: Vec<Matrix> = (0..8)
+                .map(|l| fac.b_matrix(&h, l, crate::Spin::Up))
+                .collect();
             greens_from_udt(&stratify(&order, StratAlgo::PrePivot))
         };
         let i = 4;
@@ -275,8 +275,7 @@ mod tests {
                 .collect();
             greens_from_udt(&stratify(&order, StratAlgo::PrePivot))
         };
-        let explicit_ratio =
-            after.sign / before.sign * (after.log_det - before.log_det).exp();
+        let explicit_ratio = after.sign / before.sign * (after.log_det - before.log_det).exp();
         assert!(
             (fast_ratio - explicit_ratio).abs() < 1e-7 * explicit_ratio.abs().max(1.0),
             "fast {fast_ratio} vs explicit {explicit_ratio}"

@@ -82,7 +82,7 @@ impl Observables {
             for (rp, mult) in self.lat.neighbor_bonds(r) {
                 let kamp = self.hop[(r, rp)];
                 let _ = mult; // multiplicity already folded into the matrix
-                // ⟨c†_r c_{r'}⟩_σ = δ_{r r'} − G_σ[(r', r)]; r ≠ r' on bonds.
+                              // ⟨c†_r c_{r'}⟩_σ = δ_{r r'} − G_σ[(r', r)]; r ≠ r' on bonds.
                 ekin += kamp * (-gup[(rp, r)] - gdn[(rp, r)]);
             }
         }
@@ -403,8 +403,7 @@ mod tests {
         let mut obs = Observables::new(&m, 1);
         obs.record(m.u, &g, &g, 1.0);
         let ps = obs.swave_pair();
-        let expect: f64 =
-            (0..16).map(|r| g[(r, r)] * g[(r, r)]).sum::<f64>() / 16.0;
+        let expect: f64 = (0..16).map(|r| g[(r, r)] * g[(r, r)]).sum::<f64>() / 16.0;
         assert!((ps[(0, 0)] - expect).abs() < 1e-12);
         // Structure factor is a plain sum.
         let total: f64 = ps.as_slice().iter().sum();

@@ -81,13 +81,7 @@ impl ClusterCache {
     }
 
     /// Returns cluster `c` for `spin`, rebuilding from the field if dirty.
-    pub fn get(
-        &mut self,
-        fac: &BMatrixFactory,
-        h: &HsField,
-        c: usize,
-        spin: Spin,
-    ) -> &Matrix {
+    pub fn get(&mut self, fac: &BMatrixFactory, h: &HsField, c: usize, spin: Spin) -> &Matrix {
         let slot = &mut self.store[spin.index()][c];
         if slot.is_none() {
             let (lo, hi) = (c * self.k, ((c + 1) * self.k).min(self.slices));

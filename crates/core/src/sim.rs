@@ -70,10 +70,8 @@ impl Simulation {
                 // forward UDT propagation is not used here).
                 let t0 = std::time::Instant::now();
                 let k = self.core.params.cluster_size;
-                let gu =
-                    unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
-                let gd =
-                    unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Down);
+                let gu = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
+                let gd = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Down);
                 tdm.record(&gu, &gd, self.core.sign);
                 self.core.timer.add(phases::MEASUREMENT, t0.elapsed());
             }
@@ -229,8 +227,8 @@ mod tests {
         assert_eq!(tdm.count(), 10);
         let gloc = tdm.gloc();
         assert_eq!(gloc.len(), 3); // τ = 0, β/2, β
-        // Anti-periodicity in the trace: G_loc(0) + G_loc(β) =
-        // Tr(G + (I−G))/N / spin-avg = 1.
+                                   // Anti-periodicity in the trace: G_loc(0) + G_loc(β) =
+                                   // Tr(G + (I−G))/N / spin-avg = 1.
         let sum = gloc[0].0 + gloc[2].0;
         assert!((sum - 1.0).abs() < 1e-8, "G(0)+G(beta) = {sum}");
         // G decays away from τ = 0 at half filling.

@@ -73,6 +73,9 @@ impl Udt {
 pub struct StratifyState {
     algo: StratAlgo,
     udt: Udt,
+    /// Number of cluster boundaries absorbed so far (0 after `new`); names
+    /// the failing boundary in checked-invariants panic messages.
+    boundary: usize,
 }
 
 impl StratifyState {
@@ -80,6 +83,9 @@ impl StratifyState {
     /// pivoted QR of step 1, shared by both algorithms.
     pub fn new(first: &Matrix, algo: StratAlgo) -> Self {
         assert!(first.is_square(), "stratify: factors must be square");
+        // Checked before the QRP so a poisoned input is reported against the
+        // boundary, not as a pivot-norm failure deep inside the factorization.
+        linalg::check_finite!(first.as_slice(), "stratify factor at cluster boundary 0");
         let f0 = qrp::qrp_in_place(first.clone());
         let p0 = f0.permutation();
         let interchanges = p0.displacement();
@@ -91,6 +97,7 @@ impl StratifyState {
             p0.permute_cols_inv(&r)
         };
         let q_sign = f0.q_det_sign();
+        linalg::check_graded!(&d, 1.0 + 1e-7, "stratified D at cluster boundary 0");
         StratifyState {
             algo,
             udt: Udt {
@@ -100,6 +107,7 @@ impl StratifyState {
                 q_sign,
                 interchanges,
             },
+            boundary: 0,
         }
     }
 
@@ -107,6 +115,14 @@ impl StratifyState {
     pub fn push(&mut self, b: &Matrix) {
         let n = self.udt.q.nrows();
         assert!(b.nrows() == n && b.ncols() == n, "stratify: factor shape");
+        self.boundary += 1;
+        // Must fire before the GEMM/QR below: those would surface the taint
+        // as an unrelated pivot-norm or orthogonality failure.
+        linalg::check_finite!(
+            b.as_slice(),
+            "stratify factor at cluster boundary {}",
+            self.boundary
+        );
         // Step 3a: C = (Bᵢ Q_{i−1}) D_{i−1} — GEMM then a column scaling,
         // ordered exactly as the paper prescribes for accuracy.
         let mut c = Matrix::zeros(n, n);
@@ -135,6 +151,17 @@ impl StratifyState {
 
         // Step 3c: Dᵢ = diag(Rᵢ); Tᵢ = (Dᵢ⁻¹ Rᵢ)(Pᵢᵀ T_{i−1}).
         self.udt.d = (0..n).map(|i| ri[(i, i)]).collect();
+        // QRP grades strictly; the pre-pivot variant only preserves the
+        // essential graded structure (§IV-A), hence the wide slack.
+        linalg::check_graded!(
+            &self.udt.d,
+            match self.algo {
+                StratAlgo::Qrp => 1.0 + 1e-7,
+                StratAlgo::PrePivot => 1e3,
+            },
+            "stratified D at cluster boundary {}",
+            self.boundary
+        );
         let mut dinv_r = ri;
         scale::row_scale_inv(&self.udt.d, &mut dinv_r);
         let mut pt = pi.permute_rows_t(&self.udt.t);
@@ -264,7 +291,11 @@ mod tests {
         let qtq = linalg::blas3::matmul(&udt.q, Op::Trans, &udt.q, Op::NoTrans);
         assert!(qtq.max_abs_diff(&Matrix::identity(10)) < 1e-12);
         // T's rows are D⁻¹R-scaled: entries bounded by ~1 per construction.
-        assert!(udt.t.max_abs() < 1e3, "T should stay O(1): {}", udt.t.max_abs());
+        assert!(
+            udt.t.max_abs() < 1e3,
+            "T should stay O(1): {}",
+            udt.t.max_abs()
+        );
     }
 
     #[test]

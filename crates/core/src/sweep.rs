@@ -204,7 +204,7 @@ impl DqmcCore {
             }
         }
 
-        if let Some(obs) = obs.as_deref_mut() {
+        if let Some(obs) = obs {
             let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);
             self.timer
                 .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));

@@ -121,9 +121,11 @@ pub fn unequal_time_greens_stable(
         rhs[(i, i)] = 1.0;
     }
     f.solve_in_place(&mut rhs);
-    let mut out: Vec<Matrix> = (0..lk)
-        .map(|c| rhs.submatrix(c * n, 0, n, n))
-        .collect();
+    linalg::check_finite!(
+        rhs.as_slice(),
+        "unequal_time_greens_stable solve ({dim}x{n})"
+    );
+    let mut out: Vec<Matrix> = (0..lk).map(|c| rhs.submatrix(c * n, 0, n, n)).collect();
     // Append G(β,0) = I − G(0).
     let mut last = Matrix::identity(n);
     last.axpy(-1.0, &out[0]);
@@ -199,7 +201,8 @@ impl TimeDependentObs {
                 let mut s = 0.0;
                 for dy in 0..ly {
                     for dx in 0..lx {
-                        let phase = 2.0 * std::f64::consts::PI
+                        let phase = 2.0
+                            * std::f64::consts::PI
                             * (nx as f64 * dx as f64 / lx as f64
                                 + ny as f64 * dy as f64 / ly as f64);
                         s += phase.cos() * avg[(dx, dy)];

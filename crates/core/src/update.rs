@@ -222,7 +222,11 @@ mod tests {
             del.accept(i, a, d);
         }
         let got = del.into_g();
-        assert!(got.max_abs_diff(&naive) < 1e-11, "{}", got.max_abs_diff(&naive));
+        assert!(
+            got.max_abs_diff(&naive) < 1e-11,
+            "{}",
+            got.max_abs_diff(&naive)
+        );
     }
 
     #[test]

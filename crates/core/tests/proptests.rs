@@ -8,14 +8,19 @@ use proptest::prelude::*;
 
 /// Strategy: a small Hubbard model with a random HS field.
 fn dqmc_setup() -> impl Strategy<Value = (ModelParams, u64)> {
-    (2usize..=3, 2usize..=3, 4usize..=12, 0.0f64..8.0, 0u64..10_000).prop_map(
-        |(lx, ly, slices, u, seed)| {
+    (
+        2usize..=3,
+        2usize..=3,
+        4usize..=12,
+        0.0f64..8.0,
+        0u64..10_000,
+    )
+        .prop_map(|(lx, ly, slices, u, seed)| {
             (
                 ModelParams::new(Lattice::square(lx, ly, 1.0), u, 0.0, 0.125, slices),
                 seed,
             )
-        },
-    )
+        })
 }
 
 proptest! {

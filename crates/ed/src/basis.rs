@@ -35,7 +35,7 @@ impl Sector {
     #[inline]
     pub fn jw_sign(mask: usize, i: usize) -> f64 {
         let below = mask & ((1 << i) - 1);
-        if below.count_ones() % 2 == 0 {
+        if below.count_ones().is_multiple_of(2) {
             1.0
         } else {
             -1.0
@@ -113,12 +113,10 @@ mod tests {
         // {c_0, c†_1} = 0: c_0 c†_1 |m⟩ = −c†_1 c_0 |m⟩ on states where
         // both act nontrivially.
         let m = 0b01; // orbital 0 occupied
-        let path1 = Sector::create(m, 1).and_then(|(m1, s1)| {
-            Sector::annihilate(m1, 0).map(|(m2, s2)| (m2, s1 * s2))
-        });
-        let path2 = Sector::annihilate(m, 0).and_then(|(m1, s1)| {
-            Sector::create(m1, 1).map(|(m2, s2)| (m2, s1 * s2))
-        });
+        let path1 = Sector::create(m, 1)
+            .and_then(|(m1, s1)| Sector::annihilate(m1, 0).map(|(m2, s2)| (m2, s1 * s2)));
+        let path2 = Sector::annihilate(m, 0)
+            .and_then(|(m1, s1)| Sector::create(m1, 1).map(|(m2, s2)| (m2, s1 * s2)));
         let (ma, sa) = path1.unwrap();
         let (mb, sb) = path2.unwrap();
         assert_eq!(ma, mb);

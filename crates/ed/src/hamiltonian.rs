@@ -128,13 +128,7 @@ impl HubbardEd {
 
     /// Dense diagonal matrix of `n_{i↑} n_{j↓}`-type or `n n` products:
     /// returns diag values of `n_{iσ} n_{jσ'}` over the basis.
-    pub fn density_product_diag(
-        &self,
-        i: usize,
-        i_up: bool,
-        j: usize,
-        j_up: bool,
-    ) -> Vec<f64> {
+    pub fn density_product_diag(&self, i: usize, i_up: bool, j: usize, j_up: bool) -> Vec<f64> {
         let sdim = self.sector.dim();
         let mut out = vec![0.0; self.dim()];
         for up in 0..sdim {
@@ -195,7 +189,7 @@ mod tests {
         let h = ed.hamiltonian();
         let e = linalg::eig::sym_eig(&h).unwrap();
         let mueff = 0.5 + 2.0;
-        let mut expect = vec![0.0, -mueff, -mueff, 4.0 - 2.0 * mueff];
+        let mut expect = [0.0, -mueff, -mueff, 4.0 - 2.0 * mueff];
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in e.values.iter().zip(expect.iter()) {
             assert!((got - want).abs() < 1e-12, "{got} vs {want}");

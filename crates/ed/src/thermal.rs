@@ -211,7 +211,10 @@ mod tests {
     use lattice::Lattice;
 
     fn dimer(u: f64, mu_tilde: f64, beta: f64) -> ThermalEnsemble {
-        ThermalEnsemble::new(HubbardEd::new(Lattice::square(2, 1, 1.0), u, mu_tilde), beta)
+        ThermalEnsemble::new(
+            HubbardEd::new(Lattice::square(2, 1, 1.0), u, mu_tilde),
+            beta,
+        )
     }
 
     #[test]
@@ -236,15 +239,16 @@ mod tests {
         let u = 4.0;
         let mu_t = 0.7;
         let beta = 1.3;
-        let t = ThermalEnsemble::new(
-            HubbardEd::new(Lattice::square(1, 1, 1.0), u, mu_t),
-            beta,
-        );
+        let t = ThermalEnsemble::new(HubbardEd::new(Lattice::square(1, 1, 1.0), u, mu_t), beta);
         let mue = mu_t + u / 2.0;
         let z = 1.0 + 2.0 * (beta * mue).exp() + (-beta * (u - 2.0 * mue)).exp();
         let rho = (2.0 * (beta * mue).exp() + 2.0 * (-beta * (u - 2.0 * mue)).exp()) / z;
         let docc = (-beta * (u - 2.0 * mue)).exp() / z;
-        assert!((t.density() - rho).abs() < 1e-10, "{} vs {rho}", t.density());
+        assert!(
+            (t.density() - rho).abs() < 1e-10,
+            "{} vs {rho}",
+            t.density()
+        );
         assert!((t.double_occupancy() - docc).abs() < 1e-10);
     }
 
@@ -270,8 +274,7 @@ mod tests {
         let t = dimer(4.0, 0.3, 2.0);
         let g = t.greens();
         // ⟨n_σ⟩ per site = 1 − G_ii; total density = 2 × average over sites.
-        let rho_from_g: f64 =
-            (0..2).map(|i| 2.0 * (1.0 - g[(i, i)])).sum::<f64>() / 2.0;
+        let rho_from_g: f64 = (0..2).map(|i| 2.0 * (1.0 - g[(i, i)])).sum::<f64>() / 2.0;
         assert!((rho_from_g - t.density()).abs() < 1e-10);
     }
 
@@ -293,7 +296,12 @@ mod tests {
         let cw = weak.spin_correlation();
         let cs = strong.spin_correlation();
         // Nearest-neighbour spin correlation grows more negative with U.
-        assert!(cs[(0, 1)] < cw[(0, 1)] - 0.1, "{} vs {}", cs[(0, 1)], cw[(0, 1)]);
+        assert!(
+            cs[(0, 1)] < cw[(0, 1)] - 0.1,
+            "{} vs {}",
+            cs[(0, 1)],
+            cw[(0, 1)]
+        );
     }
 
     #[test]
@@ -335,8 +343,7 @@ mod tests {
             let mut m = Matrix::identity(2);
             m.axpy(1.0, &linalg::sym_expm(&k, -2.0).unwrap());
             let g0 = linalg::lu::inverse(&m).unwrap();
-            let expect =
-                linalg::blas3::matmul(&prop, Op::NoTrans, &g0, Op::NoTrans);
+            let expect = linalg::blas3::matmul(&prop, Op::NoTrans, &g0, Op::NoTrans);
             assert!(
                 gt.max_abs_diff(&expect) < 1e-10,
                 "τ={tau}: {}",

@@ -50,7 +50,9 @@ pub fn cluster_cublas(
         dev.dgemm(1.0, expk_dev, &vt, 0.0, &mut next);
         t = next;
     }
-    dev.get_matrix(&t)
+    let out = dev.get_matrix(&t);
+    linalg::check_finite!(out.as_slice(), "cluster_cublas product [{lo}, {hi})");
+    out
 }
 
 /// Algorithms 4+5: same product, with the custom one-launch scaling kernels
@@ -76,7 +78,9 @@ pub fn cluster_custom_kernel(
         dev.dgemm(1.0, expk_dev, &t, 0.0, &mut next);
         t = next;
     }
-    dev.get_matrix(&t)
+    let out = dev.get_matrix(&t);
+    linalg::check_finite!(out.as_slice(), "cluster_custom_kernel product [{lo}, {hi})");
+    out
 }
 
 #[cfg(test)]

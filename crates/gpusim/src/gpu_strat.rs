@@ -81,12 +81,11 @@ pub fn gpu_stratified_greens(
 
     // Final assembly on the host: two N×N transfers up + LU solve.
     let up_bytes = 2.0 * nf * nf * 8.0;
-    let transfer = 2.0 * dev.spec().pcie_latency_s
-        + up_bytes / (dev.spec().pcie_bandwidth_gbs * 1e9);
+    let transfer =
+        2.0 * dev.spec().pcie_latency_s + up_bytes / (dev.spec().pcie_bandwidth_gbs * 1e9);
     let assembly = host.level3_time(8.0 / 3.0 * nf.powi(3), n, 0.8);
 
-    let gpu_seconds =
-        device_cluster_seconds + device_strat_seconds + transfer + assembly;
+    let gpu_seconds = device_cluster_seconds + device_strat_seconds + transfer + assembly;
 
     // --- Hybrid reference (same formulas as gpusim::hybrid) ---
     let qr_frac = match algo {
@@ -98,8 +97,7 @@ pub fn gpu_stratified_greens(
         + host.level3_time(4.0 / 3.0 * nf.powi(3), n, host.qr_fraction)
         + host.level3_time(nf.powi(3), n, 0.8)
         + 3.0 * nf * nf * 8.0 / (host.mem_bandwidth_gbs * 1e9);
-    let hybrid_seconds =
-        device_cluster_seconds + lk as f64 * hybrid_per_iter + assembly;
+    let hybrid_seconds = device_cluster_seconds + lk as f64 * hybrid_per_iter + assembly;
 
     // --- Real numerics (host kernels; the device path is bit-identical) ---
     let greens = greens_from_udt(&stratify(&clusters, algo));
@@ -119,8 +117,7 @@ mod tests {
     use lattice::Lattice;
 
     fn setup(lside: usize, slices: usize) -> (BMatrixFactory, HsField) {
-        let model =
-            ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
+        let model = ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
         let fac = BMatrixFactory::new(&model);
         let mut rng = util::Rng::new(41);
         let h = HsField::random(lside * lside, slices, &mut rng);
@@ -167,7 +164,13 @@ mod tests {
         let (fac2, h2) = setup(16, 20);
         let mut dev2 = Device::new(DeviceSpec::tesla_c2050());
         let rep2 = gpu_stratified_greens(
-            &mut dev2, &host, &fac2, &h2, Spin::Up, 10, StratAlgo::PrePivot,
+            &mut dev2,
+            &host,
+            &fac2,
+            &h2,
+            Spin::Up,
+            10,
+            StratAlgo::PrePivot,
         );
         let ratio_large = rep2.hybrid_seconds / rep2.gpu_seconds;
         assert!(

@@ -129,8 +129,7 @@ mod tests {
     use lattice::Lattice;
 
     fn setup(nside: usize, slices: usize) -> (BMatrixFactory, HsField) {
-        let model =
-            ModelParams::new(Lattice::square(nside, nside, 1.0), 4.0, 0.0, 0.125, slices);
+        let model = ModelParams::new(Lattice::square(nside, nside, 1.0), 4.0, 0.0, 0.125, slices);
         let fac = BMatrixFactory::new(&model);
         let mut rng = util::Rng::new(3);
         let h = HsField::random(nside * nside, slices, &mut rng);

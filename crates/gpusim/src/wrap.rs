@@ -40,7 +40,12 @@ pub fn wrap_on_device(
     // · e^{+ΔτK}
     let mut out = dev.alloc(n, n);
     dev.dgemm(1.0, &t, expk_inv_dev, 0.0, &mut out);
-    dev.get_matrix(&out)
+    let wrapped = dev.get_matrix(&out);
+    linalg::check_finite!(
+        wrapped.as_slice(),
+        "wrap_on_device output ({n}x{n}) at slice {l}"
+    );
+    wrapped
 }
 
 #[cfg(test)]

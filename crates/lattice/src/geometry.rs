@@ -387,7 +387,11 @@ mod tests {
         let (fwd, bwd) = lat.expk(0.125, 0.1);
         let dense_f = sym_expm(&k, -0.125).unwrap();
         let dense_b = sym_expm(&k, 0.125).unwrap();
-        assert!(fwd.max_abs_diff(&dense_f) < 1e-12, "{}", fwd.max_abs_diff(&dense_f));
+        assert!(
+            fwd.max_abs_diff(&dense_f) < 1e-12,
+            "{}",
+            fwd.max_abs_diff(&dense_f)
+        );
         assert!(bwd.max_abs_diff(&dense_b) < 1e-12);
     }
 

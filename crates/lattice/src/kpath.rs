@@ -30,7 +30,11 @@ pub struct KPathPoint {
 pub fn symmetry_path(lat: &Lattice) -> Vec<KPathPoint> {
     use std::f64::consts::PI;
     let l = lat.lx();
-    assert_eq!(lat.lx(), lat.ly(), "symmetry path requires a square lattice");
+    assert_eq!(
+        lat.lx(),
+        lat.ly(),
+        "symmetry path requires a square lattice"
+    );
     assert_eq!(l % 2, 0, "symmetry path requires even lattice extent");
     let h = l / 2; // index of k = π
     let step = 2.0 * PI / l as f64;

@@ -38,7 +38,10 @@ pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Kronecker sum `A ⊕ B = A ⊗ I + I ⊗ B` (both square).
 pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
-    assert!(a.is_square() && b.is_square(), "kron_sum: operands must be square");
+    assert!(
+        a.is_square() && b.is_square(),
+        "kron_sum: operands must be square"
+    );
     let ia = Matrix::identity(a.nrows());
     let ib = Matrix::identity(b.nrows());
     let mut out = kron(a, &ib);

@@ -12,6 +12,12 @@
 //! high fraction of peak even at DQMC sizes (N ≈ 256…2048) because every
 //! floating-point operation streams from packed, cache-resident buffers —
 //! unlike pivoted QR, which must keep returning to level-2 norm updates.
+//!
+//! This module is a `dqmc-lint` hot module: heap allocation inside its
+//! loops is rejected by `cargo xtask lint` unless explicitly waived.
+
+#![cfg_attr(any(), deny_hot_alloc)]
+#![warn(clippy::undocumented_unsafe_blocks)]
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -70,6 +76,15 @@ const SMALL_FLOPS: usize = 48 * 48 * 48;
 /// assert_eq!(c, a);
 /// ```
 pub fn gemm(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: &mut Matrix) {
+    gemm_impl(alpha, a, opa, b, opb, beta, c);
+    // Taint check on the output only: C is *allowed* to carry NaN garbage in
+    // with beta = 0 (LAPACK semantics), so inputs are deliberately unchecked.
+    crate::check_finite!(c.as_slice(), "gemm output ({}x{})", c.nrows(), c.ncols());
+}
+
+// dqmc-lint: allow(hot_alloc) — the packed A/B panel buffers are allocated
+// once per call and amortised over the entire blocked k loop.
+fn gemm_impl(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: &mut Matrix) {
     let m = opa.rows(a);
     let k = opa.cols(a);
     let n = opb.cols(b);
@@ -127,7 +142,12 @@ pub fn gemm(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: 
 /// Raw pointer wrapper so disjoint C tiles can be written from Rayon tasks.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
+// SAFETY: SendPtr is only created in `gemm_impl` and only dereferenced inside
+// `macro_kernel`, where each Rayon task writes a tile of C disjoint from every
+// other task's tile; no aliasing writes can occur.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared references to SendPtr only copy the pointer value; all
+// dereferences go through the disjoint-tile discipline above.
 unsafe impl Sync for SendPtr {}
 
 fn padded(x: usize, r: usize) -> usize {
@@ -246,9 +266,14 @@ fn macro_kernel(
 #[inline(always)]
 fn micro_kernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; MR]; NR]) {
     for p in 0..kc {
-        // SAFETY: panels are exactly kc*MR and kc*NR long.
-        let a = unsafe { apanel.get_unchecked(p * MR..(p + 1) * MR) };
-        let b = unsafe { bpanel.get_unchecked(p * NR..(p + 1) * NR) };
+        // SAFETY: callers pass panels of exactly kc*MR and kc*NR elements,
+        // so both ranges are in bounds for every p < kc.
+        let (a, b) = unsafe {
+            (
+                apanel.get_unchecked(p * MR..(p + 1) * MR),
+                bpanel.get_unchecked(p * NR..(p + 1) * NR),
+            )
+        };
         for j in 0..NR {
             let bj = b[j];
             let accj = &mut acc[j];
@@ -305,6 +330,8 @@ fn gemm_small(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, c: &mut Matr
 }
 
 /// Reference triple-loop GEMM for correctness tests.
+// dqmc-lint: allow(unchecked_kernel) — test oracle; checking it would mask
+// the very taint the checked `gemm` is supposed to attribute.
 pub fn gemm_naive(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: &mut Matrix) {
     let m = opa.rows(a);
     let k = opa.cols(a);
@@ -325,6 +352,7 @@ pub fn gemm_naive(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f6
 }
 
 /// Convenience: allocate and return `op(A) * op(B)`.
+// dqmc-lint: allow(unchecked_kernel) — delegates to `gemm`, which checks.
 pub fn matmul(a: &Matrix, opa: Op, b: &Matrix, opb: Op) -> Matrix {
     let mut c = Matrix::zeros(opa.rows(a), opb.cols(b));
     gemm(1.0, a, opa, b, opb, 0.0, &mut c);

@@ -28,7 +28,15 @@ pub fn expm_from_eig(e: &SymEig, s: f64) -> Matrix {
     let d: Vec<f64> = e.values.iter().map(|&l| (s * l).exp()).collect();
     col_scale(&d, &mut scaled);
     let mut out = Matrix::zeros(n, n);
-    gemm(1.0, &scaled, Op::NoTrans, &e.vectors, Op::Trans, 0.0, &mut out);
+    gemm(
+        1.0,
+        &scaled,
+        Op::NoTrans,
+        &e.vectors,
+        Op::Trans,
+        0.0,
+        &mut out,
+    );
     out
 }
 

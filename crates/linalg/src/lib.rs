@@ -27,9 +27,18 @@
 //! | [`scale`] | custom OpenMP kernels of §IV-B | row/col scalings, column norms |
 //! | [`perm`] | dlapmt | pivoting and pre-pivoting |
 
+//!
+//! # Checked-invariants mode
+//!
+//! With the `checked-invariants` cargo feature the kernels assert runtime
+//! invariants (NaN/Inf taint on outputs, Q orthogonality, grading of
+//! pivoted-QR diagonals) through the macros in [`check`]; without the
+//! feature the macros expand to nothing. See [`check`] for the contract.
+
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;
+pub mod check;
 pub mod eig;
 pub mod expm;
 pub mod lu;

@@ -4,6 +4,9 @@
 //! blocked kernels in [`crate::blas3`] and [`crate::qr`] work on raw column
 //! slices internally; `Matrix` keeps the public API safe and simple.
 
+#![warn(clippy::undocumented_unsafe_blocks)]
+#![warn(unsafe_op_in_unsafe_fn)]
+
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -137,7 +140,9 @@ impl Matrix {
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.nrows && j < self.ncols);
-        *self.data.get_unchecked(j * self.nrows + i)
+        // SAFETY: the caller guarantees i < nrows and j < ncols, so the flat
+        // column-major index j*nrows + i is within data (len == nrows*ncols).
+        unsafe { *self.data.get_unchecked(j * self.nrows + i) }
     }
 
     /// Unchecked element write (bounds checked only in debug builds).
@@ -147,7 +152,9 @@ impl Matrix {
     #[inline]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.nrows && j < self.ncols);
-        *self.data.get_unchecked_mut(j * self.nrows + i) = v;
+        // SAFETY: the caller guarantees i < nrows and j < ncols, so the flat
+        // column-major index j*nrows + i is within data (len == nrows*ncols).
+        unsafe { *self.data.get_unchecked_mut(j * self.nrows + i) = v }
     }
 
     /// Swaps columns `j1` and `j2`.
@@ -285,7 +292,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.nrows + i]
     }
 }
@@ -293,7 +303,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.nrows + i]
     }
 }

@@ -28,6 +28,8 @@ pub struct QrFactors {
 }
 
 /// Generates a Householder reflector (dlarfg analogue).
+// dqmc-lint: allow(unchecked_kernel) — level-1 building block on the panel
+// hot path; its output is covered by the qr_in_place exit check.
 ///
 /// Given `alpha` and tail `x`, computes `(beta, tau)` and overwrites `x`
 /// with the reflector tail `v[1..]` (with `v[0] = 1` implicit) such that
@@ -200,6 +202,8 @@ pub fn qr_in_place(mut a: Matrix) -> QrFactors {
         }
         j0 += nb;
     }
+    crate::check_finite!(a.as_slice(), "qr_in_place packed factors ({m}x{n})");
+    crate::check_finite!(&tau, "qr_in_place tau");
     QrFactors { a, tau }
 }
 
@@ -217,13 +221,17 @@ impl QrFactors {
     /// The upper-triangular/trapezoidal factor R (`min(m,n) × n`).
     pub fn r(&self) -> Matrix {
         let k = self.a.nrows().min(self.a.ncols());
-        Matrix::from_fn(k, self.a.ncols(), |i, j| {
-            if i <= j {
-                self.a[(i, j)]
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(
+            k,
+            self.a.ncols(),
+            |i, j| {
+                if i <= j {
+                    self.a[(i, j)]
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Diagonal of R (length `min(m,n)`).
@@ -265,6 +273,7 @@ impl QrFactors {
         let m = self.a.nrows();
         let mut q = Matrix::identity(m);
         self.apply_q(&mut q);
+        crate::check_orthogonal!(&q, 1e-11 * m.max(4) as f64, "qr form_q ({m}x{m})");
         q
     }
 

@@ -33,6 +33,9 @@ pub struct QrpFactors {
 pub fn qrp_in_place(mut a: Matrix) -> QrpFactors {
     let m = a.nrows();
     let n = a.ncols();
+    // Pivot selection compares column norms, so a NaN/Inf input is a hard
+    // error here no matter what; in checked builds report it up front.
+    crate::check_finite!(a.as_slice(), "qrp_in_place input ({m}x{n})");
     let k = m.min(n);
     let mut tau = vec![0.0; k];
     let mut jpvt: Vec<usize> = (0..n).collect();
@@ -46,10 +49,18 @@ pub fn qrp_in_place(mut a: Matrix) -> QrpFactors {
     while j0 < k {
         let nb = NB.min(k - j0);
         let nf = factor_panel(
-            &mut a, j0, nb, &mut tau[j0..], &mut jpvt, &mut vn1, &mut vn2, tol3z,
+            &mut a,
+            j0,
+            nb,
+            &mut tau[j0..],
+            &mut jpvt,
+            &mut vn1,
+            &mut vn2,
+            tol3z,
         );
         j0 += nf;
     }
+    crate::check_graded!(&a.diag(), 1.0 + 1e-7, "qrp_in_place R diagonal ({m}x{n})");
     QrpFactors { a, tau, jpvt }
 }
 
@@ -78,7 +89,7 @@ fn factor_panel(
 
     for j in 0..nb {
         let jj = j0 + j; // current global column == pivot row (m ≥ n usage)
-        // 1. Pivot: bring the column with the largest partial norm to jj.
+                         // 1. Pivot: bring the column with the largest partial norm to jj.
         let p = (jj..n)
             .max_by(|&x, &y| vn1[x].partial_cmp(&vn1[y]).expect("NaN column norm"))
             .expect("non-empty pivot range");
@@ -212,18 +223,30 @@ fn factor_panel(
         let vlow = vfull.submatrix(nf, 0, m - r1, nf);
         let ftrail = f.submatrix(nf, 0, n - r1, nf);
         let mut trail = a.submatrix(r1, r1, m - r1, n - r1);
-        gemm(-1.0, &vlow, Op::NoTrans, &ftrail, Op::Trans, 1.0, &mut trail);
+        gemm(
+            -1.0,
+            &vlow,
+            Op::NoTrans,
+            &ftrail,
+            Op::Trans,
+            1.0,
+            &mut trail,
+        );
         a.set_submatrix(r1, r1, &trail);
     }
 
-    // Refresh partial norms that the downdate could no longer certify.
+    // Refresh partial norms that the downdate could no longer certify, and
+    // record how often the safeguard fired (surfaced via dqmc::diagnostics).
+    let mut recomputed = 0u64;
     for c in r1..n {
         if flagged[c] {
             let tail = &a.col(c)[r1.min(m)..];
             vn1[c] = blas1::nrm2(tail);
             vn2[c] = vn1[c];
+            recomputed += 1;
         }
     }
+    crate::check::note_norm_downdate_recomputes(recomputed);
     nf
 }
 
@@ -259,13 +282,17 @@ impl QrpFactors {
     /// The upper-triangular factor R (`min(m,n) × n`).
     pub fn r(&self) -> Matrix {
         let k = self.a.nrows().min(self.a.ncols());
-        Matrix::from_fn(k, self.a.ncols(), |i, j| {
-            if i <= j {
-                self.a[(i, j)]
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(
+            k,
+            self.a.ncols(),
+            |i, j| {
+                if i <= j {
+                    self.a[(i, j)]
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Diagonal of R (length `min(m,n)`), non-increasing in magnitude.
@@ -376,7 +403,7 @@ mod tests {
         let mut rng = Rng::new(9);
         let a = Matrix::random(40, 40, &mut rng);
         let qrp = qrp_in_place(a);
-        let mut seen = vec![false; 40];
+        let mut seen = [false; 40];
         for &p in &qrp.jpvt {
             assert!(!seen[p]);
             seen[p] = true;

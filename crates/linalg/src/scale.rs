@@ -9,6 +9,10 @@
 //! - `col_scale`: `A ← A · diag(d)` (the `D_{i−1}` factor of step 3a),
 //! - `col_norms`: one norm per column, several columns per task (the
 //!   pre-pivoting key computation of Algorithm 3).
+//!
+//! This module is tagged `deny_hot_alloc`: `cargo xtask lint` rejects heap
+//! allocation in its non-test code unless a pragma justifies it.
+#![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -20,6 +24,7 @@ const PAR_MIN: usize = 32 * 1024;
 pub fn row_scale(d: &[f64], a: &mut Matrix) {
     let m = a.nrows();
     assert_eq!(d.len(), m, "row_scale: diagonal length mismatch");
+    crate::check_finite!(d, "row_scale diagonal (len {m})");
     let work = |col: &mut [f64]| {
         for (i, x) in col.iter_mut().enumerate() {
             *x *= d[i];
@@ -37,6 +42,7 @@ pub fn col_scale(d: &[f64], a: &mut Matrix) {
     let m = a.nrows();
     let n = a.ncols();
     assert_eq!(d.len(), n, "col_scale: diagonal length mismatch");
+    crate::check_finite!(d, "col_scale diagonal (len {n})");
     if a.as_slice().len() >= PAR_MIN {
         a.as_mut_slice()
             .par_chunks_mut(m)
@@ -57,8 +63,12 @@ pub fn col_scale(d: &[f64], a: &mut Matrix) {
 }
 
 /// `A ← diag(d)⁻¹ · A` — divides row `i` by `d[i]` (graded T-matrix update).
+// dqmc-lint: allow(hot_alloc) -- one O(m) reciprocal buffer per call, not per
+// element; fusing the division into row_scale would duplicate the kernel.
 pub fn row_scale_inv(d: &[f64], a: &mut Matrix) {
     let inv: Vec<f64> = d.iter().map(|&x| 1.0 / x).collect();
+    // A zero in d turns into Inf here; catch it before it spreads through A.
+    crate::check_finite!(&inv, "row_scale_inv reciprocal diagonal (len {})", d.len());
     row_scale(&inv, a);
 }
 
@@ -67,16 +77,17 @@ pub fn row_scale_inv(d: &[f64], a: &mut Matrix) {
 /// Uses the overflow-safe scaled accumulation of [`crate::blas1::nrm2`]:
 /// the graded matrices of the stratification have column norms spanning
 /// hundreds of orders of magnitude.
+// dqmc-lint: allow(hot_alloc) -- the result vector IS the output; callers
+// reuse it as the pre-pivoting key buffer.
 pub fn col_norms(a: &Matrix) -> Vec<f64> {
     let m = a.nrows();
-    if a.as_slice().len() >= PAR_MIN {
-        a.as_slice()
-            .par_chunks(m)
-            .map(crate::blas1::nrm2)
-            .collect()
+    let norms: Vec<f64> = if a.as_slice().len() >= PAR_MIN {
+        a.as_slice().par_chunks(m).map(crate::blas1::nrm2).collect()
     } else {
         a.as_slice().chunks(m).map(crate::blas1::nrm2).collect()
-    }
+    };
+    crate::check_finite!(&norms, "col_norms output ({m}x{})", a.ncols());
+    norms
 }
 
 /// `A ← diag(r) · A · diag(c)` in one pass (wrapping kernel of Algorithm 7).
@@ -84,6 +95,8 @@ pub fn row_col_scale(r: &[f64], c: &[f64], a: &mut Matrix) {
     let m = a.nrows();
     assert_eq!(r.len(), m, "row_col_scale: row diagonal mismatch");
     assert_eq!(c.len(), a.ncols(), "row_col_scale: col diagonal mismatch");
+    crate::check_finite!(r, "row_col_scale row diagonal (len {m})");
+    crate::check_finite!(c, "row_col_scale col diagonal (len {})", c.len());
     let work = |(col, &cj): (&mut [f64], &f64)| {
         for (i, x) in col.iter_mut().enumerate() {
             *x *= r[i] * cj;
@@ -95,10 +108,7 @@ pub fn row_col_scale(r: &[f64], c: &[f64], a: &mut Matrix) {
             .zip(c.par_iter())
             .for_each(work);
     } else {
-        a.as_mut_slice()
-            .chunks_mut(m)
-            .zip(c.iter())
-            .for_each(work);
+        a.as_mut_slice().chunks_mut(m).zip(c.iter()).for_each(work);
     }
 }
 

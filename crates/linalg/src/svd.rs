@@ -47,11 +47,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
                 let (app, aqq, apq) = {
                     let cp = u.col(p);
                     let cq = u.col(q);
-                    (
-                        blas1::dot(cp, cp),
-                        blas1::dot(cq, cq),
-                        blas1::dot(cp, cq),
-                    )
+                    (blas1::dot(cp, cp), blas1::dot(cq, cq), blas1::dot(cp, cq))
                 };
                 if apq == 0.0 {
                     continue;
@@ -119,7 +115,11 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
         vs.col_mut(dst).copy_from_slice(v.col(src));
         ss[dst] = s[src];
     }
-    Ok(Svd { u: us, s: ss, v: vs })
+    Ok(Svd {
+        u: us,
+        s: ss,
+        v: vs,
+    })
 }
 
 fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
@@ -159,7 +159,10 @@ mod tests {
         let mut usv = d.u.clone();
         crate::scale::col_scale(&d.s, &mut usv);
         let rec = matmul(&usv, Op::NoTrans, &d.v, Op::Trans);
-        assert!(rec.max_abs_diff(a) <= tol * a.max_abs().max(1e-300), "reconstruction");
+        assert!(
+            rec.max_abs_diff(a) <= tol * a.max_abs().max(1e-300),
+            "reconstruction"
+        );
         // Orthonormality.
         let utu = matmul(&d.u, Op::Trans, &d.u, Op::NoTrans);
         assert!(utu.max_abs_diff(&Matrix::identity(n)) < 1e-11);
@@ -201,7 +204,12 @@ mod tests {
         let e = crate::eig::sym_eig(&ata).unwrap();
         for (i, &s) in d.s.iter().enumerate() {
             let lam = e.values[9 - i].max(0.0);
-            assert!((s * s - lam).abs() < 1e-9 * lam.max(1.0), "{} vs {}", s * s, lam);
+            assert!(
+                (s * s - lam).abs() < 1e-9 * lam.max(1.0),
+                "{} vs {}",
+                s * s,
+                lam
+            );
         }
     }
 

@@ -5,6 +5,10 @@
 //! assembly solves a dense system via LU, whose forward/back substitutions
 //! live here. Right-hand-side columns are independent, so the solves
 //! parallelise over the Rayon pool.
+//!
+//! This module is tagged `deny_hot_alloc`: `cargo xtask lint` rejects heap
+//! allocation in its non-test code unless a pragma justifies it.
+#![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -30,6 +34,7 @@ pub fn trsm_lower_unit(a: &Matrix, b: &mut Matrix) {
         }
     };
     run_cols(b, n, solve_col);
+    crate::check_finite!(b.as_slice(), "trsm_lower_unit output ({n}x{})", b.ncols());
 }
 
 /// `B := U⁻¹ B` with `U` upper triangular (upper part of `a` including the
@@ -53,6 +58,7 @@ pub fn trsm_upper(a: &Matrix, b: &mut Matrix) {
         }
     };
     run_cols(b, n, solve_col);
+    crate::check_finite!(b.as_slice(), "trsm_upper output ({n}x{})", b.ncols());
 }
 
 /// `B := U B` with `U` upper triangular (upper part of `a` incl. diagonal).
@@ -71,6 +77,7 @@ pub fn trmm_upper(a: &Matrix, b: &mut Matrix) {
         }
     };
     run_cols(b, n, mul_col);
+    crate::check_finite!(b.as_slice(), "trmm_upper output ({n}x{})", b.ncols());
 }
 
 /// `B := Uᵀ B` with `U` upper triangular (so `Uᵀ` is lower triangular).
@@ -90,13 +97,14 @@ pub fn trmm_upper_t(a: &Matrix, b: &mut Matrix) {
         }
     };
     run_cols(b, n, mul_col);
+    crate::check_finite!(b.as_slice(), "trmm_upper_t output ({n}x{})", b.ncols());
 }
 
 /// Runs a per-column kernel serially or in parallel depending on size.
 fn run_cols(b: &mut Matrix, n: usize, f: impl Fn(&mut [f64]) + Sync) {
     let ncols = b.ncols();
     if n * ncols >= PAR_THRESHOLD && ncols > 1 {
-        b.as_mut_slice().par_chunks_mut(n).for_each(|col| f(col));
+        b.as_mut_slice().par_chunks_mut(n).for_each(&f);
     } else {
         for j in 0..ncols {
             f(b.col_mut(j));
@@ -106,6 +114,7 @@ fn run_cols(b: &mut Matrix, n: usize, f: impl Fn(&mut [f64]) + Sync) {
 
 /// Inverse of an upper-triangular matrix (used by tests and the recycling
 /// consistency checks). Panics on zero diagonal.
+// dqmc-lint: allow(unchecked_kernel) -- delegates to trsm_upper, which checks.
 pub fn upper_inverse(a: &Matrix) -> Matrix {
     let n = a.nrows();
     assert!(a.is_square());

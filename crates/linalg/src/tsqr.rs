@@ -40,6 +40,7 @@ pub fn tsqr(a: &Matrix, block_rows: usize) -> Tsqr {
         let f = qr_in_place(a.clone());
         let r = thin_r(&f.a, n);
         let q = thin_q(&f, n);
+        crate::check_orthogonal!(&q, 1e-11 * m.max(4) as f64, "tsqr single-block Q ({m}x{n})");
         return Tsqr { q, r };
     }
 
@@ -143,6 +144,7 @@ pub fn tsqr(a: &Matrix, block_rows: usize) -> Tsqr {
     for (lo, piece) in parts {
         q.set_submatrix(lo, 0, &piece);
     }
+    crate::check_orthogonal!(&q, 1e-11 * m.max(4) as f64, "tsqr assembled Q ({m}x{n})");
     Tsqr { q, r }
 }
 

@@ -96,9 +96,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -417,7 +415,7 @@ mod tests {
         for _ in 0..300 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let level = (state >> 11) as f64 / (1u64 << 53) as f64;
-            xs.extend(std::iter::repeat(level).take(20));
+            xs.extend(std::iter::repeat_n(level, 20));
         }
         let tau = autocorrelation_time(&xs);
         assert!((5.0..20.0).contains(&tau), "tau = {tau}");

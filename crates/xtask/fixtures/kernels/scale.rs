@@ -1,0 +1,10 @@
+//! Fixture: R3 — a public entry point in a kernel-named file (`scale.rs`)
+//! with neither an invariant-layer call nor an explicit opt-out pragma.
+//! Expected: one `unchecked-kernel` violation on the `pub fn` line.
+
+pub fn normalize(data: &mut [f64]) {
+    let s: f64 = data.iter().sum();
+    for x in data.iter_mut() {
+        *x /= s;
+    }
+}

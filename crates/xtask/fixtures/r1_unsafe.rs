@@ -1,0 +1,8 @@
+//! Fixture: R1 — an `unsafe` block in a file that is not on the unsafe
+//! allowlist (and carries no SAFETY comment). Expected: one `unsafe-site`
+//! violation on the dereference line.
+
+pub fn peek(data: &[f64]) -> f64 {
+    let p = 2usize;
+    unsafe { *data.as_ptr().add(p) }
+}

@@ -1,0 +1,9 @@
+//! Fixture: R2 — heap allocation inside a `deny_hot_alloc` module without
+//! a pragma, outside any `#[cfg(test)]` block. Expected: one `hot-alloc`
+//! violation on the `vec!` line.
+#![cfg_attr(any(), deny_hot_alloc)]
+
+pub fn scratch(n: usize) -> f64 {
+    let buf = vec![0.0; n];
+    buf.iter().sum()
+}

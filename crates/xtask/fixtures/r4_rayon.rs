@@ -1,0 +1,10 @@
+//! Fixture: R4 — a rayon parallel iterator capturing a raw pointer in a
+//! function that is not on the rayon-raw-ptr allowlist. Expected: one
+//! `rayon-raw-ptr` violation on the function's signature line.
+
+pub fn fill(data: &mut [f64]) {
+    let base = data.as_mut_ptr() as usize;
+    (0..data.len()).into_par_iter().for_each(|i| {
+        let _ = (base as *mut f64).wrapping_add(i);
+    });
+}

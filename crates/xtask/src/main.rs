@@ -1,0 +1,256 @@
+//! Workspace automation tasks. Currently one: `cargo xtask lint`.
+//!
+//! `lint` is the dqmc-lint static-analysis pass: a dependency-free token
+//! walk over the workspace sources enforcing the numerical-kernel hygiene
+//! rules documented in [`rules`]. Run it as
+//!
+//! ```text
+//! cargo xtask lint              # lint the workspace (CI does this)
+//! cargo xtask lint --root DIR   # lint every .rs under DIR (self-tests)
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when violations are found, 2 on usage or
+//! I/O errors. The allowlist lives in `crates/xtask/lint.allow`.
+
+mod lexer;
+mod rules;
+
+use lexer::SourceFile;
+use rules::{check_file, display_path, Allowlist, Violation};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--root DIR] [--allowlist FILE]";
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist needs a value"),
+            },
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    let explicit_root = root.is_some();
+    let root = root.unwrap_or_else(workspace_root);
+    let allow = match load_allowlist(&root, allow_path, explicit_root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_tree(&root, &allow) {
+        Ok(violations) if violations.is_empty() => {
+            println!("dqmc-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("dqmc-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xtask lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Loads the allowlist: an explicit `--allowlist`, else the workspace's
+/// `crates/xtask/lint.allow`. With an explicit `--root` (fixture mode) a
+/// missing default allowlist degrades to an empty one.
+fn load_allowlist(
+    root: &Path,
+    explicit: Option<PathBuf>,
+    explicit_root: bool,
+) -> Result<Allowlist, String> {
+    let (path, required) = match explicit {
+        Some(p) => (p, true),
+        None => (root.join("crates/xtask/lint.allow"), !explicit_root),
+    };
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) if !required => Ok(Allowlist::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Lints the source tree under `root` and returns all findings.
+///
+/// For a workspace root (has a `crates/` directory) only `crates/*/src` and
+/// `shims/*/src` are walked; otherwise every `.rs` under `root` is linted
+/// (used by the fixture self-tests).
+fn lint_tree(root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    if root.join("crates").is_dir() {
+        for tier in ["crates", "shims"] {
+            let dir = root.join(tier);
+            if !dir.is_dir() {
+                continue;
+            }
+            for entry in read_dir(&dir)? {
+                let src = entry.join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut files)?;
+                }
+            }
+        }
+    } else {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = PathBuf::from(display_path(&path, root));
+        let scanned = SourceFile::scan(rel, &text);
+        out.extend(check_file(&scanned, allow));
+    }
+    Ok(out)
+}
+
+fn read_dir(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for e in rd {
+        out.push(e.map_err(|e| e.to_string())?.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for p in read_dir(dir)? {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Rule;
+
+    fn fixture_dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+    }
+
+    fn lint_fixture(name: &str) -> Vec<Violation> {
+        let path = fixture_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let scanned = SourceFile::scan(PathBuf::from(name), &text);
+        check_file(&scanned, &Allowlist::default())
+    }
+
+    #[test]
+    fn fixture_r1_unsafe_without_safety_comment() {
+        let v = lint_fixture("r1_unsafe.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnsafeSite);
+        assert_eq!(v[0].line, 7, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r2_alloc_in_hot_module() {
+        let v = lint_fixture("r2_alloc.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HotAlloc);
+        assert_eq!(v[0].line, 7, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r3_unchecked_public_kernel() {
+        let v = lint_fixture("kernels/scale.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UncheckedKernel);
+        assert_eq!(v[0].line, 5, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r4_rayon_over_raw_pointer() {
+        let v = lint_fixture("r4_rayon.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::RayonRawPtr);
+        assert_eq!(v[0].line, 5, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_tree_has_one_violation_per_rule() {
+        // The CLI path over the whole fixture tree: 4 findings, one per rule.
+        let allow = Allowlist::default();
+        let v = lint_tree(&fixture_dir(), &allow).unwrap();
+        assert_eq!(v.len(), 4, "{v:?}");
+        for rule in [
+            Rule::UnsafeSite,
+            Rule::HotAlloc,
+            Rule::UncheckedKernel,
+            Rule::RayonRawPtr,
+        ] {
+            assert_eq!(v.iter().filter(|x| x.rule == rule).count(), 1, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The real tree with the real allowlist must lint clean — this is
+        // the same invocation CI runs.
+        let root = workspace_root();
+        let allow = load_allowlist(&root, None, false).unwrap();
+        let v = lint_tree(&root, &allow).unwrap();
+        assert!(v.is_empty(), "workspace lint violations:\n{:#?}", v);
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_categories() {
+        assert!(Allowlist::parse("unsafe a.rs\n").is_ok());
+        assert!(Allowlist::parse("rayon-raw-ptr a.rs::f\n").is_ok());
+        assert!(Allowlist::parse("frobnicate a.rs\n").is_err());
+        assert!(Allowlist::parse("rayon-raw-ptr missing-fn.rs\n").is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! The dqmc-lint rule set.
+//!
+//! Four rules, all driven by the [`crate::lexer`] scan:
+//!
+//! - **unsafe-site** (R1): `unsafe` and `*_unchecked` may only appear in
+//!   files on the `unsafe` allowlist, and every `unsafe` token must carry a
+//!   `// SAFETY:` comment (or a `# Safety` doc section) in the contiguous
+//!   comment/attribute block directly above it.
+//! - **hot-alloc** (R2): in modules tagged `#![cfg_attr(any(), deny_hot_alloc)]`,
+//!   heap-allocating calls are forbidden outside `#[cfg(test)]` code unless
+//!   the enclosing function carries `// dqmc-lint: allow(hot_alloc)`.
+//! - **unchecked-kernel** (R3): in the kernel files (blas3/qr/qrp/tri/scale/
+//!   tsqr), every free `pub fn` must route through the invariant layer
+//!   (a `check_finite!`/`check_orthogonal!`/`check_graded!` call in its body)
+//!   or carry `// dqmc-lint: allow(unchecked_kernel)`.
+//! - **rayon-raw-ptr** (R4): a function whose body contains both a Rayon
+//!   parallel-iterator call and raw-pointer manipulation must be on the
+//!   `rayon-raw-ptr` allowlist (audited for disjoint-write discipline).
+
+use crate::lexer::{words, SourceFile};
+use std::fmt;
+use std::path::Path;
+
+/// Which rule fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: undocumented or un-allowlisted `unsafe`.
+    UnsafeSite,
+    /// R2: heap allocation in a `deny_hot_alloc` module.
+    HotAlloc,
+    /// R3: public kernel bypassing the invariant layer.
+    UncheckedKernel,
+    /// R4: rayon closure over raw pointers outside the audited list.
+    RayonRawPtr,
+}
+
+impl Rule {
+    /// Stable identifier used in reports and allowlist categories.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnsafeSite => "unsafe-site",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::UncheckedKernel => "unchecked-kernel",
+            Rule::RayonRawPtr => "rayon-raw-ptr",
+        }
+    }
+}
+
+/// One finding, reported as `file:line: [rule] message`.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// File the finding is in (as scanned).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.msg
+        )
+    }
+}
+
+/// Parsed `lint.allow`: per-category lists of allowed paths / functions.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Files (suffix-matched) where `unsafe` is permitted.
+    pub unsafe_files: Vec<String>,
+    /// `file::fn` entries audited for rayon-over-raw-pointer use.
+    pub rayon_fns: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `lint.allow` format: `unsafe <path>` and
+    /// `rayon-raw-ptr <path>::<fn>` lines; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut out = Allowlist::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (cat, rest) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("lint.allow:{}: missing path", i + 1))?;
+            let rest = rest.trim();
+            match cat {
+                "unsafe" => out.unsafe_files.push(rest.to_owned()),
+                "rayon-raw-ptr" => {
+                    let (file, func) = rest
+                        .rsplit_once("::")
+                        .ok_or_else(|| format!("lint.allow:{}: need <path>::<fn>", i + 1))?;
+                    out.rayon_fns.push((file.to_owned(), func.to_owned()));
+                }
+                other => return Err(format!("lint.allow:{}: unknown category {other}", i + 1)),
+            }
+        }
+        Ok(out)
+    }
+
+    fn allows_unsafe(&self, path: &str) -> bool {
+        self.unsafe_files.iter().any(|p| suffix_match(path, p))
+    }
+
+    fn allows_rayon(&self, path: &str, func: &str) -> bool {
+        self.rayon_fns
+            .iter()
+            .any(|(p, f)| f == func && suffix_match(path, p))
+    }
+}
+
+/// `path` ends with allowlist entry `pat`, on a path-component boundary.
+fn suffix_match(path: &str, pat: &str) -> bool {
+    let path = path.replace('\\', "/");
+    path == pat || path.ends_with(&format!("/{pat}"))
+}
+
+/// Kernel files subject to R3 (every public entry checks or opts out).
+const KERNEL_FILES: [&str; 6] = [
+    "blas3.rs", "qr.rs", "qrp.rs", "tri.rs", "scale.rs", "tsqr.rs",
+];
+
+/// Substrings (in blanked code) that indicate heap allocation.
+const ALLOC_TOKENS: [&str; 8] = [
+    "vec!",
+    "Vec::new",
+    "Box::new",
+    ".clone()",
+    ".collect",
+    ".to_vec",
+    "with_capacity",
+    "String::from",
+];
+
+/// Invariant-layer entry points recognised by R3.
+const CHECK_TOKENS: [&str; 3] = ["check_finite!", "check_orthogonal!", "check_graded!"];
+
+/// Rayon parallel-dispatch markers for R4.
+const PAR_TOKENS: [&str; 5] = [
+    "into_par_iter",
+    "par_iter",
+    "par_chunks",
+    "par_bridge",
+    "rayon::join",
+];
+
+/// Raw-pointer manipulation markers for R4.
+const PTR_TOKENS: [&str; 4] = ["as_mut_ptr", ".as_ptr()", "*mut ", "*const "];
+
+/// Opt-out pragmas (searched in the comment block above a function).
+const PRAGMA_HOT_ALLOC: &str = "dqmc-lint: allow(hot_alloc)";
+const PRAGMA_UNCHECKED: &str = "dqmc-lint: allow(unchecked_kernel)";
+
+/// Runs all four rules over one scanned file.
+pub fn check_file(f: &SourceFile, allow: &Allowlist) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let path = f.path.display().to_string();
+    check_unsafe(f, allow, &path, &mut out);
+    check_hot_alloc(f, &path, &mut out);
+    check_kernels(f, &path, &mut out);
+    check_rayon_ptrs(f, allow, &path, &mut out);
+    out
+}
+
+fn check_unsafe(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
+    let allowed = allow.allows_unsafe(path);
+    for (ln, line) in f.code.iter().enumerate() {
+        for w in words(line) {
+            let is_unsafe = w == "unsafe";
+            let is_unchecked = matches!(
+                w,
+                "get_unchecked" | "get_unchecked_mut" | "set_unchecked" | "unwrap_unchecked"
+            );
+            if !(is_unsafe || is_unchecked) {
+                continue;
+            }
+            if !allowed {
+                out.push(Violation {
+                    path: path.to_owned(),
+                    line: ln + 1,
+                    rule: Rule::UnsafeSite,
+                    msg: format!(
+                        "`{w}` in a file not on the unsafe allowlist \
+                         (crates/xtask/lint.allow)"
+                    ),
+                });
+                break; // one finding per line is enough
+            }
+            if is_unsafe
+                && !f.comment_block_above_contains(ln, "SAFETY:")
+                && !f.comment_block_above_contains(ln, "# Safety")
+            {
+                out.push(Violation {
+                    path: path.to_owned(),
+                    line: ln + 1,
+                    rule: Rule::UnsafeSite,
+                    msg: "`unsafe` without a `// SAFETY:` comment or `# Safety` \
+                          doc section directly above"
+                        .to_owned(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+fn check_hot_alloc(f: &SourceFile, path: &str, out: &mut Vec<Violation>) {
+    let tagged = f
+        .code
+        .iter()
+        .any(|l| l.contains("cfg_attr") && l.contains("deny_hot_alloc"));
+    if !tagged {
+        return;
+    }
+    for (ln, line) in f.code.iter().enumerate() {
+        if f.is_test[ln] {
+            continue;
+        }
+        let Some(tok) = ALLOC_TOKENS.iter().find(|t| line.contains(*t)) else {
+            continue;
+        };
+        let pardoned = f
+            .enclosing_fn(ln)
+            .is_some_and(|func| f.comment_block_above_contains(func.sig_line, PRAGMA_HOT_ALLOC));
+        if !pardoned {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: ln + 1,
+                rule: Rule::HotAlloc,
+                msg: format!(
+                    "heap allocation (`{tok}`) in a deny_hot_alloc module; hoist \
+                     the buffer or justify with `// {PRAGMA_HOT_ALLOC}`"
+                ),
+            });
+        }
+    }
+}
+
+fn check_kernels(f: &SourceFile, path: &str, out: &mut Vec<Violation>) {
+    let name = f
+        .path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if !KERNEL_FILES.contains(&name.as_str()) {
+        return;
+    }
+    for func in &f.fns {
+        if !(func.free && func.is_pub) || f.is_test[func.sig_line] {
+            continue;
+        }
+        let body_checks = (func.body.0..=func.body.1)
+            .any(|ln| CHECK_TOKENS.iter().any(|t| f.code[ln].contains(t)));
+        if body_checks || f.comment_block_above_contains(func.sig_line, PRAGMA_UNCHECKED) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_owned(),
+            line: func.sig_line + 1,
+            rule: Rule::UncheckedKernel,
+            msg: format!(
+                "public kernel `{}` neither calls the invariant layer \
+                 (check_finite!/check_orthogonal!/check_graded!) nor opts out \
+                 with `// {PRAGMA_UNCHECKED}`",
+                func.name
+            ),
+        });
+    }
+}
+
+fn check_rayon_ptrs(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
+    for func in &f.fns {
+        let mut has_par = false;
+        let mut has_ptr = false;
+        for ln in func.body.0..=func.body.1 {
+            let line = &f.code[ln];
+            has_par |= PAR_TOKENS.iter().any(|t| line.contains(t));
+            has_ptr |= PTR_TOKENS.iter().any(|t| line.contains(t));
+        }
+        if has_par && has_ptr && !allow.allows_rayon(path, &func.name) {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: func.sig_line + 1,
+                rule: Rule::RayonRawPtr,
+                msg: format!(
+                    "`{}` mixes a rayon parallel iterator with raw pointers but \
+                     is not on the rayon-raw-ptr allowlist",
+                    func.name
+                ),
+            });
+        }
+    }
+}
+
+/// Relative-path helper for reports: strips `base` from `p` when possible.
+pub fn display_path(p: &Path, base: &Path) -> String {
+    p.strip_prefix(base).unwrap_or(p).display().to_string()
+}

@@ -67,10 +67,7 @@ fn main() {
     println!("\nlayer-resolved results (open stacking, layer 1 = centre):");
     println!("layer  density  nn-spin-corr");
     for z in 0..layers {
-        println!(
-            "{z:>5}  {:>7.4}  {:>12.4}",
-            layer_density[z], layer_afm[z]
-        );
+        println!("{z:>5}  {:>7.4}  {:>12.4}", layer_density[z], layer_afm[z]);
     }
     println!("\nexpect: density 1 in every layer (ph symmetry survives the");
     println!("interface); antiferromagnetic (negative) in-plane correlations,");

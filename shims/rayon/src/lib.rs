@@ -1,0 +1,122 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal drop-in replacement exposing the subset of rayon's API the
+//! kernels use (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter`). Every "parallel" iterator is the corresponding standard
+//! sequential iterator, so all adapters (`map`, `zip`, `enumerate`,
+//! `for_each`, `collect`, …) come from [`std::iter::Iterator`] for free and
+//! numerics are bit-identical to a single-threaded rayon run.
+//!
+//! When the real rayon is available again, deleting this shim and restoring
+//! the registry dependency is a one-line change in the workspace manifest —
+//! no call site changes.
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Sequential implementations of rayon's parallel-iterator entry points.
+pub mod iter {
+    /// `into_par_iter()` for owned collections and ranges.
+    ///
+    /// Blanket impl over [`IntoIterator`] so ranges, `Vec`s, and anything
+    /// else iterable gains the method, exactly as with real rayon (minus the
+    /// `Send`/`Sync` bounds, which sequential execution does not need).
+    pub trait IntoParallelIterator {
+        /// Element type yielded by the iterator.
+        type Item;
+        /// Concrete iterator type returned by [`Self::into_par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter` / `par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Always 1: the shim never spawns threads.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_chunks_mut_zip() {
+        let mut data = [1.0f64; 6];
+        let d = [2.0f64, 3.0];
+        data.par_chunks_mut(3)
+            .zip(d.par_iter())
+            .for_each(|(chunk, &s)| {
+                for x in chunk.iter_mut() {
+                    *x *= s;
+                }
+            });
+        assert_eq!(data, [2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

@@ -1,0 +1,141 @@
+//! NaN-injection tests for the `checked-invariants` feature.
+//!
+//! With the feature on, poisoning one factor of a stratified chain must
+//! abort with a panic that names the *cluster boundary* where the taint
+//! entered — not a downstream pivot-norm or orthogonality failure. With the
+//! feature off, the invariant macros expand to nothing and release behaviour
+//! is exactly the seed's: the taint surfaces (much later) as a low-level
+//! pivot-selection failure that names no boundary.
+
+use dqmc::stratify::{StratAlgo, StratifyState};
+use linalg::Matrix;
+
+/// Deterministic well-conditioned factor: identity plus a small dense
+/// perturbation, different per `seed` so the chain is not trivial.
+fn factor(n: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    Matrix::from_fn(n, n, |i, j| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = ((s >> 33) as f64) / (1u64 << 31) as f64 - 1.0; // in [-1, 1)
+        if i == j {
+            1.0 + 0.1 * r
+        } else {
+            0.1 * r
+        }
+    })
+}
+
+/// Builds a chain of `len` factors and poisons the one absorbed at cluster
+/// boundary `poison_at` (entry `(1, 2)`) with a NaN.
+fn chain(n: usize, len: usize, poison_at: Option<usize>) -> Vec<Matrix> {
+    (0..len)
+        .map(|k| {
+            let mut b = factor(n, k as u64);
+            if poison_at == Some(k) {
+                b[(1, 2)] = f64::NAN;
+            }
+            b
+        })
+        .collect()
+}
+
+fn run_chain(factors: &[Matrix], algo: StratAlgo) -> StratifyState {
+    let mut st = StratifyState::new(&factors[0], algo);
+    for b in &factors[1..] {
+        st.push(b);
+    }
+    st
+}
+
+/// Runs `f` expecting a panic, and returns the panic message.
+fn panic_message<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> String {
+    let prev = std::panic::take_hook();
+    // Silence the default hook's backtrace spam for the expected panic.
+    std::panic::set_hook(Box::new(|_| {}));
+    let res = std::panic::catch_unwind(f);
+    std::panic::set_hook(prev);
+    let err = res.expect_err("poisoned chain must panic");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("panic payload was not a string");
+    }
+}
+
+#[cfg(feature = "checked-invariants")]
+mod checked {
+    use super::*;
+
+    #[test]
+    fn poisoned_push_names_the_cluster_boundary() {
+        for algo in [StratAlgo::Qrp, StratAlgo::PrePivot] {
+            // Factor k is absorbed at cluster boundary k (factor 0 via `new`).
+            let factors = chain(8, 6, Some(3));
+            let msg = panic_message(move || {
+                run_chain(&factors, algo);
+            });
+            assert!(
+                msg.contains("stratify factor at cluster boundary 3"),
+                "panic must name boundary 3, got: {msg}"
+            );
+            assert!(msg.contains("non-finite"), "unexpected message: {msg}");
+        }
+    }
+
+    #[test]
+    fn poisoned_first_factor_names_boundary_zero() {
+        let factors = chain(8, 2, Some(0));
+        let msg = panic_message(move || {
+            run_chain(&factors, StratAlgo::Qrp);
+        });
+        assert!(
+            msg.contains("cluster boundary 0"),
+            "panic must name boundary 0, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn clean_chain_passes_all_checks() {
+        for algo in [StratAlgo::Qrp, StratAlgo::PrePivot] {
+            let factors = chain(8, 6, None);
+            let st = run_chain(&factors, algo);
+            let udt = st.udt();
+            assert!(udt.d.iter().all(|d| d.is_finite()));
+        }
+    }
+}
+
+#[cfg(not(feature = "checked-invariants"))]
+mod unchecked {
+    use super::*;
+
+    #[test]
+    fn release_mode_failure_does_not_name_a_boundary() {
+        // Release semantics are exactly the seed's: the invariant macros are
+        // no-ops, so the taint travels until QRP's pivot selection trips over
+        // a NaN column norm — a low-level message with no boundary context.
+        let factors = chain(8, 6, Some(3));
+        let msg = panic_message(move || {
+            run_chain(&factors, StratAlgo::Qrp);
+        });
+        assert!(
+            !msg.contains("cluster boundary"),
+            "boundary naming must be gated behind checked-invariants, got: {msg}"
+        );
+        assert!(
+            !msg.contains("invariant violation"),
+            "invariant layer must be compiled out, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn clean_chain_is_unaffected() {
+        let factors = chain(8, 6, None);
+        let st = run_chain(&factors, StratAlgo::Qrp);
+        assert!(st.udt().d.iter().all(|d| d.is_finite()));
+    }
+}

@@ -24,7 +24,10 @@ fn run_dimer(u: f64, mu_tilde: f64, beta: f64, dtau: f64, seed: u64) -> Simulati
 }
 
 fn ed_dimer(u: f64, mu_tilde: f64, beta: f64) -> ThermalEnsemble {
-    ThermalEnsemble::new(HubbardEd::new(Lattice::square(2, 1, 1.0), u, mu_tilde), beta)
+    ThermalEnsemble::new(
+        HubbardEd::new(Lattice::square(2, 1, 1.0), u, mu_tilde),
+        beta,
+    )
 }
 
 #[test]
@@ -117,8 +120,8 @@ fn dimer_kinetic_energy_matches_ed() {
     // ED kinetic energy: ⟨H⟩ − U⟨n₊n₋⟩·N + μeff·⟨N̂⟩ (subtract the non-
     // kinetic pieces of H; μeff = μ̃ + U/2 = 2).
     let n = 2.0;
-    let ekin_ed = exact.energy() - u * exact.double_occupancy() * n
-        + (0.0 + u / 2.0) * exact.density() * n;
+    let ekin_ed =
+        exact.energy() - u * exact.double_occupancy() * n + (0.0 + u / 2.0) * exact.density() * n;
     let (ekin, err) = sim.observables().kinetic_energy();
     assert!(
         (ekin * n - ekin_ed).abs() < 0.05 + 4.0 * err * n,

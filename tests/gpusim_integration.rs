@@ -8,9 +8,8 @@ use lattice::Lattice;
 
 fn thermalised_core(lside: usize, slices: usize) -> dqmc::sweep::DqmcCore {
     let model = dqmc::ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, slices);
-    let mut core = dqmc::sweep::DqmcCore::new(
-        SimParams::new(model).with_seed(17).with_cluster_size(5),
-    );
+    let mut core =
+        dqmc::sweep::DqmcCore::new(SimParams::new(model).with_seed(17).with_cluster_size(5));
     for _ in 0..3 {
         core.sweep(None);
     }
@@ -30,7 +29,13 @@ fn device_clusters_reproduce_simulation_greens() {
         let mut lo = 0;
         while lo < 20 {
             clusters.push(cluster_custom_kernel(
-                &mut dev, &expk, &core.fac, &core.h, lo, lo + 5, spin,
+                &mut dev,
+                &expk,
+                &core.fac,
+                &core.h,
+                lo,
+                lo + 5,
+                spin,
             ));
             lo += 5;
         }
@@ -67,8 +72,7 @@ fn hybrid_speedup_grows_with_system_size() {
     // Figure 10's qualitative content: the hybrid advantage grows with N.
     let host = HostSpec::nehalem_2s4c();
     let speedup = |lside: usize| {
-        let model =
-            dqmc::ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, 20);
+        let model = dqmc::ModelParams::new(Lattice::square(lside, lside, 1.0), 4.0, 0.0, 0.125, 20);
         let fac = dqmc::BMatrixFactory::new(&model);
         let mut rng = util::Rng::new(23);
         let h = dqmc::HsField::random(model.nsites(), 20, &mut rng);
