@@ -6,43 +6,142 @@
 //! pre-pivot + QR pays. Absolute GFlop/s depend on the machine; the ordering
 //! and the gap shape are the reproduced result.
 //!
-//! Usage: `cargo run --release -p bench --bin fig1 [--full]`
+//! Since the SIMD dispatch landed, the GEMM row is measured twice: once on
+//! the runtime-selected kernel (FMA where the host supports it) and once
+//! pinned to the portable scalar kernel, so the figure doubles as the
+//! micro-kernel speedup record. Results are also written to
+//! `BENCH_fig1.json` for the checked-in benchmark artifact.
+//!
+//! Usage: `cargo run --release -p bench --bin fig1 [--full | --smoke]`
 
 use bench::{flops_gemm, flops_qr, time_best, BenchOpts};
-use linalg::{gemm, Matrix, Op};
+use linalg::{gemm_with_kernel, kernel_path, KernelPath, Matrix, Op};
 use util::table::{fmt_f, Table};
+
+struct Row {
+    n: usize,
+    gemm: f64,
+    gemm_scalar: f64,
+    qr: f64,
+    qrp: f64,
+}
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let sizes: &[usize] = if opts.full {
+    let sizes: &[usize] = if opts.smoke {
+        &[64, 128, 256]
+    } else if opts.full {
         &[128, 256, 384, 512, 768, 1024, 1536, 2048]
     } else {
         &[128, 256, 384, 512, 768, 1024]
     };
     let reps = |n: usize| if n <= 512 { 3 } else { 1 };
+    let dispatched = kernel_path();
 
     println!("# Figure 1: kernel GFlop/s vs matrix size");
     println!("# (expected shape: gemm > qr > qrp at every size)");
-    let mut table = Table::new(vec!["N", "dgemm", "dgeqrf", "dgeqp3"]);
+    println!("# dispatched gemm kernel: {}", dispatched.name());
+    let mut table = Table::new(vec![
+        "N",
+        "dgemm",
+        "dgemm(scalar)",
+        "speedup",
+        "dgeqrf",
+        "dgeqp3",
+    ]);
+    let mut rows = Vec::new();
     for &n in sizes {
         let mut rng = util::Rng::new(opts.seed());
         let a = Matrix::random(n, n, &mut rng);
         let b = Matrix::random(n, n, &mut rng);
 
+        let mut c = Matrix::zeros(n, n);
         let t_gemm = time_best(reps(n), || {
-            let mut c = Matrix::zeros(n, n);
-            gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c);
-            c
+            gemm_with_kernel(
+                dispatched,
+                1.0,
+                &a,
+                Op::NoTrans,
+                &b,
+                Op::NoTrans,
+                0.0,
+                &mut c,
+            );
+        });
+        let t_gemm_scalar = time_best(reps(n), || {
+            gemm_with_kernel(
+                KernelPath::Scalar,
+                1.0,
+                &a,
+                Op::NoTrans,
+                &b,
+                Op::NoTrans,
+                0.0,
+                &mut c,
+            );
         });
         let t_qr = time_best(reps(n), || linalg::qr::qr_in_place(a.clone()));
         let t_qrp = time_best(reps(n), || linalg::qrp::qrp_in_place(a.clone()));
 
+        let row = Row {
+            n,
+            gemm: flops_gemm(n) / t_gemm / 1e9,
+            gemm_scalar: flops_gemm(n) / t_gemm_scalar / 1e9,
+            qr: flops_qr(n) / t_qr / 1e9,
+            qrp: flops_qr(n) / t_qrp / 1e9,
+        };
         table.row(vec![
             n.to_string(),
-            fmt_f(flops_gemm(n) / t_gemm / 1e9, 2),
-            fmt_f(flops_qr(n) / t_qr / 1e9, 2),
-            fmt_f(flops_qr(n) / t_qrp / 1e9, 2),
+            fmt_f(row.gemm, 2),
+            fmt_f(row.gemm_scalar, 2),
+            fmt_f(row.gemm / row.gemm_scalar, 2),
+            fmt_f(row.qr, 2),
+            fmt_f(row.qrp, 2),
         ]);
+        rows.push(row);
     }
     print!("{}", table.render());
+
+    let json = render_json(dispatched, &rows);
+    let path = "BENCH_fig1.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    if let Some(last) = rows.last() {
+        eprintln!(
+            "gemm speedup over scalar at N={}: {:.2}x",
+            last.n,
+            last.gemm / last.gemm_scalar
+        );
+    }
+}
+
+/// Hand-rendered JSON (no serde in the dependency closure).
+fn render_json(dispatched: KernelPath, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"kernel\": \"{}\",\n", dispatched.name()));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"n\": {}, \"gemm_gflops\": {:.3}, \"gemm_scalar_gflops\": {:.3}, \
+             \"gemm_speedup\": {:.3}, \"qr_gflops\": {:.3}, \"qrp_gflops\": {:.3}}}{}\n",
+            r.n,
+            r.gemm,
+            r.gemm_scalar,
+            r.gemm / r.gemm_scalar,
+            r.qr,
+            r.qrp,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    let last = rows.last().expect("at least one size");
+    s.push_str(&format!(
+        "  \"gemm_speedup_at_max_n\": {:.3}\n",
+        last.gemm / last.gemm_scalar
+    ));
+    s.push_str("}\n");
+    s
 }

@@ -16,6 +16,8 @@ use std::time::Instant;
 pub struct BenchOpts {
     /// Run paper-scale parameters instead of the scaled-down defaults.
     pub full: bool,
+    /// Run a seconds-scale workload (CI perf-smoke); overrides `--full`.
+    pub smoke: bool,
     /// Override the RNG seed.
     pub seed: Option<u64>,
 }
@@ -28,6 +30,7 @@ impl BenchOpts {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => opts.full = true,
+                "--smoke" => opts.smoke = true,
                 "--seed" => {
                     let v = args
                         .next()
@@ -36,7 +39,9 @@ impl BenchOpts {
                     opts.seed = Some(v);
                 }
                 "--help" | "-h" => {
-                    eprintln!("options: --full (paper-scale parameters), --seed <u64>");
+                    eprintln!(
+                        "options: --full (paper-scale parameters), --smoke (CI-scale), --seed <u64>"
+                    );
                     std::process::exit(0);
                 }
                 other => {

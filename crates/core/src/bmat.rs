@@ -19,7 +19,7 @@
 use crate::hs::HsField;
 use crate::hubbard::{ModelParams, Spin};
 use linalg::blas3::{gemm, Op};
-use linalg::{scale, Matrix};
+use linalg::{scale, workspace, Matrix};
 
 /// Precomputed kinetic exponentials plus the B-matrix operations built on
 /// them. Does not own the HS field: callers pass the current field so the
@@ -85,63 +85,109 @@ impl BMatrixFactory {
 
     /// Diagonal of `V_{l,σ}`: `v_i = e^{σν h_{l,i}}`.
     pub fn v_diag(&self, h: &HsField, l: usize, spin: Spin) -> Vec<f64> {
+        let mut v = workspace::take(self.n);
+        self.v_diag_into(h, l, spin, &mut v);
+        v
+    }
+
+    /// Writes the diagonal of `V_{l,σ}` into `out` (length `n`) without
+    /// allocating.
+    pub fn v_diag_into(&self, h: &HsField, l: usize, spin: Spin, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n);
         let s = spin.sign() * self.nu;
-        (0..self.n).map(|i| (s * h.get(l, i)).exp()).collect()
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (s * h.get(l, i)).exp();
+        }
     }
 
     /// Explicit `B_{l,σ} = e^{−ΔτK} V` (a column scaling of `e^{−ΔτK}`).
     pub fn b_matrix(&self, h: &HsField, l: usize, spin: Spin) -> Matrix {
         let mut b = self.expk.clone();
-        scale::col_scale(&self.v_diag(h, l, spin), &mut b);
+        let v = self.v_diag(h, l, spin);
+        scale::col_scale(&v, &mut b);
+        workspace::put(v);
         b
     }
 
     /// `M ← B_{l,σ} · M = e^{−ΔτK}(V·M)` without materialising B: a parallel
     /// row scaling (the paper's §IV-B kernel) followed by a GEMM.
     pub fn b_mul_left(&self, h: &HsField, l: usize, spin: Spin, m: &Matrix) -> Matrix {
-        let mut vm = m.clone();
-        scale::row_scale(&self.v_diag(h, l, spin), &mut vm);
-        let mut out = Matrix::zeros(self.n, m.ncols());
-        gemm(
-            1.0,
-            &self.expk,
-            Op::NoTrans,
-            &vm,
-            Op::NoTrans,
-            0.0,
-            &mut out,
-        );
+        let mut out = workspace::take_matrix(self.n, m.ncols());
+        self.b_mul_left_into(h, l, spin, m, &mut out);
         out
+    }
+
+    /// `out ← B_{l,σ} · M` without allocating: scratch comes from the
+    /// workspace arena. `out` must be `n × M.ncols()`.
+    pub fn b_mul_left_into(&self, h: &HsField, l: usize, spin: Spin, m: &Matrix, out: &mut Matrix) {
+        assert_eq!(m.nrows(), self.n);
+        assert!(out.nrows() == self.n && out.ncols() == m.ncols());
+        let mut vm = workspace::take_matrix(m.nrows(), m.ncols());
+        m.copy_submatrix_into(0, 0, &mut vm);
+        let mut v = workspace::take(self.n);
+        self.v_diag_into(h, l, spin, &mut v);
+        scale::row_scale(&v, &mut vm);
+        workspace::put(v);
+        gemm(1.0, &self.expk, Op::NoTrans, &vm, Op::NoTrans, 0.0, out);
+        workspace::put_matrix(vm);
     }
 
     /// `M ← M · B_{l,σ}⁻¹`; used by wrapping.
     ///
     /// `B⁻¹ = V⁻¹ e^{+ΔτK}`, so `M B⁻¹ = (M · diag(1/v)) e^{+ΔτK}`.
     pub fn b_inv_mul_right(&self, h: &HsField, l: usize, spin: Spin, m: &Matrix) -> Matrix {
-        let vinv: Vec<f64> = self.v_diag(h, l, spin).iter().map(|&v| 1.0 / v).collect();
-        let mut mv = m.clone();
-        scale::col_scale(&vinv, &mut mv);
-        let mut out = Matrix::zeros(m.nrows(), self.n);
-        gemm(
-            1.0,
-            &mv,
-            Op::NoTrans,
-            &self.expk_inv,
-            Op::NoTrans,
-            0.0,
-            &mut out,
-        );
+        let mut out = workspace::take_matrix(m.nrows(), self.n);
+        self.b_inv_mul_right_into(h, l, spin, m, &mut out);
         out
+    }
+
+    /// `out ← M · B_{l,σ}⁻¹` without allocating. `out` must be
+    /// `M.nrows() × n`.
+    pub fn b_inv_mul_right_into(
+        &self,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+        m: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(m.ncols(), self.n);
+        assert!(out.nrows() == m.nrows() && out.ncols() == self.n);
+        let mut vinv = workspace::take(self.n);
+        self.v_diag_into(h, l, spin, &mut vinv);
+        for v in vinv.iter_mut() {
+            *v = 1.0 / *v;
+        }
+        let mut mv = workspace::take_matrix(m.nrows(), m.ncols());
+        m.copy_submatrix_into(0, 0, &mut mv);
+        scale::col_scale(&vinv, &mut mv);
+        workspace::put(vinv);
+        gemm(1.0, &mv, Op::NoTrans, &self.expk_inv, Op::NoTrans, 0.0, out);
+        workspace::put_matrix(mv);
+    }
+
+    /// `out ← B_{l,σ} · G · B_{l,σ}⁻¹`, the equal-time wrap to the next
+    /// slice, with all staging taken from the workspace arena.
+    pub fn wrap_into(&self, h: &HsField, l: usize, spin: Spin, g: &Matrix, out: &mut Matrix) {
+        let mut bg = workspace::take_matrix(self.n, g.ncols());
+        self.b_mul_left_into(h, l, spin, g, &mut bg);
+        self.b_inv_mul_right_into(h, l, spin, &bg, out);
+        workspace::put_matrix(bg);
     }
 
     /// Cluster product `B_{l_hi−1} ⋯ B_{l_lo}` (Algorithm 4's host analogue):
     /// the product over slices `l ∈ [l_lo, l_hi)`, rightmost factor first.
+    /// Accumulates by ping-ponging two arena matrices instead of allocating
+    /// one product per slice.
     pub fn cluster(&self, h: &HsField, l_lo: usize, l_hi: usize, spin: Spin) -> Matrix {
         assert!(l_lo < l_hi && l_hi <= h.slices(), "bad cluster range");
         let mut acc = self.b_matrix(h, l_lo, spin);
+        let mut tmp = workspace::take_matrix(self.n, self.n);
         for l in (l_lo + 1)..l_hi {
-            acc = self.b_mul_left(h, l, spin, &acc);
+            self.b_mul_left_into(h, l, spin, &acc, &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
         }
+        workspace::put_matrix(tmp);
         acc
     }
 

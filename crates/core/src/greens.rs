@@ -79,8 +79,9 @@ pub fn greens_from_udt(udt: &Udt) -> GreensFunction {
 /// Wraps the Green's function from slice `l−1` to slice `l`:
 /// `G ← B_l G B_l⁻¹` (the new slice's B becomes the leftmost factor).
 pub fn wrap(fac: &BMatrixFactory, h: &HsField, l: usize, spin: Spin, g: &Matrix) -> Matrix {
-    let bg = fac.b_mul_left(h, l, spin, g);
-    fac.b_inv_mul_right(h, l, spin, &bg)
+    let mut out = linalg::workspace::take_matrix(g.nrows(), g.ncols());
+    fac.wrap_into(h, l, spin, g, &mut out);
+    out
 }
 
 /// Relative difference `‖G₁ − G₂‖_F / ‖G₂‖_F` — the paper's Figure 2 metric

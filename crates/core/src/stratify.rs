@@ -124,8 +124,10 @@ impl StratifyState {
             self.boundary
         );
         // Step 3a: C = (Bᵢ Q_{i−1}) D_{i−1} — GEMM then a column scaling,
-        // ordered exactly as the paper prescribes for accuracy.
-        let mut c = Matrix::zeros(n, n);
+        // ordered exactly as the paper prescribes for accuracy. The staging
+        // matrix comes from the workspace arena; whichever branch consumes
+        // it hands ownership into the factorization payload instead.
+        let mut c = linalg::workspace::take_matrix(n, n);
         gemm(1.0, b, Op::NoTrans, &self.udt.q, Op::NoTrans, 0.0, &mut c);
         scale::col_scale(&self.udt.d, &mut c);
 
@@ -142,6 +144,7 @@ impl StratifyState {
                 let norms = scale::col_norms(&c);
                 let p = Permutation::sort_descending(&norms);
                 let cp = p.permute_cols(&c);
+                linalg::workspace::put_matrix(c);
                 let f = qr::qr_in_place(cp);
                 let sign = f.q_det_sign();
                 (f.form_q(), f.r(), p, sign)
@@ -150,7 +153,10 @@ impl StratifyState {
         self.udt.interchanges += pi.displacement();
 
         // Step 3c: Dᵢ = diag(Rᵢ); Tᵢ = (Dᵢ⁻¹ Rᵢ)(Pᵢᵀ T_{i−1}).
-        self.udt.d = (0..n).map(|i| ri[(i, i)]).collect();
+        // Refill the graded diagonal in place — its capacity persists across
+        // every boundary of the chain.
+        self.udt.d.clear();
+        self.udt.d.extend((0..n).map(|i| ri[(i, i)]));
         // QRP grades strictly; the pre-pivot variant only preserves the
         // essential graded structure (§IV-A), hence the wide slack.
         linalg::check_graded!(

@@ -23,7 +23,7 @@ use crate::profile::phases;
 use crate::recycle::ClusterCache;
 use crate::stratify::stratify;
 use crate::update::SliceUpdater;
-use linalg::Matrix;
+use linalg::{workspace, Matrix};
 use util::{PhaseTimer, Rng, RunningStats};
 
 /// The complete mutable state of a DQMC run.
@@ -135,6 +135,11 @@ impl DqmcCore {
         let nb = self.params.delay_block;
         let k = self.params.cluster_size;
 
+        // Wrap targets live for the whole sweep: at non-boundary slices the
+        // wrapped pair is swapped into `self.g` and the old G matrices become
+        // the next slice's targets — no per-slice allocation.
+        let mut wrapped = [workspace::take_matrix(n, n), workspace::take_matrix(n, n)];
+
         for l in 0..l_slices {
             // --- Metropolis site loop with delayed updates ---
             let t0 = std::time::Instant::now();
@@ -173,11 +178,11 @@ impl DqmcCore {
             // --- Advance to the next slice: wrap, and recompute at cluster
             //     boundaries (monitoring the wrap error there) ---
             let at_boundary = (l + 1) % k == 0 || l + 1 == l_slices;
-            let wrapped = self.timer.time(phases::WRAPPING, || {
-                [
-                    greens::wrap(&self.fac, &self.h, l, Spin::Up, &self.g[0]),
-                    greens::wrap(&self.fac, &self.h, l, Spin::Down, &self.g[1]),
-                ]
+            self.timer.time(phases::WRAPPING, || {
+                self.fac
+                    .wrap_into(&self.h, l, Spin::Up, &self.g[0], &mut wrapped[0]);
+                self.fac
+                    .wrap_into(&self.h, l, Spin::Down, &self.g[1], &mut wrapped[1]);
             });
             if at_boundary {
                 let incr_sign = self.sign;
@@ -200,9 +205,14 @@ impl DqmcCore {
                     }
                 }
             } else {
-                self.g = wrapped;
+                std::mem::swap(&mut self.g[0], &mut wrapped[0]);
+                std::mem::swap(&mut self.g[1], &mut wrapped[1]);
             }
         }
+
+        let [w0, w1] = wrapped;
+        workspace::put_matrix(w0);
+        workspace::put_matrix(w1);
 
         if let Some(obs) = obs {
             let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);

@@ -15,10 +15,15 @@
 //! accepted updates the panels are flushed into `G₀` with a single GEMM.
 
 use linalg::blas3::{gemm, Op};
-use linalg::Matrix;
+use linalg::{workspace, Matrix};
 
 /// Delayed-update accumulator around one spin's Green's function at a fixed
 /// time slice.
+///
+/// The `U`/`W` panels and the row/col reconstruction scratch are leased from
+/// the [`linalg::workspace`] arena on construction and returned by
+/// [`SliceUpdater::into_g`], so the per-slice updater churn of a sweep
+/// performs no steady-state heap allocation.
 #[derive(Clone, Debug)]
 pub struct SliceUpdater {
     g: Matrix,
@@ -26,9 +31,52 @@ pub struct SliceUpdater {
     u: Matrix,
     /// Update rows: `W[:, m] = w_m`.
     w: Matrix,
+    /// Scratch for the reconstructed row `G[i, :]`.
+    scratch_row: Vec<f64>,
+    /// Scratch for the reconstructed column `G[:, i]`.
+    scratch_col: Vec<f64>,
     /// Number of pending (unflushed) updates.
     pending: usize,
     nb: usize,
+}
+
+/// Reconstructs row `G[i,:]` and column `G[:,i]` through the pending
+/// updates into the provided scratch buffers:
+/// `col = G₀[:,i] + U · W[i,:]ᵀ`, `row = G₀[i,:] + U[i,:] · Wᵀ` — both
+/// O(N·pending). A free function over disjoint field borrows so
+/// [`SliceUpdater::accept`] can reconstruct while it owns `u`/`w` mutably.
+fn reconstruct_row_col(
+    g: &Matrix,
+    u: &Matrix,
+    w: &Matrix,
+    pending: usize,
+    i: usize,
+    row: &mut [f64],
+    col: &mut [f64],
+) {
+    let n = g.nrows();
+    for r in 0..n {
+        col[r] = g[(r, i)];
+    }
+    for c in 0..n {
+        row[c] = g[(i, c)];
+    }
+    for m in 0..pending {
+        let wim = w[(i, m)];
+        if wim != 0.0 {
+            let ucol = u.col(m);
+            for r in 0..n {
+                col[r] += ucol[r] * wim;
+            }
+        }
+        let uim = u[(i, m)];
+        if uim != 0.0 {
+            let wcol = w.col(m);
+            for c in 0..n {
+                row[c] += uim * wcol[c];
+            }
+        }
+    }
 }
 
 impl SliceUpdater {
@@ -39,8 +87,10 @@ impl SliceUpdater {
         let n = g.nrows();
         SliceUpdater {
             g,
-            u: Matrix::zeros(n, nb),
-            w: Matrix::zeros(n, nb),
+            u: workspace::take_matrix(n, nb),
+            w: workspace::take_matrix(n, nb),
+            scratch_row: workspace::take(n),
+            scratch_col: workspace::take(n),
             pending: 0,
             nb,
         }
@@ -61,37 +111,23 @@ impl SliceUpdater {
         v
     }
 
-    /// Current column `G[:, i]` and row `G[i, :]` through pending updates.
+    /// Current row `G[i, :]` and column `G[:, i]` through pending updates.
     ///
-    /// `col = G₀[:,i] + U · W[i,:]ᵀ`, `row = G₀[i,:] + U[i,:] · Wᵀ` —
-    /// both O(N·pending).
-    pub fn row_col(&self, i: usize) -> (Vec<f64>, Vec<f64>) {
-        let n = self.n();
-        let mut col = vec![0.0; n];
-        let mut row = vec![0.0; n];
-        for r in 0..n {
-            col[r] = self.g[(r, i)];
-        }
-        for c in 0..n {
-            row[c] = self.g[(i, c)];
-        }
-        for m in 0..self.pending {
-            let wim = self.w[(i, m)];
-            if wim != 0.0 {
-                let ucol = self.u.col(m);
-                for r in 0..n {
-                    col[r] += ucol[r] * wim;
-                }
-            }
-            let uim = self.u[(i, m)];
-            if uim != 0.0 {
-                let wcol = self.w.col(m);
-                for c in 0..n {
-                    row[c] += uim * wcol[c];
-                }
-            }
-        }
-        (row, col)
+    /// The slices borrow the updater's internal scratch (refilled on every
+    /// call and invalidated by the next `&mut self` method) — no allocation
+    /// per Metropolis proposal.
+    pub fn row_col(&mut self, i: usize) -> (&[f64], &[f64]) {
+        let SliceUpdater {
+            g,
+            u,
+            w,
+            scratch_row,
+            scratch_col,
+            pending,
+            ..
+        } = self;
+        reconstruct_row_col(g, u, w, *pending, i, scratch_row, scratch_col);
+        (&self.scratch_row, &self.scratch_col)
     }
 
     /// Records an accepted flip at site `i` with HS coefficient `alpha` and
@@ -100,20 +136,25 @@ impl SliceUpdater {
     /// Flushes automatically when the delay block fills.
     pub fn accept(&mut self, i: usize, alpha: f64, d: f64) {
         let n = self.n();
-        let (row, col) = self.row_col(i);
-        let m = self.pending;
         let scalef = alpha / d;
+        let m = self.pending;
         {
+            let SliceUpdater {
+                g,
+                u,
+                w,
+                scratch_row,
+                scratch_col,
+                ..
+            } = self;
+            reconstruct_row_col(g, u, w, m, i, scratch_row, scratch_col);
             // G ← G − (α/d)(e_i − G[:,i])·G(i,:), stored as G += U·Wᵀ with
             // U[:,m] = (α/d)(G[:,i] − e_i).
-            let ucol = self.u.col_mut(m);
+            let ucol = u.col_mut(m);
             for r in 0..n {
-                ucol[r] = scalef * (col[r] - if r == i { 1.0 } else { 0.0 });
+                ucol[r] = scalef * (scratch_col[r] - if r == i { 1.0 } else { 0.0 });
             }
-        }
-        {
-            let wcol = self.w.col_mut(m);
-            wcol.copy_from_slice(&row);
+            w.col_mut(m).copy_from_slice(scratch_row);
         }
         self.pending += 1;
         if self.pending == self.nb {
@@ -127,16 +168,33 @@ impl SliceUpdater {
             return;
         }
         let n = self.n();
-        let up = self.u.submatrix(0, 0, n, self.pending);
-        let wp = self.w.submatrix(0, 0, n, self.pending);
+        let mut up = workspace::take_matrix(n, self.pending);
+        self.u.copy_submatrix_into(0, 0, &mut up);
+        let mut wp = workspace::take_matrix(n, self.pending);
+        self.w.copy_submatrix_into(0, 0, &mut wp);
         gemm(1.0, &up, Op::NoTrans, &wp, Op::Trans, 1.0, &mut self.g);
+        workspace::put_matrix(up);
+        workspace::put_matrix(wp);
         self.pending = 0;
     }
 
-    /// Flushes and returns the fully updated Green's function.
+    /// Flushes, returns the fully updated Green's function, and gives the
+    /// U/W panels and scratch buffers back to the workspace arena.
     pub fn into_g(mut self) -> Matrix {
         self.flush();
-        self.g
+        let SliceUpdater {
+            g,
+            u,
+            w,
+            scratch_row,
+            scratch_col,
+            ..
+        } = self;
+        workspace::put_matrix(u);
+        workspace::put_matrix(w);
+        workspace::put(scratch_row);
+        workspace::put(scratch_col);
+        g
     }
 
     /// Read access to the *flushed* base matrix (test hook; call

@@ -14,7 +14,7 @@
 
 use crate::device::{DMatrix, Device};
 use dqmc::{BMatrixFactory, HsField, Spin};
-use linalg::Matrix;
+use linalg::{workspace, Matrix};
 
 /// Uploads `e^{−ΔτK}` once at simulation start (device-resident B).
 pub fn upload_expk(dev: &mut Device, fac: &BMatrixFactory) -> DMatrix {
@@ -39,17 +39,23 @@ pub fn cluster_cublas(
 ) -> Matrix {
     assert!(lo < hi && hi <= h.slices());
     let n = fac.nsites();
+    // Host staging for the V diagonal and its device mirror are reused
+    // across all k slices; `t`/`vt` ping-pong so the loop performs no
+    // per-slice allocation (host or device).
+    let mut vh = workspace::take(n);
     let mut t = dev.dcopy(expk_dev);
-    let v0 = dev.set_vector(&fac.v_diag(h, lo, spin));
-    dev.scale_cols_cublas(&v0, &mut t);
+    fac.v_diag_into(h, lo, spin, &mut vh);
+    let mut vd = dev.set_vector(&vh);
+    dev.scale_cols_cublas(&vd, &mut t);
+    let mut vt = dev.alloc(n, n);
     for l in (lo + 1)..hi {
-        let v = dev.set_vector(&fac.v_diag(h, l, spin));
-        let mut vt = dev.dcopy(&t);
-        dev.scale_rows_cublas(&v, &mut vt);
-        let mut next = dev.alloc(n, n);
-        dev.dgemm(1.0, expk_dev, &vt, 0.0, &mut next);
-        t = next;
+        fac.v_diag_into(h, l, spin, &mut vh);
+        dev.set_vector_into(&vh, &mut vd);
+        dev.dcopy_into(&t, &mut vt);
+        dev.scale_rows_cublas(&vd, &mut vt);
+        dev.dgemm(1.0, expk_dev, &vt, 0.0, &mut t);
     }
+    workspace::put(vh);
     let out = dev.get_matrix(&t);
     linalg::check_finite!(out.as_slice(), "cluster_cublas product [{lo}, {hi})");
     out
@@ -68,16 +74,23 @@ pub fn cluster_custom_kernel(
 ) -> Matrix {
     assert!(lo < hi && hi <= h.slices());
     let n = fac.nsites();
+    let mut vh = workspace::take(n);
     let mut t = dev.dcopy(expk_dev);
-    let v0 = dev.set_vector(&fac.v_diag(h, lo, spin));
-    dev.scale_cols_kernel(&v0, &mut t);
+    fac.v_diag_into(h, lo, spin, &mut vh);
+    let mut vd = dev.set_vector(&vh);
+    dev.scale_cols_kernel(&vd, &mut t);
+    // `t`/`next` ping-pong: the GEMM writes the fresh product into the other
+    // buffer, then the roles swap — one device allocation for the whole
+    // cluster instead of one per slice.
+    let mut next = dev.alloc(n, n);
     for l in (lo + 1)..hi {
-        let v = dev.set_vector(&fac.v_diag(h, l, spin));
-        dev.scale_rows_kernel(&v, &mut t);
-        let mut next = dev.alloc(n, n);
+        fac.v_diag_into(h, l, spin, &mut vh);
+        dev.set_vector_into(&vh, &mut vd);
+        dev.scale_rows_kernel(&vd, &mut t);
         dev.dgemm(1.0, expk_dev, &t, 0.0, &mut next);
-        t = next;
+        std::mem::swap(&mut t, &mut next);
     }
+    workspace::put(vh);
     let out = dev.get_matrix(&t);
     linalg::check_finite!(out.as_slice(), "cluster_custom_kernel product [{lo}, {hi})");
     out

@@ -186,6 +186,14 @@ impl Device {
         v.to_vec()
     }
 
+    /// `cublasSetVector` into a pre-allocated device vector — same PCIe
+    /// cost, no device-side allocation.
+    pub fn set_vector_into(&mut self, v: &[f64], dst: &mut Vec<f64>) {
+        self.transfer(v.len() * 8);
+        dst.clear();
+        dst.extend_from_slice(v);
+    }
+
     /// `cublasGetMatrix`: device → host copy.
     pub fn get_matrix(&mut self, d: &DMatrix) -> Matrix {
         self.transfer(d.m.as_slice().len() * 8);
@@ -207,6 +215,17 @@ impl Device {
         self.clock
             .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
         DMatrix { m: src.m.clone() }
+    }
+
+    /// `cublasDcopy` into a pre-allocated device matrix — same device-side
+    /// bandwidth cost, no allocation.
+    pub fn dcopy_into(&mut self, src: &DMatrix, dst: &mut DMatrix) {
+        assert!(src.m.nrows() == dst.m.nrows() && src.m.ncols() == dst.m.ncols());
+        self.launch();
+        let bytes = (src.m.as_slice().len() * 16) as f64;
+        self.clock
+            .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
+        dst.m.as_mut_slice().copy_from_slice(src.m.as_slice());
     }
 
     /// `cublasDgemm`: `C = alpha·A·B + beta·C`.

@@ -31,7 +31,9 @@ pub fn wrap_on_device(
 ) -> Matrix {
     let n = fac.nsites();
     let mut dg = dev.set_matrix(g);
-    let v = dev.set_vector(&fac.v_diag(h, l, spin));
+    let vh = fac.v_diag(h, l, spin);
+    let v = dev.set_vector(&vh);
+    linalg::workspace::put(vh);
     // V G V⁻¹ via the texture-cache kernel.
     dev.wrap_scale_kernel(&v, &mut dg);
     // e^{−ΔτK} · (VGV⁻¹)

@@ -8,6 +8,12 @@
 //! - an `MR × NR` register-tile micro-kernel runs over the packed panels,
 //! - macro-tiles (`MC × NC`) are distributed over the Rayon pool.
 //!
+//! The micro-kernel is selected at runtime through [`crate::simd`]: an
+//! AVX2+FMA 8×6 tile on capable `x86_64` hosts, the portable scalar 8×4
+//! tile otherwise (`LINALG_KERNEL=scalar|fma` pins a path). Packing
+//! buffers come from the [`crate::workspace`] arena, so steady-state GEMM
+//! calls perform no heap allocation.
+//!
 //! This reproduces the property the paper's Figure 1 rests on: GEMM reaches a
 //! high fraction of peak even at DQMC sizes (N ≈ 256…2048) because every
 //! floating-point operation streams from packed, cache-resident buffers —
@@ -20,6 +26,8 @@
 #![warn(clippy::undocumented_unsafe_blocks)]
 
 use crate::matrix::Matrix;
+use crate::simd::{self, KernelPath};
+use crate::workspace;
 use rayon::prelude::*;
 
 /// Transpose flag for a GEMM operand.
@@ -48,10 +56,8 @@ impl Op {
     }
 }
 
-/// Micro-kernel tile height (rows of packed A panels).
+/// Micro-kernel tile height (rows of packed A panels; shared by both paths).
 const MR: usize = 8;
-/// Micro-kernel tile width (columns of packed B panels).
-const NR: usize = 4;
 /// Cache block for the k dimension.
 const KC: usize = 256;
 /// Cache block for the m dimension (per parallel task).
@@ -63,7 +69,8 @@ const SMALL_FLOPS: usize = 48 * 48 * 48;
 
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
 ///
-/// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
+/// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`. The
+/// micro-kernel path is chosen once per process by [`simd::kernel_path`].
 ///
 /// # Examples
 ///
@@ -76,15 +83,43 @@ const SMALL_FLOPS: usize = 48 * 48 * 48;
 /// assert_eq!(c, a);
 /// ```
 pub fn gemm(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: &mut Matrix) {
-    gemm_impl(alpha, a, opa, b, opb, beta, c);
+    gemm_impl(simd::kernel_path(), alpha, a, opa, b, opb, beta, c);
     // Taint check on the output only: C is *allowed* to carry NaN garbage in
     // with beta = 0 (LAPACK semantics), so inputs are deliberately unchecked.
     crate::check_finite!(c.as_slice(), "gemm output ({}x{})", c.nrows(), c.ncols());
 }
 
-// dqmc-lint: allow(hot_alloc) — the packed A/B panel buffers are allocated
-// once per call and amortised over the entire blocked k loop.
-fn gemm_impl(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c: &mut Matrix) {
+/// [`gemm`] with an explicitly pinned micro-kernel path.
+///
+/// Used by the kernel-equivalence tests and the `fig1` bench to compare the
+/// scalar and FMA paths within one process (the env override in
+/// [`simd::kernel_path`] is latched once and cannot switch mid-run). An
+/// unavailable `path` silently falls back to scalar, so this is safe to call
+/// with [`KernelPath::Fma`] on any host.
+pub fn gemm_with_kernel(
+    path: KernelPath,
+    alpha: f64,
+    a: &Matrix,
+    opa: Op,
+    b: &Matrix,
+    opb: Op,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    gemm_impl(path, alpha, a, opa, b, opb, beta, c);
+    crate::check_finite!(c.as_slice(), "gemm output ({}x{})", c.nrows(), c.ncols());
+}
+
+fn gemm_impl(
+    path: KernelPath,
+    alpha: f64,
+    a: &Matrix,
+    opa: Op,
+    b: &Matrix,
+    opb: Op,
+    beta: f64,
+    c: &mut Matrix,
+) {
     let m = opa.rows(a);
     let k = opa.cols(a);
     let n = opb.cols(b);
@@ -107,18 +142,51 @@ fn gemm_impl(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c:
         return;
     }
 
-    let mut packed_a = vec![0.0f64; padded(m, MR) * KC.min(k)];
-    let mut packed_b = vec![0.0f64; KC.min(k) * padded(n, NR)];
+    let path = if path.available() {
+        path
+    } else {
+        KernelPath::Scalar
+    };
+    match path {
+        KernelPath::Scalar => gemm_blocked::<4>(false, alpha, a, opa, b, opb, c, m, n, k),
+        KernelPath::Fma => gemm_blocked::<6>(true, alpha, a, opa, b, opb, c, m, n, k),
+    }
+}
+
+/// The blocked path, monomorphised per micro-tile width `NR`.
+///
+/// `use_fma` selects the AVX2+FMA micro-kernel (callers guarantee host
+/// support and `NR == 6`); otherwise the scalar register tile runs. Packing
+/// buffers are leased from the thread-local workspace arena — zero heap
+/// traffic once the arena is warm.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<const NR: usize>(
+    use_fma: bool,
+    alpha: f64,
+    a: &Matrix,
+    opa: Op,
+    b: &Matrix,
+    opb: Op,
+    c: &mut Matrix,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    // The n cache block must stay a multiple of the micro-tile width so the
+    // packed-panel index arithmetic holds (512 for NR=4, 510 for NR=6).
+    let ncb = NC / NR * NR;
+    let mut packed_a = workspace::take(padded(m, MR) * KC.min(k));
+    let mut packed_b = workspace::take(KC.min(k) * padded(n, NR));
 
     let mut pc = 0;
     while pc < k {
         let kc = KC.min(k - pc);
         pack_a_full(a, opa, pc, kc, m, &mut packed_a);
-        pack_b_full(b, opb, pc, kc, n, &mut packed_b);
+        pack_b_full::<NR>(b, opb, pc, kc, n, &mut packed_b);
 
         // Macro-tile grid over C.
         let mblocks = m.div_ceil(MC);
-        let nblocks = n.div_ceil(NC);
+        let nblocks = n.div_ceil(ncb);
         let cdata = SendPtr(c.as_mut_slice().as_mut_ptr());
         let ldc = m;
         let pa = &packed_a;
@@ -128,23 +196,26 @@ fn gemm_impl(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, beta: f64, c:
             let bi = t % mblocks;
             let bj = t / mblocks;
             let ic = bi * MC;
-            let jc = bj * NC;
+            let jc = bj * ncb;
             let mc = MC.min(m - ic);
-            let nc = NC.min(n - jc);
+            let nc = ncb.min(n - jc);
             // SAFETY: tasks write disjoint (ic..ic+mc) x (jc..jc+nc) tiles of C.
             let cptr = cdata;
-            macro_kernel(alpha, pa, pb, m, n, kc, ic, jc, mc, nc, cptr.0, ldc);
+            macro_kernel::<NR>(use_fma, alpha, pa, pb, kc, ic, jc, mc, nc, cptr.0, ldc);
         });
         pc += kc;
     }
+
+    workspace::put(packed_a);
+    workspace::put(packed_b);
 }
 
 /// Raw pointer wrapper so disjoint C tiles can be written from Rayon tasks.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
-// SAFETY: SendPtr is only created in `gemm_impl` and only dereferenced inside
-// `macro_kernel`, where each Rayon task writes a tile of C disjoint from every
-// other task's tile; no aliasing writes can occur.
+// SAFETY: SendPtr is only created in `gemm_blocked` and only dereferenced
+// inside `macro_kernel`, where each Rayon task writes a tile of C disjoint
+// from every other task's tile; no aliasing writes can occur.
 unsafe impl Send for SendPtr {}
 // SAFETY: shared references to SendPtr only copy the pointer value; all
 // dereferences go through the disjoint-tile discipline above.
@@ -195,7 +266,14 @@ fn pack_a_full(a: &Matrix, opa: Op, pc: usize, kc: usize, m: usize, buf: &mut [f
 ///
 /// Layout: panel c0 occupies `kc*NR` consecutive values, k-major: element
 /// (pc+p, c0+j) at `panel_base + p*NR + j`. Columns beyond `n` are zero-padded.
-fn pack_b_full(b: &Matrix, opb: Op, pc: usize, kc: usize, n: usize, buf: &mut [f64]) {
+fn pack_b_full<const NR: usize>(
+    b: &Matrix,
+    opb: Op,
+    pc: usize,
+    kc: usize,
+    n: usize,
+    buf: &mut [f64],
+) {
     let panels = n.div_ceil(NR);
     buf[..panels * kc * NR]
         .par_chunks_mut(kc * NR)
@@ -217,12 +295,11 @@ fn pack_b_full(b: &Matrix, opb: Op, pc: usize, kc: usize, n: usize, buf: &mut [f
 
 /// Computes one MC×NC macro-tile of C from packed panels.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+fn macro_kernel<const NR: usize>(
+    use_fma: bool,
     alpha: f64,
     packed_a: &[f64],
     packed_b: &[f64],
-    m: usize,
-    n: usize,
     kc: usize,
     ic: usize,
     jc: usize,
@@ -233,7 +310,6 @@ fn macro_kernel(
 ) {
     debug_assert_eq!(ic % MR, 0);
     debug_assert_eq!(jc % NR, 0);
-    let _ = (m, n);
     let mut jr = 0;
     while jr < nc {
         let nr = NR.min(nc - jr);
@@ -243,16 +319,16 @@ fn macro_kernel(
             let mr = MR.min(mc - ir);
             let apanel = &packed_a[(ic + ir) / MR * (kc * MR)..][..kc * MR];
             let mut acc = [[0.0f64; MR]; NR];
-            micro_kernel(kc, apanel, bpanel, &mut acc);
+            run_micro::<NR>(use_fma, kc, apanel, bpanel, &mut acc);
             // Accumulate into C (bounds-clipped tile edges).
-            for j in 0..nr {
+            for (j, accj) in acc.iter().enumerate().take(nr) {
                 let cj = jc + jr + j;
-                for i in 0..mr {
+                for (i, &v) in accj.iter().enumerate().take(mr) {
                     let ci = ic + ir + i;
                     // SAFETY: ci < m, cj < n by construction; tiles disjoint
                     // across tasks.
                     unsafe {
-                        *cptr.add(cj * ldc + ci) += alpha * acc[j][i];
+                        *cptr.add(cj * ldc + ci) += alpha * v;
                     }
                 }
             }
@@ -262,9 +338,39 @@ fn macro_kernel(
     }
 }
 
-/// Register-tile kernel: `acc[j][i] += Σ_p apanel[p*MR+i] * bpanel[p*NR+j]`.
+/// Dispatches one register tile to the selected micro-kernel.
 #[inline(always)]
-fn micro_kernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; MR]; NR]) {
+fn run_micro<const NR: usize>(
+    use_fma: bool,
+    kc: usize,
+    apanel: &[f64],
+    bpanel: &[f64],
+    acc: &mut [[f64; MR]; NR],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_fma && NR == 6 {
+        // SAFETY: `use_fma` is only set by `gemm_impl` after
+        // `KernelPath::Fma.available()` confirmed avx2+fma; panels hold
+        // kc*MR / kc*NR elements and `acc` is a contiguous 8×6 tile.
+        unsafe {
+            simd::micro_kernel_fma_8x6(kc, apanel, bpanel, acc.as_mut_ptr().cast::<f64>());
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_fma;
+    micro_kernel::<NR>(kc, apanel, bpanel, acc);
+}
+
+/// Scalar register-tile kernel:
+/// `acc[j][i] += Σ_p apanel[p*MR+i] * bpanel[p*NR+j]`.
+#[inline(always)]
+fn micro_kernel<const NR: usize>(
+    kc: usize,
+    apanel: &[f64],
+    bpanel: &[f64],
+    acc: &mut [[f64; MR]; NR],
+) {
     for p in 0..kc {
         // SAFETY: callers pass panels of exactly kc*MR and kc*NR elements,
         // so both ranges are in bounds for every p < kc.
@@ -410,6 +516,28 @@ mod tests {
                     check_against_naive(m, n, k, opa, opb, 7);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pinned_paths_match_naive_on_blocked_sizes() {
+        // Both explicit kernel paths, on a size past SMALL_FLOPS with odd
+        // tile edges (61 % 8 ≠ 0, 53 % 4 ≠ 0, 53 % 6 ≠ 0).
+        let (m, n, k) = (61, 53, 67);
+        let mut rng = Rng::new(11);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        for path in [KernelPath::Scalar, KernelPath::Fma] {
+            let mut c1 = Matrix::zeros(m, n);
+            let mut c2 = Matrix::zeros(m, n);
+            gemm_with_kernel(path, 1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c1);
+            gemm_naive(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c2);
+            assert!(
+                c1.max_abs_diff(&c2) < 1e-12 * k as f64,
+                "path {:?}: {}",
+                path,
+                c1.max_abs_diff(&c2)
+            );
         }
     }
 

@@ -47,11 +47,13 @@ pub mod perm;
 pub mod qr;
 pub mod qrp;
 pub mod scale;
+pub mod simd;
 pub mod svd;
 pub mod tri;
 pub mod tsqr;
+pub mod workspace;
 
-pub use blas3::{gemm, gemm_naive, Op};
+pub use blas3::{gemm, gemm_naive, gemm_with_kernel, Op};
 pub use eig::SymEig;
 pub use expm::sym_expm;
 pub use lu::LuFactors;
@@ -59,6 +61,7 @@ pub use matrix::Matrix;
 pub use perm::Permutation;
 pub use qr::QrFactors;
 pub use qrp::QrpFactors;
+pub use simd::{kernel_path, KernelPath};
 pub use svd::{condition_number, svd, Svd};
 pub use tsqr::{tsqr, Tsqr};
 

@@ -257,6 +257,17 @@ impl Matrix {
         Matrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
     }
 
+    /// Copies the `out.nrows() × out.ncols()` block of `self` starting at
+    /// `(r0, c0)` into `out` — the allocation-free counterpart of
+    /// [`Matrix::submatrix`] for workspace-arena buffers.
+    pub fn copy_submatrix_into(&self, r0: usize, c0: usize, out: &mut Matrix) {
+        assert!(r0 + out.nrows <= self.nrows && c0 + out.ncols <= self.ncols);
+        for j in 0..out.ncols {
+            let src = &self.col(c0 + j)[r0..r0 + out.nrows];
+            out.col_mut(j).copy_from_slice(src);
+        }
+    }
+
     /// Writes `block` into `self` at offset `(r0, c0)`.
     pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &Matrix) {
         assert!(r0 + block.nrows <= self.nrows && c0 + block.ncols <= self.ncols);

@@ -6,10 +6,18 @@
 //! the trailing matrix is updated with three level-3 products (dlarfb). This
 //! is the structure that lets unpivoted QR run near GEMM speed — the property
 //! the paper's pre-pivoted stratification (its Algorithm 3) exploits.
+//!
+//! All per-panel staging (explicit V, the T factor, the W work matrices of
+//! the block reflector) is leased from the [`crate::workspace`] arena, so a
+//! steady-state factorization allocates nothing; `cargo xtask lint` enforces
+//! this via the `deny_hot_alloc` tag below.
+
+#![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::blas1;
 use crate::blas3::{gemm, Op};
 use crate::matrix::Matrix;
+use crate::workspace;
 
 /// Panel width for the blocked algorithm.
 pub const NB: usize = 32;
@@ -104,18 +112,19 @@ fn qr_panel_unblocked(a: &mut Matrix, r0: usize, c0: usize, ncols: usize, tau: &
 }
 
 /// Builds the T factor of the compact WY representation (dlarft analogue):
-/// `Q = I − V T Vᵀ` with T upper triangular `nb × nb`.
+/// `Q = I − V T Vᵀ` with T upper triangular `nb × nb`, written into the
+/// caller-provided (zeroed) `t`.
 ///
 /// `v` is the m×nb unit-lower-trapezoidal reflector matrix (explicit form).
-fn form_t(v: &Matrix, tau: &[f64]) -> Matrix {
+fn form_t_into(v: &Matrix, tau: &[f64], t: &mut Matrix) {
     let nb = v.ncols();
-    let mut t = Matrix::zeros(nb, nb);
+    debug_assert!(t.nrows() == nb && t.ncols() == nb);
+    // Scratch for w = Vᵀ(:,0..j) v_j; nb ≤ NB so a stack array suffices.
+    let mut w = [0.0f64; NB];
     for j in 0..nb {
         t[(j, j)] = tau[j];
         if j > 0 && tau[j] != 0.0 {
-            // w = Vᵀ(:,0..j) v_j  (length j)
-            let mut w = vec![0.0; j];
-            for (l, wl) in w.iter_mut().enumerate() {
+            for (l, wl) in w[..j].iter_mut().enumerate() {
                 *wl = blas1::dot(v.col(l), v.col(j));
             }
             // T(0..j, j) = −tau_j * T(0..j,0..j) * w
@@ -128,14 +137,14 @@ fn form_t(v: &Matrix, tau: &[f64]) -> Matrix {
             }
         }
     }
-    t
 }
 
 /// Extracts the explicit V (unit lower trapezoidal, m−r0 × nb) from the
-/// packed factorization for panel starting at `(r0, c0)`.
-fn extract_v(a: &Matrix, r0: usize, c0: usize, nb: usize) -> Matrix {
+/// packed factorization for panel starting at `(r0, c0)` into `v`.
+fn extract_v_into(a: &Matrix, r0: usize, c0: usize, nb: usize, v: &mut Matrix) {
     let m = a.nrows();
-    let mut v = Matrix::zeros(m - r0, nb);
+    debug_assert!(v.nrows() == m - r0 && v.ncols() == nb);
+    v.fill(0.0);
     for j in 0..nb {
         let col = a.col(c0 + j);
         let row = r0 + j;
@@ -146,11 +155,25 @@ fn extract_v(a: &Matrix, r0: usize, c0: usize, nb: usize) -> Matrix {
             }
         }
     }
-    v
+}
+
+/// Leases workspace matrices for a panel's explicit (V, T) pair.
+///
+/// Callers return both with `workspace::put_matrix` once the block reflector
+/// has been applied.
+fn panel_vt(a: &Matrix, tau: &[f64], j0: usize, nb: usize) -> (Matrix, Matrix) {
+    let mut v = workspace::take_matrix(a.nrows() - j0, nb);
+    extract_v_into(a, j0, j0, nb, &mut v);
+    let mut t = workspace::take_matrix(nb, nb);
+    form_t_into(&v, tau, &mut t);
+    (v, t)
 }
 
 /// Applies the block reflector: `C := (I − V Tᵀ Vᵀ) C`  when `trans`,
 /// `C := (I − V T Vᵀ) C` otherwise. `C` is the rows `r0..` slice of `c`.
+///
+/// All three staging matrices (the C sub-block and the two W products) come
+/// from the workspace arena.
 fn apply_block_reflector(v: &Matrix, t: &Matrix, trans: bool, c: &mut Matrix, r0: usize) {
     let m = c.nrows();
     let n = c.ncols();
@@ -160,12 +183,13 @@ fn apply_block_reflector(v: &Matrix, t: &Matrix, trans: bool, c: &mut Matrix, r0
         return;
     }
     // Work on the sub-block of C.
-    let csub = c.submatrix(r0, 0, rows, n);
+    let mut csub = workspace::take_matrix(rows, n);
+    c.copy_submatrix_into(r0, 0, &mut csub);
     // W = Vᵀ C  (nb × n)
-    let mut w = Matrix::zeros(nb, n);
+    let mut w = workspace::take_matrix(nb, n);
     gemm(1.0, v, Op::Trans, &csub, Op::NoTrans, 0.0, &mut w);
     // W := T W or Tᵀ W
-    let mut tw = Matrix::zeros(nb, n);
+    let mut tw = workspace::take_matrix(nb, n);
     gemm(
         1.0,
         t,
@@ -176,12 +200,16 @@ fn apply_block_reflector(v: &Matrix, t: &Matrix, trans: bool, c: &mut Matrix, r0
         &mut tw,
     );
     // C := C − V W
-    let mut cnew = csub;
-    gemm(-1.0, v, Op::NoTrans, &tw, Op::NoTrans, 1.0, &mut cnew);
-    c.set_submatrix(r0, 0, &cnew);
+    gemm(-1.0, v, Op::NoTrans, &tw, Op::NoTrans, 1.0, &mut csub);
+    c.set_submatrix(r0, 0, &csub);
+    workspace::put_matrix(csub);
+    workspace::put_matrix(w);
+    workspace::put_matrix(tw);
 }
 
 /// Blocked QR factorization (DGEQRF analogue). Consumes `a`, returns factors.
+// dqmc-lint: allow(hot_alloc) — `tau` is the returned factor payload, not
+// scratch; all per-panel staging goes through the workspace arena.
 pub fn qr_in_place(mut a: Matrix) -> QrFactors {
     let m = a.nrows();
     let n = a.ncols();
@@ -192,13 +220,16 @@ pub fn qr_in_place(mut a: Matrix) -> QrFactors {
         let nb = NB.min(kmax - j0);
         qr_panel_unblocked(&mut a, j0, j0, nb, &mut tau[j0..j0 + nb]);
         if j0 + nb < n {
-            let v = extract_v(&a, j0, j0, nb);
-            let t = form_t(&v, &tau[j0..j0 + nb]);
+            let (v, t) = panel_vt(&a, &tau[j0..j0 + nb], j0, nb);
             // Update trailing columns: A := Qᵀ A = (I − V Tᵀ Vᵀ) A.
             let ntrail = n - (j0 + nb);
-            let mut trailing = a.submatrix(j0, j0 + nb, m - j0, ntrail);
+            let mut trailing = workspace::take_matrix(m - j0, ntrail);
+            a.copy_submatrix_into(j0, j0 + nb, &mut trailing);
             apply_block_reflector(&v, &t, true, &mut trailing, 0);
             a.set_submatrix(j0, j0 + nb, &trailing);
+            workspace::put_matrix(trailing);
+            workspace::put_matrix(v);
+            workspace::put_matrix(t);
         }
         j0 += nb;
     }
@@ -246,9 +277,10 @@ impl QrFactors {
         let mut j0 = 0;
         while j0 < k {
             let nb = NB.min(k - j0);
-            let v = extract_v(&self.a, j0, j0, nb);
-            let t = form_t(&v, &self.tau[j0..j0 + nb]);
+            let (v, t) = panel_vt(&self.a, &self.tau[j0..j0 + nb], j0, nb);
             apply_block_reflector(&v, &t, true, c, j0);
+            workspace::put_matrix(v);
+            workspace::put_matrix(t);
             j0 += nb;
         }
     }
@@ -258,13 +290,12 @@ impl QrFactors {
         assert_eq!(c.nrows(), self.a.nrows(), "apply_q: row mismatch");
         let k = self.tau.len();
         // Q = H_1 H_2 … H_k, so apply blocks in reverse order, untransposed.
-        let mut starts: Vec<usize> = (0..k).step_by(NB).collect();
-        starts.reverse();
-        for j0 in starts {
+        for j0 in (0..k).step_by(NB).rev() {
             let nb = NB.min(k - j0);
-            let v = extract_v(&self.a, j0, j0, nb);
-            let t = form_t(&v, &self.tau[j0..j0 + nb]);
+            let (v, t) = panel_vt(&self.a, &self.tau[j0..j0 + nb], j0, nb);
             apply_block_reflector(&v, &t, false, c, j0);
+            workspace::put_matrix(v);
+            workspace::put_matrix(t);
         }
     }
 

@@ -9,13 +9,30 @@
 //! exactly why DGEQP3 runs far below DGEQRF and DGEMM in the paper's Figure 1,
 //! and why the paper's Algorithm 3 replaces it with a cheap pre-pivot + plain
 //! QR.
+//!
+//! Per-panel staging (the F matrix, flag buffer, trailing-update blocks)
+//! comes from the [`crate::workspace`] arena and the per-column scratch is
+//! stack-allocated, so a steady-state factorization performs no heap
+//! allocation; the `deny_hot_alloc` tag below makes `cargo xtask lint`
+//! enforce that. The column-norm downdate sweep (the paper's §IV-B
+//! fine-grain loop) runs on the Rayon pool above
+//! [`PAR_DOWNDATE_CUTOFF`] columns.
+
+#![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::blas1;
 use crate::blas3::{gemm, Op};
 use crate::matrix::Matrix;
 use crate::perm::Permutation;
 use crate::qr::{house, NB};
+use crate::workspace;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Trailing-column count above which the norm-downdate sweep is parallel.
+/// Below it the per-element work (a handful of flops) cannot amortise task
+/// dispatch.
+pub const PAR_DOWNDATE_CUTOFF: usize = 256;
 
 /// Compact pivoted QR factorization: `A P = Q R`.
 #[derive(Clone, Debug)]
@@ -30,6 +47,9 @@ pub struct QrpFactors {
 }
 
 /// Pivoted QR factorization (DGEQP3 analogue). Consumes `a`.
+// dqmc-lint: allow(hot_alloc) — tau/jpvt are the returned factor payload and
+// vn1/vn2 the once-per-factorization norm bookkeeping; per-panel scratch goes
+// through the workspace arena.
 pub fn qrp_in_place(mut a: Matrix) -> QrpFactors {
     let m = a.nrows();
     let n = a.ncols();
@@ -82,9 +102,11 @@ fn factor_panel(
 ) -> usize {
     let m = a.nrows();
     let n = a.ncols();
-    // F is (n - j0) × nb: row i corresponds to column j0 + i of A.
-    let mut f = Matrix::zeros(n - j0, nb);
-    let mut flagged = vec![false; n];
+    // F is (n - j0) × nb: row i corresponds to column j0 + i of A. Leased
+    // zeroed from the arena, as is the recompute flag buffer (0.0 = clean,
+    // 1.0 = downdate no longer certifiable — f64 so it pools with the rest).
+    let mut f = workspace::take_matrix(n - j0, nb);
+    let mut flagged = workspace::take(n);
     let mut nf = nb;
 
     for j in 0..nb {
@@ -132,30 +154,31 @@ fn factor_panel(
         //    F(:,j) -= tau_j F(:,0:j) (Vᵀ v_j).
         if tj != 0.0 {
             // Raw products against stored columns (parallel level-2 sweep —
-            // this is the unavoidable DGEQP3 bottleneck).
-            let (vj_col, taus): (&[f64], f64) = (a.col(jj), tj);
-            let fcol: Vec<f64> = (j + 1..n - j0)
-                .into_par_iter()
-                .map(|i| {
-                    let c = a.col(j0 + i);
-                    // v_j has implicit 1 at row jj.
-                    let mut s = c[jj];
-                    for r in (jj + 1)..m {
-                        s += vj_col[r] * c[r];
-                    }
-                    taus * s
-                })
-                .collect();
-            for (i, v) in fcol.into_iter().enumerate() {
-                f[(j + 1 + i, j)] = v;
-            }
-            for i in 0..=j {
-                f[(i, j)] = 0.0;
+            // this is the unavoidable DGEQP3 bottleneck). F's column j is
+            // contiguous, so the parallel sweep writes it directly.
+            {
+                let a_ro: &Matrix = a;
+                let vj_col = a_ro.col(jj);
+                let fcol = f.col_mut(j);
+                fcol[..=j].fill(0.0);
+                fcol[j + 1..]
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(off, out)| {
+                        let c = a_ro.col(j0 + j + 1 + off);
+                        // v_j has implicit 1 at row jj.
+                        let mut s = c[jj];
+                        for r in (jj + 1)..m {
+                            s += vj_col[r] * c[r];
+                        }
+                        *out = tj * s;
+                    });
             }
             // w_l = v_lᵀ v_j over rows jj..m (v_j vanishes above jj).
+            // j < nb ≤ NB, so stack scratch suffices.
             if j > 0 {
-                let mut w = vec![0.0; j];
-                for (l, wl) in w.iter_mut().enumerate() {
+                let mut w = [0.0f64; NB];
+                for (l, wl) in w[..j].iter_mut().enumerate() {
                     let vl = a.col(j0 + l);
                     let vj = a.col(jj);
                     let mut s = vl[jj]; // v_j(jj) = 1
@@ -167,7 +190,7 @@ fn factor_panel(
                 // F(:, j) -= tau_j * F(:, 0:j) * w
                 for i in 0..(n - j0) {
                     let mut s = 0.0;
-                    for (l, &wl) in w.iter().enumerate() {
+                    for (l, &wl) in w[..j].iter().enumerate() {
                         s += f[(i, l)] * wl;
                     }
                     f[(i, j)] -= tj * s;
@@ -179,14 +202,15 @@ fn factor_panel(
         //    downdates see current values:
         //    A(jj, c) -= Σ_{l≤j} V(jj, l) F(c-j0, l).
         if jj + 1 < n {
-            let mut vrow = vec![0.0; j + 1];
-            for (l, vr) in vrow.iter_mut().enumerate().take(j) {
+            // j < nb ≤ NB: stack scratch for the V row.
+            let mut vrow = [0.0f64; NB];
+            for (l, vr) in vrow[..j].iter_mut().enumerate() {
                 *vr = a[(jj, j0 + l)];
             }
             vrow[j] = 1.0;
             for c in (jj + 1)..n {
                 let mut s = 0.0;
-                for (l, &vr) in vrow.iter().enumerate() {
+                for (l, &vr) in vrow[..=j].iter().enumerate() {
                     s += vr * f[(c - j0, l)];
                 }
                 a[(jj, c)] -= s;
@@ -194,21 +218,33 @@ fn factor_panel(
         }
 
         // 6. Downdate partial norms (dlaqps formula with recompute guard).
-        let mut must_stop = false;
-        for c in (jj + 1)..n {
-            if vn1[c] != 0.0 {
-                let temp = (a[(jj, c)].abs() / vn1[c]).min(1.0);
-                let temp = ((1.0 + temp) * (1.0 - temp)).max(0.0);
-                let ratio = vn1[c] / vn2[c];
-                let temp2 = temp * ratio * ratio;
-                if temp2 <= tol3z {
-                    flagged[c] = true;
-                    must_stop = true;
-                } else {
-                    vn1[c] *= temp.sqrt();
-                }
+        // Above the cutoff the sweep runs on the Rayon pool — this is the
+        // paper's §IV-B fine-grain parallel loop. The stop flag is an atomic
+        // so the decision stays exact under a real threaded pool; the
+        // recompute *counter* is taken later from the flag buffer, serially,
+        // so it is exact regardless of scheduling.
+        let base = jj + 1;
+        let must_stop = if n - base >= PAR_DOWNDATE_CUTOFF {
+            let stop = AtomicBool::new(false);
+            let a_ro: &Matrix = a;
+            vn1[base..n]
+                .par_iter_mut()
+                .zip(flagged[base..n].par_iter_mut())
+                .enumerate()
+                .for_each(|(off, (v1, fl))| {
+                    let c = base + off;
+                    if downdate_one(a_ro[(jj, c)], v1, vn2[c], fl, tol3z) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                });
+            stop.load(Ordering::Relaxed)
+        } else {
+            let mut stop = false;
+            for c in base..n {
+                stop |= downdate_one(a[(jj, c)], &mut vn1[c], vn2[c], &mut flagged[c], tol3z);
             }
-        }
+            stop
+        };
         if must_stop {
             nf = j + 1;
             break;
@@ -219,10 +255,14 @@ fn factor_panel(
     // A(j0+nf:m, j0+nf:n) -= V(nf:, 0:nf) F(nf:, 0:nf)ᵀ.
     let r1 = j0 + nf;
     if r1 < m && r1 < n {
-        let vfull = extract_v_panel(a, j0, nf);
-        let vlow = vfull.submatrix(nf, 0, m - r1, nf);
-        let ftrail = f.submatrix(nf, 0, n - r1, nf);
-        let mut trail = a.submatrix(r1, r1, m - r1, n - r1);
+        // Rows r1.. of the panel's V sit entirely below every reflector's
+        // unit diagonal, so they are exactly the stored block A[r1.., j0..].
+        let mut vlow = workspace::take_matrix(m - r1, nf);
+        a.copy_submatrix_into(r1, j0, &mut vlow);
+        let mut ftrail = workspace::take_matrix(n - r1, nf);
+        f.copy_submatrix_into(nf, 0, &mut ftrail);
+        let mut trail = workspace::take_matrix(m - r1, n - r1);
+        a.copy_submatrix_into(r1, r1, &mut trail);
         gemm(
             -1.0,
             &vlow,
@@ -233,13 +273,16 @@ fn factor_panel(
             &mut trail,
         );
         a.set_submatrix(r1, r1, &trail);
+        workspace::put_matrix(vlow);
+        workspace::put_matrix(ftrail);
+        workspace::put_matrix(trail);
     }
 
     // Refresh partial norms that the downdate could no longer certify, and
     // record how often the safeguard fired (surfaced via dqmc::diagnostics).
     let mut recomputed = 0u64;
     for c in r1..n {
-        if flagged[c] {
+        if flagged[c] != 0.0 {
             let tail = &a.col(c)[r1.min(m)..];
             vn1[c] = blas1::nrm2(tail);
             vn2[c] = vn1[c];
@@ -247,25 +290,30 @@ fn factor_panel(
         }
     }
     crate::check::note_norm_downdate_recomputes(recomputed);
+    workspace::put_matrix(f);
+    workspace::put(flagged);
     nf
 }
 
-/// Explicit unit-lower-trapezoidal V of panel `(j0, j0)..(m, j0+nf)`,
-/// with rows measured from `j0`.
-fn extract_v_panel(a: &Matrix, j0: usize, nf: usize) -> Matrix {
-    let m = a.nrows();
-    let mut v = Matrix::zeros(m - j0, nf);
-    for l in 0..nf {
-        let row = j0 + l;
-        if row < m {
-            v[(row - j0, l)] = 1.0;
-            let col = a.col(j0 + l);
-            for i in (row + 1)..m {
-                v[(i - j0, l)] = col[i];
-            }
-        }
+/// One dlaqps partial-norm downdate. Returns `true` when the estimate can no
+/// longer be certified (`flag` is set and the caller must end the panel so
+/// the norm is recomputed exactly).
+#[inline]
+fn downdate_one(ajc: f64, vn1c: &mut f64, vn2c: f64, flag: &mut f64, tol3z: f64) -> bool {
+    if *vn1c == 0.0 {
+        return false;
     }
-    v
+    let temp = (ajc.abs() / *vn1c).min(1.0);
+    let temp = ((1.0 + temp) * (1.0 - temp)).max(0.0);
+    let ratio = *vn1c / vn2c;
+    let temp2 = temp * ratio * ratio;
+    if temp2 <= tol3z {
+        *flag = 1.0;
+        true
+    } else {
+        *vn1c *= temp.sqrt();
+        false
+    }
 }
 
 impl QrpFactors {
@@ -302,12 +350,16 @@ impl QrpFactors {
 
     /// The column permutation as a [`Permutation`] (maps factored position →
     /// original column index).
+    // dqmc-lint: allow(hot_alloc) — returns an owned Permutation; not on the
+    // factorization hot path.
     pub fn permutation(&self) -> Permutation {
         Permutation::from_forward(self.jpvt.clone())
     }
 
     /// Reinterprets the packed Householder data as unpivoted [`crate::QrFactors`]
     /// to reuse Q application/formation (the reflectors are identical).
+    // dqmc-lint: allow(hot_alloc) — one copy of the packed factors per Q
+    // application; callers are post-processing, not the panel loop.
     fn as_qr(&self) -> crate::qr::QrFactors {
         crate::qr::QrFactors {
             a: self.a.clone(),

@@ -1,0 +1,259 @@
+//! Runtime-dispatched SIMD micro-kernels for the GEMM register tile.
+//!
+//! The paper's performance argument (Figure 1, Table I) rests on DGEMM
+//! reaching a high fraction of machine peak; MKL gets there with
+//! ISA-specific micro-kernels selected at runtime. This module reproduces
+//! that structure for the blocked GEMM in [`crate::blas3`]:
+//!
+//! - an **AVX2 + FMA** micro-kernel (`x86_64` only) computing an 8 × 6
+//!   register tile — 12 accumulator `ymm` registers, two A loads and six
+//!   broadcast-FMA pairs per k step,
+//! - the portable **scalar** 8 × 4 kernel in `blas3` as the fallback,
+//! - a one-time [`KernelPath`] selection (`is_x86_feature_detected!`) cached
+//!   in a `OnceLock`, overridable with `LINALG_KERNEL=scalar|fma` so tests
+//!   and benches can pin a path.
+//!
+//! Numerics: the FMA kernel fuses each multiply-add (one rounding instead of
+//! two), so its results differ from the scalar path by at most ~1 ulp per
+//! accumulation step. The scalar path is untouched by dispatch and remains
+//! bit-identical to the pre-SIMD implementation — the kernel-equivalence
+//! tests in `tests/kernel_paths.rs` pin both properties.
+
+use std::sync::OnceLock;
+
+/// Which GEMM micro-kernel the blocked path uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar 8×4 register tile (bit-identical to the pre-SIMD
+    /// implementation; always available).
+    Scalar,
+    /// AVX2+FMA 8×6 register tile (`x86_64` with avx2+fma only).
+    Fma,
+}
+
+impl KernelPath {
+    /// Micro-tile width (columns of packed B panels) for this path.
+    pub fn nr(self) -> usize {
+        match self {
+            KernelPath::Scalar => 4,
+            KernelPath::Fma => 6,
+        }
+    }
+
+    /// Stable name used by `LINALG_KERNEL` and the bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Fma => "fma",
+        }
+    }
+
+    /// Whether this path can run on the current host.
+    pub fn available(self) -> bool {
+        match self {
+            KernelPath::Scalar => true,
+            KernelPath::Fma => fma_detected(),
+        }
+    }
+}
+
+/// True when the host supports the AVX2+FMA kernel.
+#[cfg(target_arch = "x86_64")]
+fn fma_detected() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// Non-x86_64 hosts never support the FMA kernel.
+#[cfg(not(target_arch = "x86_64"))]
+fn fma_detected() -> bool {
+    false
+}
+
+static DISPATCH: OnceLock<KernelPath> = OnceLock::new();
+
+/// The process-wide kernel path: `LINALG_KERNEL` override when set (an
+/// unavailable or unrecognised request falls back to scalar with a warning),
+/// otherwise the fastest detected path. Computed once and cached.
+pub fn kernel_path() -> KernelPath {
+    *DISPATCH.get_or_init(select_kernel_path)
+}
+
+/// Uncached selection logic behind [`kernel_path`] (unit-testable).
+fn select_kernel_path() -> KernelPath {
+    match std::env::var("LINALG_KERNEL") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "scalar" => KernelPath::Scalar,
+            "fma" => {
+                if KernelPath::Fma.available() {
+                    KernelPath::Fma
+                } else {
+                    eprintln!(
+                        "linalg: LINALG_KERNEL=fma requested but avx2+fma not \
+                         detected; using scalar"
+                    );
+                    KernelPath::Scalar
+                }
+            }
+            other => {
+                eprintln!("linalg: unknown LINALG_KERNEL value {other:?}; using auto-detection");
+                detect()
+            }
+        },
+        Err(_) => detect(),
+    }
+}
+
+/// Fastest kernel path the host supports (no env override, no cache).
+pub fn detect() -> KernelPath {
+    if KernelPath::Fma.available() {
+        KernelPath::Fma
+    } else {
+        KernelPath::Scalar
+    }
+}
+
+/// AVX2+FMA micro-kernel: an 8×6 register tile over packed panels.
+///
+/// `apanel` holds `kc` steps of 8 A values (k-major), `bpanel` holds `kc`
+/// steps of 6 B values. `acc` points to a zero-initialised column-major
+/// 8×6 tile (`acc[j*8 + i]`), which receives
+/// `acc[j][i] = Σ_p apanel[p*8+i] · bpanel[p*6+j]`.
+///
+/// Register budget: 12 accumulators + 2 A vectors + 1 B broadcast = 15 of
+/// the 16 `ymm` registers — the classic BLIS-style occupancy.
+///
+/// # Safety
+///
+/// Caller must ensure the host supports AVX2 and FMA (checked by
+/// [`KernelPath::available`]), `apanel.len() ≥ kc*8`, `bpanel.len() ≥ kc*6`,
+/// and `acc` is valid for 48 writes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn micro_kernel_fma_8x6(
+    kc: usize,
+    apanel: &[f64],
+    bpanel: &[f64],
+    acc: *mut f64,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(apanel.len() >= kc * 8);
+    debug_assert!(bpanel.len() >= kc * 6);
+
+    let mut c00 = _mm256_setzero_pd();
+    let mut c01 = _mm256_setzero_pd();
+    let mut c10 = _mm256_setzero_pd();
+    let mut c11 = _mm256_setzero_pd();
+    let mut c20 = _mm256_setzero_pd();
+    let mut c21 = _mm256_setzero_pd();
+    let mut c30 = _mm256_setzero_pd();
+    let mut c31 = _mm256_setzero_pd();
+    let mut c40 = _mm256_setzero_pd();
+    let mut c41 = _mm256_setzero_pd();
+    let mut c50 = _mm256_setzero_pd();
+    let mut c51 = _mm256_setzero_pd();
+
+    let mut ap = apanel.as_ptr();
+    let mut bp = bpanel.as_ptr();
+    for _ in 0..kc {
+        let a0 = _mm256_loadu_pd(ap);
+        let a1 = _mm256_loadu_pd(ap.add(4));
+
+        let b0 = _mm256_broadcast_sd(&*bp);
+        c00 = _mm256_fmadd_pd(a0, b0, c00);
+        c01 = _mm256_fmadd_pd(a1, b0, c01);
+        let b1 = _mm256_broadcast_sd(&*bp.add(1));
+        c10 = _mm256_fmadd_pd(a0, b1, c10);
+        c11 = _mm256_fmadd_pd(a1, b1, c11);
+        let b2 = _mm256_broadcast_sd(&*bp.add(2));
+        c20 = _mm256_fmadd_pd(a0, b2, c20);
+        c21 = _mm256_fmadd_pd(a1, b2, c21);
+        let b3 = _mm256_broadcast_sd(&*bp.add(3));
+        c30 = _mm256_fmadd_pd(a0, b3, c30);
+        c31 = _mm256_fmadd_pd(a1, b3, c31);
+        let b4 = _mm256_broadcast_sd(&*bp.add(4));
+        c40 = _mm256_fmadd_pd(a0, b4, c40);
+        c41 = _mm256_fmadd_pd(a1, b4, c41);
+        let b5 = _mm256_broadcast_sd(&*bp.add(5));
+        c50 = _mm256_fmadd_pd(a0, b5, c50);
+        c51 = _mm256_fmadd_pd(a1, b5, c51);
+
+        ap = ap.add(8);
+        bp = bp.add(6);
+    }
+
+    _mm256_storeu_pd(acc, c00);
+    _mm256_storeu_pd(acc.add(4), c01);
+    _mm256_storeu_pd(acc.add(8), c10);
+    _mm256_storeu_pd(acc.add(12), c11);
+    _mm256_storeu_pd(acc.add(16), c20);
+    _mm256_storeu_pd(acc.add(20), c21);
+    _mm256_storeu_pd(acc.add(24), c30);
+    _mm256_storeu_pd(acc.add(28), c31);
+    _mm256_storeu_pd(acc.add(32), c40);
+    _mm256_storeu_pd(acc.add(36), c41);
+    _mm256_storeu_pd(acc.add(40), c50);
+    _mm256_storeu_pd(acc.add(44), c51);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(KernelPath::Scalar.available());
+    }
+
+    #[test]
+    fn nr_matches_paths() {
+        assert_eq!(KernelPath::Scalar.nr(), 4);
+        assert_eq!(KernelPath::Fma.nr(), 6);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(KernelPath::Scalar.name(), "scalar");
+        assert_eq!(KernelPath::Fma.name(), "fma");
+    }
+
+    #[test]
+    fn detect_returns_available_path() {
+        assert!(detect().available());
+    }
+
+    #[test]
+    fn kernel_path_is_stable() {
+        // Cached: two reads agree.
+        assert_eq!(kernel_path(), kernel_path());
+        assert!(kernel_path().available());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fma_tile_matches_scalar_reference() {
+        if !KernelPath::Fma.available() {
+            eprintln!("skipping: host lacks avx2+fma");
+            return;
+        }
+        let kc = 37;
+        let apanel: Vec<f64> = (0..kc * 8).map(|i| (i as f64 * 0.37).sin()).collect();
+        let bpanel: Vec<f64> = (0..kc * 6).map(|i| (i as f64 * 0.61).cos()).collect();
+        let mut acc = [0.0f64; 48];
+        // SAFETY: availability checked above; panel lengths are kc*8 and
+        // kc*6; acc holds 48 elements.
+        unsafe { micro_kernel_fma_8x6(kc, &apanel, &bpanel, acc.as_mut_ptr()) };
+        for j in 0..6 {
+            for i in 0..8 {
+                let mut s = 0.0;
+                for p in 0..kc {
+                    s += apanel[p * 8 + i] * bpanel[p * 6 + j];
+                }
+                let got = acc[j * 8 + i];
+                assert!(
+                    (got - s).abs() <= 1e-14 * s.abs().max(1.0),
+                    "({i},{j}): {got} vs {s}"
+                );
+            }
+        }
+    }
+}
