@@ -19,8 +19,17 @@
 //!
 //! See [`InputFile::parse`] for the full key list.
 
-use dqmc::{ModelParams, SimParams, StratAlgo};
+use dqmc::{ModelParams, RecoveryPolicy, SimParams, StratAlgo};
 use lattice::Lattice;
+
+/// Which compute backend runs the sweep's cluster/wrap kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Host BLAS path (infallible).
+    Host,
+    /// The simulated accelerator from the `gpusim` crate.
+    Gpusim,
+}
 
 /// A parsed input file.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,6 +80,18 @@ pub struct InputFile {
     pub acceptance: dqmc::Acceptance,
     /// Bin size for error analysis.
     pub bin_size: usize,
+    /// Compute backend for cluster/wrap kernels.
+    pub backend: Backend,
+    /// Checkpoint file path (None = no checkpointing).
+    pub checkpoint: Option<String>,
+    /// Sweeps between checkpoint saves.
+    pub checkpoint_every: usize,
+    /// Fault recovery (retry / cluster shrink / host fallback) on or off.
+    pub recovery: bool,
+    /// Retries per fault incident before escalating.
+    pub max_retries: u32,
+    /// Smallest cluster size the recovery shrink may reach.
+    pub min_cluster: usize,
 }
 
 impl Default for InputFile {
@@ -99,6 +120,12 @@ impl Default for InputFile {
             measure_per_cluster: false,
             acceptance: dqmc::Acceptance::Metropolis,
             bin_size: 10,
+            backend: Backend::Host,
+            checkpoint: None,
+            checkpoint_every: 50,
+            recovery: true,
+            max_retries: 2,
+            min_cluster: 1,
         }
     }
 }
@@ -126,7 +153,12 @@ impl InputFile {
     /// Recognised keys (case-insensitive): `lx ly layers periodic_z t|tx ty tz u
     /// mu_tilde dtau slices beta warmup sweeps seed cluster_size
     /// delay_block algorithm recycle checkerboard unequal_time
-    /// measure_per_cluster bin_size`.
+    /// measure_per_cluster bin_size backend checkpoint checkpoint_every
+    /// recovery max_retries min_cluster`.
+    /// `backend` accepts `host` or `gpusim`; `checkpoint` is a file path
+    /// (saved every `checkpoint_every` sweeps and resumed from if present);
+    /// `recovery` toggles the retry / cluster-shrink / host-fallback ladder,
+    /// tuned by `max_retries` and `min_cluster`.
     /// `beta` may be given instead of `slices` (rounded to `beta/dtau`,
     /// applied after all keys are read). Booleans accept
     /// `true/false/yes/no/1/0`; `algorithm` accepts `qrp` or `prepivot`.
@@ -215,6 +247,22 @@ impl InputFile {
                     }
                 }
                 "bin_size" => cfg.bin_size = parse_usize(value)?,
+                "backend" => {
+                    cfg.backend = match value.to_ascii_lowercase().as_str() {
+                        "host" | "cpu" => Backend::Host,
+                        "gpusim" | "gpu" | "device" => Backend::Gpusim,
+                        other => {
+                            return Err(err(format!(
+                                "unknown backend '{other}' (use host or gpusim)"
+                            )))
+                        }
+                    }
+                }
+                "checkpoint" => cfg.checkpoint = Some(value.to_string()),
+                "checkpoint_every" => cfg.checkpoint_every = parse_usize(value)?,
+                "recovery" => cfg.recovery = parse_bool(value)?,
+                "max_retries" => cfg.max_retries = parse_usize(value)? as u32,
+                "min_cluster" => cfg.min_cluster = parse_usize(value)?,
                 other => {
                     return Err(err(format!("unknown key '{other}'")));
                 }
@@ -256,6 +304,12 @@ impl InputFile {
         if self.cluster_size == 0 || self.delay_block == 0 || self.bin_size == 0 {
             return bad("cluster_size, delay_block, bin_size must be positive".into());
         }
+        if self.checkpoint_every == 0 {
+            return bad("checkpoint_every must be positive".into());
+        }
+        if self.min_cluster == 0 {
+            return bad("min_cluster must be positive".into());
+        }
         if self.layers > 1 && self.ty.map(|ty| ty != self.t).unwrap_or(false) {
             return bad("anisotropic in-plane hopping requires layers = 1".into());
         }
@@ -285,6 +339,15 @@ impl InputFile {
             self.dtau,
             self.slices,
         );
+        let recovery = if self.recovery {
+            RecoveryPolicy {
+                max_retries: self.max_retries,
+                min_cluster: self.min_cluster,
+                ..RecoveryPolicy::default()
+            }
+        } else {
+            RecoveryPolicy::disabled()
+        };
         SimParams::new(model)
             .with_sweeps(self.warmup, self.sweeps)
             .with_seed(self.seed)
@@ -297,6 +360,7 @@ impl InputFile {
             .with_checkerboard(self.checkerboard)
             .with_measure_per_cluster(self.measure_per_cluster)
             .with_acceptance(self.acceptance)
+            .with_recovery(recovery)
     }
 }
 
@@ -399,6 +463,35 @@ mod tests {
         assert!(InputFile::parse("lx = 0\n").is_err());
         assert!(InputFile::parse("dtau = -1\n").is_err());
         assert!(InputFile::parse("u = -2\n").is_err());
+    }
+
+    #[test]
+    fn backend_and_checkpoint_keys() {
+        let cfg =
+            InputFile::parse("backend = gpusim\ncheckpoint = run.ckpt\ncheckpoint_every = 25\n")
+                .unwrap();
+        assert_eq!(cfg.backend, Backend::Gpusim);
+        assert_eq!(cfg.checkpoint.as_deref(), Some("run.ckpt"));
+        assert_eq!(cfg.checkpoint_every, 25);
+        assert_eq!(
+            InputFile::parse("backend = cpu\n").unwrap().backend,
+            Backend::Host
+        );
+        assert!(InputFile::parse("backend = fpga\n").is_err());
+        assert!(InputFile::parse("checkpoint_every = 0\n").is_err());
+    }
+
+    #[test]
+    fn recovery_keys_shape_the_policy() {
+        let cfg = InputFile::parse("max_retries = 5\nmin_cluster = 2\n").unwrap();
+        let p = cfg.sim_params();
+        assert!(p.recovery.enabled);
+        assert_eq!(p.recovery.max_retries, 5);
+        assert_eq!(p.recovery.min_cluster, 2);
+
+        let off = InputFile::parse("recovery = no\n").unwrap().sim_params();
+        assert!(!off.recovery.enabled);
+        assert!(InputFile::parse("min_cluster = 0\n").is_err());
     }
 
     #[test]

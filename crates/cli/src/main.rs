@@ -5,8 +5,9 @@
 //! ```
 
 use dqmc::Simulation;
-use dqmc_cli::InputFile;
+use dqmc_cli::{Backend, InputFile};
 use std::io::Read;
+use std::path::Path;
 use util::table::{fmt_f, Table};
 
 fn main() {
@@ -16,6 +17,8 @@ fn main() {
         eprintln!("input keys: lx ly layers periodic_z t tz u mu_tilde dtau");
         eprintln!("  slices|beta warmup sweeps seed cluster_size delay_block");
         eprintln!("  algorithm(qrp|prepivot) recycle checkerboard unequal_time bin_size");
+        eprintln!("  backend(host|gpusim) checkpoint checkpoint_every");
+        eprintln!("  recovery max_retries min_cluster");
         std::process::exit(if args.first().map(String::as_str) == Some("--help") {
             0
         } else {
@@ -64,8 +67,38 @@ fn main() {
         cfg.checkerboard
     );
 
-    let mut sim = Simulation::new(cfg.sim_params());
-    sim.run();
+    let params = cfg.sim_params();
+    let ckpt = cfg.checkpoint.clone();
+    let mut sim = match ckpt.as_deref().map(Path::new) {
+        Some(path) if path.exists() => {
+            println!("# resuming from checkpoint {}", path.display());
+            Simulation::resume(path, &params).unwrap_or_else(|e| {
+                eprintln!("cannot resume from {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+        _ => Simulation::new(params),
+    };
+    if cfg.backend == Backend::Gpusim {
+        let dev = gpusim::Device::new(gpusim::DeviceSpec::tesla_c2050());
+        sim = sim.with_backend(Box::new(gpusim::DeviceBackend::new(dev)));
+    }
+
+    match ckpt.as_deref().map(Path::new) {
+        Some(path) => {
+            sim.run_with_checkpoints(path, cfg.checkpoint_every)
+                .unwrap_or_else(|e| {
+                    eprintln!("checkpointing to {} failed: {e}", path.display());
+                    std::process::exit(2);
+                });
+        }
+        None => sim.run(),
+    }
+
+    let recovery = sim.recovery_log();
+    if recovery.total() > 0 {
+        println!("# recovery: {}", recovery.summary());
+    }
 
     let obs = sim.observables();
     let (sign, sign_err) = obs.avg_sign();

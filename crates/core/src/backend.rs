@@ -1,0 +1,167 @@
+//! Compute-backend abstraction for cluster products and wrapping.
+//!
+//! The sweep's two heavy kernels — the cluster product `B_{hi−1}⋯B_{lo}` and
+//! the wrap `G ← B_l G B_l⁻¹` — can run either on the host BLAS path or on
+//! the simulated accelerator in the `gpusim` crate. This trait inverts the
+//! dependency: `gpusim` already depends on this crate, so the sweep cannot
+//! name the device directly; instead the device implements [`ComputeBackend`]
+//! and is boxed into [`crate::sweep::DqmcCore`].
+//!
+//! Backends are *fallible*: a device may drop a transfer, fail a kernel
+//! launch or exhaust its arena. Faults surface as [`BackendFault`] values —
+//! never panics — so the recovery policy in `sweep` can retry, shrink the
+//! cluster size, or fall back to [`HostBackend`].
+
+use crate::bmat::BMatrixFactory;
+use crate::hs::HsField;
+use crate::hubbard::Spin;
+use linalg::Matrix;
+use std::fmt;
+
+/// Broad classification of a backend failure, driving the recovery policy's
+/// escalation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The device itself failed (launch failure, arena exhaustion): the
+    /// computation never completed. Retry, then abandon the device.
+    Device,
+    /// The computation completed but produced tainted (non-finite) or
+    /// implausible data: retry, then stabilize harder (shrink clusters).
+    Taint,
+}
+
+/// A recoverable backend failure.
+#[derive(Clone, Debug)]
+pub struct BackendFault {
+    /// What class of failure this is.
+    pub kind: FaultKind,
+    /// Human-readable description (kernel name, indices, offending value).
+    pub detail: String,
+}
+
+impl BackendFault {
+    /// A device-class fault.
+    pub fn device(detail: impl Into<String>) -> Self {
+        BackendFault {
+            kind: FaultKind::Device,
+            detail: detail.into(),
+        }
+    }
+
+    /// A taint-class (non-finite data) fault.
+    pub fn taint(detail: impl Into<String>) -> Self {
+        BackendFault {
+            kind: FaultKind::Taint,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for BackendFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Device => write!(f, "device fault: {}", self.detail),
+            FaultKind::Taint => write!(f, "tainted data: {}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for BackendFault {}
+
+/// A provider of the sweep's two heavy kernels.
+pub trait ComputeBackend: fmt::Debug + Send {
+    /// Short name for reports ("host", "sim-tesla-c2050", …).
+    fn name(&self) -> &str;
+
+    /// Computes the cluster product `B_{hi−1} ⋯ B_{lo}` for `spin`.
+    fn cluster(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        lo: usize,
+        hi: usize,
+        spin: Spin,
+    ) -> Result<Matrix, BackendFault>;
+
+    /// Wraps `out ← B_l · g · B_l⁻¹` for `spin`.
+    #[allow(clippy::too_many_arguments)]
+    fn wrap_into(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+        g: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), BackendFault>;
+
+    /// Called by the recovery layer after any fault, before a retry. Device
+    /// backends drop resident operands here so the retry re-uploads clean
+    /// copies (healing a corrupted transfer); the default is a no-op.
+    fn notify_fault(&mut self) {}
+}
+
+/// The infallible host path: delegates straight to [`BMatrixFactory`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostBackend;
+
+impl ComputeBackend for HostBackend {
+    fn name(&self) -> &str {
+        "host"
+    }
+
+    fn cluster(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        lo: usize,
+        hi: usize,
+        spin: Spin,
+    ) -> Result<Matrix, BackendFault> {
+        Ok(fac.cluster(h, lo, hi, spin))
+    }
+
+    fn wrap_into(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+        g: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), BackendFault> {
+        fac.wrap_into(h, l, spin, g, out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubbard::ModelParams;
+    use lattice::Lattice;
+
+    #[test]
+    fn host_backend_matches_factory() {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 8);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(11);
+        let h = HsField::random(4, 8, &mut rng);
+        let mut be = HostBackend;
+        let got = be.cluster(&fac, &h, 0, 4, Spin::Up).unwrap();
+        assert_eq!(got, fac.cluster(&h, 0, 4, Spin::Up));
+
+        let g = crate::greens::greens_naive(&fac, &h, Spin::Down).g;
+        let mut out = Matrix::zeros(4, 4);
+        be.wrap_into(&fac, &h, 0, Spin::Down, &g, &mut out).unwrap();
+        assert_eq!(out, crate::greens::wrap(&fac, &h, 0, Spin::Down, &g));
+    }
+
+    #[test]
+    fn fault_display_names_kind() {
+        let d = BackendFault::device("launch 3 failed");
+        let t = BackendFault::taint("NaN at 7");
+        assert!(d.to_string().contains("device fault"));
+        assert!(t.to_string().contains("tainted"));
+    }
+}

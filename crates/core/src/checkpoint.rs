@@ -1,0 +1,492 @@
+//! Versioned, checksummed checkpointing of the full DQMC state.
+//!
+//! A checkpoint captures everything needed to resume a run **bit-identically**:
+//! the HS field, the RNG position, both Green's functions, the incremental
+//! sign, the observable accumulators (equal-time and, when enabled,
+//! time-dependent), the sweep counters, and the runtime recovery state
+//! (adaptively shrunk cluster size, host-fallback flag, recovery-event
+//! count). The cluster cache is *not* saved — its entries are pure functions
+//! of `(params, h)` and rebuild on demand to the same bits.
+//!
+//! # File format (`DQCP` version 1)
+//!
+//! ```text
+//! magic   [u8; 4] = b"DQCP"
+//! version u32     = 1
+//! length  u64     = payload byte count
+//! payload [u8; length]
+//! crc32   u32     over payload only
+//! ```
+//!
+//! The CRC deliberately excludes the header: tampering with the version
+//! field reports [`CodecError::BadVersion`], not a confusing checksum
+//! failure. The length field must account for the file exactly
+//! (`file_len == length + 20`), so truncation and trailing garbage are both
+//! detected before any payload decoding starts.
+//!
+//! Writes are atomic: the bytes go to a sibling `<path>.tmp`, are fsynced,
+//! and renamed over the destination — a kill mid-write can never leave a
+//! half-written checkpoint at the published path.
+
+use crate::hs::HsField;
+use crate::hubbard::{Acceptance, SimParams};
+use crate::measure::Observables;
+use crate::sim::Simulation;
+use crate::stratify::StratAlgo;
+use crate::sweep::DqmcCore;
+use crate::tdm::TimeDependentObs;
+use linalg::Matrix;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use util::codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
+use util::Rng;
+use util::RunningStats;
+
+/// Leading magic bytes of every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"DQCP";
+
+/// Format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// Header (magic + version + length) plus trailing CRC, in bytes.
+const FRAME_OVERHEAD: usize = 4 + 4 + 8 + 4;
+
+/// Why a checkpoint save or load failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The filesystem said no.
+    Io(String),
+    /// The bytes were malformed (truncated, corrupt, wrong version…).
+    Codec(CodecError),
+    /// The checkpoint was written by a run with different parameters.
+    ParamsMismatch {
+        /// Fingerprint of the parameters passed to [`load`].
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Codec(e) => write!(f, "checkpoint decode error: {e}"),
+            CheckpointError::ParamsMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run: fingerprint {found:#018x} \
+                 does not match the configured parameters ({expected:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Writes a matrix as `u32` dims followed by its column-major `f64`s.
+pub(crate) fn write_matrix(w: &mut ByteWriter, m: &Matrix) {
+    w.put_u32(m.nrows() as u32);
+    w.put_u32(m.ncols() as u32);
+    for &v in m.as_slice() {
+        w.put_f64(v);
+    }
+}
+
+/// Reads a matrix written by [`write_matrix`]. The element count is
+/// validated against the remaining bytes *before* allocating, so corrupt
+/// dimensions cannot trigger an enormous allocation or a panic.
+pub(crate) fn read_matrix(r: &mut ByteReader<'_>) -> Result<Matrix, CodecError> {
+    let nrows = r.get_u32()? as usize;
+    let ncols = r.get_u32()? as usize;
+    let len = nrows
+        .checked_mul(ncols)
+        .ok_or_else(|| CodecError::Invalid("matrix dimensions overflow".into()))?;
+    if len.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+        return Err(CodecError::Truncated {
+            needed: len.saturating_mul(8),
+            remaining: r.remaining(),
+        });
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(r.get_f64()?);
+    }
+    Ok(Matrix::from_col_major(nrows, ncols, data))
+}
+
+/// FNV-1a digest over everything that defines the Markov chain: the model
+/// (including the full kinetic matrix, so lattice geometry and hopping
+/// amplitudes are covered), every algorithmic knob, and the seed. The
+/// recovery *policy* is deliberately excluded — it never consumes the
+/// Metropolis RNG stream, so resuming a checkpoint under a different policy
+/// is sound.
+pub fn params_fingerprint(p: &SimParams) -> u64 {
+    let mut f = Fnv1a::new();
+    f.update(b"dqmc-params-v1");
+    f.update_u64(p.model.nsites() as u64);
+    f.update_u64(p.model.slices as u64);
+    f.update_f64(p.model.u);
+    f.update_f64(p.model.mu_tilde);
+    f.update_f64(p.model.dtau);
+    let kin = p.model.lattice.kinetic_matrix(0.0);
+    f.update_u64(kin.nrows() as u64);
+    for &v in kin.as_slice() {
+        f.update_f64(v);
+    }
+    f.update_u64(p.warmup_sweeps as u64);
+    f.update_u64(p.measure_sweeps as u64);
+    f.update_u64(p.cluster_size as u64);
+    f.update_u64(p.delay_block as u64);
+    f.update_u64(p.seed);
+    f.update_u64(match p.algo {
+        StratAlgo::Qrp => 0,
+        StratAlgo::PrePivot => 1,
+    });
+    f.update_u64(p.recycle as u64);
+    f.update_u64(p.bin_size as u64);
+    f.update_u64(p.measure_unequal_time as u64);
+    f.update_u64(p.checkerboard as u64);
+    f.update_u64(p.measure_per_cluster as u64);
+    f.update_u64(match p.acceptance {
+        Acceptance::Metropolis => 0,
+        Acceptance::HeatBath => 1,
+    });
+    f.finish()
+}
+
+/// Serializes the complete simulation state (payload only, no framing).
+pub(crate) fn encode_payload(sim: &Simulation) -> Vec<u8> {
+    let core = &sim.core;
+    let mut w = ByteWriter::new();
+    w.put_u64(params_fingerprint(&core.params));
+    w.put_u64(sim.warmup_done as u64);
+    w.put_u64(sim.measure_done as u64);
+    w.put_u64(core.sweeps_run);
+    w.put_u64(core.cache.cluster_size() as u64);
+    w.put_u8(core.use_host_fallback as u8);
+    w.put_u64(core.recovery.total());
+    w.put_f64(core.sign);
+    w.put_u64(core.accepted);
+    w.put_u64(core.proposed);
+    core.h.encode(&mut w);
+    core.rng.encode(&mut w);
+    write_matrix(&mut w, &core.g[0]);
+    write_matrix(&mut w, &core.g[1]);
+    core.wrap_diff.encode(&mut w);
+    sim.obs.encode(&mut w);
+    match &sim.tdm {
+        Some(tdm) => {
+            w.put_u8(1);
+            tdm.encode(&mut w);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
+}
+
+/// Frames a payload into the on-disk byte layout.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Validates framing and returns the payload slice.
+pub(crate) fn unframe(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(CodecError::Truncated {
+            needed: FRAME_OVERHEAD,
+            remaining: bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(CodecError::BadVersion {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[8..16]);
+    let payload_len = u64::from_le_bytes(len8) as usize;
+    if payload_len != bytes.len() - FRAME_OVERHEAD {
+        return Err(CodecError::Truncated {
+            needed: payload_len.saturating_add(FRAME_OVERHEAD),
+            remaining: bytes.len(),
+        });
+    }
+    let payload = &bytes[16..16 + payload_len];
+    let mut crc4 = [0u8; 4];
+    crc4.copy_from_slice(&bytes[16 + payload_len..]);
+    let stored = u32::from_le_bytes(crc4);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Rebuilds a [`Simulation`] from a payload, validating it against `params`.
+pub(crate) fn decode_payload(
+    payload: &[u8],
+    params: &SimParams,
+) -> Result<Simulation, CheckpointError> {
+    let mut r = ByteReader::new(payload);
+    let found = r.get_u64()?;
+    let expected = params_fingerprint(params);
+    if found != expected {
+        return Err(CheckpointError::ParamsMismatch { expected, found });
+    }
+    let warmup_done = r.get_u64()? as usize;
+    let measure_done = r.get_u64()? as usize;
+    let sweeps_run = r.get_u64()?;
+    let cluster_size = r.get_u64()? as usize;
+    if cluster_size < 1 || cluster_size > params.model.slices {
+        return Err(CodecError::Invalid(format!(
+            "runtime cluster size {cluster_size} outside 1..={}",
+            params.model.slices
+        ))
+        .into());
+    }
+    let use_host_fallback = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        v => return Err(CodecError::Invalid(format!("host-fallback flag is {v}")).into()),
+    };
+    let recovery_prior = r.get_u64()?;
+    let sign = r.get_f64()?;
+    let accepted = r.get_u64()?;
+    let proposed = r.get_u64()?;
+    let h = HsField::decode(&mut r)?;
+    if h.nsites() != params.model.nsites() || h.slices() != params.model.slices {
+        return Err(CodecError::Invalid(format!(
+            "HS field is {}x{}, model is {}x{}",
+            h.slices(),
+            h.nsites(),
+            params.model.slices,
+            params.model.nsites()
+        ))
+        .into());
+    }
+    let rng = Rng::decode(&mut r)?;
+    let g_up = read_matrix(&mut r)?;
+    let g_dn = read_matrix(&mut r)?;
+    let n = params.model.nsites();
+    for (name, g) in [("up", &g_up), ("down", &g_dn)] {
+        if g.nrows() != n || g.ncols() != n {
+            return Err(CodecError::Invalid(format!(
+                "{name} Green's function is {}x{}, expected {n}x{n}",
+                g.nrows(),
+                g.ncols()
+            ))
+            .into());
+        }
+    }
+    let wrap_diff = RunningStats::decode(&mut r)?;
+    let obs = Observables::decode(&params.model, &mut r)?;
+    let tdm = match r.get_u8()? {
+        0 => None,
+        1 => Some(TimeDependentObs::decode(&params.model.lattice, &mut r)?),
+        v => return Err(CodecError::Invalid(format!("TDM presence flag is {v}")).into()),
+    };
+    if params.measure_unequal_time != tdm.is_some() {
+        return Err(CodecError::Invalid(
+            "time-dependent measurement flag disagrees with checkpoint contents".into(),
+        )
+        .into());
+    }
+    if !r.is_exhausted() {
+        return Err(
+            CodecError::Invalid(format!("{} trailing bytes after payload", r.remaining())).into(),
+        );
+    }
+    let core = DqmcCore::restore(
+        params.clone(),
+        h,
+        rng,
+        [g_up, g_dn],
+        sign,
+        cluster_size,
+        use_host_fallback,
+        accepted,
+        proposed,
+        sweeps_run,
+        wrap_diff,
+        recovery_prior,
+    );
+    Ok(Simulation {
+        core,
+        obs,
+        tdm,
+        warmup_done,
+        measure_done,
+    })
+}
+
+/// Atomically writes a checkpoint of `sim` to `path` (tmp file + fsync +
+/// rename; a kill at any point leaves either the old checkpoint or the new
+/// one, never a torn file).
+pub fn save(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
+    let bytes = frame(&encode_payload(sim));
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut t = name.to_os_string();
+            t.push(".tmp");
+            path.with_file_name(t)
+        }
+        None => return Err(CheckpointError::Io(format!("bad path {}", path.display()))),
+    };
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from `path`, validating framing, checksum and the
+/// parameter fingerprint against `params`, and rebuilds the simulation.
+pub fn load(path: &Path, params: &SimParams) -> Result<Simulation, CheckpointError> {
+    let bytes = fs::read(path)?;
+    let payload = unframe(&bytes)?;
+    decode_payload(payload, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hubbard::ModelParams;
+    use lattice::Lattice;
+
+    fn params(seed: u64) -> SimParams {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 8);
+        SimParams::new(model)
+            .with_sweeps(4, 8)
+            .with_seed(seed)
+            .with_cluster_size(4)
+            .with_bin_size(2)
+    }
+
+    #[test]
+    fn matrix_codec_round_trip_and_bounds() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64 - 0.5);
+        let mut w = ByteWriter::new();
+        write_matrix(&mut w, &m);
+        let bytes = w.into_bytes();
+        let got = read_matrix(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(got.max_abs_diff(&m), 0.0);
+        // Corrupt dimensions promise more data than exists: clean error,
+        // no giant allocation.
+        let mut bad = bytes.clone();
+        bad[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_matrix(&mut ByteReader::new(&bad)).is_err());
+        // Every truncation errors cleanly.
+        for cut in 0..bytes.len() {
+            assert!(read_matrix(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"hello dqmc".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn unframe_rejects_tampering() {
+        let framed = frame(b"payload");
+        // Bad magic.
+        let mut bad = framed.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(unframe(&bad), Err(CodecError::BadMagic)));
+        // Version bump is reported as a version problem, not a checksum one.
+        let mut bad = framed.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            unframe(&bad),
+            Err(CodecError::BadVersion { found: 99, .. })
+        ));
+        // Any payload byte flip fails the CRC.
+        let mut bad = framed.clone();
+        bad[17] ^= 0x01;
+        assert!(matches!(unframe(&bad), Err(CodecError::BadChecksum { .. })));
+        // Truncations never panic.
+        for cut in 0..framed.len() {
+            assert!(unframe(&framed[..cut]).is_err());
+        }
+        // Trailing garbage is rejected by the length check.
+        let mut long = framed.clone();
+        long.push(0);
+        assert!(unframe(&long).is_err());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_knob() {
+        let base = params_fingerprint(&params(1));
+        assert_ne!(base, params_fingerprint(&params(2)), "seed");
+        assert_ne!(
+            base,
+            params_fingerprint(&params(1).with_cluster_size(2)),
+            "cluster size"
+        );
+        assert_ne!(
+            base,
+            params_fingerprint(&params(1).with_algo(StratAlgo::Qrp)),
+            "algorithm"
+        );
+        assert_ne!(
+            base,
+            params_fingerprint(&params(1).with_acceptance(Acceptance::HeatBath)),
+            "acceptance rule"
+        );
+        // Same params twice: stable.
+        assert_eq!(base, params_fingerprint(&params(1)));
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut sim = Simulation::new(params(7));
+        sim.warmup(2);
+        let dir = std::env::temp_dir().join(format!("dqcp-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.dqcp");
+        save(&sim, &path).unwrap();
+        let restored = load(&path, &params(7)).unwrap();
+        assert_eq!(restored.core.h, sim.core.h);
+        assert_eq!(restored.core.rng.state(), sim.core.rng.state());
+        assert_eq!(restored.core.g[0].max_abs_diff(&sim.core.g[0]), 0.0);
+        assert_eq!(restored.core.g[1].max_abs_diff(&sim.core.g[1]), 0.0);
+        assert_eq!(restored.core.sign, sim.core.sign);
+        assert_eq!(restored.core.accepted, sim.core.accepted);
+        assert_eq!(restored.sweeps_done(), sim.sweeps_done());
+        // Wrong params: clean mismatch, not garbage state.
+        assert!(matches!(
+            load(&path, &params(8)),
+            Err(CheckpointError::ParamsMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -68,6 +68,39 @@ impl HsField {
     pub fn mean(&self) -> f64 {
         self.h.iter().map(|&v| v as i64).sum::<i64>() as f64 / self.h.len() as f64
     }
+
+    /// Serializes the field (dims then one byte per Ising variable) for
+    /// checkpointing.
+    pub fn encode(&self, w: &mut util::codec::ByteWriter) {
+        w.put_u32(self.nsites as u32);
+        w.put_u32(self.slices as u32);
+        for &v in &self.h {
+            w.put_u8(v as u8);
+        }
+    }
+
+    /// Deserializes a field written by [`HsField::encode`]. Any byte that is
+    /// not ±1 decodes to [`util::codec::CodecError::Invalid`] — a corrupt
+    /// field must never enter a simulation.
+    pub fn decode(r: &mut util::codec::ByteReader<'_>) -> Result<Self, util::codec::CodecError> {
+        let nsites = r.get_u32()? as usize;
+        let slices = r.get_u32()? as usize;
+        let len = nsites.checked_mul(slices).ok_or_else(|| {
+            util::codec::CodecError::Invalid("HS field dimensions overflow".into())
+        })?;
+        let bytes = r.get_bytes(len)?;
+        let mut h = Vec::with_capacity(len);
+        for (i, &b) in bytes.iter().enumerate() {
+            let v = b as i8;
+            if v != 1 && v != -1 {
+                return Err(util::codec::CodecError::Invalid(format!(
+                    "HS field byte {i} is {v}, expected ±1"
+                )));
+            }
+            h.push(v);
+        }
+        Ok(HsField { nsites, slices, h })
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +139,23 @@ mod tests {
         let mut rng2 = util::Rng::new(3);
         let f2 = HsField::random(50, 40, &mut rng2);
         assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn codec_round_trip_and_validation() {
+        let mut rng = util::Rng::new(9);
+        let f = HsField::random(6, 5, &mut rng);
+        let mut w = util::codec::ByteWriter::new();
+        f.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = HsField::decode(&mut util::codec::ByteReader::new(&bytes)).unwrap();
+        assert_eq!(got, f);
+        // A non-±1 byte is rejected cleanly.
+        let mut bad = bytes.clone();
+        bad[8] = 3;
+        assert!(HsField::decode(&mut util::codec::ByteReader::new(&bad)).is_err());
+        // Truncation is a clean error too.
+        assert!(HsField::decode(&mut util::codec::ByteReader::new(&bytes[..10])).is_err());
     }
 
     #[test]

@@ -159,6 +159,11 @@ pub struct SimParams {
     pub measure_per_cluster: bool,
     /// Flip acceptance rule.
     pub acceptance: Acceptance,
+    /// Fault-recovery policy (retry / cluster-shrink / host-fallback); see
+    /// [`crate::recovery`]. Enabled by default — the policy never consumes
+    /// the Metropolis RNG stream, so a fault-free run is bit-identical
+    /// whatever the policy says.
+    pub recovery: crate::recovery::RecoveryPolicy,
 }
 
 impl SimParams {
@@ -180,6 +185,7 @@ impl SimParams {
             checkerboard: false,
             measure_per_cluster: false,
             acceptance: Acceptance::Metropolis,
+            recovery: crate::recovery::RecoveryPolicy::default(),
         }
     }
 
@@ -250,6 +256,12 @@ impl SimParams {
     /// Selects the flip acceptance rule.
     pub fn with_acceptance(mut self, a: Acceptance) -> Self {
         self.acceptance = a;
+        self
+    }
+
+    /// Sets the fault-recovery policy.
+    pub fn with_recovery(mut self, policy: crate::recovery::RecoveryPolicy) -> Self {
+        self.recovery = policy;
         self
     }
 

@@ -16,7 +16,11 @@
 //! - equal-time physical measurements — momentum distribution ⟨n_k⟩,
 //!   spin–spin correlation C_zz(r), densities, energies ([`measure`]),
 //! - a per-phase profiler matching the paper's Table I ([`profile`]),
-//! - a top-level [`Simulation`] driver ([`sim`]).
+//! - a top-level [`Simulation`] driver ([`sim`]),
+//! - a robustness subsystem: pluggable fallible compute backends
+//!   ([`backend`]), a retry / cluster-shrink / host-fallback recovery
+//!   ladder ([`recovery`]), and versioned checksummed checkpointing with
+//!   bit-identical resume ([`checkpoint`]).
 //!
 //! # Quick start
 //!
@@ -33,7 +37,9 @@
 //! assert!((rho - 1.0).abs() < 0.05); // half filling at μ̃ = 0
 //! ```
 
+pub mod backend;
 pub mod bmat;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod ensemble;
 pub mod greens;
@@ -41,6 +47,7 @@ pub mod hs;
 pub mod hubbard;
 pub mod measure;
 pub mod profile;
+pub mod recovery;
 pub mod recycle;
 pub mod sim;
 pub mod stratify;
@@ -48,7 +55,9 @@ pub mod sweep;
 pub mod tdm;
 pub mod update;
 
+pub use backend::{BackendFault, ComputeBackend, FaultKind, HostBackend};
 pub use bmat::BMatrixFactory;
+pub use checkpoint::{params_fingerprint, CheckpointError};
 pub use diagnostics::{condition_profile, ConditionProfile};
 pub use ensemble::{run_ensemble, EnsembleResult};
 pub use greens::{greens_from_udt, GreensFunction};
@@ -56,6 +65,9 @@ pub use hs::HsField;
 pub use hubbard::{Acceptance, ModelParams, SimParams, Spin};
 pub use measure::Observables;
 pub use profile::phases;
+pub use recovery::{
+    shrink_cluster_size, RecoveryAction, RecoveryCause, RecoveryEvent, RecoveryLog, RecoveryPolicy,
+};
 pub use recycle::ClusterCache;
 pub use sim::Simulation;
 pub use stratify::{stratify, StratAlgo, StratifyState, Udt};

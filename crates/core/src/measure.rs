@@ -257,6 +257,76 @@ impl Observables {
             .map(|p| (p.arc, nk[(p.nx, p.ny)]))
             .collect()
     }
+
+    /// Serializes the accumulated observables for checkpointing. The lattice
+    /// and hopping matrix are *not* written: they are pure functions of the
+    /// model, which the checkpoint header fingerprints separately.
+    pub fn encode(&self, w: &mut util::codec::ByteWriter) {
+        self.sign.encode(w);
+        self.density.encode(w);
+        self.double_occ.encode(w);
+        self.kinetic.encode(w);
+        self.potential.encode(w);
+        self.saf.encode(w);
+        crate::checkpoint::write_matrix(w, &self.czz_sum);
+        crate::checkpoint::write_matrix(w, &self.dm_corr_sum);
+        crate::checkpoint::write_matrix(w, &self.pair_sum);
+        w.put_f64(self.weight);
+        w.put_u64(self.count as u64);
+    }
+
+    /// Deserializes observables written by [`Observables::encode`],
+    /// rebuilding the lattice-derived members from `model`. Lattice-resolved
+    /// sums whose dimensions do not match the model decode to
+    /// [`util::codec::CodecError::Invalid`].
+    pub fn decode(
+        model: &ModelParams,
+        r: &mut util::codec::ByteReader<'_>,
+    ) -> Result<Self, util::codec::CodecError> {
+        let lat = model.lattice.clone();
+        let hop = lat.kinetic_matrix(0.0);
+        let sign = BinnedAccumulator::decode(r)?;
+        let density = BinnedAccumulator::decode(r)?;
+        let double_occ = BinnedAccumulator::decode(r)?;
+        let kinetic = BinnedAccumulator::decode(r)?;
+        let potential = BinnedAccumulator::decode(r)?;
+        let saf = BinnedAccumulator::decode(r)?;
+        let czz_sum = crate::checkpoint::read_matrix(r)?;
+        let dm_corr_sum = crate::checkpoint::read_matrix(r)?;
+        let pair_sum = crate::checkpoint::read_matrix(r)?;
+        for (name, m) in [
+            ("czz_sum", &czz_sum),
+            ("dm_corr_sum", &dm_corr_sum),
+            ("pair_sum", &pair_sum),
+        ] {
+            if m.nrows() != lat.lx() || m.ncols() != lat.ly() {
+                return Err(util::codec::CodecError::Invalid(format!(
+                    "{name} is {}x{}, lattice is {}x{}",
+                    m.nrows(),
+                    m.ncols(),
+                    lat.lx(),
+                    lat.ly()
+                )));
+            }
+        }
+        let weight = r.get_f64()?;
+        let count = r.get_u64()? as usize;
+        Ok(Observables {
+            lat,
+            hop,
+            sign,
+            density,
+            double_occ,
+            kinetic,
+            potential,
+            saf,
+            czz_sum,
+            dm_corr_sum,
+            pair_sum,
+            weight,
+            count,
+        })
+    }
 }
 
 #[cfg(test)]

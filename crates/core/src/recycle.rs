@@ -7,6 +7,7 @@
 //! of MB at N = 1024, as the paper notes) for skipping most of the
 //! clustering GEMMs.
 
+use crate::backend::{BackendFault, ComputeBackend};
 use crate::bmat::BMatrixFactory;
 use crate::hs::HsField;
 use crate::hubbard::Spin;
@@ -80,6 +81,17 @@ impl ClusterCache {
         }
     }
 
+    /// Re-clusters the cache at a new (smaller or larger) cluster size,
+    /// dropping every cached product but keeping the hit/rebuild counters.
+    /// Used by the recovery layer's adaptive cluster-size shrink.
+    pub fn reshape(&mut self, k: usize) {
+        assert!(k >= 1 && k <= self.slices, "cluster size must be in 1..=L");
+        let nclusters = self.slices.div_ceil(k);
+        self.k = k;
+        self.nclusters = nclusters;
+        self.store = [vec![None; nclusters], vec![None; nclusters]];
+    }
+
     /// Returns cluster `c` for `spin`, rebuilding from the field if dirty.
     pub fn get(&mut self, fac: &BMatrixFactory, h: &HsField, c: usize, spin: Spin) -> &Matrix {
         let slot = &mut self.store[spin.index()][c];
@@ -91,6 +103,59 @@ impl ClusterCache {
             self.hits += 1;
         }
         slot.as_ref().expect("just filled")
+    }
+
+    /// Fallible [`ClusterCache::get`] through a [`ComputeBackend`]: rebuilds
+    /// through `backend` if dirty, scanning the fresh product for
+    /// non-finite taint *before* caching it — a poisoned product must never
+    /// enter the cache (or the stratification, where `checked-invariants`
+    /// builds would abort before recovery could act).
+    pub fn get_with(
+        &mut self,
+        backend: &mut dyn ComputeBackend,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        c: usize,
+        spin: Spin,
+    ) -> Result<&Matrix, BackendFault> {
+        let slot = &mut self.store[spin.index()][c];
+        if slot.is_none() {
+            let (lo, hi) = (c * self.k, ((c + 1) * self.k).min(self.slices));
+            let m = backend.cluster(fac, h, lo, hi, spin)?;
+            if let Some((i, v)) = linalg::check::first_non_finite(m.as_slice()) {
+                return Err(BackendFault::taint(format!(
+                    "{v} at flat index {i} in cluster [{lo}, {hi}) {spin:?} from backend '{}'",
+                    backend.name()
+                )));
+            }
+            *slot = Some(m);
+            self.rebuilds += 1;
+        } else {
+            self.hits += 1;
+        }
+        Ok(slot.as_ref().expect("just filled"))
+    }
+
+    /// Fallible [`ClusterCache::factors_after_slice`] through a
+    /// [`ComputeBackend`]; see [`ClusterCache::get_with`] for the taint
+    /// contract.
+    pub fn factors_with(
+        &mut self,
+        backend: &mut dyn ComputeBackend,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+    ) -> Result<Vec<Matrix>, BackendFault> {
+        let c = self.cluster_of(l);
+        let (_, hi) = self.range(c);
+        assert_eq!(l + 1, hi, "recompute must land on a cluster boundary");
+        let mut order = Vec::with_capacity(self.nclusters);
+        for off in 1..=self.nclusters {
+            let cc = (c + off) % self.nclusters;
+            order.push(self.get_with(backend, fac, h, cc, spin)?.clone());
+        }
+        Ok(order)
     }
 
     /// Collects the factor sequence for the Green's function used at slice
@@ -215,5 +280,87 @@ mod tests {
         let (fac, h) = setup();
         let mut cache = ClusterCache::new(12, 4);
         let _ = cache.factors_after_slice(&fac, &h, 5, Spin::Up);
+    }
+
+    #[test]
+    fn reshape_preserves_boundaries_and_drops_cache() {
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let _ = cache.get(&fac, &h, 0, Spin::Up);
+        cache.reshape(2);
+        assert_eq!(cache.cluster_size(), 2);
+        assert_eq!(cache.nclusters(), 6);
+        // Old boundary l = 7 is still a boundary under the halved size.
+        let factors = cache.factors_after_slice(&fac, &h, 7, Spin::Up);
+        assert_eq!(factors.len(), 6);
+        assert!(factors[0].max_abs_diff(&fac.cluster(&h, 8, 10, Spin::Up)) < 1e-15);
+        // All cached products were dropped: every factor was a rebuild
+        // (1 from before + 6 now), and the pre-reshape hit count is kept.
+        assert_eq!(cache.stats().0, 7);
+    }
+
+    #[test]
+    fn get_with_matches_get_on_host_backend() {
+        let (fac, h) = setup();
+        let mut host = crate::backend::HostBackend;
+        let mut a = ClusterCache::new(12, 4);
+        let mut b = ClusterCache::new(12, 4);
+        let ga = a.get(&fac, &h, 1, Spin::Up).clone();
+        let gb = b
+            .get_with(&mut host, &fac, &h, 1, Spin::Up)
+            .unwrap()
+            .clone();
+        assert_eq!(ga, gb);
+        let fa = a.factors_after_slice(&fac, &h, 11, Spin::Down);
+        let fb = b.factors_with(&mut host, &fac, &h, 11, Spin::Down).unwrap();
+        assert_eq!(fa, fb);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn get_with_rejects_tainted_product_without_caching() {
+        #[derive(Debug)]
+        struct PoisonBackend;
+        impl ComputeBackend for PoisonBackend {
+            fn name(&self) -> &str {
+                "poison"
+            }
+            fn cluster(
+                &mut self,
+                fac: &BMatrixFactory,
+                _h: &HsField,
+                _lo: usize,
+                _hi: usize,
+                _spin: Spin,
+            ) -> Result<Matrix, BackendFault> {
+                let mut m = Matrix::identity(fac.nsites());
+                m[(0, 0)] = f64::NAN;
+                Ok(m)
+            }
+            fn wrap_into(
+                &mut self,
+                _fac: &BMatrixFactory,
+                _h: &HsField,
+                _l: usize,
+                _spin: Spin,
+                _g: &Matrix,
+                _out: &mut Matrix,
+            ) -> Result<(), BackendFault> {
+                Ok(())
+            }
+        }
+
+        let (fac, h) = setup();
+        let mut cache = ClusterCache::new(12, 4);
+        let err = cache
+            .get_with(&mut PoisonBackend, &fac, &h, 0, Spin::Up)
+            .unwrap_err();
+        assert_eq!(err.kind, crate::backend::FaultKind::Taint);
+        // The poisoned product must not have been cached: a host retry
+        // rebuilds cleanly.
+        let clean = cache
+            .get_with(&mut crate::backend::HostBackend, &fac, &h, 0, Spin::Up)
+            .unwrap();
+        assert!(clean.as_slice().iter().all(|x| x.is_finite()));
     }
 }

@@ -1,21 +1,26 @@
-//! Top-level simulation driver: warmup, measurement, reporting.
+//! Top-level simulation driver: warmup, measurement, reporting,
+//! checkpoint/resume.
 
+use crate::backend::ComputeBackend;
+use crate::checkpoint::{self, CheckpointError};
 use crate::hubbard::{SimParams, Spin};
 use crate::measure::Observables;
 use crate::profile::{phases, report, PhaseReport};
+use crate::recovery::RecoveryLog;
 use crate::sweep::DqmcCore;
 use crate::tdm::{unequal_time_greens_stable, TimeDependentObs};
 use linalg::Matrix;
+use std::path::Path;
 
 /// A complete DQMC simulation (the paper's 1000-warmup / 2000-measurement
 /// runs are `run()` with the corresponding sweep counts).
 #[derive(Debug)]
 pub struct Simulation {
-    core: DqmcCore,
-    obs: Observables,
-    tdm: Option<TimeDependentObs>,
-    warmup_done: usize,
-    measure_done: usize,
+    pub(crate) core: DqmcCore,
+    pub(crate) obs: Observables,
+    pub(crate) tdm: Option<TimeDependentObs>,
+    pub(crate) warmup_done: usize,
+    pub(crate) measure_done: usize,
 }
 
 impl Simulation {
@@ -42,6 +47,13 @@ impl Simulation {
         }
     }
 
+    /// Installs a compute backend (e.g. the `gpusim` device) for the heavy
+    /// kernels. Builder form of [`DqmcCore::set_backend`].
+    pub fn with_backend(mut self, backend: Box<dyn ComputeBackend>) -> Self {
+        self.core.set_backend(backend);
+        self
+    }
+
     /// Runs the configured warmup and measurement sweeps.
     pub fn run(&mut self) {
         let (w, m) = (
@@ -50,6 +62,83 @@ impl Simulation {
         );
         self.warmup(w);
         self.measure(m);
+    }
+
+    /// Runs the configured sweeps, writing a checkpoint to `path` every
+    /// `every` sweeps and once more at the end. A run killed at any point
+    /// can be picked up with [`Simulation::resume`] and finishes
+    /// bit-identically to an uninterrupted one.
+    pub fn run_with_checkpoints(
+        &mut self,
+        path: &Path,
+        every: usize,
+    ) -> Result<(), CheckpointError> {
+        assert!(every >= 1, "checkpoint interval must be at least 1 sweep");
+        while !self.is_complete() {
+            let n = every.min(self.sweeps_remaining());
+            self.step(n);
+            checkpoint::save(self, path)?;
+        }
+        Ok(())
+    }
+
+    /// Advances the run by up to `n` sweeps, crossing the warmup/measurement
+    /// phase boundary as needed, and returns the number actually executed
+    /// (less than `n` only when the run completes).
+    pub fn step(&mut self, n: usize) -> usize {
+        let mut left = n;
+        let warmup_left = self
+            .core
+            .params
+            .warmup_sweeps
+            .saturating_sub(self.warmup_done);
+        let w = left.min(warmup_left);
+        if w > 0 {
+            self.warmup(w);
+            left -= w;
+        }
+        let measure_left = self
+            .core
+            .params
+            .measure_sweeps
+            .saturating_sub(self.measure_done);
+        let m = left.min(measure_left);
+        if m > 0 {
+            self.measure(m);
+            left -= m;
+        }
+        n - left
+    }
+
+    /// True once every configured warmup and measurement sweep has run.
+    pub fn is_complete(&self) -> bool {
+        self.sweeps_remaining() == 0
+    }
+
+    /// Configured sweeps not yet executed (warmup + measurement).
+    pub fn sweeps_remaining(&self) -> usize {
+        self.core
+            .params
+            .warmup_sweeps
+            .saturating_sub(self.warmup_done)
+            + self
+                .core
+                .params
+                .measure_sweeps
+                .saturating_sub(self.measure_done)
+    }
+
+    /// Atomically writes the complete simulation state to `path`.
+    pub fn checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        checkpoint::save(self, path)
+    }
+
+    /// Rebuilds a simulation from a checkpoint written by
+    /// [`Simulation::checkpoint`] / [`Simulation::run_with_checkpoints`].
+    /// `params` must describe the same run (validated by fingerprint); the
+    /// resumed chain continues bit-identically.
+    pub fn resume(path: &Path, params: &SimParams) -> Result<Self, CheckpointError> {
+        checkpoint::load(path, params)
     }
 
     /// Runs `n` thermalisation sweeps (no measurements).
@@ -67,7 +156,9 @@ impl Simulation {
             if let Some(tdm) = self.tdm.as_mut() {
                 // Dynamic measurements via the stable block-matrix TDGF
                 // (accurate at any β; see `tdm` module docs for why the
-                // forward UDT propagation is not used here).
+                // forward UDT propagation is not used here). The τ grid is
+                // pinned to the *configured* cluster size: adaptive shrinks
+                // change the sweep cadence but must not change the grid.
                 let t0 = std::time::Instant::now();
                 let k = self.core.params.cluster_size;
                 let gu = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
@@ -118,6 +209,11 @@ impl Simulation {
         } else {
             0.0
         }
+    }
+
+    /// The recovery incident log (retries, shrinks, fallbacks, repairs).
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        self.core.recovery_log()
     }
 
     /// Table I style phase breakdown of the time spent so far.
@@ -285,5 +381,70 @@ mod tests {
     fn unequal_time_disabled_by_default() {
         let sim = quick_sim(4.0, 10);
         assert!(sim.time_dependent().is_none());
+    }
+
+    #[test]
+    fn step_crosses_phase_boundary_identically_to_run() {
+        let mut whole = quick_sim(4.0, 11);
+        whole.run();
+        let mut stepped = quick_sim(4.0, 11);
+        let mut total = 0;
+        while !stepped.is_complete() {
+            total += stepped.step(7); // 7 ∤ 10 and 7 ∤ 30: boundary crossed mid-step
+        }
+        assert_eq!(total, 30);
+        assert_eq!(stepped.step(5), 0, "stepping a complete run is a no-op");
+        assert_eq!(stepped.sweeps_done(), whole.sweeps_done());
+        assert_eq!(stepped.core.h, whole.core.h);
+        assert_eq!(stepped.core.rng.state(), whole.core.rng.state());
+        assert_eq!(stepped.core.g[0].max_abs_diff(&whole.core.g[0]), 0.0);
+        assert_eq!(stepped.observables().count(), whole.observables().count());
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("dqmc-sim-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.dqcp");
+
+        let mut whole = quick_sim(4.0, 12);
+        whole.run();
+
+        let mut first = quick_sim(4.0, 12);
+        first.step(13);
+        first.checkpoint(&path).unwrap();
+        drop(first); // "kill" the first process
+
+        let mut resumed = Simulation::resume(&path, quick_sim(4.0, 12).params()).unwrap();
+        while !resumed.is_complete() {
+            resumed.step(4);
+        }
+        assert_eq!(resumed.sweeps_done(), whole.sweeps_done());
+        assert_eq!(resumed.core.h, whole.core.h);
+        assert_eq!(resumed.core.rng.state(), whole.core.rng.state());
+        assert_eq!(resumed.core.g[0].max_abs_diff(&whole.core.g[0]), 0.0);
+        assert_eq!(resumed.core.g[1].max_abs_diff(&whole.core.g[1]), 0.0);
+        assert_eq!(resumed.core.sign, whole.core.sign);
+        assert_eq!(resumed.core.accepted, whole.core.accepted);
+        let (d1, e1) = resumed.observables().density();
+        let (d2, e2) = whole.observables().density();
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_checkpoints_completes_and_persists() {
+        let dir = std::env::temp_dir().join(format!("dqmc-sim-rwc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("auto.dqcp");
+        let mut sim = quick_sim(4.0, 13);
+        sim.run_with_checkpoints(&path, 8).unwrap();
+        assert!(sim.is_complete());
+        // The final checkpoint loads and reports a complete run.
+        let loaded = Simulation::resume(&path, quick_sim(4.0, 13).params()).unwrap();
+        assert!(loaded.is_complete());
+        assert_eq!(loaded.sweeps_done(), sim.sweeps_done());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

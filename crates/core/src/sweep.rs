@@ -13,16 +13,35 @@
 //!    `G ← B_l G B_l⁻¹`, and every `k` slices they are instead *recomputed*
 //!    from scratch by stratification over the (recycled) cluster products;
 //!    the wrapped and recomputed matrices are compared to monitor accuracy.
+//!
+//! # Fault tolerance
+//!
+//! The heavy kernels (clustering, wrapping) run through a pluggable
+//! [`ComputeBackend`], which may fail. Failures feed a bounded escalation
+//! ladder governed by [`RecoveryPolicy`](crate::recovery::RecoveryPolicy):
+//! **retry** (after telling the backend to drop resident device state), then
+//! for device-class faults **host fallback**, and for taint-class faults a
+//! **cluster-size shrink** (each step divides `k` by its smallest prime
+//! factor, so every old cluster boundary stays a boundary and the recompute
+//! cadence is preserved mid-sweep). A non-finite Green's function is
+//! **repaired** by rebuilding it from the HS field, which is always clean.
+//! Every action lands in the [`RecoveryLog`]; none of them consumes the
+//! Metropolis RNG stream, so a fault-free run is unchanged bit for bit.
 
+use crate::backend::{BackendFault, ComputeBackend, FaultKind, HostBackend};
 use crate::bmat::BMatrixFactory;
 use crate::greens::{self, greens_from_udt};
 use crate::hs::HsField;
 use crate::hubbard::{SimParams, Spin};
 use crate::measure::Observables;
 use crate::profile::phases;
+use crate::recovery::{
+    shrink_cluster_size, RecoveryAction, RecoveryCause, RecoveryEvent, RecoveryLog,
+};
 use crate::recycle::ClusterCache;
 use crate::stratify::stratify;
 use crate::update::SliceUpdater;
+use linalg::check::first_non_finite;
 use linalg::{workspace, Matrix};
 use util::{PhaseTimer, Rng, RunningStats};
 
@@ -52,6 +71,20 @@ pub struct DqmcCore {
     pub accepted: u64,
     /// Total proposals.
     pub proposed: u64,
+    /// Active compute backend for clustering and wrapping.
+    pub(crate) backend: Box<dyn ComputeBackend>,
+    /// The always-available host path, used directly once
+    /// `use_host_fallback` is set.
+    pub(crate) host_backend: HostBackend,
+    /// True once recovery has permanently abandoned the device backend.
+    pub(crate) use_host_fallback: bool,
+    /// Recovery incident log.
+    pub(crate) recovery: RecoveryLog,
+    /// Consecutive failures within the current incident (reset on success).
+    pub(crate) fault_streak: u32,
+    /// Total sweeps executed (warmup + measurement), for event attribution
+    /// and checkpointing.
+    pub(crate) sweeps_run: u64,
 }
 
 impl DqmcCore {
@@ -80,9 +113,62 @@ impl DqmcCore {
             wrap_diff: RunningStats::new(),
             accepted: 0,
             proposed: 0,
+            backend: Box::new(HostBackend),
+            host_backend: HostBackend,
+            use_host_fallback: false,
+            recovery: RecoveryLog::new(),
+            fault_streak: 0,
+            sweeps_run: 0,
         };
         core.recompute_greens(l - 1);
         core
+    }
+
+    /// Rebuilds a core from checkpointed state: no field randomisation, no
+    /// initial Green's function evaluation — every dynamical quantity comes
+    /// from the checkpoint so the resumed chain is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        params: SimParams,
+        h: HsField,
+        rng: Rng,
+        g: [Matrix; 2],
+        sign: f64,
+        runtime_cluster_size: usize,
+        use_host_fallback: bool,
+        accepted: u64,
+        proposed: u64,
+        sweeps_run: u64,
+        wrap_diff: RunningStats,
+        recovery_prior: u64,
+    ) -> Self {
+        let fac = if params.checkerboard {
+            BMatrixFactory::new_checkerboard(&params.model)
+        } else {
+            BMatrixFactory::new(&params.model)
+        };
+        let cache = ClusterCache::new(params.model.slices, runtime_cluster_size);
+        let mut recovery = RecoveryLog::new();
+        recovery.set_prior(recovery_prior);
+        DqmcCore {
+            params,
+            fac,
+            h,
+            cache,
+            g,
+            sign,
+            rng,
+            timer: PhaseTimer::new(),
+            wrap_diff,
+            accepted,
+            proposed,
+            backend: Box::new(HostBackend),
+            host_backend: HostBackend,
+            use_host_fallback,
+            recovery,
+            fault_streak: 0,
+            sweeps_run,
+        }
     }
 
     /// Number of sites.
@@ -104,18 +190,291 @@ impl DqmcCore {
         &self.g[spin.index()]
     }
 
+    /// Installs a compute backend for clustering and wrapping. The host
+    /// fallback flag is left untouched: a core restored from a checkpoint
+    /// that had already abandoned its device stays on the host path.
+    pub fn set_backend(&mut self, backend: Box<dyn ComputeBackend>) {
+        self.backend = backend;
+    }
+
+    /// Name of the backend actually in use (accounts for host fallback).
+    pub fn active_backend_name(&self) -> &str {
+        if self.use_host_fallback {
+            self.host_backend.name()
+        } else {
+            self.backend.name()
+        }
+    }
+
+    /// The recovery incident log.
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.recovery
+    }
+
+    /// The cluster size currently in effect (may be smaller than the
+    /// configured one after adaptive shrinking).
+    pub fn runtime_cluster_size(&self) -> usize {
+        self.cache.cluster_size()
+    }
+
+    /// Injects a value into a Green's function (fault drills and tests):
+    /// sets `G_σ(i, j) = v`.
+    pub fn poison_greens(&mut self, spin: Spin, i: usize, j: usize, v: f64) {
+        self.g[spin.index()][(i, j)] = v;
+    }
+
+    fn active_backend(&mut self) -> &mut dyn ComputeBackend {
+        if self.use_host_fallback {
+            &mut self.host_backend
+        } else {
+            self.backend.as_mut()
+        }
+    }
+
     /// Recomputes both Green's functions from scratch for the position after
     /// wrapping past slice `l` (must be the last slice of its cluster), and
     /// re-synchronises the configuration sign from the determinants.
+    ///
+    /// Backend faults are absorbed by the recovery ladder; with recovery
+    /// disabled they panic.
     pub fn recompute_greens(&mut self, l: usize) {
+        loop {
+            match self.try_recompute_greens(l) {
+                Ok(()) => {
+                    self.fault_streak = 0;
+                    return;
+                }
+                Err(fault) => self.escalate(fault, l),
+            }
+        }
+    }
+
+    /// One attempt at the full stratified evaluation through the active
+    /// backend. On success `self.g` and `self.sign` are updated; on fault
+    /// they are untouched.
+    fn try_recompute_greens(&mut self, l: usize) -> Result<(), BackendFault> {
         let algo = self.params.algo;
         let mut sign = 1.0;
+        let mut gs: [Option<Matrix>; 2] = [None, None];
         for spin in Spin::BOTH {
             if !self.params.recycle {
                 self.cache.invalidate_all();
             }
+            let backend: &mut dyn ComputeBackend = if self.use_host_fallback {
+                &mut self.host_backend
+            } else {
+                self.backend.as_mut()
+            };
             let factors = self.timer.time(phases::CLUSTERING, || {
-                self.cache.factors_after_slice(&self.fac, &self.h, l, spin)
+                self.cache
+                    .factors_with(backend, &self.fac, &self.h, l, spin)
+            })?;
+            let gf = self.timer.time(phases::STRATIFICATION, || {
+                greens_from_udt(&stratify(&factors, algo))
+            });
+            if let Some((idx, v)) = first_non_finite(gf.g.as_slice()) {
+                return Err(BackendFault::taint(format!(
+                    "stratified G for {spin:?} has {v} at element {idx}"
+                )));
+            }
+            sign *= gf.sign;
+            gs[spin.index()] = Some(gf.g);
+        }
+        let [up, dn] = gs;
+        self.g[0] = up.expect("both spins evaluated");
+        self.g[1] = dn.expect("both spins evaluated");
+        self.sign = sign;
+        Ok(())
+    }
+
+    /// The escalation ladder, invoked after a failed attempt. Each call
+    /// either arranges a changed retry (notifying the backend, falling back
+    /// to the host, or shrinking the cluster size) or panics when every rung
+    /// is exhausted. Termination: retries are bounded by the policy, host
+    /// fallback can fire at most once, and each shrink strictly decreases
+    /// the cluster size.
+    fn escalate(&mut self, fault: BackendFault, slice: usize) {
+        let policy = self.params.recovery.clone();
+        if !policy.enabled {
+            panic!("backend fault with recovery disabled: {fault}");
+        }
+        let cause = match fault.kind {
+            FaultKind::Device => RecoveryCause::Device(fault.detail.clone()),
+            FaultKind::Taint => RecoveryCause::NonFinite(fault.detail.clone()),
+        };
+        self.fault_streak += 1;
+        if self.fault_streak <= policy.max_retries {
+            let attempt = self.fault_streak;
+            self.active_backend().notify_fault();
+            self.push_event(slice, cause, RecoveryAction::Retry { attempt });
+            return;
+        }
+        // Retries exhausted: change something. Device faults prefer leaving
+        // the device; taint faults prefer harder stabilisation.
+        let can_fall_back = !self.use_host_fallback && policy.allow_host_fallback;
+        let from = self.cache.cluster_size();
+        let to = shrink_cluster_size(from);
+        let can_shrink = to < from && to >= policy.min_cluster;
+        let fallback_first = match fault.kind {
+            FaultKind::Device => true,
+            FaultKind::Taint => !can_shrink,
+        };
+        if fallback_first && can_fall_back {
+            self.use_host_fallback = true;
+            self.fault_streak = 0;
+            self.push_event(slice, cause, RecoveryAction::HostFallback);
+            return;
+        }
+        if can_shrink {
+            self.cache.reshape(to);
+            self.fault_streak = 0;
+            self.push_event(slice, cause, RecoveryAction::ClusterShrink { from, to });
+            return;
+        }
+        if can_fall_back {
+            self.use_host_fallback = true;
+            self.fault_streak = 0;
+            self.push_event(slice, cause, RecoveryAction::HostFallback);
+            return;
+        }
+        panic!("unrecoverable fault (all recovery rungs exhausted): {fault}");
+    }
+
+    fn push_event(&mut self, slice: usize, cause: RecoveryCause, action: RecoveryAction) {
+        self.recovery.push(RecoveryEvent {
+            sweep: self.sweeps_run,
+            slice,
+            cause,
+            action,
+        });
+    }
+
+    /// Detects non-finite data in either Green's function (injected faults,
+    /// inherited corruption) and repairs it by recomputing from the HS
+    /// field at the canonical sweep-start position. The repair consumes no
+    /// Metropolis randomness and reproduces exactly the matrix an untainted
+    /// run holds at sweep start, so the repaired chain is bit-identical.
+    fn repair_if_tainted(&mut self) {
+        let taint = first_non_finite(self.g[0].as_slice())
+            .map(|(i, v)| (0usize, i, v))
+            .or_else(|| first_non_finite(self.g[1].as_slice()).map(|(i, v)| (1usize, i, v)));
+        let Some((s, idx, v)) = taint else { return };
+        if !self.params.recovery.enabled {
+            panic!("G[{s}] tainted at element {idx} ({v}) with recovery disabled");
+        }
+        self.push_event(
+            0,
+            RecoveryCause::NonFinite(format!("G[{s}] element {idx} is {v} at sweep start")),
+            RecoveryAction::TaintRepair,
+        );
+        self.recompute_greens(self.params.model.slices - 1);
+    }
+
+    /// One timed attempt at wrapping both spins past slice `l`, scanning the
+    /// results for non-finite contamination (device transfer corruption
+    /// shows up here, since fallible backends do not self-check).
+    fn try_wrap_pair(&mut self, l: usize, wrapped: &mut [Matrix; 2]) -> Result<(), BackendFault> {
+        let t0 = std::time::Instant::now();
+        let backend: &mut dyn ComputeBackend = if self.use_host_fallback {
+            &mut self.host_backend
+        } else {
+            self.backend.as_mut()
+        };
+        let up = backend.wrap_into(&self.fac, &self.h, l, Spin::Up, &self.g[0], &mut wrapped[0]);
+        let dn = match up {
+            Ok(()) => backend.wrap_into(
+                &self.fac,
+                &self.h,
+                l,
+                Spin::Down,
+                &self.g[1],
+                &mut wrapped[1],
+            ),
+            Err(_) => Ok(()),
+        };
+        self.timer.add(phases::WRAPPING, t0.elapsed());
+        up?;
+        dn?;
+        for (i, w) in wrapped.iter().enumerate() {
+            if let Some((idx, v)) = first_non_finite(w.as_slice()) {
+                return Err(BackendFault::taint(format!(
+                    "wrapped G[{i}] has {v} at element {idx} after slice {l}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wraps both Green's functions past slice `l` with recovery. Returns
+    /// `true` when `wrapped` holds valid wrapped matrices. Returns `false`
+    /// after a taint repair: at a cluster boundary the imminent recompute
+    /// makes the wrap redundant, and mid-sweep `self.g` has been rebuilt for
+    /// the post-wrap position directly from the HS field.
+    fn wrap_with_recovery(
+        &mut self,
+        l: usize,
+        at_boundary: bool,
+        wrapped: &mut [Matrix; 2],
+    ) -> bool {
+        loop {
+            match self.try_wrap_pair(l, wrapped) {
+                Ok(()) => {
+                    self.fault_streak = 0;
+                    return true;
+                }
+                Err(fault) => {
+                    if !self.params.recovery.enabled {
+                        panic!("wrap fault with recovery disabled: {fault}");
+                    }
+                    let cause = match fault.kind {
+                        FaultKind::Device => RecoveryCause::Device(fault.detail.clone()),
+                        FaultKind::Taint => RecoveryCause::NonFinite(fault.detail.clone()),
+                    };
+                    self.fault_streak += 1;
+                    if self.fault_streak <= self.params.recovery.max_retries {
+                        let attempt = self.fault_streak;
+                        self.active_backend().notify_fault();
+                        self.push_event(l, cause, RecoveryAction::Retry { attempt });
+                        continue;
+                    }
+                    match fault.kind {
+                        FaultKind::Device => {
+                            if !self.use_host_fallback && self.params.recovery.allow_host_fallback {
+                                self.use_host_fallback = true;
+                                self.fault_streak = 0;
+                                self.push_event(l, cause, RecoveryAction::HostFallback);
+                                continue;
+                            }
+                            panic!("unrecoverable device fault during wrap: {fault}");
+                        }
+                        FaultKind::Taint => {
+                            // The source G was clean (scanned at sweep start
+                            // and after every recompute), so the taint came
+                            // from the wrap itself. Discard it and rebuild.
+                            self.fault_streak = 0;
+                            self.push_event(l, cause, RecoveryAction::TaintRepair);
+                            if !at_boundary {
+                                self.repair_greens_after(l);
+                            }
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds both Green's functions for the position after slice `l`
+    /// directly from the HS field on the host path, using a temporary
+    /// single-slice-cluster cache so *any* `l` is a valid boundary. Used for
+    /// mid-sweep taint repair, where `l + 1` need not be a cluster boundary.
+    fn repair_greens_after(&mut self, l: usize) {
+        let algo = self.params.algo;
+        let mut tmp = ClusterCache::new(self.params.model.slices, 1);
+        let mut sign = 1.0;
+        for spin in Spin::BOTH {
+            let factors = self.timer.time(phases::CLUSTERING, || {
+                tmp.factors_after_slice(&self.fac, &self.h, l, spin)
             });
             let gf = self.timer.time(phases::STRATIFICATION, || {
                 greens_from_udt(&stratify(&factors, algo))
@@ -126,14 +485,42 @@ impl DqmcCore {
         self.sign = sign;
     }
 
+    /// Handles a wrap-vs-recompute divergence beyond the policy tolerance:
+    /// the cached cluster products are presumed silently corrupted (e.g. a
+    /// device memory bit flip — finite, so the non-finite scans never
+    /// fired). Drops every cached product, shrinks the cluster size when
+    /// possible, and recomputes from the always-clean HS field.
+    fn note_wrap_divergence(&mut self, l: usize, diff: f64) {
+        self.active_backend().notify_fault();
+        self.cache.invalidate_all();
+        let from = self.cache.cluster_size();
+        let to = shrink_cluster_size(from);
+        let action = if to < from && to >= self.params.recovery.min_cluster {
+            self.cache.reshape(to);
+            RecoveryAction::ClusterShrink { from, to }
+        } else {
+            RecoveryAction::TaintRepair
+        };
+        self.push_event(l, RecoveryCause::WrapDivergence { diff }, action);
+        self.recompute_greens(l);
+    }
+
     /// Runs one full sweep (all `L·N` proposals); records measurements into
     /// `obs` afterwards when provided.
     pub fn sweep(&mut self, mut obs: Option<&mut Observables>) {
+        self.sweeps_run += 1;
         let l_slices = self.params.model.slices;
         let n = self.nsites();
         let nu = self.fac.nu();
         let nb = self.params.delay_block;
-        let k = self.params.cluster_size;
+
+        // Non-finite G here (an injected fault, or corruption inherited from
+        // a previous phase) would poison every Metropolis ratio — and since
+        // `f64::min(NaN, 1.0)` is 1.0, a NaN ratio *accepts everything*
+        // rather than nothing. Scan up front and repair from the field; with
+        // recovery disabled the scan still runs so the panic names the taint
+        // before any kernel consumes it.
+        self.repair_if_tainted();
 
         // Wrap targets live for the whole sweep: at non-boundary slices the
         // wrapped pair is swapped into `self.g` and the old G matrices become
@@ -176,21 +563,27 @@ impl DqmcCore {
             }
 
             // --- Advance to the next slice: wrap, and recompute at cluster
-            //     boundaries (monitoring the wrap error there) ---
+            //     boundaries (monitoring the wrap error there). The cluster
+            //     size comes from the cache, not the params: adaptive
+            //     shrinking may change it mid-sweep, and because each shrink
+            //     divides the old size, every boundary already passed under
+            //     the old cadence stays a boundary under the new one ---
+            let k = self.cache.cluster_size();
             let at_boundary = (l + 1) % k == 0 || l + 1 == l_slices;
-            self.timer.time(phases::WRAPPING, || {
-                self.fac
-                    .wrap_into(&self.h, l, Spin::Up, &self.g[0], &mut wrapped[0]);
-                self.fac
-                    .wrap_into(&self.h, l, Spin::Down, &self.g[1], &mut wrapped[1]);
-            });
+            let wrap_ok = self.wrap_with_recovery(l, at_boundary, &mut wrapped);
             if at_boundary {
                 let incr_sign = self.sign;
                 self.recompute_greens(l);
-                let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
-                self.wrap_diff.push(diff);
-                debug_assert_eq!(
-                    incr_sign, self.sign,
+                if wrap_ok {
+                    let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
+                    if self.params.recovery.enabled && diff > self.params.recovery.wrap_tolerance {
+                        self.note_wrap_divergence(l, diff);
+                    } else {
+                        self.wrap_diff.push(diff);
+                    }
+                }
+                debug_assert!(
+                    incr_sign == self.sign || !self.recovery.is_empty(),
                     "incremental sign diverged from determinant sign"
                 );
                 // Mid-sweep measurement: equal-time observables are
@@ -204,10 +597,12 @@ impl DqmcCore {
                             .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
                     }
                 }
-            } else {
+            } else if wrap_ok {
                 std::mem::swap(&mut self.g[0], &mut wrapped[0]);
                 std::mem::swap(&mut self.g[1], &mut wrapped[1]);
             }
+            // wrap_ok == false mid-sweep: repair_greens_after already placed
+            // clean post-wrap matrices in self.g.
         }
 
         let [w0, w1] = wrapped;
@@ -226,6 +621,7 @@ impl DqmcCore {
 mod tests {
     use super::*;
     use crate::hubbard::ModelParams;
+    use crate::recovery::RecoveryPolicy;
     use crate::stratify::StratAlgo;
     use lattice::Lattice;
 
@@ -387,5 +783,141 @@ mod tests {
         assert_eq!(core.accepted, core.proposed);
         assert!(core.greens(Spin::Up).max_abs_diff(&g0) < 1e-9);
         assert_eq!(core.sign, 1.0);
+    }
+
+    #[test]
+    fn recovery_policy_does_not_perturb_clean_runs() {
+        // The recovery machinery never consumes Metropolis randomness, so a
+        // fault-free run is bit-identical whether recovery is on or off.
+        let run = |policy: RecoveryPolicy| {
+            let mut core = DqmcCore::new(small_params(4.0, 8, 29).with_recovery(policy));
+            for _ in 0..3 {
+                core.sweep(None);
+            }
+            (core.h.clone(), core.greens(Spin::Up).clone(), core.sign)
+        };
+        let (h1, g1, s1) = run(RecoveryPolicy::default());
+        let (h2, g2, s2) = run(RecoveryPolicy::disabled());
+        assert_eq!(h1, h2);
+        assert_eq!(g1.max_abs_diff(&g2), 0.0);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn injected_nan_is_repaired_bit_identically() {
+        // Poison G between sweeps; the sweep-start scan must rebuild it to
+        // exactly the state an untainted run holds, leaving the trajectory
+        // bit-identical.
+        let mut clean = DqmcCore::new(small_params(4.0, 8, 31));
+        let mut faulty = DqmcCore::new(small_params(4.0, 8, 31));
+        clean.sweep(None);
+        faulty.sweep(None);
+        faulty.poison_greens(Spin::Up, 1, 2, f64::NAN);
+        faulty.poison_greens(Spin::Down, 0, 0, f64::INFINITY);
+        for _ in 0..2 {
+            clean.sweep(None);
+            faulty.sweep(None);
+        }
+        assert!(!faulty.recovery_log().is_empty());
+        assert_eq!(clean.h, faulty.h);
+        assert_eq!(clean.rng.state(), faulty.rng.state());
+        assert_eq!(clean.g[0].max_abs_diff(&faulty.g[0]), 0.0);
+        assert_eq!(clean.g[1].max_abs_diff(&faulty.g[1]), 0.0);
+        assert_eq!(clean.sign, faulty.sign);
+        assert!(clean.recovery_log().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery disabled")]
+    fn injected_nan_panics_with_recovery_disabled() {
+        let params = small_params(4.0, 8, 37).with_recovery(RecoveryPolicy::disabled());
+        let mut core = DqmcCore::new(params);
+        core.poison_greens(Spin::Up, 0, 0, f64::NAN);
+        core.sweep(None);
+    }
+
+    #[test]
+    fn mid_sweep_repair_keeps_physics_consistent() {
+        // Force a mid-sweep repair via the internal path and check G equals
+        // the from-scratch evaluation afterwards (the chain stays valid).
+        let mut core = DqmcCore::new(small_params(4.0, 8, 41));
+        core.sweep(None);
+        core.repair_greens_after(core.params.model.slices - 1);
+        for spin in Spin::BOTH {
+            let naive = greens::greens_naive(&core.fac, &core.h, spin);
+            let diff = greens::relative_difference(core.greens(spin), &naive.g);
+            assert!(diff < 1e-8, "{spin:?}: {diff}");
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_shrinks_then_falls_back() {
+        // Drive `escalate` directly with taint faults: retries first, then a
+        // cluster shrink, repeated down to k = 1, then host fallback.
+        let mut core = DqmcCore::new(small_params(4.0, 8, 43));
+        let retries = core.params.recovery.max_retries;
+        // One incident: exhaust retries, then shrink 4 → 2.
+        for _ in 0..retries {
+            core.escalate(BackendFault::taint("test"), 0);
+        }
+        assert_eq!(core.runtime_cluster_size(), 4);
+        core.escalate(BackendFault::taint("test"), 0);
+        assert_eq!(core.runtime_cluster_size(), 2);
+        assert_eq!(core.fault_streak, 0, "streak resets after escalation");
+        // Next incidents: 2 → 1, then host fallback.
+        for _ in 0..=retries {
+            core.escalate(BackendFault::taint("test"), 0);
+        }
+        assert_eq!(core.runtime_cluster_size(), 1);
+        assert!(!core.use_host_fallback);
+        for _ in 0..=retries {
+            core.escalate(BackendFault::taint("test"), 0);
+        }
+        assert!(core.use_host_fallback);
+        // The run must still be able to sweep correctly at k = 1 on host.
+        core.sweep(None);
+        let naive = greens::greens_naive(&core.fac, &core.h, Spin::Up);
+        assert!(greens::relative_difference(core.greens(Spin::Up), &naive.g) < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "all recovery rungs exhausted")]
+    fn exhausted_ladder_panics() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 47));
+        for _ in 0..64 {
+            core.escalate(BackendFault::taint("test"), 0);
+        }
+    }
+
+    #[test]
+    fn device_fault_prefers_host_fallback() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 53));
+        let retries = core.params.recovery.max_retries;
+        for _ in 0..=retries {
+            core.escalate(BackendFault::device("transfer dropped"), 0);
+        }
+        assert!(core.use_host_fallback, "device faults abandon the device");
+        assert_eq!(
+            core.runtime_cluster_size(),
+            4,
+            "cluster size untouched by device faults"
+        );
+        assert_eq!(core.active_backend_name(), "host");
+    }
+
+    #[test]
+    fn shrunk_run_still_correct() {
+        // Shrink mid-run (as the taint ladder would) and verify sweeps stay
+        // consistent with from-scratch Green's functions.
+        let mut core = DqmcCore::new(small_params(4.0, 8, 59));
+        core.sweep(None);
+        core.cache.reshape(2);
+        core.sweep(None);
+        for spin in Spin::BOTH {
+            let naive = greens::greens_naive(&core.fac, &core.h, spin);
+            let diff = greens::relative_difference(core.greens(spin), &naive.g);
+            assert!(diff < 1e-8, "{spin:?}: {diff}");
+        }
+        assert_eq!(core.runtime_cluster_size(), 2);
     }
 }

@@ -248,6 +248,57 @@ impl TimeDependentObs {
             })
             .collect()
     }
+
+    /// Serializes the τ grid and every accumulator for checkpointing. The
+    /// lattice is rebuilt by the caller on decode.
+    pub fn encode(&self, w: &mut util::codec::ByteWriter) {
+        w.put_f64_slice(&self.taus);
+        for a in &self.gloc {
+            a.encode(w);
+        }
+        for trio in &self.gk {
+            for a in trio {
+                a.encode(w);
+            }
+        }
+        self.sign.encode(w);
+        w.put_u64(self.count as u64);
+    }
+
+    /// Deserializes accumulators written by [`TimeDependentObs::encode`]
+    /// against the given lattice.
+    pub fn decode(
+        lat: &Lattice,
+        r: &mut util::codec::ByteReader<'_>,
+    ) -> Result<Self, util::codec::CodecError> {
+        let taus = r.get_f64_vec()?;
+        if taus.is_empty() {
+            return Err(util::codec::CodecError::Invalid("empty τ grid".into()));
+        }
+        let npts = taus.len();
+        let mut gloc = Vec::with_capacity(npts);
+        for _ in 0..npts {
+            gloc.push(BinnedAccumulator::decode(r)?);
+        }
+        let mut gk = Vec::with_capacity(npts);
+        for _ in 0..npts {
+            gk.push([
+                BinnedAccumulator::decode(r)?,
+                BinnedAccumulator::decode(r)?,
+                BinnedAccumulator::decode(r)?,
+            ]);
+        }
+        let sign = BinnedAccumulator::decode(r)?;
+        let count = r.get_u64()? as usize;
+        Ok(TimeDependentObs {
+            lat: lat.clone(),
+            taus,
+            gloc,
+            gk,
+            sign,
+            count,
+        })
+    }
 }
 
 #[cfg(test)]

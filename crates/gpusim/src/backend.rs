@@ -1,0 +1,196 @@
+//! The simulated device as a sweep [`ComputeBackend`].
+//!
+//! Wraps a [`Device`] so `dqmc::sweep` can route its two heavy kernels —
+//! cluster products and wraps — through the accelerator model. The resident
+//! operands `e^{−ΔτK}` / `e^{+ΔτK}` are uploaded lazily on first use and
+//! **dropped on [`ComputeBackend::notify_fault`]**: the recovery layer calls
+//! that before every retry, so a retry re-uploads clean copies — which is
+//! exactly how a real driver heals a corrupted resident after a fault.
+//!
+//! Fault surfacing follows the split in [`crate::faults`]: device-class
+//! failures (launch, arena) come back as `Err(BackendFault::device)`; silent
+//! transfer corruption returns `Ok` with NaNs in the data, which the core's
+//! taint scans (in `ClusterCache::get_with` and the wrap path) classify as
+//! taint-class faults.
+
+use crate::cluster::{try_cluster_custom_kernel, upload_expk};
+use crate::device::{DMatrix, Device, DeviceSpec};
+use crate::wrap::{try_wrap_on_device_into, upload_expk_inv};
+use dqmc::{BMatrixFactory, BackendFault, ComputeBackend, HsField, Spin};
+use linalg::Matrix;
+
+/// A [`ComputeBackend`] running cluster products and wraps on the simulated
+/// accelerator.
+#[derive(Debug)]
+pub struct DeviceBackend {
+    dev: Device,
+    expk: Option<DMatrix>,
+    expk_inv: Option<DMatrix>,
+}
+
+impl DeviceBackend {
+    /// Wraps an existing device (e.g. one with an armed fault plan).
+    pub fn new(dev: Device) -> Self {
+        DeviceBackend {
+            dev,
+            expk: None,
+            expk_inv: None,
+        }
+    }
+
+    /// Convenience: a fresh device from a spec.
+    pub fn with_spec(spec: DeviceSpec) -> Self {
+        DeviceBackend::new(Device::new(spec))
+    }
+
+    /// The underlying device (clock, counters, fault tally).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Mutable device access — for arming a [`crate::FaultPlan`] mid-run.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+}
+
+impl ComputeBackend for DeviceBackend {
+    fn name(&self) -> &str {
+        self.dev.spec().name
+    }
+
+    fn cluster(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        lo: usize,
+        hi: usize,
+        spin: Spin,
+    ) -> Result<Matrix, BackendFault> {
+        let expk = self
+            .expk
+            .get_or_insert_with(|| upload_expk(&mut self.dev, fac));
+        try_cluster_custom_kernel(&mut self.dev, expk, fac, h, lo, hi, spin)
+            .map_err(|e| BackendFault::device(e.to_string()))
+    }
+
+    fn wrap_into(
+        &mut self,
+        fac: &BMatrixFactory,
+        h: &HsField,
+        l: usize,
+        spin: Spin,
+        g: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), BackendFault> {
+        if self.expk.is_none() {
+            self.expk = Some(upload_expk(&mut self.dev, fac));
+        }
+        if self.expk_inv.is_none() {
+            self.expk_inv = Some(upload_expk_inv(&mut self.dev, fac));
+        }
+        let (expk, expk_inv) = (
+            self.expk.as_ref().expect("just uploaded"),
+            self.expk_inv.as_ref().expect("just uploaded"),
+        );
+        try_wrap_on_device_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
+            .map_err(|e| BackendFault::device(e.to_string()))
+    }
+
+    fn notify_fault(&mut self) {
+        // Drop the residents and the scratch-arena charge: the retry starts
+        // from a clean device state and re-uploads the operands.
+        self.expk = None;
+        self.expk_inv = None;
+        self.dev.reset_arena();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use dqmc::{HostBackend, ModelParams};
+    use lattice::Lattice;
+
+    fn setup() -> (BMatrixFactory, HsField) {
+        let model = ModelParams::new(Lattice::square(3, 3, 1.0), 4.0, 0.0, 0.125, 12);
+        let fac = BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(21);
+        let h = HsField::random(9, 12, &mut rng);
+        (fac, h)
+    }
+
+    #[test]
+    fn device_backend_matches_host_backend() {
+        let (fac, h) = setup();
+        let mut host = HostBackend;
+        let mut devb = DeviceBackend::with_spec(DeviceSpec::tesla_c2050());
+        let a = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        let b = host.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-12 * b.max_abs().max(1.0));
+
+        let g = dqmc::greens::greens_naive(&fac, &h, Spin::Up).g;
+        let mut out_d = Matrix::zeros(9, 9);
+        let mut out_h = Matrix::zeros(9, 9);
+        devb.wrap_into(&fac, &h, 0, Spin::Up, &g, &mut out_d)
+            .unwrap();
+        host.wrap_into(&fac, &h, 0, Spin::Up, &g, &mut out_h)
+            .unwrap();
+        assert!(out_d.max_abs_diff(&out_h) < 1e-12);
+    }
+
+    #[test]
+    fn launch_failure_surfaces_as_device_fault_and_retry_heals() {
+        let (fac, h) = setup();
+        let mut devb = DeviceBackend::with_spec(DeviceSpec::tesla_c2050());
+        // Launch #2 is the first scale kernel inside the cluster product.
+        devb.device_mut()
+            .arm_faults(FaultPlan::new().fail_launch(2));
+        let err = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap_err();
+        assert_eq!(err.kind, dqmc::FaultKind::Device);
+        assert!(
+            err.detail.contains("kernel launch failure"),
+            "{}",
+            err.detail
+        );
+        devb.notify_fault();
+        let retried = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        let want = fac.cluster(&h, 0, 6, Spin::Up);
+        assert!(retried.max_abs_diff(&want) < 1e-12 * want.max_abs().max(1.0));
+        assert_eq!(devb.device().faults_injected(), 1);
+    }
+
+    #[test]
+    fn corrupted_download_returns_tainted_ok() {
+        let (fac, h) = setup();
+        let mut devb = DeviceBackend::with_spec(DeviceSpec::tesla_c2050());
+        // Download #1 is the cluster product coming back.
+        devb.device_mut()
+            .arm_faults(FaultPlan::new().with_seed(3).corrupt_transfer(1));
+        let tainted = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        assert!(
+            linalg::check::first_non_finite(tainted.as_slice()).is_some(),
+            "corruption must be visible to the caller's scan"
+        );
+        devb.notify_fault();
+        let clean = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        assert!(linalg::check::first_non_finite(clean.as_slice()).is_none());
+    }
+
+    #[test]
+    fn notify_fault_drops_residents_for_reupload() {
+        let (fac, h) = setup();
+        let mut devb = DeviceBackend::with_spec(DeviceSpec::tesla_c2050());
+        let _ = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        let before = devb.device().bytes_transferred();
+        let _ = devb.cluster(&fac, &h, 6, 12, Spin::Up).unwrap();
+        let steady = devb.device().bytes_transferred() - before;
+        devb.notify_fault();
+        let before = devb.device().bytes_transferred();
+        let _ = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap();
+        let after_fault = devb.device().bytes_transferred() - before;
+        // The post-fault call pays the expk re-upload on top of steady state.
+        assert_eq!(after_fault, steady + 9 * 9 * 8);
+    }
+}

@@ -13,6 +13,7 @@
 //!   one-launch coalesced scaling kernel and no intermediate copies.
 
 use crate::device::{DMatrix, Device};
+use crate::faults::DeviceError;
 use dqmc::{BMatrixFactory, HsField, Spin};
 use linalg::{workspace, Matrix};
 
@@ -72,28 +73,51 @@ pub fn cluster_custom_kernel(
     hi: usize,
     spin: Spin,
 ) -> Matrix {
+    let out = try_cluster_custom_kernel(dev, expk_dev, fac, h, lo, hi, spin)
+        .unwrap_or_else(|e| panic!("device fault outside fault-aware path: {e}"));
+    linalg::check_finite!(out.as_slice(), "cluster_custom_kernel product [{lo}, {hi})");
+    out
+}
+
+/// Fallible [`cluster_custom_kernel`]: returns a [`DeviceError`] on a
+/// scheduled launch failure or arena exhaustion instead of panicking, and
+/// performs **no finiteness check** on the downloaded product — a silently
+/// corrupted transfer surfaces as NaNs in the returned matrix, which the
+/// recovery-aware caller must scan before use.
+pub fn try_cluster_custom_kernel(
+    dev: &mut Device,
+    expk_dev: &DMatrix,
+    fac: &BMatrixFactory,
+    h: &HsField,
+    lo: usize,
+    hi: usize,
+    spin: Spin,
+) -> Result<Matrix, DeviceError> {
     assert!(lo < hi && hi <= h.slices());
     let n = fac.nsites();
     let mut vh = workspace::take(n);
-    let mut t = dev.dcopy(expk_dev);
-    fac.v_diag_into(h, lo, spin, &mut vh);
-    let mut vd = dev.set_vector(&vh);
-    dev.scale_cols_kernel(&vd, &mut t);
-    // `t`/`next` ping-pong: the GEMM writes the fresh product into the other
-    // buffer, then the roles swap — one device allocation for the whole
-    // cluster instead of one per slice.
-    let mut next = dev.alloc(n, n);
-    for l in (lo + 1)..hi {
-        fac.v_diag_into(h, l, spin, &mut vh);
-        dev.set_vector_into(&vh, &mut vd);
-        dev.scale_rows_kernel(&vd, &mut t);
-        dev.dgemm(1.0, expk_dev, &t, 0.0, &mut next);
-        std::mem::swap(&mut t, &mut next);
-    }
+    // Inner closure so the staging buffer returns to the workspace pool on
+    // every exit path, including early faults.
+    let r = (|| {
+        let mut t = dev.try_dcopy(expk_dev)?;
+        fac.v_diag_into(h, lo, spin, &mut vh);
+        let mut vd = dev.set_vector(&vh);
+        dev.try_scale_cols_kernel(&vd, &mut t)?;
+        // `t`/`next` ping-pong: the GEMM writes the fresh product into the
+        // other buffer, then the roles swap — one device allocation for the
+        // whole cluster instead of one per slice.
+        let mut next = dev.try_alloc(n, n)?;
+        for l in (lo + 1)..hi {
+            fac.v_diag_into(h, l, spin, &mut vh);
+            dev.set_vector_into(&vh, &mut vd);
+            dev.try_scale_rows_kernel(&vd, &mut t)?;
+            dev.try_dgemm(1.0, expk_dev, &t, 0.0, &mut next)?;
+            std::mem::swap(&mut t, &mut next);
+        }
+        Ok(dev.get_matrix(&t))
+    })();
     workspace::put(vh);
-    let out = dev.get_matrix(&t);
-    linalg::check_finite!(out.as_slice(), "cluster_custom_kernel product [{lo}, {hi})");
-    out
+    r
 }
 
 #[cfg(test)]
@@ -180,6 +204,35 @@ mod tests {
         let n = 16usize;
         let expect = 10 * n * 8 + n * n * 8; // k diagonals down, one matrix up
         assert_eq!(moved as usize, expect);
+    }
+
+    #[test]
+    fn try_cluster_launch_failure_errs_then_retry_matches_host() {
+        let (fac, h) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let expk = upload_expk(&mut dev, &fac);
+        // Launch #3 is the first row-scaling kernel inside the loop.
+        dev.arm_faults(crate::faults::FaultPlan::new().fail_launch(3));
+        let err = try_cluster_custom_kernel(&mut dev, &expk, &fac, &h, 0, 10, Spin::Up);
+        assert!(matches!(err, Err(DeviceError::KernelLaunchFailure { .. })));
+        let ok = try_cluster_custom_kernel(&mut dev, &expk, &fac, &h, 0, 10, Spin::Up).unwrap();
+        let want = fac.cluster(&h, 0, 10, Spin::Up);
+        assert!(ok.max_abs_diff(&want) < 1e-12 * want.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn try_cluster_returns_tainted_product_without_panic() {
+        let (fac, h) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let expk = upload_expk(&mut dev, &fac);
+        dev.arm_faults(
+            crate::faults::FaultPlan::new()
+                .with_seed(4)
+                .corrupt_transfer(1),
+        );
+        let tainted =
+            try_cluster_custom_kernel(&mut dev, &expk, &fac, &h, 0, 10, Spin::Up).unwrap();
+        assert!(linalg::check::first_non_finite(tainted.as_slice()).is_some());
     }
 
     #[test]

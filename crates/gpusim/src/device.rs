@@ -1,5 +1,6 @@
 //! The device model: real numerics, simulated time.
 
+use crate::faults::{DeviceError, FaultPlan};
 use linalg::blas3::{gemm, Op};
 use linalg::{scale, Matrix};
 use util::SimClock;
@@ -116,12 +117,26 @@ impl DMatrix {
 
 /// The simulated accelerator: a CUBLAS-like handle whose operations compute
 /// exact host results while advancing a simulated clock.
+///
+/// Every numerical operation comes in two flavours: a fallible `try_*`
+/// variant returning [`DeviceError`] when an armed [`FaultPlan`] fires (or
+/// the arena limit is hit), and the original infallible method, which
+/// delegates to the `try_*` form and panics on a fault. With no plan armed
+/// the two are identical — same numerics, same simulated cost, same
+/// counters — so fault support costs nothing on the clean path.
 #[derive(Clone, Debug)]
 pub struct Device {
     spec: DeviceSpec,
     clock: SimClock,
     bytes_transferred: u64,
     kernels_launched: u64,
+    downloads: u64,
+    allocs: u64,
+    compute_ops: u64,
+    arena_in_use: usize,
+    arena_limit: usize,
+    faults: FaultPlan,
+    faults_injected: u64,
 }
 
 impl Device {
@@ -132,7 +147,32 @@ impl Device {
             clock: SimClock::new(),
             bytes_transferred: 0,
             kernels_launched: 0,
+            downloads: 0,
+            allocs: 0,
+            compute_ops: 0,
+            arena_in_use: 0,
+            arena_limit: 0,
+            faults: FaultPlan::new(),
+            faults_injected: 0,
         }
+    }
+
+    /// Caps the device scratch arena at `bytes`; [`Device::try_alloc`] fails
+    /// with [`DeviceError::ArenaExhausted`] once the cap would be exceeded.
+    /// A limit of 0 (the default) means unlimited.
+    pub fn with_arena_limit(mut self, bytes: usize) -> Self {
+        self.arena_limit = bytes;
+        self
+    }
+
+    /// Arms a scripted fault schedule. Replaces any previous plan.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Number of faults the armed plan has actually injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// The device spec.
@@ -155,7 +195,35 @@ impl Device {
         self.kernels_launched
     }
 
-    /// Resets the clock and counters (contents of device matrices persist).
+    /// Device→host matrix downloads performed.
+    pub fn downloads(&self) -> u64 {
+        self.downloads
+    }
+
+    /// Device allocations performed (attempted, including failed ones).
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Compute operations performed (GEMMs, scalings, wrap kernels).
+    pub fn compute_ops(&self) -> u64 {
+        self.compute_ops
+    }
+
+    /// Bytes currently charged to the scratch arena.
+    pub fn arena_in_use(&self) -> usize {
+        self.arena_in_use
+    }
+
+    /// Releases all scratch-arena accounting (the coarse model of freeing
+    /// per-evaluation temporaries; resident operands are re-uploaded by the
+    /// backend, so nothing tracks them individually).
+    pub fn reset_arena(&mut self) {
+        self.arena_in_use = 0;
+    }
+
+    /// Resets the clock and transfer/launch counters (contents of device
+    /// matrices, fault schedule and fault ordinals persist).
     pub fn reset_clock(&mut self) {
         self.clock.reset();
         self.bytes_transferred = 0;
@@ -169,9 +237,50 @@ impl Device {
         );
     }
 
-    fn launch(&mut self) {
+    /// Charges one kernel launch; fails if the armed plan scheduled this
+    /// launch ordinal to fail. The launch overhead is charged either way
+    /// (the driver burned the submission before rejecting it).
+    fn try_launch(&mut self, kernel: &'static str) -> Result<(), DeviceError> {
         self.kernels_launched += 1;
         self.clock.advance(self.spec.kernel_launch_s);
+        if self.faults.take_launch_fault(self.kernels_launched) {
+            self.faults_injected += 1;
+            return Err(DeviceError::KernelLaunchFailure {
+                kernel,
+                launch_index: self.kernels_launched,
+            });
+        }
+        Ok(())
+    }
+
+    /// The single device→host path: charges PCIe cost and applies any
+    /// scheduled silent corruption (one element → NaN) to the received data.
+    fn download(&mut self, data: &mut [f64]) {
+        self.transfer(data.len() * 8);
+        self.downloads += 1;
+        if self.faults.take_download_fault(self.downloads) {
+            let i = self.faults.pick_index(data.len());
+            data[i] = f64::NAN;
+            self.faults_injected += 1;
+        }
+    }
+
+    /// Counts a completed compute op and applies any scheduled bit flip to
+    /// its output: one element has a high mantissa bit XOR-ed (finite, wrong).
+    fn finish_compute(&mut self, out: &mut Matrix) {
+        self.compute_ops += 1;
+        if self.faults.take_bit_flip(self.compute_ops) {
+            let data = out.as_mut_slice();
+            let i = self.faults.pick_index(data.len());
+            let bit = self.faults.pick_mantissa_bit();
+            data[i] = f64::from_bits(data[i].to_bits() ^ (1u64 << bit));
+            self.faults_injected += 1;
+        }
+    }
+
+    #[track_caller]
+    fn infallible<T>(r: Result<T, DeviceError>) -> T {
+        r.unwrap_or_else(|e| panic!("device fault outside fault-aware path: {e}"))
     }
 
     /// `cublasSetMatrix`: host → device copy.
@@ -194,54 +303,117 @@ impl Device {
         dst.extend_from_slice(v);
     }
 
-    /// `cublasGetMatrix`: device → host copy.
+    /// `cublasGetMatrix`: device → host copy. Subject to scheduled transfer
+    /// corruption — callers on the recovery path must scan the result.
     pub fn get_matrix(&mut self, d: &DMatrix) -> Matrix {
-        self.transfer(d.m.as_slice().len() * 8);
-        d.m.clone()
+        let mut out = d.m.clone();
+        self.download(out.as_mut_slice());
+        out
+    }
+
+    /// [`Device::get_matrix`] into a pre-allocated host matrix.
+    pub fn get_matrix_into(&mut self, d: &DMatrix, out: &mut Matrix) {
+        assert!(d.m.nrows() == out.nrows() && d.m.ncols() == out.ncols());
+        out.as_mut_slice().copy_from_slice(d.m.as_slice());
+        self.download(out.as_mut_slice());
+    }
+
+    /// Fallible device allocation: fails on a scheduled arena exhaustion or
+    /// when an arena limit is configured and would be exceeded. No PCIe cost.
+    pub fn try_alloc(&mut self, nrows: usize, ncols: usize) -> Result<DMatrix, DeviceError> {
+        self.allocs += 1;
+        let requested = nrows * ncols * 8;
+        if self.faults.take_alloc_fault(self.allocs) {
+            self.faults_injected += 1;
+            return Err(DeviceError::ArenaExhausted {
+                requested,
+                in_use: self.arena_in_use,
+                limit: self.arena_limit,
+            });
+        }
+        if self.arena_limit != 0 && self.arena_in_use + requested > self.arena_limit {
+            return Err(DeviceError::ArenaExhausted {
+                requested,
+                in_use: self.arena_in_use,
+                limit: self.arena_limit,
+            });
+        }
+        self.arena_in_use += requested;
+        Ok(DMatrix {
+            m: Matrix::zeros(nrows, ncols),
+        })
     }
 
     /// Allocates an uninitialised (zero) device matrix (no PCIe cost).
     pub fn alloc(&mut self, nrows: usize, ncols: usize) -> DMatrix {
-        DMatrix {
-            m: Matrix::zeros(nrows, ncols),
-        }
+        Self::infallible(self.try_alloc(nrows, ncols))
     }
 
-    /// `cublasDcopy` of a whole matrix.
-    pub fn dcopy(&mut self, src: &DMatrix) -> DMatrix {
-        self.launch();
+    /// Fallible `cublasDcopy` of a whole matrix.
+    pub fn try_dcopy(&mut self, src: &DMatrix) -> Result<DMatrix, DeviceError> {
+        self.try_launch("dcopy")?;
         // Device-side copy: read + write at full bandwidth.
         let bytes = (src.m.as_slice().len() * 16) as f64;
         self.clock
             .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
-        DMatrix { m: src.m.clone() }
+        Ok(DMatrix { m: src.m.clone() })
+    }
+
+    /// `cublasDcopy` of a whole matrix.
+    pub fn dcopy(&mut self, src: &DMatrix) -> DMatrix {
+        Self::infallible(self.try_dcopy(src))
+    }
+
+    /// Fallible [`Device::dcopy_into`].
+    pub fn try_dcopy_into(&mut self, src: &DMatrix, dst: &mut DMatrix) -> Result<(), DeviceError> {
+        assert!(src.m.nrows() == dst.m.nrows() && src.m.ncols() == dst.m.ncols());
+        self.try_launch("dcopy")?;
+        let bytes = (src.m.as_slice().len() * 16) as f64;
+        self.clock
+            .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
+        dst.m.as_mut_slice().copy_from_slice(src.m.as_slice());
+        Ok(())
     }
 
     /// `cublasDcopy` into a pre-allocated device matrix — same device-side
     /// bandwidth cost, no allocation.
     pub fn dcopy_into(&mut self, src: &DMatrix, dst: &mut DMatrix) {
-        assert!(src.m.nrows() == dst.m.nrows() && src.m.ncols() == dst.m.ncols());
-        self.launch();
-        let bytes = (src.m.as_slice().len() * 16) as f64;
-        self.clock
-            .advance(bytes / (self.spec.mem_bandwidth_gbs * 1e9));
-        dst.m.as_mut_slice().copy_from_slice(src.m.as_slice());
+        Self::infallible(self.try_dcopy_into(src, dst));
     }
 
-    /// `cublasDgemm`: `C = alpha·A·B + beta·C`.
-    pub fn dgemm(&mut self, alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix) {
-        self.launch();
+    /// Fallible `cublasDgemm`: `C = alpha·A·B + beta·C`.
+    pub fn try_dgemm(
+        &mut self,
+        alpha: f64,
+        a: &DMatrix,
+        b: &DMatrix,
+        beta: f64,
+        c: &mut DMatrix,
+    ) -> Result<(), DeviceError> {
+        self.try_launch("dgemm")?;
         let (m, k, n) = (a.m.nrows(), a.m.ncols(), b.m.ncols());
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
         let order = ((m * n * k) as f64).cbrt() as usize;
         self.clock
             .advance(flops / (self.spec.gemm_rate(order) * 1e9));
         gemm(alpha, &a.m, Op::NoTrans, &b.m, Op::NoTrans, beta, &mut c.m);
+        self.finish_compute(&mut c.m);
+        Ok(())
+    }
+
+    /// `cublasDgemm`: `C = alpha·A·B + beta·C`.
+    pub fn dgemm(&mut self, alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix) {
+        Self::infallible(self.try_dgemm(alpha, a, b, beta, c));
     }
 
     /// One `cublasDscal` on `len` elements with the given coalescing quality.
-    fn dscal_cost(&mut self, len: usize, coalesced: bool) {
-        self.launch();
+    fn try_dscal_cost(
+        &mut self,
+        kernel: &'static str,
+        len: usize,
+        coalesced: bool,
+    ) -> Result<(), DeviceError> {
+        self.try_launch(kernel)?;
         let frac = if coalesced {
             1.0
         } else {
@@ -250,58 +422,97 @@ impl Device {
         let bytes = (len * 16) as f64; // read + write
         self.clock
             .advance(bytes / (self.spec.mem_bandwidth_gbs * frac * 1e9));
+        Ok(())
+    }
+
+    /// Fallible [`Device::scale_rows_cublas`]. On a launch failure partway
+    /// through the row loop the matrix is left unmodified (the scaling is
+    /// applied only after every launch succeeded).
+    pub fn try_scale_rows_cublas(&mut self, v: &[f64], a: &mut DMatrix) -> Result<(), DeviceError> {
+        let n = a.m.nrows();
+        assert_eq!(v.len(), n);
+        for _ in 0..n {
+            self.try_dscal_cost("dscal", a.m.ncols(), false)?;
+        }
+        scale::row_scale(v, &mut a.m);
+        self.finish_compute(&mut a.m);
+        Ok(())
     }
 
     /// Algorithm 4's scaling: one `cublasDscal` per row (N launches,
     /// non-coalesced row access). `a ← diag(v)·a`.
     pub fn scale_rows_cublas(&mut self, v: &[f64], a: &mut DMatrix) {
-        let n = a.m.nrows();
-        assert_eq!(v.len(), n);
-        for _ in 0..n {
-            self.dscal_cost(a.m.ncols(), false);
-        }
+        Self::infallible(self.try_scale_rows_cublas(v, a));
+    }
+
+    /// Fallible [`Device::scale_rows_kernel`].
+    pub fn try_scale_rows_kernel(&mut self, v: &[f64], a: &mut DMatrix) -> Result<(), DeviceError> {
+        assert_eq!(v.len(), a.m.nrows());
+        self.try_dscal_cost("scale_rows_kernel", a.m.as_slice().len(), true)?;
         scale::row_scale(v, &mut a.m);
+        self.finish_compute(&mut a.m);
+        Ok(())
     }
 
     /// Algorithm 5: custom row-scaling kernel — one launch, one thread per
     /// row, coalesced reads/writes. `a ← diag(v)·a`.
     pub fn scale_rows_kernel(&mut self, v: &[f64], a: &mut DMatrix) {
-        assert_eq!(v.len(), a.m.nrows());
-        self.dscal_cost(a.m.as_slice().len(), true);
-        scale::row_scale(v, &mut a.m);
+        Self::infallible(self.try_scale_rows_kernel(v, a));
+    }
+
+    /// Fallible [`Device::scale_cols_cublas`]; same no-partial-effect
+    /// guarantee as [`Device::try_scale_rows_cublas`].
+    pub fn try_scale_cols_cublas(&mut self, v: &[f64], a: &mut DMatrix) -> Result<(), DeviceError> {
+        let n = a.m.ncols();
+        assert_eq!(v.len(), n);
+        for _ in 0..n {
+            self.try_dscal_cost("dscal", a.m.nrows(), true)?;
+        }
+        scale::col_scale(v, &mut a.m);
+        self.finish_compute(&mut a.m);
+        Ok(())
     }
 
     /// Algorithm 4's scaling in column form: one `cublasDscal` per column.
     /// Columns are contiguous in device memory, so each launch streams
     /// coalesced — but the `N` launch overheads remain. `a ← a·diag(v)`.
     pub fn scale_cols_cublas(&mut self, v: &[f64], a: &mut DMatrix) {
-        let n = a.m.ncols();
-        assert_eq!(v.len(), n);
-        for _ in 0..n {
-            self.dscal_cost(a.m.nrows(), true);
-        }
+        Self::infallible(self.try_scale_cols_cublas(v, a));
+    }
+
+    /// Fallible [`Device::scale_cols_kernel`].
+    pub fn try_scale_cols_kernel(&mut self, v: &[f64], a: &mut DMatrix) -> Result<(), DeviceError> {
+        assert_eq!(v.len(), a.m.ncols());
+        self.try_dscal_cost("scale_cols_kernel", a.m.as_slice().len(), true)?;
         scale::col_scale(v, &mut a.m);
+        self.finish_compute(&mut a.m);
+        Ok(())
     }
 
     /// Algorithm 5 in column form: one launch, coalesced. `a ← a·diag(v)`.
     pub fn scale_cols_kernel(&mut self, v: &[f64], a: &mut DMatrix) {
-        assert_eq!(v.len(), a.m.ncols());
-        self.dscal_cost(a.m.as_slice().len(), true);
-        scale::col_scale(v, &mut a.m);
+        Self::infallible(self.try_scale_cols_kernel(v, a));
     }
 
-    /// Algorithm 7: custom two-sided scaling kernel
-    /// `G ← diag(v)·G·diag(v)⁻¹` — one launch; the column factor arrives via
-    /// the texture cache, modelled as a modest bandwidth penalty.
-    pub fn wrap_scale_kernel(&mut self, v: &[f64], g: &mut DMatrix) {
+    /// Fallible [`Device::wrap_scale_kernel`].
+    pub fn try_wrap_scale_kernel(&mut self, v: &[f64], g: &mut DMatrix) -> Result<(), DeviceError> {
         assert_eq!(v.len(), g.m.nrows());
-        self.launch();
+        self.try_launch("wrap_scale_kernel")?;
         let bytes = (g.m.as_slice().len() * 16) as f64;
         // Texture-cached gather: ~70 % of streaming bandwidth.
         self.clock
             .advance(bytes / (self.spec.mem_bandwidth_gbs * 0.7 * 1e9));
         let vinv: Vec<f64> = v.iter().map(|&x| 1.0 / x).collect();
         scale::row_col_scale(v, &vinv, &mut g.m);
+        self.finish_compute(&mut g.m);
+        Ok(())
+    }
+
+    /// Algorithm 7: custom two-sided scaling kernel
+    /// `G ← diag(v)·G·diag(v)⁻¹` — one launch; the column factor arrives via
+    /// the texture cache, modelled as a modest bandwidth penalty.
+    pub fn wrap_scale_kernel(&mut self, v: &[f64], g: &mut DMatrix) {
+        Self::infallible(self.try_wrap_scale_kernel(v, g));
     }
 }
 
@@ -324,6 +535,7 @@ mod tests {
         let back = d.get_matrix(&dm);
         assert_eq!(back, m);
         assert_eq!(d.bytes_transferred(), 2 * 64 * 64 * 8);
+        assert_eq!(d.downloads(), 1);
     }
 
     #[test]
@@ -421,5 +633,115 @@ mod tests {
         let t_qr = h.level3_time(1e9, 512, h.qr_fraction);
         let t_qrp = h.level3_time(1e9, 512, h.qrp_fraction);
         assert!(t_gemm < t_qr && t_qr < t_qrp);
+    }
+
+    #[test]
+    fn unarmed_device_is_bit_and_cost_identical() {
+        // A device that never arms a plan must behave exactly like one that
+        // arms the empty plan: same numerics, clock, and counters.
+        let mut rng = Rng::new(4);
+        let a = Matrix::random(24, 24, &mut rng);
+        let run = |armed: bool| {
+            let mut d = dev();
+            if armed {
+                d.arm_faults(FaultPlan::new());
+            }
+            let da = d.set_matrix(&a);
+            let mut t = d.dcopy(&da);
+            let v = vec![1.5; 24];
+            d.scale_rows_kernel(&v, &mut t);
+            let mut c = d.alloc(24, 24);
+            d.dgemm(1.0, &da, &t, 0.0, &mut c);
+            (d.get_matrix(&c), d.elapsed(), d.kernels_launched())
+        };
+        let (m1, t1, k1) = run(false);
+        let (m2, t2, k2) = run(true);
+        assert_eq!(m1, m2);
+        assert_eq!(t1.to_bits(), t2.to_bits());
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn scheduled_download_corruption_poisons_one_element() {
+        let mut d = dev();
+        d.arm_faults(FaultPlan::new().with_seed(11).corrupt_transfer(2));
+        let m = Matrix::identity(8);
+        let dm = d.set_matrix(&m);
+        assert_eq!(d.get_matrix(&dm), m, "download #1 is clean");
+        let bad = d.get_matrix(&dm);
+        let nans = bad.as_slice().iter().filter(|x| x.is_nan()).count();
+        assert_eq!(nans, 1, "download #2 carries exactly one NaN");
+        assert_eq!(d.faults_injected(), 1);
+        assert_eq!(d.get_matrix(&dm), m, "one-shot: download #3 clean again");
+    }
+
+    #[test]
+    fn scheduled_launch_failure_fires_then_clears() {
+        let mut d = dev();
+        d.arm_faults(FaultPlan::new().fail_launch(2));
+        let da = d.set_matrix(&Matrix::identity(8));
+        let db = d.set_matrix(&Matrix::identity(8));
+        let mut c = d.alloc(8, 8);
+        assert!(d.try_dgemm(1.0, &da, &db, 0.0, &mut c).is_ok());
+        let err = d.try_dgemm(1.0, &da, &db, 0.0, &mut c).unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::KernelLaunchFailure {
+                kernel: "dgemm",
+                launch_index: 2
+            }
+        ));
+        assert!(d.try_dgemm(1.0, &da, &db, 0.0, &mut c).is_ok(), "retry ok");
+        assert_eq!(d.faults_injected(), 1);
+    }
+
+    #[test]
+    fn scheduled_oom_and_arena_limit() {
+        let mut d = dev().with_arena_limit(3 * 8 * 8 * 8);
+        d.arm_faults(FaultPlan::new().oom_at_alloc(2));
+        assert!(d.try_alloc(8, 8).is_ok());
+        let err = d.try_alloc(8, 8).unwrap_err();
+        assert!(matches!(err, DeviceError::ArenaExhausted { .. }));
+        // Injected OOMs charge nothing; two more real allocations fit.
+        assert!(d.try_alloc(8, 8).is_ok());
+        assert!(d.try_alloc(8, 8).is_ok());
+        // Now the configured limit itself bites.
+        assert!(d.try_alloc(8, 8).is_err());
+        d.reset_arena();
+        assert!(d.try_alloc(8, 8).is_ok(), "arena reset frees the charge");
+    }
+
+    #[test]
+    fn scheduled_bit_flip_is_finite_and_wrong() {
+        let mut rng = Rng::new(5);
+        let a = Matrix::random(16, 16, &mut rng);
+        let b = Matrix::random(16, 16, &mut rng);
+        let mut clean = dev();
+        let (ca, cb) = (clean.set_matrix(&a), clean.set_matrix(&b));
+        let mut cc = clean.alloc(16, 16);
+        clean.dgemm(1.0, &ca, &cb, 0.0, &mut cc);
+
+        let mut d = dev();
+        d.arm_faults(FaultPlan::new().with_seed(9).flip_bit_after_op(1));
+        let (da, db) = (d.set_matrix(&a), d.set_matrix(&b));
+        let mut dc = d.alloc(16, 16);
+        d.dgemm(1.0, &da, &db, 0.0, &mut dc);
+        assert_eq!(d.faults_injected(), 1);
+
+        let flipped: Vec<usize> = (0..16 * 16)
+            .filter(|&i| dc.host_view().as_slice()[i] != cc.host_view().as_slice()[i])
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one element differs");
+        let v = dc.host_view().as_slice()[flipped[0]];
+        assert!(v.is_finite(), "bit flip stays finite: {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "device fault outside fault-aware path")]
+    fn infallible_op_panics_on_armed_fault() {
+        let mut d = dev();
+        d.arm_faults(FaultPlan::new().fail_launch(1));
+        let src = d.set_matrix(&Matrix::identity(4));
+        let _ = d.dcopy(&src);
     }
 }

@@ -1,0 +1,268 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real accelerator deployments fail in a handful of well-known ways: a
+//! host↔device transfer silently corrupts, a kernel launch errors out, the
+//! device memory arena is exhausted mid-allocation, or a resident bit flips
+//! (no ECC on consumer parts). A [`FaultPlan`] scripts any combination of
+//! those against the [`Device`](crate::device::Device) cost model so the
+//! recovery ladder in `dqmc::sweep` can be exercised deterministically:
+//! every fault fires at an exact operation ordinal, and any randomness
+//! (which matrix element to poison, which mantissa bit to flip) comes from
+//! a seeded [`util::Rng`] owned by the plan — reruns reproduce bit-for-bit.
+//!
+//! Faults are **one-shot**: once a scheduled fault fires it is consumed, so
+//! a retry of the same operation succeeds (unless another fault is scheduled
+//! at the retried ordinal). Persistent failure is modelled by scheduling a
+//! run of consecutive ordinals.
+
+use std::fmt;
+
+/// An error raised by a fallible device operation.
+///
+/// Only *device-class* failures are represented here — the operation did not
+/// complete. Silent data corruption (transfer poison, bit flips) does not
+/// error; it surfaces downstream when the caller scans the result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A kernel launch was rejected by the (simulated) driver.
+    KernelLaunchFailure {
+        /// Name of the kernel whose launch failed.
+        kernel: &'static str,
+        /// 1-based global launch ordinal that failed.
+        launch_index: u64,
+    },
+    /// The device memory arena could not satisfy an allocation.
+    ArenaExhausted {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes already resident in the arena.
+        in_use: usize,
+        /// Configured arena capacity (0 ⇒ the exhaustion was injected).
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::KernelLaunchFailure {
+                kernel,
+                launch_index,
+            } => {
+                write!(f, "kernel launch failure: {kernel} (launch #{launch_index})")
+            }
+            DeviceError::ArenaExhausted {
+                requested,
+                in_use,
+                limit,
+            } => write!(
+                f,
+                "device arena exhausted: requested {requested} B with {in_use} B in use (limit {limit} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A scripted schedule of device faults.
+///
+/// Ordinals are 1-based and count per category over the device's lifetime
+/// (they survive [`Device::reset_clock`](crate::device::Device::reset_clock)):
+/// the 3rd download is the 3rd `get_matrix` since the device was created,
+/// regardless of how many kernels launched in between.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    corrupt_downloads: Vec<u64>,
+    failed_launches: Vec<u64>,
+    failed_allocs: Vec<u64>,
+    bit_flips: Vec<u64>,
+    rng: Option<util::Rng>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Seeds the plan's private RNG, used to pick which element a transfer
+    /// corruption poisons and which mantissa bit a flip targets. Plans that
+    /// schedule corruption or flips without a seed fall back to seed 0.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = Some(util::Rng::new(seed));
+        self
+    }
+
+    /// Schedules silent corruption of the `nth` (1-based) device→host matrix
+    /// download: one element of the received matrix becomes NaN.
+    pub fn corrupt_transfer(mut self, nth: u64) -> Self {
+        self.corrupt_downloads.push(nth);
+        self
+    }
+
+    /// Schedules the `nth` (1-based) kernel launch to fail.
+    pub fn fail_launch(mut self, nth: u64) -> Self {
+        self.failed_launches.push(nth);
+        self
+    }
+
+    /// Schedules the `nth` (1-based) device allocation to report arena
+    /// exhaustion.
+    pub fn oom_at_alloc(mut self, nth: u64) -> Self {
+        self.failed_allocs.push(nth);
+        self
+    }
+
+    /// Schedules a bit flip in the output of the `nth` (1-based) device
+    /// compute operation (GEMM / scaling / wrap kernels): one element has a
+    /// high mantissa bit XOR-ed, producing a *finite* but wrong value — the
+    /// silent-corruption case that only a consistency check can catch.
+    pub fn flip_bit_after_op(mut self, nth: u64) -> Self {
+        self.bit_flips.push(nth);
+        self
+    }
+
+    /// A randomized plan: over the first `horizon` ordinals of each category,
+    /// each ordinal independently faults with probability `rate`. Fully
+    /// determined by `seed`.
+    pub fn random(seed: u64, horizon: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut rng = util::Rng::new(seed);
+        let mut plan = FaultPlan::new();
+        for n in 1..=horizon {
+            if rng.next_f64() < rate {
+                plan.corrupt_downloads.push(n);
+            }
+            if rng.next_f64() < rate {
+                plan.failed_launches.push(n);
+            }
+            if rng.next_f64() < rate {
+                plan.failed_allocs.push(n);
+            }
+            if rng.next_f64() < rate {
+                plan.bit_flips.push(n);
+            }
+        }
+        plan.rng = Some(rng);
+        plan
+    }
+
+    /// True when the plan schedules nothing (the unarmed state).
+    pub fn is_empty(&self) -> bool {
+        self.corrupt_downloads.is_empty()
+            && self.failed_launches.is_empty()
+            && self.failed_allocs.is_empty()
+            && self.bit_flips.is_empty()
+    }
+
+    fn take(list: &mut Vec<u64>, n: u64) -> bool {
+        if let Some(pos) = list.iter().position(|&x| x == n) {
+            list.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a scheduled corruption of download `n`, if any.
+    pub(crate) fn take_download_fault(&mut self, n: u64) -> bool {
+        Self::take(&mut self.corrupt_downloads, n)
+    }
+
+    /// Consumes a scheduled failure of launch `n`, if any.
+    pub(crate) fn take_launch_fault(&mut self, n: u64) -> bool {
+        Self::take(&mut self.failed_launches, n)
+    }
+
+    /// Consumes a scheduled exhaustion at allocation `n`, if any.
+    pub(crate) fn take_alloc_fault(&mut self, n: u64) -> bool {
+        Self::take(&mut self.failed_allocs, n)
+    }
+
+    /// Consumes a scheduled bit flip after compute op `n`, if any.
+    pub(crate) fn take_bit_flip(&mut self, n: u64) -> bool {
+        Self::take(&mut self.bit_flips, n)
+    }
+
+    fn rng(&mut self) -> &mut util::Rng {
+        self.rng.get_or_insert_with(|| util::Rng::new(0))
+    }
+
+    /// Picks the element index a corruption targets in a buffer of `len`.
+    pub(crate) fn pick_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        self.rng().next_range(len as u64) as usize
+    }
+
+    /// Picks a high mantissa bit (44..52) so the flipped value stays finite
+    /// but diverges far beyond roundoff — detectable only by a consistency
+    /// check, not by a finiteness scan.
+    pub(crate) fn pick_mantissa_bit(&mut self) -> u32 {
+        44 + self.rng().next_range(8) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut p = FaultPlan::new();
+        assert!(p.is_empty());
+        for n in 1..100 {
+            assert!(!p.take_download_fault(n));
+            assert!(!p.take_launch_fault(n));
+            assert!(!p.take_alloc_fault(n));
+            assert!(!p.take_bit_flip(n));
+        }
+    }
+
+    #[test]
+    fn scheduled_faults_are_one_shot() {
+        let mut p = FaultPlan::new().fail_launch(3).fail_launch(3);
+        assert!(!p.take_launch_fault(2));
+        assert!(p.take_launch_fault(3), "first hit fires");
+        assert!(p.take_launch_fault(3), "second scheduled copy fires");
+        assert!(!p.take_launch_fault(3), "then the ordinal is clean");
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let a = FaultPlan::random(42, 1000, 0.05);
+        let b = FaultPlan::random(42, 1000, 0.05);
+        assert_eq!(a.corrupt_downloads, b.corrupt_downloads);
+        assert_eq!(a.failed_launches, b.failed_launches);
+        assert_eq!(a.failed_allocs, b.failed_allocs);
+        assert_eq!(a.bit_flips, b.bit_flips);
+        assert!(!a.is_empty(), "5% over 1000 ordinals fires sometimes");
+        let c = FaultPlan::random(43, 1000, 0.05);
+        assert_ne!(a.failed_launches, c.failed_launches, "seed matters");
+    }
+
+    #[test]
+    fn mantissa_bit_in_high_range() {
+        let mut p = FaultPlan::new().with_seed(7);
+        for _ in 0..64 {
+            let b = p.pick_mantissa_bit();
+            assert!((44..52).contains(&b));
+        }
+    }
+
+    #[test]
+    fn errors_display_context() {
+        let e = DeviceError::KernelLaunchFailure {
+            kernel: "dgemm",
+            launch_index: 17,
+        };
+        assert!(e.to_string().contains("dgemm"));
+        assert!(e.to_string().contains("17"));
+        let o = DeviceError::ArenaExhausted {
+            requested: 4096,
+            in_use: 1024,
+            limit: 2048,
+        };
+        assert!(o.to_string().contains("4096"));
+    }
+}

@@ -22,15 +22,25 @@
 //!
 //! Timings are simulated; *numerics are real* — `gpusim` results are
 //! bit-identical to the host path and are asserted as such in tests.
+//!
+//! The device is also *fallible on demand*: a scripted [`FaultPlan`] injects
+//! launch failures, arena exhaustion, silent transfer corruption and bit
+//! flips at exact operation ordinals ([`faults`]), every costed operation has
+//! a `try_*` form surfacing those as [`DeviceError`]s, and [`DeviceBackend`]
+//! plugs the device into `dqmc`'s recovery-aware sweep ([`backend`]).
 
+pub mod backend;
 pub mod cluster;
 pub mod device;
+pub mod faults;
 pub mod gpu_strat;
 pub mod hybrid;
 pub mod wrap;
 
-pub use cluster::{cluster_cublas, cluster_custom_kernel};
+pub use backend::DeviceBackend;
+pub use cluster::{cluster_cublas, cluster_custom_kernel, try_cluster_custom_kernel};
 pub use device::{DMatrix, Device, DeviceSpec, HostSpec};
+pub use faults::{DeviceError, FaultPlan};
 pub use gpu_strat::{gpu_stratified_greens, GpuStratReport};
 pub use hybrid::{hybrid_greens, HybridReport};
-pub use wrap::wrap_on_device;
+pub use wrap::{try_wrap_on_device_into, wrap_on_device};

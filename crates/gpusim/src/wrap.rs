@@ -7,6 +7,7 @@
 //! clustering's efficiency (the Figure 9 gap).
 
 use crate::device::{DMatrix, Device};
+use crate::faults::DeviceError;
 use dqmc::{BMatrixFactory, HsField, Spin};
 use linalg::Matrix;
 
@@ -19,6 +20,7 @@ pub fn upload_expk_inv(dev: &mut Device, fac: &BMatrixFactory) -> DMatrix {
 ///
 /// With `B = e^{−ΔτK}·V`: `B G B⁻¹ = e^{−ΔτK} (V G V⁻¹) e^{+ΔτK}` — one
 /// Algorithm 7 scaling between two GEMMs.
+#[allow(clippy::too_many_arguments)]
 pub fn wrap_on_device(
     dev: &mut Device,
     expk_dev: &DMatrix,
@@ -30,24 +32,58 @@ pub fn wrap_on_device(
     g: &Matrix,
 ) -> Matrix {
     let n = fac.nsites();
-    let mut dg = dev.set_matrix(g);
-    let vh = fac.v_diag(h, l, spin);
-    let v = dev.set_vector(&vh);
-    linalg::workspace::put(vh);
-    // V G V⁻¹ via the texture-cache kernel.
-    dev.wrap_scale_kernel(&v, &mut dg);
-    // e^{−ΔτK} · (VGV⁻¹)
-    let mut t = dev.alloc(n, n);
-    dev.dgemm(1.0, expk_dev, &dg, 0.0, &mut t);
-    // · e^{+ΔτK}
-    let mut out = dev.alloc(n, n);
-    dev.dgemm(1.0, &t, expk_inv_dev, 0.0, &mut out);
-    let wrapped = dev.get_matrix(&out);
+    let mut wrapped = Matrix::zeros(n, n);
+    try_wrap_on_device_into(
+        dev,
+        expk_dev,
+        expk_inv_dev,
+        fac,
+        h,
+        l,
+        spin,
+        g,
+        &mut wrapped,
+    )
+    .unwrap_or_else(|e| panic!("device fault outside fault-aware path: {e}"));
     linalg::check_finite!(
         wrapped.as_slice(),
         "wrap_on_device output ({n}x{n}) at slice {l}"
     );
     wrapped
+}
+
+/// Fallible [`wrap_on_device`] into a pre-allocated host matrix: returns a
+/// [`DeviceError`] on a scheduled launch failure or arena exhaustion and
+/// performs **no finiteness check** on the downloaded result — the
+/// recovery-aware caller scans `out` for transfer corruption itself.
+#[allow(clippy::too_many_arguments)]
+pub fn try_wrap_on_device_into(
+    dev: &mut Device,
+    expk_dev: &DMatrix,
+    expk_inv_dev: &DMatrix,
+    fac: &BMatrixFactory,
+    h: &HsField,
+    l: usize,
+    spin: Spin,
+    g: &Matrix,
+    out: &mut Matrix,
+) -> Result<(), DeviceError> {
+    let n = fac.nsites();
+    assert!(out.nrows() == n && out.ncols() == n);
+    let mut dg = dev.set_matrix(g);
+    let vh = fac.v_diag(h, l, spin);
+    let v = dev.set_vector(&vh);
+    linalg::workspace::put(vh);
+    // V G V⁻¹ via the texture-cache kernel.
+    dev.try_wrap_scale_kernel(&v, &mut dg)?;
+    // e^{−ΔτK} · (VGV⁻¹)
+    let mut t = dev.try_alloc(n, n)?;
+    dev.try_dgemm(1.0, expk_dev, &dg, 0.0, &mut t)?;
+    // · e^{+ΔτK}
+    let mut prod = dev.try_alloc(n, n)?;
+    dev.try_dgemm(1.0, &t, expk_inv_dev, 0.0, &mut prod)?;
+    dev.get_matrix_into(&prod, out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -93,6 +129,31 @@ mod tests {
         let moved = (dev.bytes_transferred() - before) as usize;
         let n = 16usize;
         assert_eq!(moved, 2 * n * n * 8 + n * 8);
+    }
+
+    #[test]
+    fn try_wrap_oom_errs_then_retry_succeeds_and_corruption_is_visible() {
+        let (fac, h, g) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        dev.arm_faults(
+            crate::faults::FaultPlan::new()
+                .with_seed(2)
+                .oom_at_alloc(1)
+                .corrupt_transfer(2),
+        );
+        let mut out = Matrix::zeros(16, 16);
+        let err = try_wrap_on_device_into(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g, &mut out);
+        assert!(matches!(err, Err(DeviceError::ArenaExhausted { .. })));
+        // Retry succeeds; download #1 is clean.
+        try_wrap_on_device_into(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g, &mut out).unwrap();
+        assert!(linalg::check::first_non_finite(out.as_slice()).is_none());
+        let want = dqmc::greens::wrap(&fac, &h, 0, Spin::Up, &g);
+        assert!(out.max_abs_diff(&want) < 1e-12);
+        // The next wrap's download (#2) is silently corrupted but returns Ok.
+        try_wrap_on_device_into(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g, &mut out).unwrap();
+        assert!(linalg::check::first_non_finite(out.as_slice()).is_some());
     }
 
     #[test]

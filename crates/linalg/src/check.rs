@@ -79,6 +79,21 @@ pub fn assert_graded(ctx: &str, d: &[f64], slack: f64) {
     }
 }
 
+/// Returns the flat index and value of the first non-finite element of
+/// `data`, or `None` when every element is finite.
+///
+/// Unlike [`assert_all_finite`] this never panics and is compiled
+/// unconditionally: the recovery layer in `dqmc::sweep` uses it as an
+/// always-on taint detector so that a poisoned cluster product or wrapped
+/// Green's function can be *repaired* (retry, cluster shrink, host
+/// fallback) instead of aborting the run.
+pub fn first_non_finite(data: &[f64]) -> Option<(usize, f64)> {
+    data.iter()
+        .enumerate()
+        .find(|(_, x)| !x.is_finite())
+        .map(|(i, &x)| (i, x))
+}
+
 /// Cumulative count of exact column-norm recomputations forced by the
 /// dlaqps downdate safeguard in [`crate::qrp`].
 static NORM_DOWNDATE_RECOMPUTES: AtomicU64 = AtomicU64::new(0);
@@ -198,6 +213,18 @@ mod tests {
     #[test]
     fn graded_slack_allows_mild_inversion() {
         assert_graded("mild", &[1.0, 5.0, 2.0], 10.0);
+    }
+
+    #[test]
+    fn first_non_finite_locates_taint() {
+        assert_eq!(first_non_finite(&[1.0, -2.0, 0.0]), None);
+        assert_eq!(first_non_finite(&[]), None);
+        let (i, v) = first_non_finite(&[1.0, f64::INFINITY, f64::NAN]).unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_infinite());
+        let (i, v) = first_non_finite(&[f64::NAN]).unwrap();
+        assert_eq!(i, 0);
+        assert!(v.is_nan());
     }
 
     #[test]

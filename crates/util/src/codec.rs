@@ -1,0 +1,373 @@
+//! Little-endian binary codec primitives shared by the checkpoint format.
+//!
+//! The DQMC checkpoint (core::checkpoint) is a length-prefixed, CRC-guarded
+//! byte stream; this module provides the writer/reader pair, the error
+//! taxonomy, a table-driven CRC-32 (IEEE polynomial) and an FNV-1a 64-bit
+//! hash used to fingerprint simulation parameters. Everything here is pure
+//! and allocation-light so the codec can be property-tested exhaustively.
+
+use std::fmt;
+
+/// Why a decode failed. Every variant is a clean error: no decode path may
+/// panic on malformed bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the requested field.
+    Truncated {
+        /// Bytes requested by the read.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The leading magic bytes did not match.
+    BadMagic,
+    /// The format version is not one this build can read.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The payload checksum did not match its header.
+    BadChecksum {
+        /// CRC recorded in the file.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
+    /// A field decoded to a value that violates its invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated stream: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (expected {expected})"
+                )
+            }
+            CodecError::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            CodecError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bit-exact round trip,
+    /// including NaN payloads and signed zero).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a `u64` length prefix followed by each `f64`.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian byte source over a borrowed slice.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn chunk(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.chunk(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let c = self.chunk(4)?;
+        Ok(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let c = self.chunk(8)?;
+        Ok(u64::from_le_bytes([
+            c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.chunk(n)
+    }
+
+    /// Reads a `u64` length prefix and that many `f64`s. The length is
+    /// validated against the remaining bytes *before* allocating, so a
+    /// corrupt prefix cannot trigger an enormous allocation.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let len = self.get_u64()? as usize;
+        if len.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(CodecError::Truncated {
+                needed: len.saturating_mul(8),
+                remaining: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Nibble-driven table: 16 entries, built at compile time.
+    const TABLE: [u32; 16] = {
+        let mut t = [0u32; 16];
+        let mut i = 0;
+        while i < 16 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 4 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0x0F) as usize] ^ (crc >> 4);
+        crc = TABLE[((crc ^ (b as u32 >> 4)) & 0x0F) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+/// Incremental FNV-1a 64-bit hasher (parameter fingerprints).
+#[derive(Clone, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Folds bytes into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Folds an `f64` bit pattern into the hash.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 7);
+        w.put_i64(-42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_f64(std::f64::consts::PI);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn round_trip_f64_slice() {
+        let v = [1.0, -2.5, 1e-300, f64::INFINITY];
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&v);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_f64_vec().unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn truncated_reads_error_cleanly() {
+        let mut w = ByteWriter::new();
+        w.put_u64(3);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_u64().is_err());
+        }
+        // A length prefix promising more f64s than remain must not allocate
+        // or panic.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_f64_vec(),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Single-bit sensitivity.
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+    }
+
+    #[test]
+    fn fnv_distinguishes_field_order() {
+        let mut a = Fnv1a::new();
+        a.update_u64(1);
+        a.update_u64(2);
+        let mut b = Fnv1a::new();
+        b.update_u64(2);
+        b.update_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        // Known FNV-1a vector: empty input is the offset basis.
+        assert_eq!(Fnv1a::new().finish(), 0xCBF2_9CE4_8422_2325);
+    }
+}

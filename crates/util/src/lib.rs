@@ -12,13 +12,17 @@
 //! - [`timer`]: wall-clock phase profiling (Table I of the paper) and a
 //!   simulated clock used by the GPU device model,
 //! - [`table`]: minimal fixed-width table rendering for the figure/table
-//!   harness binaries.
+//!   harness binaries,
+//! - [`codec`]: the little-endian byte codec, CRC-32 and FNV-1a hashes
+//!   backing the versioned checkpoint format in `core::checkpoint`.
 
+pub mod codec;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod timer;
 
+pub use codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
 pub use rng::Rng;
 pub use stats::{autocorrelation_time, BinnedAccumulator, FiveNumber, RunningStats};
 pub use timer::{PhaseTimer, SimClock};

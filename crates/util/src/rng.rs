@@ -60,6 +60,36 @@ impl Rng {
         Rng { s }
     }
 
+    /// The current 256-bit state. `Rng::from_state(rng.state())` resumes the
+    /// stream exactly where it left off — this is what makes checkpointed
+    /// runs bit-identical to uninterrupted ones.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Serializes the state (four little-endian `u64`s).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        for &x in &self.s {
+            w.put_u64(x);
+        }
+    }
+
+    /// Deserializes a state written by [`Rng::encode`]. The all-zero state is
+    /// rejected as [`crate::codec::CodecError::Invalid`] rather than a panic,
+    /// so corrupt checkpoints fail cleanly.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let mut s = [0u64; 4];
+        for x in &mut s {
+            *x = r.get_u64()?;
+        }
+        if s.iter().all(|&x| x == 0) {
+            return Err(crate::codec::CodecError::Invalid(
+                "xoshiro state must be non-zero".into(),
+            ));
+        }
+        Ok(Rng { s })
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

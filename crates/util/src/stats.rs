@@ -84,6 +84,26 @@ impl RunningStats {
         self.max
     }
 
+    /// Serializes the accumulator for checkpointing.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    /// Deserializes an accumulator written by [`RunningStats::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        Ok(RunningStats {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        })
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {
@@ -160,6 +180,42 @@ impl BinnedAccumulator {
             s.push(b);
         }
         (s.mean(), s.std_err())
+    }
+
+    /// Serializes the accumulator — bin size, the open partial bin, and every
+    /// complete bin mean — for checkpointing.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.bin_size as u64);
+        w.put_f64(self.current_sum);
+        w.put_u64(self.current_count as u64);
+        w.put_f64_slice(&self.bins);
+    }
+
+    /// Deserializes an accumulator written by [`BinnedAccumulator::encode`].
+    /// A zero bin size or a partial-bin count at or past the bin size decodes
+    /// to [`crate::codec::CodecError::Invalid`] instead of violating the
+    /// accumulator's invariants.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let bin_size = r.get_u64()? as usize;
+        let current_sum = r.get_f64()?;
+        let current_count = r.get_u64()? as usize;
+        let bins = r.get_f64_vec()?;
+        if bin_size == 0 {
+            return Err(crate::codec::CodecError::Invalid(
+                "bin size must be >= 1".into(),
+            ));
+        }
+        if current_count >= bin_size {
+            return Err(crate::codec::CodecError::Invalid(format!(
+                "partial bin holds {current_count} observations but bins close at {bin_size}"
+            )));
+        }
+        Ok(BinnedAccumulator {
+            bin_size,
+            current_sum,
+            current_count,
+            bins,
+        })
     }
 
     /// Merges another accumulator's *complete* bins into this one

@@ -1,0 +1,135 @@
+//! Kill-and-resume determinism: a run that is checkpointed, dropped, and
+//! resumed from disk — repeatedly — must be **bit-identical** to the same
+//! run left uninterrupted: HS field, Green's functions, RNG stream,
+//! observable bins, counters. The strongest equality check is byte equality
+//! of the final checkpoint files, which serialize all of that state.
+//!
+//! The CI robustness job runs this suite under both `LINALG_KERNEL=scalar`
+//! and `LINALG_KERNEL=fma` (the kernel choice is cached per process, so the
+//! two configurations need separate processes).
+
+use dqmc::{ModelParams, SimParams, Simulation, Spin};
+use lattice::Lattice;
+use std::path::PathBuf;
+
+fn params(seed: u64, warmup: usize, sweeps: usize) -> SimParams {
+    let model = ModelParams::new(Lattice::square(3, 3, 1.0), 4.0, 0.0, 0.125, 12);
+    SimParams::new(model)
+        .with_sweeps(warmup, sweeps)
+        .with_seed(seed)
+        .with_cluster_size(4)
+        .with_bin_size(10)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dqmc_{}_{}.ckpt", name, std::process::id()))
+}
+
+#[test]
+fn kill_and_resume_every_50th_sweep_is_bit_identical() {
+    let p = params(42, 60, 140);
+
+    // Reference: one uninterrupted process.
+    let mut uninterrupted = Simulation::new(p.clone());
+    uninterrupted.run();
+
+    // Killed run: every 50 sweeps the Simulation is dropped entirely (the
+    // "kill") and a fresh one is rebuilt from the checkpoint file alone.
+    let path = scratch("kill_resume");
+    Simulation::new(p.clone()).checkpoint(&path).unwrap();
+    let mut resumes = 0;
+    loop {
+        let mut sim = Simulation::resume(&path, &p).unwrap();
+        if sim.is_complete() {
+            break;
+        }
+        sim.step(50);
+        sim.checkpoint(&path).unwrap();
+        resumes += 1;
+    }
+    assert_eq!(resumes, 4, "200 sweeps in 50-sweep incarnations");
+
+    let resumed = Simulation::resume(&path, &p).unwrap();
+    // Field, G, RNG, bins, counters: all serialized — compare the bytes.
+    let final_a = scratch("kill_resume_a");
+    let final_b = scratch("kill_resume_b");
+    uninterrupted.checkpoint(&final_a).unwrap();
+    resumed.checkpoint(&final_b).unwrap();
+    let (a, b) = (
+        std::fs::read(&final_a).unwrap(),
+        std::fs::read(&final_b).unwrap(),
+    );
+    assert_eq!(a, b, "final checkpoints must be byte-identical");
+
+    // And the user-visible surface agrees bit-for-bit too.
+    assert_eq!(uninterrupted.greens(Spin::Up), resumed.greens(Spin::Up));
+    assert_eq!(uninterrupted.greens(Spin::Down), resumed.greens(Spin::Down));
+    assert_eq!(
+        uninterrupted.observables().density(),
+        resumed.observables().density()
+    );
+    assert_eq!(
+        uninterrupted.observables().avg_sign(),
+        resumed.observables().avg_sign()
+    );
+    assert_eq!(
+        uninterrupted.acceptance_rate().to_bits(),
+        resumed.acceptance_rate().to_bits()
+    );
+
+    for f in [&path, &final_a, &final_b] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn run_with_checkpoints_equals_plain_run() {
+    let p = params(5, 20, 40);
+    let mut plain = Simulation::new(p.clone());
+    plain.run();
+
+    let path = scratch("run_with_ckpt");
+    let mut checkpointed = Simulation::new(p.clone());
+    checkpointed.run_with_checkpoints(&path, 17).unwrap();
+    assert!(checkpointed.is_complete());
+
+    assert_eq!(plain.greens(Spin::Up), checkpointed.greens(Spin::Up));
+    assert_eq!(
+        plain.observables().density(),
+        checkpointed.observables().density()
+    );
+
+    // The file on disk holds the completed state: resuming yields the same
+    // observables with no sweeps left to run.
+    let resumed = Simulation::resume(&path, &p).unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.observables().density(),
+        plain.observables().density()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_under_wrong_params_is_rejected() {
+    let p = params(13, 5, 5);
+    let path = scratch("fingerprint");
+    let mut sim = Simulation::new(p.clone());
+    sim.step(3);
+    sim.checkpoint(&path).unwrap();
+
+    // Any physics knob change must be refused (the RNG stream and state
+    // layout would silently diverge), with a clean error naming the cause.
+    let other = params(14, 5, 5);
+    let err = Simulation::resume(&path, &other).unwrap_err();
+    assert!(
+        err.to_string().contains("does not match"),
+        "unexpected error: {err}"
+    );
+
+    // The recovery policy is deliberately *not* fingerprinted: resuming
+    // under a different policy is safe (it never consumes sweep RNG).
+    let relaxed = p.clone().with_recovery(dqmc::RecoveryPolicy::disabled());
+    assert!(Simulation::resume(&path, &relaxed).is_ok());
+    let _ = std::fs::remove_file(&path);
+}

@@ -6,6 +6,7 @@
 
 use dqmc::{ModelParams, SimParams, Simulation};
 use ed::{HubbardEd, ThermalEnsemble};
+use gpusim::{Device, DeviceBackend, DeviceSpec, FaultPlan};
 use lattice::Lattice;
 
 /// Runs DQMC on the 2-site dimer and returns the simulation.
@@ -181,6 +182,61 @@ fn heat_bath_acceptance_matches_ed() {
     );
     // Heat bath accepts less often than Metropolis by construction.
     assert!(sim.acceptance_rate() < 0.9);
+}
+
+#[test]
+fn dimer_under_fault_plan_with_recovery_matches_ed() {
+    // Physics must survive the fault ladder: run the half-filled dimer on
+    // the simulated device with a storm of scripted faults (one-shot
+    // corruptions heal bit-identically; persistent launch failures force a
+    // host fallback mid-run) and still reproduce the ED observables.
+    let (u, beta, dtau): (f64, f64, f64) = (4.0, 2.0, 0.05);
+    let slices = (beta / dtau).round() as usize;
+    let model = ModelParams::new(Lattice::square(2, 1, 1.0), u, 0.0, dtau, slices);
+    let mut plan = FaultPlan::new()
+        .with_seed(5)
+        .corrupt_transfer(2)
+        .corrupt_transfer(150)
+        .oom_at_alloc(3)
+        .oom_at_alloc(900);
+    // A burst of consecutive launch failures deep into the run: retries are
+    // exhausted and the ladder must drop to the host backend for good.
+    for n in 5_000..5_200 {
+        plan = plan.fail_launch(n);
+    }
+    let mut dev = Device::new(DeviceSpec::tesla_c2050());
+    dev.arm_faults(plan);
+    let mut sim = Simulation::new(
+        SimParams::new(model)
+            .with_sweeps(400, 4000)
+            .with_seed(19)
+            .with_cluster_size(10)
+            .with_bin_size(20),
+    )
+    .with_backend(Box::new(DeviceBackend::new(dev)));
+    sim.run();
+
+    let log = sim.recovery_log();
+    assert!(
+        log.total() > 0,
+        "the fault plan must have fired: {}",
+        log.summary()
+    );
+
+    let exact = ed_dimer(u, 0.0, beta);
+    let obs = sim.observables();
+    let (rho, rho_err) = obs.density();
+    assert!(
+        (rho - exact.density()).abs() < 0.01 + 4.0 * rho_err,
+        "density under faults: dqmc {rho}±{rho_err} vs ed {}",
+        exact.density()
+    );
+    let (docc, docc_err) = obs.double_occupancy();
+    assert!(
+        (docc - exact.double_occupancy()).abs() < 0.01 + 4.0 * docc_err,
+        "double occ under faults: dqmc {docc}±{docc_err} vs ed {}",
+        exact.double_occupancy()
+    );
 }
 
 #[test]
