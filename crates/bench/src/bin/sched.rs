@@ -1,0 +1,161 @@
+//! Sweep-scheduler throughput: jobs/second versus worker count.
+//!
+//! Runs the same small campaign through `sched::run_sweep` with 1, 2 and 4
+//! workers (device pool fixed at 2 slots) and reports wall time, job
+//! throughput and scaling efficiency. Because each job is an independent
+//! Markov chain, the campaign is embarrassingly parallel and the scheduler
+//! overhead (queue, leases, checkpoint parking) is exactly what the scaling
+//! gap measures. The observables section is also cross-checked between the
+//! runs — a scheduling benchmark that silently changed the physics would be
+//! measuring the wrong thing.
+//!
+//! `BENCH_sched.json` is the checked-in artifact; regenerate with
+//! `cargo run --release -p bench --bin sched`.
+
+use bench::BenchOpts;
+use sched::{EventLog, GridSpec, SchedConfig};
+
+struct Row {
+    workers: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+    efficiency: f64,
+    preemptions: u64,
+    leases: u64,
+    lease_misses: u64,
+}
+
+fn grid(opts: &BenchOpts) -> GridSpec {
+    // chains is the parallelism axis: enough jobs to keep 4 workers busy.
+    let (l, sweeps, chains) = if opts.full {
+        (8, 200, 8)
+    } else if opts.smoke {
+        (2, 12, 4)
+    } else {
+        (4, 60, 8)
+    };
+    let mut spec = GridSpec::parse(&format!(
+        "
+        lx = {l}
+        ly = {l}
+        u = 2.0, 4.0
+        beta = 1.0, 2.0
+        chains = {chains}
+        warmup = {}
+        sweeps = {sweeps}
+        bin_size = 4
+        cluster_size = 8
+        quantum = 0
+        ",
+        sweeps / 4,
+    ))
+    .expect("benchmark grid parses");
+    spec.seed = opts.seed();
+    spec
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let spec = grid(&opts);
+    let njobs = spec.total_jobs();
+    println!(
+        "# sched throughput: {} points x {} chains = {} jobs, {} sweeps each",
+        spec.us.len() * spec.betas.len(),
+        spec.chains,
+        njobs,
+        spec.warmup + spec.sweeps
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "workers", "wall_s", "jobs/s", "effcy", "preemptions", "leases", "misses"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<String> = None;
+    for workers in [1usize, 2, 4] {
+        let cfg = SchedConfig {
+            workers,
+            devices: 2,
+            queue_bound: 0,
+            quantum: spec.quantum,
+            yield_every_quanta: 0,
+            job_retries: 1,
+            hold_points: Vec::new(),
+        };
+        let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
+        let obs = report.observables_json();
+        match &reference {
+            Some(r) => assert_eq!(
+                *r, obs,
+                "scheduler changed the physics between worker counts"
+            ),
+            None => reference = Some(obs),
+        }
+        let wall = report.wall_seconds;
+        let jobs_per_s = njobs as f64 / wall;
+        let efficiency = match rows.first() {
+            Some(base) => (base.wall_s / wall) / workers as f64,
+            None => 1.0,
+        };
+        println!(
+            "{:>8} {:>10.3} {:>10.2} {:>10.2} {:>12} {:>8} {:>8}",
+            workers,
+            wall,
+            jobs_per_s,
+            efficiency,
+            report.preemptions,
+            report.leases_granted,
+            report.lease_misses
+        );
+        rows.push(Row {
+            workers,
+            wall_s: wall,
+            jobs_per_s,
+            efficiency,
+            preemptions: report.preemptions,
+            leases: report.leases_granted,
+            lease_misses: report.lease_misses,
+        });
+    }
+
+    let json = render_json(&spec, njobs, &rows);
+    let path = "BENCH_sched.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}
+
+fn render_json(spec: &GridSpec, njobs: usize, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"grid\": {{\"lx\": {}, \"points\": {}, \"chains\": {}, \"jobs\": {}, \"sweeps\": {}}},\n",
+        spec.lx,
+        spec.us.len() * spec.betas.len(),
+        spec.chains,
+        njobs,
+        spec.warmup + spec.sweeps
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_s\": {:.3}, \"jobs_per_s\": {:.3}, \
+             \"efficiency\": {:.3}, \"preemptions\": {}, \"leases\": {}, \"lease_misses\": {}}}{}\n",
+            r.workers,
+            r.wall_s,
+            r.jobs_per_s,
+            r.efficiency,
+            r.preemptions,
+            r.leases,
+            r.lease_misses,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    let best = rows.last().expect("at least one row");
+    out.push_str(&format!(
+        "  \"speedup_at_max_workers\": {:.3}\n}}\n",
+        rows[0].wall_s / best.wall_s
+    ));
+    out
+}

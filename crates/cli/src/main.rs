@@ -1,19 +1,109 @@
 //! `dqmc` — run a DQMC simulation from a QUEST-style input file.
 //!
 //! ```sh
-//! dqmc path/to/input.in        # or: dqmc - < input.in
+//! dqmc path/to/input.in           # or: dqmc - < input.in
+//! dqmc sweep grid.sweep           # parameter-sweep campaign
+//! dqmc sweep grid.sweep -o r.json # also write the JSON report
 //! ```
 
 use dqmc::Simulation;
 use dqmc_cli::{Backend, InputFile};
+use sched::{EventLog, GridSpec, SchedConfig, TraceEvent};
 use std::io::Read;
 use std::path::Path;
 use util::table::{fmt_f, Table};
 
+/// `dqmc sweep <grid-file> [-o report.json] [--trace]`: run a declared
+/// (U, β) grid through the checkpoint-aware scheduler and print the pooled
+/// jackknife estimates per point.
+fn run_sweep_cmd(args: &[String]) -> ! {
+    let mut grid_file: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut trace = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("{a} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => trace = true,
+            other if grid_file.is_none() => grid_file = Some(other),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(grid_file) = grid_file else {
+        eprintln!("usage: dqmc sweep <grid-file> [-o report.json] [--trace]");
+        eprintln!("grid keys: lx ly t mu dtau u(list) beta(list) chains warmup");
+        eprintln!("  sweeps bin_size cluster_size seed recovery max_retries");
+        eprintln!("  workers devices quantum job_retries faults");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(grid_file).unwrap_or_else(|e| {
+        eprintln!("cannot read {grid_file}: {e}");
+        std::process::exit(2);
+    });
+    let spec = GridSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "# sweep: {}x{} lattice, {} points ({} U x {} beta), {} chains/point, {} jobs",
+        spec.lx,
+        spec.ly,
+        spec.us.len() * spec.betas.len(),
+        spec.us.len(),
+        spec.betas.len(),
+        spec.chains,
+        spec.total_jobs()
+    );
+    println!(
+        "# {} workers, {} devices, quantum {} sweeps, seed {}",
+        spec.workers, spec.devices, spec.quantum, spec.seed
+    );
+
+    let cfg = SchedConfig::from_spec(&spec);
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+
+    if trace {
+        println!("\n## schedule trace");
+        for e in events.snapshot() {
+            println!("{e}");
+        }
+    }
+    let yields = events.count(|e| matches!(e, TraceEvent::Yielded { .. }));
+    println!("\n## pooled observables (delete-one jackknife)");
+    print!("{}", report.human_summary());
+    if yields > 0 {
+        println!("# {yields} checkpoint yields during the sweep");
+    }
+
+    if let Some(path) = out {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("# report written to {path}");
+    }
+    std::process::exit(if report.failed_jobs == 0 { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep_cmd(&args[1..]);
+    }
     if args.len() != 1 || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: dqmc <input-file>   (or 'dqmc -' to read stdin)");
+        eprintln!("       dqmc sweep <grid-file> [-o report.json] [--trace]");
         eprintln!("input keys: lx ly layers periodic_z t tz u mu_tilde dtau");
         eprintln!("  slices|beta warmup sweeps seed cluster_size delay_block");
         eprintln!("  algorithm(qrp|prepivot) recycle checkerboard unequal_time bin_size");

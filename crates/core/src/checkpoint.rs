@@ -348,7 +348,7 @@ pub(crate) fn decode_payload(
 /// rename; a kill at any point leaves either the old checkpoint or the new
 /// one, never a torn file).
 pub fn save(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
-    let bytes = frame(&encode_payload(sim));
+    let bytes = to_bytes(sim);
     let tmp = match path.file_name() {
         Some(name) => {
             let mut t = name.to_os_string();
@@ -370,8 +370,23 @@ pub fn save(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
 /// parameter fingerprint against `params`, and rebuilds the simulation.
 pub fn load(path: &Path, params: &SimParams) -> Result<Simulation, CheckpointError> {
     let bytes = fs::read(path)?;
-    let payload = unframe(&bytes)?;
-    decode_payload(payload, params)
+    from_bytes(&bytes, params)
+}
+
+/// Serializes `sim` to an in-memory `DQCP` frame — byte-for-byte what
+/// [`save`] would write to disk. Checkpoint-based preemption uses this: a
+/// scheduler parks a job as a byte image and requeues it without touching
+/// the filesystem, and because the image is the *same* format, a parked job
+/// can equally be spilled to disk and survive a process kill.
+pub fn to_bytes(sim: &Simulation) -> Vec<u8> {
+    frame(&encode_payload(sim))
+}
+
+/// Rebuilds a simulation from a `DQCP` frame produced by [`to_bytes`] (or
+/// read back from a checkpoint file), with the full framing, checksum and
+/// parameter-fingerprint validation of [`load`].
+pub fn from_bytes(bytes: &[u8], params: &SimParams) -> Result<Simulation, CheckpointError> {
+    decode_payload(unframe(bytes)?, params)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 use crate::hubbard::SimParams;
 use crate::measure::Observables;
+use crate::recovery::RecoveryLog;
 use crate::sim::Simulation;
 use rayon::prelude::*;
 
@@ -23,10 +24,34 @@ pub struct EnsembleResult {
     pub acceptance_rates: Vec<f64>,
     /// Largest wrap error seen by any chain.
     pub max_wrap_error: f64,
+    /// Per-chain recovery logs, indexed like `acceptance_rates`: what the
+    /// fault-tolerance ladder did inside each chain, surfaced so ensemble
+    /// runs report healing the same way [`Simulation::recovery_log`] does.
+    pub recovery_logs: Vec<RecoveryLog>,
 }
 
-/// Runs `chains` independent simulations with seeds
-/// `params.seed, params.seed + 1, …` and merges their measurements.
+impl EnsembleResult {
+    /// Recovery incidents summed over all chains.
+    pub fn total_recovery_events(&self) -> u64 {
+        self.recovery_logs.iter().map(RecoveryLog::total).sum()
+    }
+}
+
+/// The seed for chain `chain` of grid point `point` under base seed `base`.
+///
+/// Both [`run_ensemble`] (`point = 0`) and the sweep scheduler (one `point`
+/// per grid coordinate) derive chain seeds through this single function, so
+/// an ensemble run at a grid point and the scheduler's run of the same point
+/// sample identical Markov chains. The hash-split (see
+/// [`util::rng::derive_seed`]) is what makes adjacent grid points safe: the
+/// old additive `seed + chain` scheme handed chain 1 of seed `s` and chain 0
+/// of seed `s + 1` the *same* generator.
+pub fn chain_seed(base: u64, point: u64, chain: u64) -> u64 {
+    util::rng::derive_seed(base, point, chain)
+}
+
+/// Runs `chains` independent simulations with hash-split per-chain seeds
+/// (see [`chain_seed`]) and merges their measurements.
 ///
 /// Panics if `chains == 0`. Deterministic: the result is a pure function of
 /// `(params, chains)` regardless of scheduling.
@@ -35,7 +60,9 @@ pub fn run_ensemble(params: &SimParams, chains: usize) -> EnsembleResult {
     let sims: Vec<Simulation> = (0..chains)
         .into_par_iter()
         .map(|c| {
-            let p = params.clone().with_seed(params.seed + c as u64);
+            let p = params
+                .clone()
+                .with_seed(chain_seed(params.seed, 0, c as u64));
             let mut sim = Simulation::new(p);
             sim.run();
             sim
@@ -46,16 +73,19 @@ pub fn run_ensemble(params: &SimParams, chains: usize) -> EnsembleResult {
     let first = iter.next().expect("chains >= 1");
     let mut acceptance_rates = vec![first.acceptance_rate()];
     let mut max_wrap_error = first.max_wrap_error();
+    let mut recovery_logs = vec![first.recovery_log().clone()];
     let mut observables = first.observables().clone();
     for sim in iter {
         observables.merge(sim.observables());
         acceptance_rates.push(sim.acceptance_rate());
         max_wrap_error = max_wrap_error.max(sim.max_wrap_error());
+        recovery_logs.push(sim.recovery_log().clone());
     }
     EnsembleResult {
         observables,
         acceptance_rates,
         max_wrap_error,
+        recovery_logs,
     }
 }
 
@@ -84,6 +114,22 @@ mod tests {
             assert!(r > 0.05 && r < 0.99);
         }
         assert!(res.max_wrap_error < 1e-6);
+        // Fault-free chains surface empty (but present) recovery logs.
+        assert_eq!(res.recovery_logs.len(), 3);
+        assert_eq!(res.total_recovery_events(), 0);
+    }
+
+    #[test]
+    fn chain_seeds_do_not_collide_across_adjacent_base_seeds() {
+        // The regression the hash-split fixes: stepping the base seed by one
+        // (adjacent grid points, re-submitted campaigns) must not replay any
+        // chain of the previous base.
+        let mut seen = std::collections::HashSet::new();
+        for base in [100u64, 101, 102, 103] {
+            for c in 0..4u64 {
+                assert!(seen.insert(chain_seed(base, 0, c)), "base {base} chain {c}");
+            }
+        }
     }
 
     #[test]
@@ -102,7 +148,7 @@ mod tests {
         let pooled = run_ensemble(&p, 2);
         let solo: Vec<f64> = (0..2)
             .map(|c| {
-                let mut sim = Simulation::new(p.clone().with_seed(p.seed + c));
+                let mut sim = Simulation::new(p.clone().with_seed(chain_seed(p.seed, 0, c)));
                 sim.run();
                 sim.observables().double_occupancy().0
             })

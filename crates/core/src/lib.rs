@@ -59,11 +59,11 @@ pub use backend::{BackendFault, ComputeBackend, FaultKind, HostBackend};
 pub use bmat::BMatrixFactory;
 pub use checkpoint::{params_fingerprint, CheckpointError};
 pub use diagnostics::{condition_profile, ConditionProfile};
-pub use ensemble::{run_ensemble, EnsembleResult};
+pub use ensemble::{chain_seed, run_ensemble, EnsembleResult};
 pub use greens::{greens_from_udt, GreensFunction};
 pub use hs::HsField;
 pub use hubbard::{Acceptance, ModelParams, SimParams, Spin};
-pub use measure::Observables;
+pub use measure::{JackknifeScalars, Observables};
 pub use profile::phases;
 pub use recovery::{
     shrink_cluster_size, RecoveryAction, RecoveryCause, RecoveryEvent, RecoveryLog, RecoveryPolicy,

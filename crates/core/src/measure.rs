@@ -18,6 +18,26 @@ use lattice::{fourier, Lattice};
 use linalg::Matrix;
 use util::BinnedAccumulator;
 
+/// Scalar observables with delete-one jackknife `(value, error)` pairs,
+/// produced by [`Observables::jackknife_scalars`]. Each ratio observable is
+/// jackknifed jointly with the sign, so the error bars stay honest away
+/// from half filling where ⟨sign⟩ < 1.
+#[derive(Clone, Copy, Debug)]
+pub struct JackknifeScalars {
+    /// Average fermion sign ⟨s⟩.
+    pub sign: (f64, f64),
+    /// Electron density ⟨ρ⟩ per site.
+    pub density: (f64, f64),
+    /// Double occupancy ⟨n₊n₋⟩ per site.
+    pub double_occ: (f64, f64),
+    /// Kinetic energy per site.
+    pub kinetic: (f64, f64),
+    /// Potential energy per site.
+    pub potential: (f64, f64),
+    /// Antiferromagnetic structure factor S(π,π).
+    pub saf: (f64, f64),
+}
+
 /// Scalar + lattice-resolved observables accumulated over a run.
 #[derive(Clone, Debug)]
 pub struct Observables {
@@ -159,6 +179,12 @@ impl Observables {
         self.count
     }
 
+    /// Number of complete measurement bins accumulated (a trailing partial
+    /// bin is excluded, matching what the jackknife resamples).
+    pub fn bin_count(&self) -> usize {
+        self.sign.bins().len()
+    }
+
     /// Merges another accumulator (an independent Markov chain over the
     /// same model and bin size) into this one.
     pub fn merge(&mut self, other: &Observables) {
@@ -182,6 +208,29 @@ impl Observables {
     /// Average fermion sign `⟨sign⟩` with its standard error.
     pub fn avg_sign(&self) -> (f64, f64) {
         self.sign.mean_and_err()
+    }
+
+    /// The scalar observables with delete-one jackknife error bars — the
+    /// pooled estimator of the sweep harness.
+    ///
+    /// Each physical observable is the ratio `⟨O·s⟩ / ⟨s⟩` of sign-weighted
+    /// bins to sign bins; [`util::jackknife_ratio`] resamples numerator and
+    /// denominator *together*, propagating their correlated fluctuations
+    /// through the nonlinearity (the plain [`Observables::density`]-style
+    /// accessors divide the errors, which is only exact when ⟨sign⟩ ≡ 1).
+    /// The bins here are whatever this accumulator holds — call it on a
+    /// merged ensemble for pooled cross-chain estimates. Deterministic:
+    /// depends only on the bin sequence.
+    pub fn jackknife_scalars(&self) -> JackknifeScalars {
+        let s = self.sign.bins();
+        JackknifeScalars {
+            sign: util::jackknife_mean(s),
+            density: util::jackknife_ratio(self.density.bins(), s),
+            double_occ: util::jackknife_ratio(self.double_occ.bins(), s),
+            kinetic: util::jackknife_ratio(self.kinetic.bins(), s),
+            potential: util::jackknife_ratio(self.potential.bins(), s),
+            saf: util::jackknife_ratio(self.saf.bins(), s),
+        }
     }
 
     fn ratio(&self, acc: &BinnedAccumulator) -> (f64, f64) {

@@ -141,6 +141,20 @@ impl Simulation {
         checkpoint::load(path, params)
     }
 
+    /// The complete simulation state as an in-memory `DQCP` checkpoint image
+    /// (the bytes [`Simulation::checkpoint`] would write). Preemptive
+    /// schedulers park yielded jobs through this.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        checkpoint::to_bytes(self)
+    }
+
+    /// Rebuilds a simulation from an image produced by
+    /// [`Simulation::checkpoint_bytes`]; same validation and bit-identical
+    /// continuation guarantee as [`Simulation::resume`].
+    pub fn resume_bytes(bytes: &[u8], params: &SimParams) -> Result<Self, CheckpointError> {
+        checkpoint::from_bytes(bytes, params)
+    }
+
     /// Runs `n` thermalisation sweeps (no measurements).
     pub fn warmup(&mut self, n: usize) {
         for _ in 0..n {

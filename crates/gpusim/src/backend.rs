@@ -15,7 +15,7 @@
 
 use crate::cluster::{try_cluster_custom_kernel, upload_expk};
 use crate::device::{DMatrix, Device, DeviceSpec};
-use crate::wrap::{try_wrap_on_device_into, upload_expk_inv};
+use crate::wrap::{try_wrap_on_device_bitexact_into, try_wrap_on_device_into, upload_expk_inv};
 use dqmc::{BMatrixFactory, BackendFault, ComputeBackend, HsField, Spin};
 use linalg::Matrix;
 
@@ -26,6 +26,7 @@ pub struct DeviceBackend {
     dev: Device,
     expk: Option<DMatrix>,
     expk_inv: Option<DMatrix>,
+    bitexact_wrap: bool,
 }
 
 impl DeviceBackend {
@@ -35,12 +36,29 @@ impl DeviceBackend {
             dev,
             expk: None,
             expk_inv: None,
+            bitexact_wrap: false,
         }
     }
 
     /// Convenience: a fresh device from a spec.
     pub fn with_spec(spec: DeviceSpec) -> Self {
         DeviceBackend::new(Device::new(spec))
+    }
+
+    /// Switches the wrap path to deterministic-execution mode
+    /// ([`crate::wrap::try_wrap_on_device_bitexact_into`]): results become
+    /// bit-identical to the host backend at the cost of one extra kernel
+    /// launch per wrap. Schedulers that treat device placement as an
+    /// invisible optimisation run with this on; the fused Algorithm 7 path
+    /// (default off) is the paper's throughput configuration.
+    pub fn with_bitexact_wrap(mut self, on: bool) -> Self {
+        self.bitexact_wrap = on;
+        self
+    }
+
+    /// Whether the deterministic wrap path is active.
+    pub fn bitexact_wrap(&self) -> bool {
+        self.bitexact_wrap
     }
 
     /// The underlying device (clock, counters, fault tally).
@@ -93,8 +111,12 @@ impl ComputeBackend for DeviceBackend {
             self.expk.as_ref().expect("just uploaded"),
             self.expk_inv.as_ref().expect("just uploaded"),
         );
-        try_wrap_on_device_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
-            .map_err(|e| BackendFault::device(e.to_string()))
+        if self.bitexact_wrap {
+            try_wrap_on_device_bitexact_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
+        } else {
+            try_wrap_on_device_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
+        }
+        .map_err(|e| BackendFault::device(e.to_string()))
     }
 
     fn notify_fault(&mut self) {
@@ -138,6 +160,38 @@ mod tests {
         host.wrap_into(&fac, &h, 0, Spin::Up, &g, &mut out_h)
             .unwrap();
         assert!(out_d.max_abs_diff(&out_h) < 1e-12);
+    }
+
+    #[test]
+    fn bitexact_backend_makes_placement_unobservable() {
+        // The sweep scheduler's determinism contract: a full simulation run
+        // through the deterministic-mode device backend must be
+        // bit-identical to the host run — Green's functions AND observables
+        // — so host fallback under device-pool pressure cannot change
+        // physics.
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 8);
+        let params = dqmc::SimParams::new(model)
+            .with_sweeps(4, 8)
+            .with_seed(33)
+            .with_cluster_size(4)
+            .with_bin_size(2);
+        let mut host_sim = dqmc::Simulation::new(params.clone());
+        host_sim.run();
+        let mut dev_sim = dqmc::Simulation::new(params).with_backend(Box::new(
+            DeviceBackend::with_spec(DeviceSpec::tesla_c2050()).with_bitexact_wrap(true),
+        ));
+        dev_sim.run();
+        assert_eq!(
+            host_sim
+                .greens(dqmc::Spin::Up)
+                .max_abs_diff(dev_sim.greens(dqmc::Spin::Up)),
+            0.0
+        );
+        let h = host_sim.observables().jackknife_scalars();
+        let d = dev_sim.observables().jackknife_scalars();
+        assert_eq!(h.double_occ, d.double_occ);
+        assert_eq!(h.kinetic, d.kinetic);
+        assert_eq!(h.saf, d.saf);
     }
 
     #[test]

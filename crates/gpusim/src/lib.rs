@@ -35,6 +35,7 @@ pub mod device;
 pub mod faults;
 pub mod gpu_strat;
 pub mod hybrid;
+pub mod pool;
 pub mod wrap;
 
 pub use backend::DeviceBackend;
@@ -43,4 +44,5 @@ pub use device::{DMatrix, Device, DeviceSpec, HostSpec};
 pub use faults::{DeviceError, FaultPlan};
 pub use gpu_strat::{gpu_stratified_greens, GpuStratReport};
 pub use hybrid::{hybrid_greens, HybridReport};
-pub use wrap::{try_wrap_on_device_into, wrap_on_device};
+pub use pool::{DeviceLease, DevicePool};
+pub use wrap::{try_wrap_on_device_bitexact_into, try_wrap_on_device_into, wrap_on_device};

@@ -1,0 +1,206 @@
+//! Device-pool leasing: multiplexing simulated accelerators between jobs.
+//!
+//! A sweep campaign has many more jobs than accelerators. The pool tracks a
+//! fixed set of device *slots*; a worker holding a job asks for a lease,
+//! and either gets exclusive use of one slot (returned automatically when
+//! the [`DeviceLease`] drops — including on a panic unwinding through the
+//! worker) or is told to fall back to the host path. Leases carry no device
+//! state between jobs: each job builds a fresh [`DeviceBackend`] from the
+//! pool's spec, exactly as a driver hands a clean context to each process,
+//! so one job's fault history can never leak into the next job's numerics.
+//!
+//! The lease/release path is allocation-free (the lint tag below is
+//! enforced by `cargo xtask lint`): the free-slot stack is pre-sized to the
+//! pool's capacity, so `try_lease` is a `Mutex` lock plus a `Vec::pop`, and
+//! release is a push into reserved capacity. Workers hit this path on every
+//! scheduling quantum.
+
+#![cfg_attr(any(), deny_hot_alloc)]
+
+use crate::backend::DeviceBackend;
+use crate::device::{Device, DeviceSpec};
+use crate::faults::FaultPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct PoolInner {
+    spec: DeviceSpec,
+    /// Stack of free slot ids; capacity reserved for every slot up front.
+    free: Mutex<Vec<usize>>,
+    total: usize,
+    leases_granted: AtomicU64,
+    lease_misses: AtomicU64,
+}
+
+/// A fixed pool of simulated accelerator slots shared by sweep workers.
+///
+/// Cloning the pool clones the *handle*: all clones share the same slots.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    inner: Arc<PoolInner>,
+}
+
+impl DevicePool {
+    /// A pool of `count` devices of the given spec. `count == 0` is a valid
+    /// "no accelerators" pool: every lease request misses and jobs run on
+    /// the host — scheduling still works, only slower.
+    // dqmc-lint: allow(hot_alloc) — construction happens once per sweep;
+    // the free stack is sized here so the lease path never reallocates.
+    pub fn new(spec: DeviceSpec, count: usize) -> Self {
+        let mut free = Vec::with_capacity(count);
+        free.extend(0..count);
+        DevicePool {
+            inner: Arc::new(PoolInner {
+                spec,
+                free: Mutex::new(free),
+                total: count,
+                leases_granted: AtomicU64::new(0),
+                lease_misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Attempts to lease a device slot. `None` means every slot is busy
+    /// (or the pool is empty) and the caller should use the host backend.
+    pub fn try_lease(&self) -> Option<DeviceLease> {
+        let slot = self.inner.free.lock().expect("device pool poisoned").pop();
+        match slot {
+            Some(slot) => {
+                self.inner.leases_granted.fetch_add(1, Ordering::Relaxed);
+                Some(DeviceLease {
+                    slot,
+                    inner: Arc::clone(&self.inner),
+                })
+            }
+            None => {
+                self.inner.lease_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Total slots in the pool.
+    pub fn capacity(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> usize {
+        self.inner.free.lock().expect("device pool poisoned").len()
+    }
+
+    /// Leases handed out over the pool's lifetime.
+    pub fn leases_granted(&self) -> u64 {
+        self.inner.leases_granted.load(Ordering::Relaxed)
+    }
+
+    /// Lease requests that missed (capacity pressure → host fallback).
+    pub fn lease_misses(&self) -> u64 {
+        self.inner.lease_misses.load(Ordering::Relaxed)
+    }
+
+    /// The device spec jobs will run on.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+}
+
+/// Exclusive use of one pool slot; the slot returns to the pool on drop.
+#[derive(Debug)]
+pub struct DeviceLease {
+    slot: usize,
+    inner: Arc<PoolInner>,
+}
+
+impl DeviceLease {
+    /// The leased slot id (stable for the lease's lifetime; used for trace
+    /// events and per-slot utilisation accounting).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Builds a fresh backend on the leased device, in deterministic
+    /// (bit-exact wrap) mode so placement never shows up in observables.
+    /// An optional [`FaultPlan`] is armed before first use — the
+    /// scheduler's scripted-fault runs go through here.
+    // dqmc-lint: allow(hot_alloc) — backend construction is once per job
+    // placement, not per quantum; the Device itself owns fresh buffers.
+    pub fn backend(&self, plan: Option<FaultPlan>) -> DeviceBackend {
+        let mut dev = Device::new(self.inner.spec.clone());
+        if let Some(plan) = plan {
+            dev.arm_faults(plan);
+        }
+        DeviceBackend::new(dev).with_bitexact_wrap(true)
+    }
+}
+
+impl Drop for DeviceLease {
+    fn drop(&mut self) {
+        // Push into capacity reserved at construction: cannot reallocate.
+        self.inner
+            .free
+            .lock()
+            .expect("device pool poisoned")
+            .push(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_exclusive_and_return_on_drop() {
+        let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 2);
+        assert_eq!(pool.capacity(), 2);
+        let a = pool.try_lease().unwrap();
+        let b = pool.try_lease().unwrap();
+        assert_ne!(a.slot(), b.slot());
+        assert_eq!(pool.available(), 0);
+        assert!(pool.try_lease().is_none());
+        drop(a);
+        assert_eq!(pool.available(), 1);
+        let c = pool.try_lease().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.leases_granted(), 3);
+        assert_eq!(pool.lease_misses(), 1);
+    }
+
+    #[test]
+    fn empty_pool_always_misses() {
+        let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 0);
+        assert!(pool.try_lease().is_none());
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.lease_misses(), 1);
+    }
+
+    #[test]
+    fn lease_backend_is_deterministic_mode_with_armed_plan() {
+        let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 1);
+        let lease = pool.try_lease().unwrap();
+        let be = lease.backend(None);
+        assert!(be.bitexact_wrap());
+        let mut be = lease.backend(Some(FaultPlan::new().fail_launch(1)));
+        // The armed plan fires on the first launch.
+        let model = dqmc::ModelParams::new(lattice::Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 4);
+        let fac = dqmc::BMatrixFactory::new(&model);
+        let mut rng = util::Rng::new(1);
+        let h = dqmc::HsField::random(4, 4, &mut rng);
+        use dqmc::ComputeBackend as _;
+        assert!(be.cluster(&fac, &h, 0, 4, dqmc::Spin::Up).is_err());
+    }
+
+    #[test]
+    fn lease_returns_even_when_worker_panics() {
+        let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 1);
+        let p2 = pool.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _lease = p2.try_lease().unwrap();
+            panic!("job died");
+        });
+        assert_eq!(pool.available(), 1, "slot must return via Drop on unwind");
+    }
+}

@@ -86,6 +86,57 @@ pub fn try_wrap_on_device_into(
     Ok(())
 }
 
+/// Bit-exact device wrap — the deterministic-execution analogue of
+/// cuBLAS's reproducibility mode.
+///
+/// [`try_wrap_on_device_into`] runs Algorithm 7's fused two-sided scaling
+/// *before* the GEMMs, so its floating-point op order differs from the host
+/// path (`row_scale → gemm → col_scale → gemm`) and the results differ in
+/// the last ulps. That is fine for throughput studies, but a scheduler that
+/// places jobs on whatever resource is free needs placement to be
+/// *unobservable*: this variant issues the host path's exact op sequence as
+/// separate device launches (row-scale kernel, GEMM, col-scale kernel,
+/// GEMM), so the downloaded result is bit-identical to
+/// `BMatrixFactory::wrap_into` on the host while still paying simulated
+/// launch, bandwidth and transfer costs. The extra launch is the modelled
+/// price of determinism.
+#[allow(clippy::too_many_arguments)]
+pub fn try_wrap_on_device_bitexact_into(
+    dev: &mut Device,
+    expk_dev: &DMatrix,
+    expk_inv_dev: &DMatrix,
+    fac: &BMatrixFactory,
+    h: &HsField,
+    l: usize,
+    spin: Spin,
+    g: &Matrix,
+    out: &mut Matrix,
+) -> Result<(), DeviceError> {
+    let n = fac.nsites();
+    assert!(out.nrows() == n && out.ncols() == n);
+    let mut dg = dev.set_matrix(g);
+    let mut vh = fac.v_diag(h, l, spin);
+    let v = dev.set_vector(&vh);
+    // diag(v)·G — same row_scale the host's b_mul_left_into performs.
+    dev.try_scale_rows_kernel(&v, &mut dg)?;
+    // e^{−ΔτK} · (VG)
+    let mut t = dev.try_alloc(n, n)?;
+    dev.try_dgemm(1.0, expk_dev, &dg, 0.0, &mut t)?;
+    // (·)·diag(v)⁻¹ — the host's b_inv_mul_right_into inverts after the
+    // first GEMM; 1/x is exact in the same order here.
+    for x in vh.iter_mut() {
+        *x = 1.0 / *x;
+    }
+    let vinv = dev.set_vector(&vh);
+    linalg::workspace::put(vh);
+    dev.try_scale_cols_kernel(&vinv, &mut t)?;
+    // · e^{+ΔτK}
+    let mut prod = dev.try_alloc(n, n)?;
+    dev.try_dgemm(1.0, &t, expk_inv_dev, 0.0, &mut prod)?;
+    dev.get_matrix_into(&prod, out);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +166,53 @@ mod tests {
             got.max_abs_diff(&want) < 1e-12,
             "{}",
             got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn bitexact_wrap_is_bit_identical_to_host_wrap() {
+        let (fac, h, g) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        let mut got = Matrix::zeros(16, 16);
+        try_wrap_on_device_bitexact_into(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g, &mut got)
+            .unwrap();
+        let want = dqmc::greens::wrap(&fac, &h, 0, Spin::Up, &g);
+        // Exactly zero: the whole point of the deterministic mode.
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+        // By contrast the fused Algorithm 7 path is close but NOT bit-equal
+        // (different op order) — pin that so this test keeps meaning.
+        let fused = wrap_on_device(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g);
+        assert!(fused.max_abs_diff(&want) < 1e-12);
+        assert!(
+            fused.max_abs_diff(&want) > 0.0,
+            "fused wrap became bit-exact; the deterministic mode is redundant"
+        );
+    }
+
+    #[test]
+    fn bitexact_wrap_still_pays_device_costs() {
+        let (fac, h, g) = setup();
+        let mut dev = Device::new(DeviceSpec::tesla_c2050());
+        let ek = upload_expk(&mut dev, &fac);
+        let eki = upload_expk_inv(&mut dev, &fac);
+        let mut out = Matrix::zeros(16, 16);
+        let (t0, k0, b0) = (
+            dev.elapsed(),
+            dev.kernels_launched(),
+            dev.bytes_transferred(),
+        );
+        try_wrap_on_device_bitexact_into(&mut dev, &ek, &eki, &fac, &h, 0, Spin::Up, &g, &mut out)
+            .unwrap();
+        // Four launches (two scales + two GEMMs), time advanced, and the
+        // G round trip plus two diagonal uploads on the wire.
+        assert_eq!(dev.kernels_launched() - k0, 4);
+        assert!(dev.elapsed() > t0);
+        let n = 16usize;
+        assert_eq!(
+            (dev.bytes_transferred() - b0) as usize,
+            2 * n * n * 8 + 2 * n * 8
         );
     }
 

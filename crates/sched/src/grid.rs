@@ -1,0 +1,468 @@
+//! Grid-spec files: the declarative input of a sweep campaign.
+//!
+//! The format is the `key = value` dialect of the CLI's input files, with
+//! two list-valued keys — `u` and `beta` — whose Cartesian product defines
+//! the grid. Everything else (lattice, sweeps, chains, scheduler knobs)
+//! is shared by every point:
+//!
+//! ```text
+//! # 2x2 campaign
+//! lx = 4
+//! ly = 4
+//! u = 2.0, 4.0          # grid axis
+//! beta = 2.0, 4.0       # grid axis (slices = beta / dtau)
+//! chains = 2
+//! warmup = 50
+//! sweeps = 200
+//! seed = 42
+//! workers = 2
+//! devices = 1
+//! quantum = 25          # sweeps per scheduling quantum
+//! faults = fail_launch:2, corrupt_transfer:5
+//! ```
+//!
+//! Points are numbered u-major (`point = iu * nbeta + ib`); that index is
+//! the `stream` coordinate of the seed hash-split, so renumbering the grid
+//! is a physics change and the ordering is part of the format contract.
+//!
+//! The `faults` DSL arms every *device-placed* job with the same scripted
+//! [`FaultPlan`]. Only bit-identically-healing fault classes are accepted
+//! (launch failures, arena exhaustion, NaN transfer corruption — all healed
+//! by RNG-free retry); finite bit flips are rejected because their repair
+//! path rebuilds `G` from the HS field, which is correct but not
+//! bit-identical to the never-faulted stream, and would break the
+//! determinism contract.
+
+use dqmc::{ModelParams, RecoveryPolicy, SimParams};
+use gpusim::FaultPlan;
+use lattice::Lattice;
+use std::fmt;
+
+/// A malformed grid spec: line number (1-based, 0 when global) and message.
+#[derive(Debug)]
+pub struct GridError {
+    /// Line the error was found on; 0 for whole-file problems.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "grid spec: {}", self.message)
+        } else {
+            write!(f, "grid spec line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// One scripted fault with its 1-based operation ordinal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Kernel launch failure at the nth launch.
+    FailLaunch(u64),
+    /// Scratch-arena exhaustion at the nth allocation.
+    Oom(u64),
+    /// Silent NaN corruption of the nth download.
+    CorruptTransfer(u64),
+}
+
+/// A declared sweep campaign: grid axes plus shared physics and scheduling
+/// parameters.
+#[derive(Clone, Debug)]
+pub struct GridSpec {
+    /// Lattice extent in x.
+    pub lx: usize,
+    /// Lattice extent in y.
+    pub ly: usize,
+    /// Hopping amplitude.
+    pub t: f64,
+    /// Chemical potential.
+    pub mu: f64,
+    /// Imaginary-time step Δτ.
+    pub dtau: f64,
+    /// Grid axis: on-site repulsion values.
+    pub us: Vec<f64>,
+    /// Grid axis: inverse temperatures (slices = β/Δτ, rounded).
+    pub betas: Vec<f64>,
+    /// Independent Markov chains per grid point.
+    pub chains: usize,
+    /// Warmup sweeps per chain.
+    pub warmup: usize,
+    /// Measurement sweeps per chain.
+    pub sweeps: usize,
+    /// Measurement bin size.
+    pub bin_size: usize,
+    /// Cluster size k (clamped per point to its slice count).
+    pub cluster_size: usize,
+    /// Campaign base seed; chain seeds hash-split from it.
+    pub seed: u64,
+    /// Fault recovery ladder on/off.
+    pub recovery: bool,
+    /// Retry budget inside the recovery ladder.
+    pub max_retries: u32,
+    /// Worker threads.
+    pub workers: usize,
+    /// Simulated accelerator slots in the device pool.
+    pub devices: usize,
+    /// Sweeps per scheduling quantum (0 = run jobs to completion).
+    pub quantum: usize,
+    /// Scheduler-level restarts of a panicked job.
+    pub job_retries: u32,
+    /// Scripted faults armed on every device-placed job.
+    pub faults: Vec<FaultOp>,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            lx: 4,
+            ly: 4,
+            t: 1.0,
+            mu: 0.0,
+            dtau: 0.125,
+            us: vec![4.0],
+            betas: vec![2.0],
+            chains: 2,
+            warmup: 50,
+            sweeps: 200,
+            bin_size: 5,
+            cluster_size: 8,
+            seed: 42,
+            recovery: true,
+            max_retries: 2,
+            workers: 1,
+            devices: 1,
+            quantum: 0,
+            job_retries: 1,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// One grid coordinate with its resolved discretisation.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPoint {
+    /// Flat point index (u-major) — the seed hash-split's stream id.
+    pub index: usize,
+    /// On-site repulsion at this point.
+    pub u: f64,
+    /// Inverse temperature at this point.
+    pub beta: f64,
+    /// Time slices `round(beta / dtau)`, at least 1.
+    pub slices: usize,
+}
+
+impl GridSpec {
+    /// Parses a grid-spec file. Unknown keys are errors (typos must not
+    /// silently fall back to defaults — same policy as the CLI inputs).
+    pub fn parse(text: &str) -> Result<GridSpec, GridError> {
+        let mut spec = GridSpec::default();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = ln + 1;
+            let stripped = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = stripped.split_once('=') else {
+                return Err(GridError {
+                    line,
+                    message: format!("expected 'key = value', got '{stripped}'"),
+                });
+            };
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            let bad = |message: String| GridError { line, message };
+            match key.as_str() {
+                "lx" => spec.lx = parse_usize(value).map_err(bad)?,
+                "ly" => spec.ly = parse_usize(value).map_err(bad)?,
+                "t" => spec.t = parse_f64(value).map_err(bad)?,
+                "mu" => spec.mu = parse_f64(value).map_err(bad)?,
+                "dtau" => spec.dtau = parse_f64(value).map_err(bad)?,
+                "u" => spec.us = parse_f64_list(value).map_err(bad)?,
+                "beta" => spec.betas = parse_f64_list(value).map_err(bad)?,
+                "chains" => spec.chains = parse_usize(value).map_err(bad)?,
+                "warmup" => spec.warmup = parse_usize(value).map_err(bad)?,
+                "sweeps" => spec.sweeps = parse_usize(value).map_err(bad)?,
+                "bin_size" => spec.bin_size = parse_usize(value).map_err(bad)?,
+                "cluster_size" | "k" => spec.cluster_size = parse_usize(value).map_err(bad)?,
+                "seed" => {
+                    spec.seed = value
+                        .parse()
+                        .map_err(|e| format!("bad u64 '{value}': {e}"))
+                        .map_err(bad)?
+                }
+                "recovery" => spec.recovery = parse_bool(value).map_err(bad)?,
+                "max_retries" => spec.max_retries = parse_u32(value).map_err(bad)?,
+                "workers" => spec.workers = parse_usize(value).map_err(bad)?,
+                "devices" => spec.devices = parse_usize(value).map_err(bad)?,
+                "quantum" => spec.quantum = parse_usize(value).map_err(bad)?,
+                "job_retries" => spec.job_retries = parse_u32(value).map_err(bad)?,
+                "faults" => spec.faults = parse_faults(value).map_err(bad)?,
+                other => {
+                    return Err(GridError {
+                        line,
+                        message: format!("unknown key '{other}'"),
+                    })
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), GridError> {
+        let bad = |message: String| Err(GridError { line: 0, message });
+        if self.us.is_empty() || self.betas.is_empty() {
+            return bad("grid axes 'u' and 'beta' must be non-empty".into());
+        }
+        if self.us.iter().any(|&u| u < 0.0) {
+            return bad("repulsive model: every u must be >= 0".into());
+        }
+        if self.betas.iter().any(|&b| b <= 0.0) {
+            return bad("every beta must be positive".into());
+        }
+        if self.dtau <= 0.0 {
+            return bad("dtau must be positive".into());
+        }
+        if self.chains == 0 || self.sweeps == 0 {
+            return bad("chains and sweeps must be positive".into());
+        }
+        if self.bin_size == 0 || self.cluster_size == 0 {
+            return bad("bin_size and cluster_size must be positive".into());
+        }
+        if self.workers == 0 {
+            return bad("need at least one worker".into());
+        }
+        Ok(())
+    }
+
+    /// The grid points in canonical (u-major) order.
+    pub fn points(&self) -> Vec<GridPoint> {
+        let mut pts = Vec::with_capacity(self.us.len() * self.betas.len());
+        for (iu, &u) in self.us.iter().enumerate() {
+            for (ib, &beta) in self.betas.iter().enumerate() {
+                let index = iu * self.betas.len() + ib;
+                let slices = ((beta / self.dtau).round() as usize).max(1);
+                pts.push(GridPoint {
+                    index,
+                    u,
+                    beta,
+                    slices,
+                });
+            }
+        }
+        pts
+    }
+
+    /// Total jobs the campaign schedules.
+    pub fn total_jobs(&self) -> usize {
+        self.us.len() * self.betas.len() * self.chains
+    }
+
+    /// The simulation parameters for one chain of one point, with the
+    /// hash-split seed. This is *the* definition of the campaign's physics:
+    /// every consumer (scheduler, tests, reference serial runs) must build
+    /// parameters through here so they agree bit-for-bit.
+    pub fn chain_params(&self, point: &GridPoint, chain: usize) -> SimParams {
+        let model = ModelParams::new(
+            Lattice::square(self.lx, self.ly, self.t),
+            point.u,
+            self.mu,
+            self.dtau,
+            point.slices,
+        );
+        let policy = if self.recovery {
+            RecoveryPolicy {
+                max_retries: self.max_retries,
+                ..RecoveryPolicy::default()
+            }
+        } else {
+            RecoveryPolicy::disabled()
+        };
+        SimParams::new(model)
+            .with_sweeps(self.warmup, self.sweeps)
+            .with_cluster_size(self.cluster_size)
+            .with_bin_size(self.bin_size)
+            .with_seed(dqmc::chain_seed(
+                self.seed,
+                point.index as u64,
+                chain as u64,
+            ))
+            .with_recovery(policy)
+    }
+
+    /// Builds the scripted device fault plan for one job, or `None` when
+    /// the campaign declares no faults. The corruption RNG is seeded from
+    /// the job's chain seed, so a given job misbehaves identically on every
+    /// attempt and in every scheduling configuration.
+    pub fn fault_plan(&self, point: &GridPoint, chain: usize) -> Option<FaultPlan> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        let seed = dqmc::chain_seed(self.seed, point.index as u64, chain as u64);
+        let mut plan = FaultPlan::new().with_seed(seed ^ 0xFA17_FA17_FA17_FA17);
+        for op in &self.faults {
+            plan = match *op {
+                FaultOp::FailLaunch(n) => plan.fail_launch(n),
+                FaultOp::Oom(n) => plan.oom_at_alloc(n),
+                FaultOp::CorruptTransfer(n) => plan.corrupt_transfer(n),
+            };
+        }
+        Some(plan)
+    }
+}
+
+fn parse_usize(v: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("bad integer '{v}': {e}"))
+}
+
+fn parse_u32(v: &str) -> Result<u32, String> {
+    v.parse().map_err(|e| format!("bad integer '{v}': {e}"))
+}
+
+fn parse_f64(v: &str) -> Result<f64, String> {
+    v.parse().map_err(|e| format!("bad number '{v}': {e}"))
+}
+
+fn parse_f64_list(v: &str) -> Result<Vec<f64>, String> {
+    v.split(',').map(|s| parse_f64(s.trim())).collect()
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v.to_ascii_lowercase().as_str() {
+        "yes" | "true" | "on" | "1" => Ok(true),
+        "no" | "false" | "off" | "0" => Ok(false),
+        other => Err(format!("bad bool '{other}' (yes/no)")),
+    }
+}
+
+fn parse_faults(v: &str) -> Result<Vec<FaultOp>, String> {
+    v.split(',')
+        .map(|item| {
+            let item = item.trim();
+            let Some((op, nth)) = item.split_once(':') else {
+                return Err(format!("bad fault '{item}' (want op:ordinal)"));
+            };
+            let nth: u64 = nth
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad ordinal in '{item}': {e}"))?;
+            if nth == 0 {
+                return Err(format!("fault ordinal in '{item}' is 1-based"));
+            }
+            match op.trim() {
+                "fail_launch" => Ok(FaultOp::FailLaunch(nth)),
+                "oom" => Ok(FaultOp::Oom(nth)),
+                "corrupt_transfer" => Ok(FaultOp::CorruptTransfer(nth)),
+                "flip_bit" => Err(
+                    "flip_bit is not allowed in sweep fault plans: finite corruption \
+                     repairs via HS-field rebuild, which is not bit-identical to the \
+                     unfaulted stream and would break sweep determinism"
+                        .into(),
+                ),
+                other => Err(format!("unknown fault op '{other}'")),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "
+        # tiny campaign
+        lx = 2
+        ly = 2
+        u = 2.0, 4.0
+        beta = 1.0, 2.0   # 8 and 16 slices
+        chains = 2
+        warmup = 4
+        sweeps = 8
+        bin_size = 2
+        cluster_size = 4
+        seed = 7
+        workers = 2
+        devices = 1
+        quantum = 3
+        faults = fail_launch:2, corrupt_transfer:4
+    ";
+
+    #[test]
+    fn parses_axes_and_scheduler_knobs() {
+        let spec = GridSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.us, vec![2.0, 4.0]);
+        assert_eq!(spec.betas, vec![1.0, 2.0]);
+        assert_eq!(spec.total_jobs(), 8);
+        assert_eq!(spec.workers, 2);
+        assert_eq!(spec.quantum, 3);
+        assert_eq!(
+            spec.faults,
+            vec![FaultOp::FailLaunch(2), FaultOp::CorruptTransfer(4)]
+        );
+        let pts = spec.points();
+        assert_eq!(pts.len(), 4);
+        // u-major: (2,1) (2,2) (4,1) (4,2); slices = beta/dtau.
+        assert_eq!(pts[1].u, 2.0);
+        assert_eq!(pts[1].beta, 2.0);
+        assert_eq!(pts[1].slices, 16);
+        assert_eq!(pts[2].index, 2);
+        assert_eq!(pts[2].u, 4.0);
+    }
+
+    #[test]
+    fn chain_params_use_hash_split_seeds() {
+        let spec = GridSpec::parse(SMOKE).unwrap();
+        let pts = spec.points();
+        let p00 = spec.chain_params(&pts[0], 0);
+        let p01 = spec.chain_params(&pts[0], 1);
+        let p10 = spec.chain_params(&pts[1], 0);
+        assert_ne!(p00.seed, p01.seed);
+        assert_ne!(p00.seed, p10.seed);
+        assert_ne!(p01.seed, p10.seed);
+        assert_eq!(p00.seed, dqmc::chain_seed(7, 0, 0));
+        // Cluster size clamps to the point's slice count.
+        assert_eq!(p00.cluster_size, 4);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_faults_are_rejected() {
+        let err = GridSpec::parse("lattice = 4").unwrap_err();
+        assert!(err.message.contains("unknown key"), "{err}");
+        let err = GridSpec::parse("faults = flip_bit:3").unwrap_err();
+        assert!(err.message.contains("determinism"), "{err}");
+        let err = GridSpec::parse("faults = fail_launch:0").unwrap_err();
+        assert!(err.message.contains("1-based"), "{err}");
+        let err = GridSpec::parse("u = ").unwrap_err();
+        assert!(err.message.contains("bad number"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_empty_axes_and_zero_workers() {
+        let mut spec = GridSpec::default();
+        spec.us.clear();
+        assert!(spec.validate().is_err());
+        let spec = GridSpec {
+            workers: 0,
+            ..GridSpec::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_per_job_deterministic() {
+        let spec = GridSpec::parse(SMOKE).unwrap();
+        let pts = spec.points();
+        assert!(spec.fault_plan(&pts[0], 0).is_some());
+        let clean = GridSpec::default();
+        assert!(clean.fault_plan(&pts[0], 0).is_none());
+    }
+}

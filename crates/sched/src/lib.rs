@@ -1,0 +1,55 @@
+//! Checkpoint-aware parameter-sweep scheduler.
+//!
+//! A QMC campaign is never one Markov chain: it is a grid of `(U, β)`
+//! points, each an ensemble of independent chains. This crate turns the
+//! primitives of the lower layers — bit-identical `DQCP` checkpoints,
+//! the recovery ladder, the simulated device pool — into a batch service
+//! with the shape of a production job scheduler:
+//!
+//! 1. **Queue** ([`queue`]): every (point, chain) pair becomes a
+//!    [`SweepJob`] in a bounded priority queue; FIFO within a priority
+//!    class, higher classes pop first.
+//! 2. **Placement** ([`gpusim::pool`]): workers lease simulated
+//!    accelerators from a shared [`gpusim::DevicePool`]; when every slot is
+//!    busy the job runs on the host backend instead of waiting.
+//! 3. **Preemption** ([`runner`]): jobs execute in quanta of whole sweeps.
+//!    At each quantum boundary a job yields to higher-priority waiters (or
+//!    on its cooperative time-slice) by serialising to an in-memory `DQCP`
+//!    image and requeueing; the resume is bit-identical, so preemption is
+//!    invisible in the physics.
+//! 4. **Retry** ([`runner`]): a job whose run panics (the recovery ladder's
+//!    last rung) restarts from its last checkpoint image, up to a per-job
+//!    budget, before being reported failed.
+//! 5. **Aggregation** ([`report`]): per-point chain observables merge in
+//!    canonical (point, chain) order and are jackknifed
+//!    ([`util::jackknife_ratio`]) into a machine-readable [`SweepReport`].
+//!
+//! # The determinism contract
+//!
+//! The pooled observables of a sweep are a **pure function of
+//! (grid, seeds)** — independent of worker count, device-pool size,
+//! placement, preemption schedule, and scripted one-shot fault plans.
+//! Three mechanisms compose to guarantee it:
+//!
+//! - chain seeds are hash-split per (point, chain) ([`dqmc::chain_seed`]),
+//!   so the set of Markov chains is fixed by the grid alone;
+//! - device placement uses the backend's deterministic-execution mode
+//!   ([`gpusim::DeviceBackend::with_bitexact_wrap`]), making device and
+//!   host runs bit-identical;
+//! - preemption parks jobs as `DQCP` images whose resume is bit-identical,
+//!   and recovery retries consume no Metropolis randomness, so one-shot
+//!   faults heal without a trace.
+//!
+//! `tests/sched_determinism.rs` (workspace root) pins the whole contract.
+
+pub mod grid;
+pub mod queue;
+pub mod report;
+pub mod runner;
+pub mod trace;
+
+pub use grid::{GridError, GridPoint, GridSpec};
+pub use queue::{JobQueue, QueueFull, SweepJob};
+pub use report::{PointSummary, SweepReport};
+pub use runner::{run_sweep, run_sweep_observed, Injector, SchedConfig, SweepObserver};
+pub use trace::{EventLog, Placement, TraceEvent};

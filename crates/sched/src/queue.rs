@@ -1,0 +1,347 @@
+//! Bounded priority work queue of sweep jobs.
+//!
+//! Jobs pop highest-priority-first, FIFO within a priority class (a
+//! monotonic sequence number breaks ties, and a *re*-queued job draws a new
+//! number, so equal-priority jobs round-robin under cooperative yielding
+//! rather than starving each other). The queue is bounded at construction;
+//! `submit` refuses past the bound. Because every heap entry is an
+//! *outstanding* job and outstanding jobs never exceed the bound, the
+//! requeue path — which runs on every preemption — can never overflow the
+//! capacity reserved up front, so the hot pop/requeue paths are
+//! allocation-free (enforced by the `deny_hot_alloc` lint tag below).
+//!
+//! Termination: a worker blocks while the queue is empty but jobs are
+//! still outstanding — a running job may yet yield back into the queue —
+//! and unblocks with `None` only when the last outstanding job completes.
+
+#![cfg_attr(any(), deny_hot_alloc)]
+
+use dqmc::SimParams;
+use gpusim::FaultPlan;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// One schedulable unit: a single Markov chain of a single grid point.
+#[derive(Debug)]
+pub struct SweepJob {
+    /// Grid point index (the seed hash-split's stream id).
+    pub point: usize,
+    /// Chain index within the point.
+    pub chain: usize,
+    /// Scheduling class; higher pops first and preempts lower.
+    pub priority: u8,
+    /// Full simulation parameters (seed already hash-split).
+    pub params: SimParams,
+    /// Scripted device faults to arm when the job lands on a device.
+    pub fault_plan: Option<FaultPlan>,
+    /// Parked `DQCP` image from the last yield; `None` for a fresh start.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Scheduler-level restarts consumed (panic recovery).
+    pub attempts: u32,
+    /// Times this job was preempted (diagnostics).
+    pub preemptions: u32,
+    /// Quanta executed on a leased device.
+    pub device_quanta: u64,
+    /// Quanta executed on the host backend.
+    pub host_quanta: u64,
+}
+
+impl SweepJob {
+    /// A fresh job for (point, chain) at the default priority.
+    pub fn new(point: usize, chain: usize, params: SimParams) -> Self {
+        SweepJob {
+            point,
+            chain,
+            priority: 0,
+            params,
+            fault_plan: None,
+            checkpoint: None,
+            attempts: 0,
+            preemptions: 0,
+            device_quanta: 0,
+            host_quanta: 0,
+        }
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Arms a scripted fault plan for device placements.
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    priority: u8,
+    seq: u64,
+    job: SweepJob,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then *lower* seq (older) first.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Error from [`JobQueue::submit`] on a full queue.
+#[derive(Debug)]
+pub struct QueueFull {
+    /// The configured bound.
+    pub bound: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue full (bound {})", self.bound)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[derive(Debug)]
+struct QueueState {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+    /// Jobs submitted and not yet completed/failed (running jobs included).
+    outstanding: usize,
+}
+
+/// The shared bounded priority queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    bound: usize,
+}
+
+impl JobQueue {
+    /// An empty queue refusing more than `bound` outstanding jobs.
+    // dqmc-lint: allow(hot_alloc) — one-time construction; the heap is
+    // sized here so pushes on the scheduling path never reallocate.
+    pub fn new(bound: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::with_capacity(bound),
+                next_seq: 0,
+                outstanding: 0,
+            }),
+            cv: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// The configured bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Submits a new job, failing when the outstanding count has reached
+    /// the bound. New jobs may be submitted while workers run (late
+    /// arrivals / priority cut-ins).
+    pub fn submit(&self, job: SweepJob) -> Result<(), QueueFull> {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        if s.outstanding >= self.bound {
+            return Err(QueueFull { bound: self.bound });
+        }
+        s.outstanding += 1;
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Entry {
+            priority: job.priority,
+            seq,
+            job,
+        });
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Reserves one capacity slot for a job that exists but is deliberately
+    /// kept *out* of the heap (a held job awaiting mid-sweep injection).
+    /// Termination waits for it, and its eventual [`JobQueue::requeue`]
+    /// cannot overflow the reserved capacity.
+    pub fn submit_held(&self) -> Result<(), QueueFull> {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        if s.outstanding >= self.bound {
+            return Err(QueueFull { bound: self.bound });
+        }
+        s.outstanding += 1;
+        Ok(())
+    }
+
+    /// Returns a yielded job to the queue. The job is still outstanding, so
+    /// capacity is guaranteed; it draws a fresh sequence number and goes
+    /// behind its priority class.
+    pub fn requeue(&self, job: SweepJob) {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        debug_assert!(s.outstanding > 0, "requeue of a non-outstanding job");
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Entry {
+            priority: job.priority,
+            seq,
+            job,
+        });
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Marks one popped job as finished (completed or permanently failed),
+    /// releasing its capacity slot. The last completion wakes every blocked
+    /// worker so they can observe termination.
+    pub fn complete(&self) {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        s.outstanding = s.outstanding.saturating_sub(1);
+        let done = s.outstanding == 0;
+        drop(s);
+        if done {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pops the highest-priority job, blocking while the queue is empty but
+    /// jobs are still outstanding. `None` means the sweep is drained.
+    pub fn pop_blocking(&self) -> Option<SweepJob> {
+        let mut s = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(e) = s.heap.pop() {
+                return Some(e.job);
+            }
+            if s.outstanding == 0 {
+                return None;
+            }
+            s = self.cv.wait(s).expect("job queue poisoned");
+        }
+    }
+
+    /// True when a job with priority strictly above `p` is waiting — the
+    /// preemption check run by workers at every quantum boundary.
+    pub fn waiting_priority_above(&self, p: u8) -> bool {
+        self.state
+            .lock()
+            .expect("job queue poisoned")
+            .heap
+            .peek()
+            .is_some_and(|e| e.priority > p)
+    }
+
+    /// Jobs currently waiting in the queue (excludes running ones).
+    pub fn waiting(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqmc::ModelParams;
+    use lattice::Lattice;
+
+    fn job(point: usize, chain: usize, priority: u8) -> SweepJob {
+        let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 4);
+        SweepJob::new(point, chain, SimParams::new(model)).with_priority(priority)
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.submit(job(0, 0, 0)).unwrap();
+        q.submit(job(1, 0, 0)).unwrap();
+        q.submit(job(2, 0, 1)).unwrap();
+        q.submit(job(3, 0, 0)).unwrap();
+        let order: Vec<usize> = (0..4)
+            .map(|_| {
+                let j = q.pop_blocking().unwrap();
+                q.complete();
+                j.point
+            })
+            .collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn requeued_jobs_round_robin_within_class() {
+        let q = JobQueue::new(4);
+        q.submit(job(0, 0, 0)).unwrap();
+        q.submit(job(1, 0, 0)).unwrap();
+        let a = q.pop_blocking().unwrap();
+        assert_eq!(a.point, 0);
+        q.requeue(a); // fresh seq: goes behind point 1
+        let b = q.pop_blocking().unwrap();
+        assert_eq!(b.point, 1);
+        q.complete();
+        let a2 = q.pop_blocking().unwrap();
+        assert_eq!(a2.point, 0);
+        q.complete();
+    }
+
+    #[test]
+    fn bound_is_enforced_for_new_submissions() {
+        let q = JobQueue::new(2);
+        q.submit(job(0, 0, 0)).unwrap();
+        q.submit(job(1, 0, 0)).unwrap();
+        let err = q.submit(job(2, 0, 0)).unwrap_err();
+        assert_eq!(err.bound, 2);
+        // Popping alone frees nothing — completion does.
+        let j = q.pop_blocking().unwrap();
+        assert!(q.submit(job(2, 0, 0)).is_err());
+        drop(j);
+        q.complete();
+        q.submit(job(2, 0, 0)).unwrap();
+    }
+
+    #[test]
+    fn preemption_probe_sees_higher_waiters_only() {
+        let q = JobQueue::new(4);
+        q.submit(job(0, 0, 0)).unwrap();
+        assert!(!q.waiting_priority_above(0));
+        assert!(q.waiting_priority_above(0) || q.waiting() == 1);
+        q.submit(job(1, 0, 2)).unwrap();
+        assert!(q.waiting_priority_above(0));
+        assert!(q.waiting_priority_above(1));
+        assert!(!q.waiting_priority_above(2));
+    }
+
+    #[test]
+    fn drained_queue_unblocks_all_workers() {
+        let q = std::sync::Arc::new(JobQueue::new(2));
+        q.submit(job(0, 0, 0)).unwrap();
+        // Pop before spawning so the helper thread can only ever see an
+        // empty heap with one outstanding job — it must block, not race us
+        // for the job.
+        let j = q.pop_blocking().unwrap();
+        drop(j);
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread completes the outstanding job.
+            q2.pop_blocking().is_none()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.complete();
+        assert!(t.join().unwrap(), "blocked worker must see termination");
+    }
+}

@@ -1,0 +1,334 @@
+//! The machine-readable result of a sweep campaign.
+//!
+//! A [`SweepReport`] has two layers with different guarantees:
+//!
+//! - the **observables** layer ([`SweepReport::observables_json`]) is a
+//!   pure function of (grid, seeds) — byte-identical across worker counts,
+//!   device-pool sizes, preemption schedules and scripted one-shot fault
+//!   plans. CI diffs it between scheduling configurations.
+//! - the **schedule** layer (the rest of [`SweepReport::to_json`]) is
+//!   diagnostics: placements, preemptions, retries, recovery events, wall
+//!   time. It legitimately varies run to run.
+//!
+//! JSON is emitted by hand (the workspace has no serde); floats use Rust's
+//! shortest-roundtrip `Display`, so equal bits render as equal bytes, and
+//! non-finite values render as `null` to stay inside the JSON grammar.
+
+use dqmc::JackknifeScalars;
+
+/// Pooled results for one grid point.
+#[derive(Clone, Debug)]
+pub struct PointSummary {
+    /// Flat point index (u-major).
+    pub point: usize,
+    /// On-site repulsion.
+    pub u: f64,
+    /// Inverse temperature.
+    pub beta: f64,
+    /// Time slices.
+    pub slices: usize,
+    /// Chains that completed.
+    pub chains_ok: usize,
+    /// Chains that exhausted their retry budget.
+    pub chains_failed: usize,
+    /// Complete measurement bins pooled across chains.
+    pub bin_count: usize,
+    /// Jackknifed scalar observables; `None` when every chain failed.
+    pub scalars: Option<JackknifeScalars>,
+    /// Mean Metropolis acceptance over completed chains.
+    pub mean_acceptance: f64,
+    /// Largest wrap-vs-recompute divergence any chain saw.
+    pub max_wrap_error: f64,
+    /// Recovery-ladder incidents summed over chains (schedule-dependent:
+    /// faults only fire on device placements).
+    pub recovery_events: u64,
+    /// Preemptions suffered by this point's jobs.
+    pub preemptions: u64,
+    /// Scheduling quanta run on leased devices.
+    pub device_quanta: u64,
+    /// Scheduling quanta run on the host backend.
+    pub host_quanta: u64,
+}
+
+/// The full campaign result.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Campaign base seed.
+    pub seed: u64,
+    /// Chains per point.
+    pub chains: usize,
+    /// Warmup sweeps per chain.
+    pub warmup: usize,
+    /// Measurement sweeps per chain.
+    pub sweeps: usize,
+    /// Per-point pooled results, in point order.
+    pub points: Vec<PointSummary>,
+    /// Jobs scheduled.
+    pub total_jobs: usize,
+    /// Jobs that failed permanently.
+    pub failed_jobs: usize,
+    /// Total preemptions (checkpoint-park-requeue cycles).
+    pub preemptions: u64,
+    /// Scheduler-level job restarts after panics.
+    pub retries: u64,
+    /// Quanta run on devices, campaign-wide.
+    pub device_quanta: u64,
+    /// Quanta run on the host, campaign-wide.
+    pub host_quanta: u64,
+    /// Device leases granted by the pool.
+    pub leases_granted: u64,
+    /// Lease requests that fell back to the host.
+    pub lease_misses: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Device-pool slots.
+    pub devices: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+}
+
+/// Shortest-roundtrip float, `null` when non-finite (NaN/inf are not JSON).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jpair((v, e): (f64, f64)) -> String {
+    format!("{{\"value\":{},\"err\":{}}}", jnum(v), jnum(e))
+}
+
+impl PointSummary {
+    fn observables_json(&self) -> String {
+        let mut s = format!(
+            "{{\"point\":{},\"u\":{},\"beta\":{},\"slices\":{},\"chains\":{},\"bins\":{}",
+            self.point,
+            jnum(self.u),
+            jnum(self.beta),
+            self.slices,
+            self.chains_ok,
+            self.bin_count
+        );
+        match &self.scalars {
+            Some(sc) => {
+                s.push_str(&format!(
+                    ",\"sign\":{},\"density\":{},\"double_occ\":{},\"kinetic\":{},\
+                     \"potential\":{},\"saf\":{}",
+                    jpair(sc.sign),
+                    jpair(sc.density),
+                    jpair(sc.double_occ),
+                    jpair(sc.kinetic),
+                    jpair(sc.potential),
+                    jpair(sc.saf),
+                ));
+            }
+            None => s.push_str(",\"failed\":true"),
+        }
+        s.push('}');
+        s
+    }
+
+    fn schedule_json(&self) -> String {
+        format!(
+            "{{\"point\":{},\"acceptance\":{},\"max_wrap_error\":{},\"recovery_events\":{},\
+             \"failed_chains\":{},\"preemptions\":{},\"device_quanta\":{},\"host_quanta\":{}}}",
+            self.point,
+            jnum(self.mean_acceptance),
+            jnum(self.max_wrap_error),
+            self.recovery_events,
+            self.chains_failed,
+            self.preemptions,
+            self.device_quanta,
+            self.host_quanta
+        )
+    }
+}
+
+impl SweepReport {
+    /// The deterministic physics section: byte-identical for a fixed
+    /// (grid, seeds) no matter how the sweep was scheduled. This is the
+    /// string the determinism tests and the CI smoke job compare.
+    pub fn observables_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(|p| p.observables_json()).collect();
+        format!(
+            "{{\"seed\":{},\"chains\":{},\"warmup\":{},\"sweeps\":{},\"points\":[{}]}}",
+            self.seed,
+            self.chains,
+            self.warmup,
+            self.sweeps,
+            points.join(",")
+        )
+    }
+
+    /// The full report: observables plus schedule diagnostics.
+    pub fn to_json(&self) -> String {
+        let sched: Vec<String> = self.points.iter().map(|p| p.schedule_json()).collect();
+        format!(
+            "{{\"observables\":{},\"schedule\":{{\"workers\":{},\"devices\":{},\
+             \"total_jobs\":{},\"failed_jobs\":{},\"preemptions\":{},\"retries\":{},\
+             \"device_quanta\":{},\"host_quanta\":{},\"leases_granted\":{},\
+             \"lease_misses\":{},\"wall_seconds\":{},\"points\":[{}]}}}}",
+            self.observables_json(),
+            self.workers,
+            self.devices,
+            self.total_jobs,
+            self.failed_jobs,
+            self.preemptions,
+            self.retries,
+            self.device_quanta,
+            self.host_quanta,
+            self.leases_granted,
+            self.lease_misses,
+            jnum(self.wall_seconds),
+            sched.join(",")
+        )
+    }
+
+    /// A compact human summary: one line per point.
+    pub fn human_summary(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            match &p.scalars {
+                Some(sc) => out.push_str(&format!(
+                    "point {:>3}  U={:<6} beta={:<6} | density {:.4} ± {:.4} | \
+                     docc {:.4} ± {:.4} | S_AF {:.4} ± {:.4} | sign {:.3}\n",
+                    p.point,
+                    p.u,
+                    p.beta,
+                    sc.density.0,
+                    sc.density.1,
+                    sc.double_occ.0,
+                    sc.double_occ.1,
+                    sc.saf.0,
+                    sc.saf.1,
+                    sc.sign.0,
+                )),
+                None => out.push_str(&format!(
+                    "point {:>3}  U={:<6} beta={:<6} | FAILED ({} chains)\n",
+                    p.point, p.u, p.beta, p.chains_failed
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "jobs {}/{} ok | preemptions {} | retries {} | quanta dev/host {}/{} | \
+             lease miss {}/{} | {:.2}s with {} workers, {} devices\n",
+            self.total_jobs - self.failed_jobs,
+            self.total_jobs,
+            self.preemptions,
+            self.retries,
+            self.device_quanta,
+            self.host_quanta,
+            self.lease_misses,
+            self.leases_granted + self.lease_misses,
+            self.wall_seconds,
+            self.workers,
+            self.devices,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepReport {
+        SweepReport {
+            seed: 7,
+            chains: 2,
+            warmup: 4,
+            sweeps: 8,
+            points: vec![PointSummary {
+                point: 0,
+                u: 4.0,
+                beta: 2.0,
+                slices: 16,
+                chains_ok: 2,
+                chains_failed: 0,
+                bin_count: 8,
+                scalars: Some(JackknifeScalars {
+                    sign: (1.0, 0.0),
+                    density: (1.0, 0.01),
+                    double_occ: (0.2, 0.005),
+                    kinetic: (-1.2, 0.02),
+                    potential: (0.8, 0.02),
+                    saf: (1.5, 0.1),
+                }),
+                mean_acceptance: 0.45,
+                max_wrap_error: 1e-12,
+                recovery_events: 1,
+                preemptions: 3,
+                device_quanta: 5,
+                host_quanta: 2,
+            }],
+            total_jobs: 2,
+            failed_jobs: 0,
+            preemptions: 3,
+            retries: 0,
+            device_quanta: 5,
+            host_quanta: 2,
+            leases_granted: 5,
+            lease_misses: 2,
+            workers: 2,
+            devices: 1,
+            wall_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn observables_json_is_valid_and_excludes_schedule() {
+        let j = sample().observables_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"double_occ\":{\"value\":0.2,\"err\":0.005}"));
+        // Schedule-dependent fields must NOT leak into the deterministic
+        // section.
+        assert!(!j.contains("preemptions"));
+        assert!(!j.contains("recovery_events"));
+        assert!(!j.contains("wall"));
+        assert!(!j.contains("quanta"));
+    }
+
+    #[test]
+    fn full_json_nests_both_sections() {
+        let j = sample().to_json();
+        assert!(j.contains("\"observables\":{"));
+        assert!(j.contains("\"schedule\":{"));
+        assert!(j.contains("\"preemptions\":3"));
+        assert!(j.contains("\"lease_misses\":2"));
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        let mut r = sample();
+        r.points[0].scalars = Some(JackknifeScalars {
+            sign: (f64::NAN, 0.0),
+            density: (f64::INFINITY, 0.0),
+            double_occ: (0.0, 0.0),
+            kinetic: (0.0, 0.0),
+            potential: (0.0, 0.0),
+            saf: (0.0, 0.0),
+        });
+        let j = r.observables_json();
+        assert!(j.contains("\"sign\":{\"value\":null"));
+        assert!(j.contains("\"density\":{\"value\":null"));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
+    fn failed_points_are_marked() {
+        let mut r = sample();
+        r.points[0].scalars = None;
+        r.points[0].chains_failed = 2;
+        assert!(r.observables_json().contains("\"failed\":true"));
+        assert!(r.human_summary().contains("FAILED"));
+    }
+
+    #[test]
+    fn human_summary_mentions_throughput_counters() {
+        let s = sample().human_summary();
+        assert!(s.contains("jobs 2/2 ok"));
+        assert!(s.contains("2 workers, 1 devices"));
+    }
+}

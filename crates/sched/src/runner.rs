@@ -1,0 +1,497 @@
+//! The worker pool: pops jobs, places them, preempts them, retries them,
+//! and folds the survivors into a [`SweepReport`].
+//!
+//! # Execution model
+//!
+//! Each worker loops: pop a job → try to lease a device from the shared
+//! [`DevicePool`] (host fallback on a miss) → run the simulation in quanta
+//! of `quantum` sweeps. At every quantum boundary the job checks whether it
+//! should yield — a higher-priority job is waiting, or its cooperative
+//! time-slice (`yield_every_quanta`) expired — and if so parks itself as an
+//! in-memory `DQCP` image and requeues. A panic escaping the simulation
+//! (the recovery ladder's terminal rung) is caught; the job restarts from
+//! its last parked image up to `job_retries` times before being recorded
+//! as failed.
+//!
+//! # Why the result cannot see the schedule
+//!
+//! Chain trajectories are fixed by hash-split seeds; device placement uses
+//! the bit-exact wrap mode, so host and device runs agree to the last bit;
+//! `DQCP` resume is bit-identical; and results land in a slot vector
+//! indexed by `job_id = point * chains + chain`, then merge in canonical
+//! chain order per point. Workers race only for *which* slot they fill
+//! next, never for what goes in it.
+
+use crate::grid::GridSpec;
+use crate::queue::{JobQueue, SweepJob};
+use crate::report::{PointSummary, SweepReport};
+use crate::trace::{EventLog, Placement, TraceEvent};
+use dqmc::{Observables, RecoveryLog, Simulation};
+use gpusim::{DevicePool, DeviceSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scheduler configuration, usually derived from a [`GridSpec`] via
+/// [`SchedConfig::from_spec`]; tests override individual knobs.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Worker threads. `1` runs inline on the calling thread.
+    pub workers: usize,
+    /// Simulated accelerator slots in the device pool. `0` forces every
+    /// job onto the host backend.
+    pub devices: usize,
+    /// Queue bound; `0` sizes it to fit the whole grid.
+    pub queue_bound: usize,
+    /// Sweeps per scheduling quantum; `0` runs jobs to completion.
+    pub quantum: usize,
+    /// Cooperative yield after this many quanta even with no higher-
+    /// priority waiter; `0` disables time-slicing.
+    pub yield_every_quanta: u64,
+    /// Scheduler-level restarts of a panicked job.
+    pub job_retries: u32,
+    /// Grid point indices whose jobs are *held back* from the initial
+    /// submission; tests release them mid-sweep (via
+    /// [`Injector::release_held`]) to force true priority preemption.
+    pub hold_points: Vec<usize>,
+}
+
+impl SchedConfig {
+    /// The scheduling knobs declared in a grid spec.
+    pub fn from_spec(spec: &GridSpec) -> Self {
+        SchedConfig {
+            workers: spec.workers,
+            devices: spec.devices,
+            queue_bound: 0,
+            quantum: spec.quantum,
+            yield_every_quanta: 0,
+            job_retries: spec.job_retries,
+            hold_points: Vec::new(),
+        }
+    }
+}
+
+/// What happened to one job. The accumulators are boxed so the `Failed`
+/// variant (and the slot vector's `None`s) stay pointer-sized.
+enum ChainOutcome {
+    Done {
+        observables: Box<Observables>,
+        acceptance: f64,
+        max_wrap_error: f64,
+        recovery: RecoveryLog,
+        preemptions: u32,
+        device_quanta: u64,
+        host_quanta: u64,
+    },
+    Failed {
+        preemptions: u64,
+        device_quanta: u64,
+        host_quanta: u64,
+    },
+}
+
+/// Mid-sweep injection handle passed to the observer callback: jobs held
+/// back by [`SchedConfig::hold_points`] wait here until released.
+pub struct Injector<'a> {
+    queue: &'a JobQueue,
+    held: Mutex<Vec<SweepJob>>,
+}
+
+impl<'a> Injector<'a> {
+    /// Jobs still held (not yet injected).
+    pub fn held(&self) -> usize {
+        self.held.lock().expect("injector poisoned").len()
+    }
+
+    /// Releases every held job into the queue at `priority`. Idempotent —
+    /// observers may call it on every event and only the first call
+    /// submits. Held jobs were counted outstanding at submission time, so
+    /// the queue always has room for them.
+    pub fn release_held(&self, priority: u8) {
+        let jobs: Vec<SweepJob> = {
+            let mut held = self.held.lock().expect("injector poisoned");
+            std::mem::take(&mut *held)
+        };
+        for job in jobs {
+            let job = job.with_priority(priority);
+            self.queue.requeue(job);
+        }
+    }
+}
+
+/// Callback observing the trace stream at job boundaries; the [`Injector`]
+/// lets it submit held jobs mid-sweep.
+pub type SweepObserver = dyn for<'a> Fn(&TraceEvent, &Injector<'a>) + Sync;
+
+/// The result of one quantum-loop invocation.
+enum RunStep {
+    Completed(Box<ChainOutcome>),
+    Yielded { sweeps_done: usize },
+}
+
+/// Runs one job until it completes or decides to yield.
+///
+/// On a yield the parked `DQCP` image replaces `job.checkpoint`; on a panic
+/// the *previous* image is still intact (this function never `take`s it),
+/// so a retried job resumes from its last successful park rather than from
+/// scratch-after-progress.
+fn run_job(
+    job: &mut SweepJob,
+    worker: usize,
+    pool: Option<&DevicePool>,
+    cfg: &SchedConfig,
+    events: &EventLog,
+    queue: &JobQueue,
+) -> RunStep {
+    let lease = pool.and_then(|p| p.try_lease());
+    let placement = match &lease {
+        Some(l) => Placement::Device { slot: l.slot() },
+        None => Placement::Host,
+    };
+    events.push(TraceEvent::Started {
+        point: job.point,
+        chain: job.chain,
+        worker,
+        placement,
+        resumed: job.checkpoint.is_some(),
+    });
+
+    let mut sim = match &job.checkpoint {
+        Some(bytes) => Simulation::resume_bytes(bytes, &job.params)
+            .expect("parked DQCP image must resume: it was produced this run"),
+        None => Simulation::new(job.params.clone()),
+    };
+    if let Some(l) = &lease {
+        sim = sim.with_backend(Box::new(l.backend(job.fault_plan.clone())));
+    }
+
+    let quantum = if cfg.quantum == 0 {
+        usize::MAX
+    } else {
+        cfg.quantum
+    };
+    let mut quanta_run: u64 = 0;
+    loop {
+        sim.step(quantum);
+        quanta_run += 1;
+        match placement {
+            Placement::Device { .. } => job.device_quanta += 1,
+            Placement::Host => job.host_quanta += 1,
+        }
+        if sim.is_complete() {
+            events.push(TraceEvent::Completed {
+                point: job.point,
+                chain: job.chain,
+                worker,
+            });
+            return RunStep::Completed(Box::new(ChainOutcome::Done {
+                observables: Box::new(sim.observables().clone()),
+                acceptance: sim.acceptance_rate(),
+                max_wrap_error: sim.max_wrap_error(),
+                recovery: sim.recovery_log().clone(),
+                preemptions: job.preemptions,
+                device_quanta: job.device_quanta,
+                host_quanta: job.host_quanta,
+            }));
+        }
+        let preempted = queue.waiting_priority_above(job.priority);
+        let sliced = cfg.yield_every_quanta > 0 && quanta_run >= cfg.yield_every_quanta;
+        if preempted || sliced {
+            job.checkpoint = Some(sim.checkpoint_bytes());
+            let (w, m) = sim.sweeps_done();
+            return RunStep::Yielded { sweeps_done: w + m };
+        }
+    }
+}
+
+/// One worker's lifetime: drain the queue until the sweep terminates.
+fn worker_loop(
+    worker: usize,
+    queue: &JobQueue,
+    pool: Option<&DevicePool>,
+    cfg: &SchedConfig,
+    events: &EventLog,
+    results: &Mutex<Vec<Option<ChainOutcome>>>,
+    chains: usize,
+    injector: &Injector<'_>,
+    observer: Option<&SweepObserver>,
+) {
+    while let Some(mut job) = queue.pop_blocking() {
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&mut job, worker, pool, cfg, events, queue)
+        }));
+        // Observers see events only at job boundaries (not mid-quantum), so
+        // an injection here lands before the next pop — deterministic with
+        // one worker.
+        if let Some(obs) = observer {
+            let snap = events.snapshot();
+            if let Some(e) = snap.last() {
+                obs(e, injector);
+            }
+        }
+        match step {
+            Ok(RunStep::Completed(outcome)) => {
+                let slot = job.point * chains + job.chain;
+                results.lock().expect("results poisoned")[slot] = Some(*outcome);
+                queue.complete();
+            }
+            Ok(RunStep::Yielded { sweeps_done }) => {
+                job.preemptions += 1;
+                events.push(TraceEvent::Yielded {
+                    point: job.point,
+                    chain: job.chain,
+                    sweeps_done,
+                });
+                queue.requeue(job);
+            }
+            Err(_) => {
+                job.attempts += 1;
+                if job.attempts <= cfg.job_retries {
+                    events.push(TraceEvent::Retried {
+                        point: job.point,
+                        chain: job.chain,
+                        attempt: job.attempts,
+                    });
+                    // job.checkpoint still holds the last *successful* park
+                    // (run_job never clears it), so the retry resumes there.
+                    queue.requeue(job);
+                } else {
+                    events.push(TraceEvent::Failed {
+                        point: job.point,
+                        chain: job.chain,
+                        attempts: job.attempts,
+                    });
+                    let slot = job.point * chains + job.chain;
+                    results.lock().expect("results poisoned")[slot] = Some(ChainOutcome::Failed {
+                        preemptions: job.preemptions as u64,
+                        device_quanta: job.device_quanta,
+                        host_quanta: job.host_quanta,
+                    });
+                    queue.complete();
+                }
+            }
+        }
+    }
+}
+
+/// Runs a sweep campaign. Convenience wrapper over
+/// [`run_sweep_observed`] with no observer.
+pub fn run_sweep(spec: &GridSpec, cfg: &SchedConfig, events: &EventLog) -> SweepReport {
+    run_sweep_observed(spec, cfg, events, None)
+}
+
+/// Runs a sweep campaign with an optional observer called at job
+/// boundaries — the hook the preemption tests use to release held jobs
+/// mid-sweep.
+///
+/// The returned report's [`SweepReport::observables_json`] is a pure
+/// function of `(spec physics, spec seeds)`: `cfg` may change workers,
+/// devices, quanta, holds — the observables section does not move.
+pub fn run_sweep_observed(
+    spec: &GridSpec,
+    cfg: &SchedConfig,
+    events: &EventLog,
+    observer: Option<&SweepObserver>,
+) -> SweepReport {
+    assert!(
+        cfg.hold_points.is_empty() || observer.is_some(),
+        "hold_points without an observer to release them would deadlock"
+    );
+    let start = Instant::now();
+    let points = spec.points();
+    let njobs = spec.total_jobs();
+    let bound = if cfg.queue_bound == 0 {
+        njobs
+    } else {
+        cfg.queue_bound.max(njobs)
+    };
+    let queue = JobQueue::new(bound);
+    let injector = Injector {
+        queue: &queue,
+        held: Mutex::new(Vec::new()),
+    };
+
+    for point in &points {
+        for chain in 0..spec.chains {
+            let job = SweepJob::new(point.index, chain, spec.chain_params(point, chain))
+                .with_fault_plan(spec.fault_plan(point, chain));
+            if cfg.hold_points.contains(&point.index) {
+                // Count it outstanding now (so termination waits for it and
+                // requeue-on-release cannot overflow), but keep it out of
+                // the heap until an observer releases it.
+                let placeholder = queue.submit_held();
+                debug_assert!(placeholder.is_ok(), "grid-sized queue cannot be full");
+                injector.held.lock().expect("injector poisoned").push(job);
+            } else {
+                queue
+                    .submit(job)
+                    .expect("queue was sized to fit the whole grid");
+            }
+        }
+    }
+
+    let pool = if cfg.devices > 0 {
+        Some(DevicePool::new(DeviceSpec::tesla_c2050(), cfg.devices))
+    } else {
+        None
+    };
+    let results: Mutex<Vec<Option<ChainOutcome>>> = Mutex::new((0..njobs).map(|_| None).collect());
+
+    if cfg.workers <= 1 {
+        worker_loop(
+            0,
+            &queue,
+            pool.as_ref(),
+            cfg,
+            events,
+            &results,
+            spec.chains,
+            &injector,
+            observer,
+        );
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..cfg.workers {
+                let queue = &queue;
+                let pool = pool.as_ref();
+                let results = &results;
+                let injector = &injector;
+                scope.spawn(move || {
+                    worker_loop(
+                        w,
+                        queue,
+                        pool,
+                        cfg,
+                        events,
+                        results,
+                        spec.chains,
+                        injector,
+                        observer,
+                    );
+                });
+            }
+        });
+    }
+
+    let outcomes = results.into_inner().expect("results poisoned");
+    let retries = events.count(|e| matches!(e, TraceEvent::Retried { .. })) as u64;
+    assemble_report(spec, cfg, &points, outcomes, pool.as_ref(), retries, start)
+}
+
+/// Merges per-chain outcomes into per-point summaries in canonical chain
+/// order — the aggregation step the determinism contract protects.
+fn assemble_report(
+    spec: &GridSpec,
+    cfg: &SchedConfig,
+    points: &[crate::grid::GridPoint],
+    outcomes: Vec<Option<ChainOutcome>>,
+    pool: Option<&DevicePool>,
+    retries: u64,
+    start: Instant,
+) -> SweepReport {
+    let mut summaries = Vec::with_capacity(points.len());
+    let mut failed_jobs = 0usize;
+    let mut total_preemptions = 0u64;
+    let mut total_device_quanta = 0u64;
+    let mut total_host_quanta = 0u64;
+
+    for point in points {
+        let mut pooled: Option<Observables> = None;
+        let mut chains_ok = 0usize;
+        let mut chains_failed = 0usize;
+        let mut acc_sum = 0.0f64;
+        let mut max_wrap = 0.0f64;
+        let mut recovery_events = 0u64;
+        let mut preemptions = 0u64;
+        let mut device_quanta = 0u64;
+        let mut host_quanta = 0u64;
+
+        for chain in 0..spec.chains {
+            let slot = point.index * spec.chains + chain;
+            match &outcomes[slot] {
+                Some(ChainOutcome::Done {
+                    observables,
+                    acceptance,
+                    max_wrap_error,
+                    recovery,
+                    preemptions: p,
+                    device_quanta: dq,
+                    host_quanta: hq,
+                }) => {
+                    match &mut pooled {
+                        Some(acc) => acc.merge(observables),
+                        None => pooled = Some(observables.as_ref().clone()),
+                    }
+                    chains_ok += 1;
+                    acc_sum += acceptance;
+                    max_wrap = max_wrap.max(*max_wrap_error);
+                    recovery_events += recovery.total();
+                    preemptions += u64::from(*p);
+                    device_quanta += dq;
+                    host_quanta += hq;
+                }
+                Some(ChainOutcome::Failed {
+                    preemptions: p,
+                    device_quanta: dq,
+                    host_quanta: hq,
+                }) => {
+                    chains_failed += 1;
+                    failed_jobs += 1;
+                    preemptions += p;
+                    device_quanta += dq;
+                    host_quanta += hq;
+                }
+                None => {
+                    // Unreachable in a drained sweep; count it as failed so
+                    // a scheduler bug shows up as data loss, not a panic.
+                    chains_failed += 1;
+                    failed_jobs += 1;
+                }
+            }
+        }
+
+        total_preemptions += preemptions;
+        total_device_quanta += device_quanta;
+        total_host_quanta += host_quanta;
+
+        summaries.push(PointSummary {
+            point: point.index,
+            u: point.u,
+            beta: point.beta,
+            slices: point.slices,
+            chains_ok,
+            chains_failed,
+            bin_count: pooled.as_ref().map_or(0, |o| o.bin_count()),
+            scalars: pooled.as_ref().map(|o| o.jackknife_scalars()),
+            mean_acceptance: if chains_ok > 0 {
+                acc_sum / chains_ok as f64
+            } else {
+                0.0
+            },
+            max_wrap_error: max_wrap,
+            recovery_events,
+            preemptions,
+            device_quanta,
+            host_quanta,
+        });
+    }
+
+    SweepReport {
+        seed: spec.seed,
+        chains: spec.chains,
+        warmup: spec.warmup,
+        sweeps: spec.sweeps,
+        points: summaries,
+        total_jobs: spec.total_jobs(),
+        failed_jobs,
+        preemptions: total_preemptions,
+        retries,
+        device_quanta: total_device_quanta,
+        host_quanta: total_host_quanta,
+        leases_granted: pool.map_or(0, |p| p.leases_granted()),
+        lease_misses: pool.map_or(0, |p| p.lease_misses()),
+        workers: cfg.workers,
+        devices: cfg.devices,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}

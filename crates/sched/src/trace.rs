@@ -1,0 +1,202 @@
+//! Progress/trace event stream of a sweep run.
+//!
+//! Every scheduling decision emits a [`TraceEvent`]: job started (and
+//! where), yielded at a checkpoint boundary, completed, retried after a
+//! panic, or failed for good. The CLI turns these into progress lines; the
+//! determinism tests use them to *prove* that preemptions and placement
+//! changes actually happened in runs whose reports are then asserted
+//! byte-identical.
+//!
+//! Events describe the schedule, which is timing-dependent by nature — the
+//! determinism contract covers the report's observables, never this stream.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Where a job ran for one scheduling quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Host `ComputeBackend` (no device lease was free).
+    Host,
+    /// Leased device-pool slot.
+    Device {
+        /// Pool slot id.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Host => write!(f, "host"),
+            Placement::Device { slot } => write!(f, "dev{slot}"),
+        }
+    }
+}
+
+/// One scheduling decision.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A worker picked the job up (fresh or resumed from a parked image).
+    Started {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// Worker id.
+        worker: usize,
+        /// Backend placement for this run.
+        placement: Placement,
+        /// True when resuming a parked checkpoint image.
+        resumed: bool,
+    },
+    /// The job parked itself at a checkpoint boundary and requeued.
+    Yielded {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// Sweeps (warmup + measurement) completed so far.
+        sweeps_done: usize,
+    },
+    /// The job finished all its sweeps.
+    Completed {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// Worker id.
+        worker: usize,
+    },
+    /// The job's run panicked (recovery ladder exhausted) and will restart
+    /// from its last parked image (or from scratch).
+    Retried {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// 1-based restart attempt.
+        attempt: u32,
+    },
+    /// The job exhausted its scheduler-level retry budget.
+    Failed {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// Total attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Started {
+                point,
+                chain,
+                worker,
+                placement,
+                resumed,
+            } => {
+                let verb = if *resumed { "resume" } else { "start" };
+                write!(f, "[w{worker}] {verb} p{point}c{chain} on {placement}")
+            }
+            TraceEvent::Yielded {
+                point,
+                chain,
+                sweeps_done,
+            } => write!(f, "yield p{point}c{chain} at {sweeps_done} sweeps"),
+            TraceEvent::Completed {
+                point,
+                chain,
+                worker,
+            } => write!(f, "[w{worker}] done p{point}c{chain}"),
+            TraceEvent::Retried {
+                point,
+                chain,
+                attempt,
+            } => write!(f, "retry p{point}c{chain} (attempt {attempt})"),
+            TraceEvent::Failed {
+                point,
+                chain,
+                attempts,
+            } => write!(f, "FAILED p{point}c{chain} after {attempts} attempts"),
+        }
+    }
+}
+
+/// Thread-safe event collector shared between workers. Cloning clones the
+/// handle; all clones append to the same log.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&self, e: TraceEvent) {
+        self.events.lock().expect("event log poisoned").push(e);
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .filter(|e| pred(e))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_compactly() {
+        let e = TraceEvent::Started {
+            point: 3,
+            chain: 1,
+            worker: 0,
+            placement: Placement::Device { slot: 2 },
+            resumed: true,
+        };
+        assert_eq!(e.to_string(), "[w0] resume p3c1 on dev2");
+        let y = TraceEvent::Yielded {
+            point: 0,
+            chain: 0,
+            sweeps_done: 25,
+        };
+        assert_eq!(y.to_string(), "yield p0c0 at 25 sweeps");
+    }
+
+    #[test]
+    fn log_collects_and_counts() {
+        let log = EventLog::new();
+        let h = log.clone();
+        h.push(TraceEvent::Completed {
+            point: 0,
+            chain: 0,
+            worker: 0,
+        });
+        h.push(TraceEvent::Yielded {
+            point: 0,
+            chain: 1,
+            sweeps_done: 5,
+        });
+        assert_eq!(log.snapshot().len(), 2);
+        assert_eq!(log.count(|e| matches!(e, TraceEvent::Yielded { .. })), 1);
+    }
+}

@@ -23,6 +23,9 @@ pub mod table;
 pub mod timer;
 
 pub use codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
-pub use rng::Rng;
-pub use stats::{autocorrelation_time, BinnedAccumulator, FiveNumber, RunningStats};
+pub use rng::{derive_seed, Rng};
+pub use stats::{
+    autocorrelation_time, jackknife_mean, jackknife_ratio, BinnedAccumulator, FiveNumber,
+    RunningStats,
+};
 pub use timer::{PhaseTimer, SimClock};

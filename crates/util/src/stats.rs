@@ -228,6 +228,86 @@ impl BinnedAccumulator {
         );
         self.bins.extend_from_slice(&other.bins);
     }
+
+    /// The complete bin means, in push order. Resampling estimators
+    /// ([`jackknife_mean`], [`jackknife_ratio`]) operate on this view.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The configured bin size.
+    pub fn bin_size(&self) -> usize {
+        self.bin_size
+    }
+}
+
+/// Delete-one jackknife estimate of the mean of `bins`: returns
+/// `(mean, err)` where `err` is the jackknife standard error
+/// `sqrt((n-1)/n · Σᵢ (θ̂ᵢ − θ̄)²)` over the leave-one-out means `θ̂ᵢ`.
+///
+/// For the plain mean the jackknife error coincides with the classical
+/// standard error of the mean — the point of routing even this case through
+/// the jackknife is that pooled sweep reports then quote *one* error
+/// convention for every observable, linear or ratio. Fewer than two bins
+/// yield an error of 0.
+pub fn jackknife_mean(bins: &[f64]) -> (f64, f64) {
+    let n = bins.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let total: f64 = bins.iter().sum();
+    let mean = total / n as f64;
+    if n < 2 {
+        return (mean, 0.0);
+    }
+    let mut sq = 0.0;
+    let mut loo_sum = 0.0;
+    let nm1 = (n - 1) as f64;
+    for &b in bins {
+        loo_sum += (total - b) / nm1;
+    }
+    let loo_mean = loo_sum / n as f64;
+    for &b in bins {
+        let d = (total - b) / nm1 - loo_mean;
+        sq += d * d;
+    }
+    (mean, (nm1 / n as f64 * sq).sqrt())
+}
+
+/// Delete-one jackknife of the ratio estimator `mean(num) / mean(den)` over
+/// paired bins — the sign-problem observable estimator: each physical
+/// observable is `⟨O·s⟩ / ⟨s⟩`, and the jackknife propagates the (correlated)
+/// fluctuations of numerator and denominator through the nonlinearity, which
+/// naive error division cannot.
+///
+/// `num` and `den` must pair up index-wise (bin `i` of both came from the
+/// same block of sweeps). Returns `(ratio, err)`; with fewer than two bins
+/// the error is 0, and an exactly-zero denominator sum yields `(0, 0)`
+/// (the sign has collapsed; no estimate exists).
+pub fn jackknife_ratio(num: &[f64], den: &[f64]) -> (f64, f64) {
+    assert_eq!(num.len(), den.len(), "jackknife bins must pair up");
+    let n = num.len();
+    let sn: f64 = num.iter().sum();
+    let sd: f64 = den.iter().sum();
+    if n == 0 || sd == 0.0 {
+        return (0.0, 0.0);
+    }
+    let ratio = sn / sd;
+    if n < 2 {
+        return (ratio, 0.0);
+    }
+    let mut loo_sum = 0.0;
+    for i in 0..n {
+        loo_sum += (sn - num[i]) / (sd - den[i]);
+    }
+    let loo_mean = loo_sum / n as f64;
+    let mut sq = 0.0;
+    for i in 0..n {
+        let d = (sn - num[i]) / (sd - den[i]) - loo_mean;
+        sq += d * d;
+    }
+    let nm1 = (n - 1) as f64;
+    (ratio, (nm1 / n as f64 * sq).sqrt())
 }
 
 /// Five-number summary: the box-and-whisker statistic of the paper's Fig. 2.
@@ -493,5 +573,97 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn five_number_empty_panics() {
         let _ = FiveNumber::from_samples(&[]);
+    }
+
+    #[test]
+    fn jackknife_mean_matches_classical_error_on_iid_series() {
+        // For a plain mean the delete-one jackknife reproduces the classical
+        // standard error exactly (algebraic identity, not asymptotics).
+        let mut rng = crate::Rng::new(11);
+        let xs: Vec<f64> = (0..200).map(|_| rng.next_normal()).collect();
+        let (jm, je) = jackknife_mean(&xs);
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((jm - s.mean()).abs() < 1e-12, "{jm} vs {}", s.mean());
+        assert!(
+            (je - s.std_err()).abs() < 1e-12 * s.std_err(),
+            "{je} vs {}",
+            s.std_err()
+        );
+    }
+
+    #[test]
+    fn jackknife_mean_error_matches_known_variance() {
+        // Unit-variance synthetic series: the error of the mean of n samples
+        // must come out near 1/sqrt(n).
+        let n = 4096;
+        let mut rng = crate::Rng::new(5);
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let (_, err) = jackknife_mean(&xs);
+        let expect = 1.0 / (n as f64).sqrt();
+        assert!(
+            (err - expect).abs() < 0.1 * expect,
+            "err {err} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn jackknife_ratio_constant_ratio_has_zero_error() {
+        // num = c·den bin-wise ⇒ every leave-one-out ratio is exactly c.
+        let den = [1.0, 2.0, 0.5, 1.5, 3.0];
+        let num: Vec<f64> = den.iter().map(|d| 0.25 * d).collect();
+        let (r, e) = jackknife_ratio(&num, &den);
+        assert!((r - 0.25).abs() < 1e-15);
+        assert!(e < 1e-15);
+    }
+
+    #[test]
+    fn jackknife_ratio_with_unit_denominator_reduces_to_mean() {
+        let num = [0.3, 0.1, 0.4, 0.15, 0.9, 0.2];
+        let den = [1.0; 6];
+        let (r, e) = jackknife_ratio(&num, &den);
+        let (m, me) = jackknife_mean(&num);
+        assert!((r - m).abs() < 1e-15);
+        assert!((e - me).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jackknife_degenerate_inputs() {
+        assert_eq!(jackknife_mean(&[]), (0.0, 0.0));
+        assert_eq!(jackknife_mean(&[2.5]), (2.5, 0.0));
+        // A collapsed sign (zero denominator) reports "no estimate", not NaN.
+        assert_eq!(jackknife_ratio(&[1.0, -1.0], &[1.0, -1.0]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn binned_mean_invariant_under_bin_size() {
+        // Pushing the same series with different bin sizes must give the
+        // same mean whenever the series divides evenly into bins; only the
+        // error estimate is allowed to move (that is binning's purpose).
+        let mut rng = crate::Rng::new(17);
+        let xs: Vec<f64> = (0..240).map(|_| rng.next_f64()).collect();
+        let mut means = Vec::new();
+        for bin in [1usize, 2, 4, 8] {
+            let mut acc = BinnedAccumulator::new(bin);
+            for &x in &xs {
+                acc.push(x);
+            }
+            means.push(acc.mean_and_err().0);
+        }
+        for m in &means[1..] {
+            assert!((m - means[0]).abs() < 1e-12, "{m} vs {}", means[0]);
+        }
+    }
+
+    #[test]
+    fn bins_view_exposes_complete_bins_only() {
+        let mut acc = BinnedAccumulator::new(2);
+        for x in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.bins(), &[2.0, 6.0]);
+        assert_eq!(acc.bin_size(), 2);
     }
 }

@@ -103,4 +103,50 @@ proptest! {
         let matches = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         prop_assert!(matches < 2);
     }
+
+    #[test]
+    fn pooled_bins_are_order_independent(
+        seed in 0u64..10_000,
+        nchains in 2usize..6,
+        rot in 0usize..6,
+    ) {
+        // Chain pooling in the sweep harness: merging per-chain accumulators
+        // must give statistics independent of completion order. Bin means
+        // themselves are permuted (merge concatenates), so the pooled
+        // mean/error — symmetric functions of the bins — are what must
+        // agree, and the bin multisets must be exact permutations.
+        let mut chains: Vec<BinnedAccumulator> = Vec::new();
+        let mut rng = Rng::new(seed);
+        for _ in 0..nchains {
+            let mut acc = BinnedAccumulator::new(3);
+            for _ in 0..30 {
+                acc.push(rng.next_f64() - 0.5);
+            }
+            chains.push(acc);
+        }
+        let pool = |order: &[usize]| {
+            let mut merged = BinnedAccumulator::new(3);
+            for &i in order {
+                merged.merge(&chains[i]);
+            }
+            merged
+        };
+        let fwd: Vec<usize> = (0..nchains).collect();
+        let rotated: Vec<usize> = (0..nchains).map(|i| (i + rot) % nchains).collect();
+        let mut reversed = fwd.clone();
+        reversed.reverse();
+        let base = pool(&fwd);
+        let (m0, e0) = base.mean_and_err();
+        for order in [&rotated, &reversed] {
+            let alt = pool(order);
+            let (m, e) = alt.mean_and_err();
+            prop_assert!((m - m0).abs() <= 1e-12 * m0.abs().max(1.0), "{} vs {}", m, m0);
+            prop_assert!((e - e0).abs() <= 1e-12 * e0.abs().max(1.0), "{} vs {}", e, e0);
+            let mut a: Vec<f64> = base.bins().to_vec();
+            let mut b: Vec<f64> = alt.bins().to_vec();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(a, b);
+        }
+    }
 }

@@ -1,0 +1,193 @@
+//! The sweep scheduler's determinism contract, end to end.
+//!
+//! A campaign's pooled observables must be a **pure function of
+//! (grid, seeds)**: worker count, device-pool size, placement order,
+//! preemption schedule and scripted one-shot fault plans may change every
+//! scheduling decision, yet [`sched::SweepReport::observables_json`] must
+//! come out byte-identical. Each test here runs the same tiny grid under a
+//! different scheduling regime, *proves* via the trace stream that the
+//! regime actually differed (yields happened, devices were used, injected
+//! jobs cut in), and then asserts the bytes match the serial baseline.
+
+use sched::{EventLog, GridSpec, SchedConfig, TraceEvent};
+
+const GRID: &str = "
+    lx = 2
+    ly = 2
+    u = 2.0, 4.0
+    beta = 1.0      # 8 slices
+    chains = 2
+    warmup = 4
+    sweeps = 8
+    bin_size = 2
+    cluster_size = 4
+    seed = 7
+    workers = 1
+    devices = 0
+";
+
+fn spec() -> GridSpec {
+    GridSpec::parse(GRID).expect("baseline grid parses")
+}
+
+/// Serial host-only reference: one worker, no devices, jobs run to
+/// completion. Everything else is compared against this.
+fn baseline() -> String {
+    let spec = spec();
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 0,
+        queue_bound: 0,
+        quantum: 0,
+        yield_every_quanta: 0,
+        job_retries: 1,
+        hold_points: Vec::new(),
+    };
+    sched::run_sweep(&spec, &cfg, &EventLog::new()).observables_json()
+}
+
+#[test]
+fn baseline_is_reproducible() {
+    assert_eq!(baseline(), baseline());
+}
+
+#[test]
+fn worker_count_is_unobservable() {
+    let spec = spec();
+    let cfg = SchedConfig {
+        workers: 4,
+        devices: 0,
+        queue_bound: 0,
+        quantum: 0,
+        yield_every_quanta: 0,
+        job_retries: 1,
+        hold_points: Vec::new(),
+    };
+    let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.observables_json(), baseline());
+}
+
+#[test]
+fn device_pool_size_is_unobservable() {
+    let spec = spec();
+    for (workers, devices) in [(2, 2), (1, 1), (3, 1)] {
+        let cfg = SchedConfig {
+            workers,
+            devices,
+            queue_bound: 0,
+            quantum: 0,
+            yield_every_quanta: 0,
+            job_retries: 1,
+            hold_points: Vec::new(),
+        };
+        let events = EventLog::new();
+        let report = sched::run_sweep(&spec, &cfg, &events);
+        // The pool was actually exercised: someone ran on a device.
+        assert!(
+            report.leases_granted > 0,
+            "{workers}w/{devices}d: no job ever leased a device"
+        );
+        assert!(report.device_quanta > 0);
+        assert_eq!(
+            report.observables_json(),
+            baseline(),
+            "{workers} workers / {devices} devices changed the physics"
+        );
+    }
+}
+
+#[test]
+fn preemption_and_resume_are_unobservable() {
+    let spec = spec();
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 1,
+        queue_bound: 0,
+        quantum: 3,            // park every 3 sweeps...
+        yield_every_quanta: 1, // ...after every single quantum
+        job_retries: 1,
+        hold_points: Vec::new(),
+    };
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+    // Preemption really happened: jobs parked and resumed from DQCP images.
+    let yields = events.count(|e| matches!(e, TraceEvent::Yielded { .. }));
+    let resumes = events.count(|e| matches!(e, TraceEvent::Started { resumed: true, .. }));
+    assert!(yields >= 4, "expected forced yields, saw {yields}");
+    assert!(resumes >= 4, "expected checkpoint resumes, saw {resumes}");
+    assert_eq!(report.preemptions, yields as u64);
+    assert_eq!(report.observables_json(), baseline());
+}
+
+#[test]
+fn mid_sweep_priority_injection_is_unobservable() {
+    // Point 1's jobs are held out of the initial submission and injected at
+    // a higher priority the moment the first event fires — so they cut in
+    // front of point 0's remaining work mid-sweep.
+    let spec = spec();
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 0,
+        queue_bound: 0,
+        quantum: 2,
+        yield_every_quanta: 1,
+        job_retries: 1,
+        hold_points: vec![1],
+    };
+    let events = EventLog::new();
+    let report = sched::run_sweep_observed(
+        &spec,
+        &cfg,
+        &events,
+        Some(&|_e, injector| injector.release_held(1)),
+    );
+    let snap = events.snapshot();
+    // The injected point really did run before point 0 finished.
+    let first_p1_start = snap
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Started { point: 1, .. }))
+        .expect("held point was injected");
+    let last_p0_done = snap
+        .iter()
+        .rposition(|e| matches!(e, TraceEvent::Completed { point: 0, .. }))
+        .expect("point 0 completed");
+    assert!(
+        first_p1_start < last_p0_done,
+        "injected jobs should preempt point 0's remaining work"
+    );
+    assert_eq!(report.failed_jobs, 0);
+    assert_eq!(report.observables_json(), baseline());
+}
+
+#[test]
+fn scripted_device_faults_heal_bit_identically() {
+    let faulty = GridSpec::parse(&format!(
+        "{GRID}\n    faults = fail_launch:2, oom:1, corrupt_transfer:4\n"
+    ))
+    .expect("faulty grid parses");
+    let cfg = SchedConfig {
+        workers: 2,
+        devices: 2,
+        queue_bound: 0,
+        quantum: 0,
+        yield_every_quanta: 0,
+        job_retries: 1,
+        hold_points: Vec::new(),
+    };
+    let report = sched::run_sweep(&faulty, &cfg, &EventLog::new());
+    // The faults really fired and the recovery ladder really healed them.
+    let recovery: u64 = report.points.iter().map(|p| p.recovery_events).sum();
+    assert!(
+        recovery > 0,
+        "scripted faults never fired — the test proves nothing"
+    );
+    assert_eq!(report.failed_jobs, 0, "faults must heal, not kill jobs");
+    assert_eq!(report.observables_json(), baseline());
+}
+
+#[test]
+fn flip_bit_faults_are_rejected_at_parse_time() {
+    let err = GridSpec::parse(&format!("{GRID}\n    faults = flip_bit:3\n")).unwrap_err();
+    assert!(err.to_string().contains("determinism"), "{err}");
+}
