@@ -81,6 +81,7 @@ fn main() {
             yield_every_quanta: 0,
             job_retries: 1,
             hold_points: Vec::new(),
+            ..SchedConfig::default()
         };
         let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
         let obs = report.observables_json();

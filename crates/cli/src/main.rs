@@ -42,7 +42,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         eprintln!("usage: dqmc sweep <grid-file> [-o report.json] [--trace]");
         eprintln!("grid keys: lx ly t mu dtau u(list) beta(list) chains warmup");
         eprintln!("  sweeps bin_size cluster_size seed recovery max_retries");
-        eprintln!("  workers devices quantum job_retries faults");
+        eprintln!("  workers devices quantum job_retries faults slot_faults");
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(grid_file).unwrap_or_else(|e| {
@@ -78,6 +78,16 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         for e in events.snapshot() {
             println!("{e}");
         }
+        println!(
+            "# health: {} quarantines, {} probes, {} readmissions, {} soft parks, \
+             {} workers lost, {} panics caught",
+            report.quarantines,
+            report.probes,
+            report.readmissions,
+            report.soft_parks,
+            report.worker_losses,
+            report.panics_caught,
+        );
     }
     let yields = events.count(|e| matches!(e, TraceEvent::Yielded { .. }));
     println!("\n## pooled observables (delete-one jackknife)");

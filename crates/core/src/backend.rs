@@ -28,6 +28,14 @@ pub enum FaultKind {
     /// The computation completed but produced tainted (non-finite) or
     /// implausible data: retry, then stabilize harder (shrink clusters).
     Taint,
+    /// The *device* is suspect — an op hung past its logical deadline or
+    /// the device is in a scripted sick window. The in-core ladder must
+    /// NOT absorb this: it escapes to the scheduler, which parks the job,
+    /// excludes the slot, and feeds the pool's circuit breaker.
+    Sick,
+    /// The device wedged mid-op (indefinite hang): the hard flavor of
+    /// [`FaultKind::Sick`] — the worker driving it is declared lost.
+    Wedged,
 }
 
 /// A recoverable backend failure.
@@ -55,6 +63,24 @@ impl BackendFault {
             detail: detail.into(),
         }
     }
+
+    /// A sick-device fault. `wedged` selects the hard (worker-lost) flavor.
+    pub fn sick(detail: impl Into<String>, wedged: bool) -> Self {
+        BackendFault {
+            kind: if wedged {
+                FaultKind::Wedged
+            } else {
+                FaultKind::Sick
+            },
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether the fault indicts the device itself (and must escape the
+    /// in-core recovery ladder).
+    pub fn is_sick(&self) -> bool {
+        matches!(self.kind, FaultKind::Sick | FaultKind::Wedged)
+    }
 }
 
 impl fmt::Display for BackendFault {
@@ -62,6 +88,8 @@ impl fmt::Display for BackendFault {
         match self.kind {
             FaultKind::Device => write!(f, "device fault: {}", self.detail),
             FaultKind::Taint => write!(f, "tainted data: {}", self.detail),
+            FaultKind::Sick => write!(f, "sick device: {}", self.detail),
+            FaultKind::Wedged => write!(f, "wedged device: {}", self.detail),
         }
     }
 }

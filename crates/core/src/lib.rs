@@ -67,8 +67,10 @@ pub use measure::{JackknifeScalars, Observables};
 pub use profile::phases;
 pub use recovery::{
     shrink_cluster_size, RecoveryAction, RecoveryCause, RecoveryEvent, RecoveryLog, RecoveryPolicy,
+    RecoveryTallies,
 };
 pub use recycle::ClusterCache;
 pub use sim::Simulation;
 pub use stratify::{stratify, StratAlgo, StratifyState, Udt};
 pub use tdm::{unequal_time_greens, unequal_time_greens_stable, TimeDependentObs};
+pub use util::{DqmcError, RunToken, Severity};

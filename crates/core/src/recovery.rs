@@ -79,6 +79,9 @@ pub enum RecoveryCause {
         /// The observed relative difference.
         diff: f64,
     },
+    /// The backend indicted the *device itself* (hung op, sick window).
+    /// The in-core ladder refuses these: they escape to the scheduler.
+    Sick(String),
 }
 
 /// What the recovery layer did about it.
@@ -100,6 +103,9 @@ pub enum RecoveryAction {
     HostFallback,
     /// Rebuilt the Green's function from the HS field.
     TaintRepair,
+    /// Refused to handle the fault in-core and escalated it to the caller
+    /// (the scheduler parks the job and indicts the device slot).
+    Escalated,
 }
 
 /// One recovery incident: where, why, and what was done.
@@ -121,12 +127,14 @@ impl fmt::Display for RecoveryEvent {
             RecoveryCause::Device(d) => format!("device: {d}"),
             RecoveryCause::NonFinite(d) => format!("non-finite: {d}"),
             RecoveryCause::WrapDivergence { diff } => format!("wrap divergence {diff:.3e}"),
+            RecoveryCause::Sick(d) => format!("sick device: {d}"),
         };
         let action = match &self.action {
             RecoveryAction::Retry { attempt } => format!("retry #{attempt}"),
             RecoveryAction::ClusterShrink { from, to } => format!("shrink k {from}→{to}"),
             RecoveryAction::HostFallback => "host fallback".to_string(),
             RecoveryAction::TaintRepair => "taint repair".to_string(),
+            RecoveryAction::Escalated => "escalated to scheduler".to_string(),
         };
         write!(
             f,
@@ -178,29 +186,66 @@ impl RecoveryLog {
         self.prior = prior;
     }
 
+    /// Per-action-class counts of this process's events (excludes `prior`,
+    /// whose classification did not survive the checkpoint).
+    pub fn tallies(&self) -> RecoveryTallies {
+        let mut t = RecoveryTallies::default();
+        for e in &self.events {
+            match e.action {
+                RecoveryAction::Retry { .. } => t.retries += 1,
+                RecoveryAction::ClusterShrink { .. } => t.shrinks += 1,
+                RecoveryAction::HostFallback => t.fallbacks += 1,
+                RecoveryAction::TaintRepair => t.repairs += 1,
+                RecoveryAction::Escalated => t.escalations += 1,
+            }
+        }
+        t
+    }
+
     /// One-line summary: counts per action class.
     pub fn summary(&self) -> String {
         if self.is_empty() {
             return "no recovery events".to_string();
         }
-        let mut retries = 0u64;
-        let mut shrinks = 0u64;
-        let mut fallbacks = 0u64;
-        let mut repairs = 0u64;
-        for e in &self.events {
-            match e.action {
-                RecoveryAction::Retry { .. } => retries += 1,
-                RecoveryAction::ClusterShrink { .. } => shrinks += 1,
-                RecoveryAction::HostFallback => fallbacks += 1,
-                RecoveryAction::TaintRepair => repairs += 1,
-            }
-        }
+        let t = self.tallies();
         format!(
-            "{} recovery events ({} prior): {retries} retries, {shrinks} cluster shrinks, \
-             {fallbacks} host fallbacks, {repairs} taint repairs",
+            "{} recovery events ({} prior): {} retries, {} cluster shrinks, \
+             {} host fallbacks, {} taint repairs, {} escalations",
             self.total(),
-            self.prior
+            self.prior,
+            t.retries,
+            t.shrinks,
+            t.fallbacks,
+            t.repairs,
+            t.escalations,
         )
+    }
+}
+
+/// Counts of recovery actions by class — the classification half of the
+/// taxonomy, surfaced through scheduler reports and `dqmc-run sweep --trace`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTallies {
+    /// Plain re-executions.
+    pub retries: u64,
+    /// Adaptive cluster-size shrinks.
+    pub shrinks: u64,
+    /// Device abandonments for the host path.
+    pub fallbacks: u64,
+    /// Green's-function rebuilds from the HS field.
+    pub repairs: u64,
+    /// Faults refused in-core and escalated to the scheduler.
+    pub escalations: u64,
+}
+
+impl RecoveryTallies {
+    /// Element-wise sum (pooling across chains).
+    pub fn merge(&mut self, other: &RecoveryTallies) {
+        self.retries += other.retries;
+        self.shrinks += other.shrinks;
+        self.fallbacks += other.fallbacks;
+        self.repairs += other.repairs;
+        self.escalations += other.escalations;
     }
 }
 

@@ -11,6 +11,7 @@ use crate::sweep::DqmcCore;
 use crate::tdm::{unequal_time_greens_stable, TimeDependentObs};
 use linalg::Matrix;
 use std::path::Path;
+use util::{DqmcError, RunToken};
 
 /// A complete DQMC simulation (the paper's 1000-warmup / 2000-measurement
 /// runs are `run()` with the corresponding sweep counts).
@@ -73,11 +74,35 @@ impl Simulation {
         path: &Path,
         every: usize,
     ) -> Result<(), CheckpointError> {
+        self.run_with_checkpoints_guarded(path, every, &RunToken::new())
+    }
+
+    /// [`Simulation::run_with_checkpoints`] under a liveness token: progress
+    /// is stamped on the token at every sweep boundary (so a watchdog can
+    /// tell a slow worker from a dead one), and when the token is cancelled
+    /// the run *parks cooperatively* — it finishes the current sweep, writes
+    /// one final checkpoint (the parked image a supervisor resurrects the
+    /// job from) and returns early. Check [`Simulation::is_complete`] to
+    /// distinguish a parked run from a finished one.
+    pub fn run_with_checkpoints_guarded(
+        &mut self,
+        path: &Path,
+        every: usize,
+        token: &RunToken,
+    ) -> Result<(), CheckpointError> {
         assert!(every >= 1, "checkpoint interval must be at least 1 sweep");
         while !self.is_complete() {
             let n = every.min(self.sweeps_remaining());
-            self.step(n);
+            let mut ran = 0;
+            while ran < n && !token.is_cancelled() {
+                self.step(1);
+                token.tick();
+                ran += 1;
+            }
             checkpoint::save(self, path)?;
+            if token.is_cancelled() {
+                break;
+            }
         }
         Ok(())
     }
@@ -155,6 +180,26 @@ impl Simulation {
         checkpoint::from_bytes(bytes, params)
     }
 
+    /// Fallible [`Simulation::step`]: advances by up to `n` sweeps, stamping
+    /// `token` at every sweep boundary, and surfaces classified sweep
+    /// failures instead of panicking. On `Err` the counters reflect only the
+    /// sweeps that completed; the aborted sweep's partial state must not be
+    /// measured (supervisors resume from the last parked image instead).
+    pub fn try_step(&mut self, n: usize, token: &RunToken) -> Result<usize, DqmcError> {
+        let mut done = 0;
+        while done < n && !self.is_complete() {
+            if self.warmup_done < self.core.params.warmup_sweeps {
+                self.core.try_sweep(None)?;
+                self.warmup_done += 1;
+            } else {
+                self.try_measure_one()?;
+            }
+            token.tick();
+            done += 1;
+        }
+        Ok(done)
+    }
+
     /// Runs `n` thermalisation sweeps (no measurements).
     pub fn warmup(&mut self, n: usize) {
         for _ in 0..n {
@@ -163,25 +208,33 @@ impl Simulation {
         self.warmup_done += n;
     }
 
+    /// One fallible measurement sweep (dynamic measurements included).
+    fn try_measure_one(&mut self) -> Result<(), DqmcError> {
+        self.core.try_sweep(Some(&mut self.obs))?;
+        if let Some(tdm) = self.tdm.as_mut() {
+            // Dynamic measurements via the stable block-matrix TDGF
+            // (accurate at any β; see `tdm` module docs for why the
+            // forward UDT propagation is not used here). The τ grid is
+            // pinned to the *configured* cluster size: adaptive shrinks
+            // change the sweep cadence but must not change the grid.
+            let t0 = std::time::Instant::now();
+            let k = self.core.params.cluster_size;
+            let gu = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
+            let gd = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Down);
+            tdm.record(&gu, &gd, self.core.sign);
+            self.core.timer.add(phases::MEASUREMENT, t0.elapsed());
+        }
+        self.measure_done += 1;
+        Ok(())
+    }
+
     /// Runs `n` measurement sweeps.
     pub fn measure(&mut self, n: usize) {
         for _ in 0..n {
-            self.core.sweep(Some(&mut self.obs));
-            if let Some(tdm) = self.tdm.as_mut() {
-                // Dynamic measurements via the stable block-matrix TDGF
-                // (accurate at any β; see `tdm` module docs for why the
-                // forward UDT propagation is not used here). The τ grid is
-                // pinned to the *configured* cluster size: adaptive shrinks
-                // change the sweep cadence but must not change the grid.
-                let t0 = std::time::Instant::now();
-                let k = self.core.params.cluster_size;
-                let gu = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Up);
-                let gd = unequal_time_greens_stable(&self.core.fac, &self.core.h, k, Spin::Down);
-                tdm.record(&gu, &gd, self.core.sign);
-                self.core.timer.add(phases::MEASUREMENT, t0.elapsed());
+            if let Err(e) = self.try_measure_one() {
+                panic!("{e}");
             }
         }
-        self.measure_done += n;
     }
 
     /// Time-dependent observables, when enabled via
@@ -444,6 +497,61 @@ mod tests {
         let (d2, e2) = whole.observables().density();
         assert_eq!(d1.to_bits(), d2.to_bits());
         assert_eq!(e1.to_bits(), e2.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_step_matches_step_and_stamps_token() {
+        let mut plain = quick_sim(4.0, 14);
+        while !plain.is_complete() {
+            plain.step(7);
+        }
+        let mut guarded = quick_sim(4.0, 14);
+        let token = RunToken::new();
+        let mut total = 0;
+        while !guarded.is_complete() {
+            total += guarded.try_step(7, &token).unwrap();
+        }
+        assert_eq!(total, 30);
+        assert_eq!(token.progress(), 30, "one stamp per sweep");
+        assert_eq!(guarded.sweeps_done(), plain.sweeps_done());
+        assert_eq!(guarded.core.h, plain.core.h);
+        assert_eq!(guarded.core.rng.state(), plain.core.rng.state());
+        assert_eq!(guarded.observables().count(), plain.observables().count());
+    }
+
+    #[test]
+    fn guarded_run_parks_on_cancel_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("dqmc-sim-park-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("park.dqcp");
+
+        let mut whole = quick_sim(4.0, 15);
+        whole.run();
+
+        // Park: a cancelled token makes the guarded loop write one final
+        // image and return with the run incomplete.
+        let mut parked = quick_sim(4.0, 15);
+        parked.step(13);
+        let token = RunToken::new();
+        token.cancel();
+        parked
+            .run_with_checkpoints_guarded(&path, 4, &token)
+            .unwrap();
+        assert!(!parked.is_complete(), "cancelled run must park, not finish");
+
+        // Resurrect from the parked image and finish: bit-identical.
+        let mut resumed = Simulation::resume(&path, parked.params()).unwrap();
+        assert_eq!(resumed.sweeps_done(), parked.sweeps_done());
+        while !resumed.is_complete() {
+            resumed.step(4);
+        }
+        assert_eq!(resumed.core.h, whole.core.h);
+        assert_eq!(resumed.core.rng.state(), whole.core.rng.state());
+        assert_eq!(resumed.core.g[0].max_abs_diff(&whole.core.g[0]), 0.0);
+        let (d1, _) = resumed.observables().density();
+        let (d2, _) = whole.observables().density();
+        assert_eq!(d1.to_bits(), d2.to_bits());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -43,7 +43,7 @@ use crate::stratify::stratify;
 use crate::update::SliceUpdater;
 use linalg::check::first_non_finite;
 use linalg::{workspace, Matrix};
-use util::{PhaseTimer, Rng, RunningStats};
+use util::{DqmcError, PhaseTimer, Rng, RunningStats};
 
 /// The complete mutable state of a DQMC run.
 #[derive(Debug)]
@@ -235,16 +235,28 @@ impl DqmcCore {
     /// wrapping past slice `l` (must be the last slice of its cluster), and
     /// re-synchronises the configuration sign from the determinants.
     ///
-    /// Backend faults are absorbed by the recovery ladder; with recovery
-    /// disabled they panic.
+    /// Infallible wrapper over [`Self::recompute_greens_recovering`] for
+    /// callers without an error channel: a classified failure (sick device,
+    /// exhausted ladder, recovery disabled) becomes a panic whose message is
+    /// the error's `Display` — the original detail survives verbatim.
     pub fn recompute_greens(&mut self, l: usize) {
+        if let Err(e) = self.recompute_greens_recovering(l) {
+            panic!("{e}");
+        }
+    }
+
+    /// Recomputes both Green's functions through the recovery ladder,
+    /// surfacing classified failures instead of panicking. Sick-device
+    /// faults escape on the first occurrence; everything else loops through
+    /// the ladder until an attempt succeeds or the rungs are exhausted.
+    pub fn recompute_greens_recovering(&mut self, l: usize) -> Result<(), DqmcError> {
         loop {
             match self.try_recompute_greens(l) {
                 Ok(()) => {
                     self.fault_streak = 0;
-                    return;
+                    return Ok(());
                 }
-                Err(fault) => self.escalate(fault, l),
+                Err(fault) => self.escalate(fault, l)?,
             }
         }
     }
@@ -287,27 +299,56 @@ impl DqmcCore {
         Ok(())
     }
 
+    /// Declares a sick-device fault: logs the escalation and hands the
+    /// classified error to the caller. The in-core ladder never absorbs
+    /// these — the device, not the computation, is suspect, so retrying or
+    /// shrinking here would grind against a failing part while the
+    /// scheduler (which owns placement) is the layer that can actually fix
+    /// it: park the job, exclude the slot, feed the pool's breaker.
+    fn escalate_sick(
+        &mut self,
+        origin: &'static str,
+        fault: &BackendFault,
+        slice: usize,
+    ) -> DqmcError {
+        self.push_event(
+            slice,
+            RecoveryCause::Sick(fault.detail.clone()),
+            RecoveryAction::Escalated,
+        );
+        DqmcError::device_sick(origin, fault.to_string(), fault.kind == FaultKind::Wedged)
+    }
+
     /// The escalation ladder, invoked after a failed attempt. Each call
     /// either arranges a changed retry (notifying the backend, falling back
-    /// to the host, or shrinking the cluster size) or panics when every rung
-    /// is exhausted. Termination: retries are bounded by the policy, host
-    /// fallback can fire at most once, and each shrink strictly decreases
-    /// the cluster size.
-    fn escalate(&mut self, fault: BackendFault, slice: usize) {
+    /// to the host, or shrinking the cluster size) and returns `Ok`, or
+    /// returns a classified [`DqmcError`]: sick-device faults escape
+    /// immediately without consuming a rung, recovery-disabled and
+    /// rungs-exhausted faults come back `Fatal`. Termination: retries are
+    /// bounded by the policy, host fallback can fire at most once, and each
+    /// shrink strictly decreases the cluster size.
+    fn escalate(&mut self, fault: BackendFault, slice: usize) -> Result<(), DqmcError> {
+        if fault.is_sick() {
+            return Err(self.escalate_sick("sweep", &fault, slice));
+        }
         let policy = self.params.recovery.clone();
         if !policy.enabled {
-            panic!("backend fault with recovery disabled: {fault}");
+            return Err(DqmcError::fatal(
+                "sweep",
+                format!("backend fault with recovery disabled: {fault}"),
+            ));
         }
         let cause = match fault.kind {
             FaultKind::Device => RecoveryCause::Device(fault.detail.clone()),
             FaultKind::Taint => RecoveryCause::NonFinite(fault.detail.clone()),
+            FaultKind::Sick | FaultKind::Wedged => unreachable!("sick faults escalated above"),
         };
         self.fault_streak += 1;
         if self.fault_streak <= policy.max_retries {
             let attempt = self.fault_streak;
             self.active_backend().notify_fault();
             self.push_event(slice, cause, RecoveryAction::Retry { attempt });
-            return;
+            return Ok(());
         }
         // Retries exhausted: change something. Device faults prefer leaving
         // the device; taint faults prefer harder stabilisation.
@@ -317,27 +358,30 @@ impl DqmcCore {
         let can_shrink = to < from && to >= policy.min_cluster;
         let fallback_first = match fault.kind {
             FaultKind::Device => true,
-            FaultKind::Taint => !can_shrink,
+            _ => !can_shrink,
         };
         if fallback_first && can_fall_back {
             self.use_host_fallback = true;
             self.fault_streak = 0;
             self.push_event(slice, cause, RecoveryAction::HostFallback);
-            return;
+            return Ok(());
         }
         if can_shrink {
             self.cache.reshape(to);
             self.fault_streak = 0;
             self.push_event(slice, cause, RecoveryAction::ClusterShrink { from, to });
-            return;
+            return Ok(());
         }
         if can_fall_back {
             self.use_host_fallback = true;
             self.fault_streak = 0;
             self.push_event(slice, cause, RecoveryAction::HostFallback);
-            return;
+            return Ok(());
         }
-        panic!("unrecoverable fault (all recovery rungs exhausted): {fault}");
+        Err(DqmcError::fatal(
+            "sweep",
+            format!("unrecoverable fault (all recovery rungs exhausted): {fault}"),
+        ))
     }
 
     fn push_event(&mut self, slice: usize, cause: RecoveryCause, action: RecoveryAction) {
@@ -354,20 +398,25 @@ impl DqmcCore {
     /// field at the canonical sweep-start position. The repair consumes no
     /// Metropolis randomness and reproduces exactly the matrix an untainted
     /// run holds at sweep start, so the repaired chain is bit-identical.
-    fn repair_if_tainted(&mut self) {
+    fn repair_if_tainted(&mut self) -> Result<(), DqmcError> {
         let taint = first_non_finite(self.g[0].as_slice())
             .map(|(i, v)| (0usize, i, v))
             .or_else(|| first_non_finite(self.g[1].as_slice()).map(|(i, v)| (1usize, i, v)));
-        let Some((s, idx, v)) = taint else { return };
+        let Some((s, idx, v)) = taint else {
+            return Ok(());
+        };
         if !self.params.recovery.enabled {
-            panic!("G[{s}] tainted at element {idx} ({v}) with recovery disabled");
+            return Err(DqmcError::fatal(
+                "sweep",
+                format!("G[{s}] tainted at element {idx} ({v}) with recovery disabled"),
+            ));
         }
         self.push_event(
             0,
             RecoveryCause::NonFinite(format!("G[{s}] element {idx} is {v} at sweep start")),
             RecoveryAction::TaintRepair,
         );
-        self.recompute_greens(self.params.model.slices - 1);
+        self.recompute_greens_recovering(self.params.model.slices - 1)
     }
 
     /// One timed attempt at wrapping both spins past slice `l`, scanning the
@@ -406,29 +455,40 @@ impl DqmcCore {
     }
 
     /// Wraps both Green's functions past slice `l` with recovery. Returns
-    /// `true` when `wrapped` holds valid wrapped matrices. Returns `false`
-    /// after a taint repair: at a cluster boundary the imminent recompute
-    /// makes the wrap redundant, and mid-sweep `self.g` has been rebuilt for
-    /// the post-wrap position directly from the HS field.
+    /// `Ok(true)` when `wrapped` holds valid wrapped matrices. Returns
+    /// `Ok(false)` after a taint repair: at a cluster boundary the imminent
+    /// recompute makes the wrap redundant, and mid-sweep `self.g` has been
+    /// rebuilt for the post-wrap position directly from the HS field. A
+    /// classified failure (sick device, recovery disabled, device fault with
+    /// no rung left) surfaces as `Err`.
     fn wrap_with_recovery(
         &mut self,
         l: usize,
         at_boundary: bool,
         wrapped: &mut [Matrix; 2],
-    ) -> bool {
+    ) -> Result<bool, DqmcError> {
         loop {
             match self.try_wrap_pair(l, wrapped) {
                 Ok(()) => {
                     self.fault_streak = 0;
-                    return true;
+                    return Ok(true);
                 }
                 Err(fault) => {
+                    if fault.is_sick() {
+                        return Err(self.escalate_sick("wrap", &fault, l));
+                    }
                     if !self.params.recovery.enabled {
-                        panic!("wrap fault with recovery disabled: {fault}");
+                        return Err(DqmcError::fatal(
+                            "wrap",
+                            format!("wrap fault with recovery disabled: {fault}"),
+                        ));
                     }
                     let cause = match fault.kind {
                         FaultKind::Device => RecoveryCause::Device(fault.detail.clone()),
                         FaultKind::Taint => RecoveryCause::NonFinite(fault.detail.clone()),
+                        FaultKind::Sick | FaultKind::Wedged => {
+                            unreachable!("sick faults escalated above")
+                        }
                     };
                     self.fault_streak += 1;
                     if self.fault_streak <= self.params.recovery.max_retries {
@@ -445,9 +505,12 @@ impl DqmcCore {
                                 self.push_event(l, cause, RecoveryAction::HostFallback);
                                 continue;
                             }
-                            panic!("unrecoverable device fault during wrap: {fault}");
+                            return Err(DqmcError::transient(
+                                "wrap",
+                                format!("unrecoverable device fault during wrap: {fault}"),
+                            ));
                         }
-                        FaultKind::Taint => {
+                        _ => {
                             // The source G was clean (scanned at sweep start
                             // and after every recompute), so the taint came
                             // from the wrap itself. Discard it and rebuild.
@@ -456,7 +519,7 @@ impl DqmcCore {
                             if !at_boundary {
                                 self.repair_greens_after(l);
                             }
-                            return false;
+                            return Ok(false);
                         }
                     }
                 }
@@ -490,7 +553,7 @@ impl DqmcCore {
     /// device memory bit flip — finite, so the non-finite scans never
     /// fired). Drops every cached product, shrinks the cluster size when
     /// possible, and recomputes from the always-clean HS field.
-    fn note_wrap_divergence(&mut self, l: usize, diff: f64) {
+    fn note_wrap_divergence(&mut self, l: usize, diff: f64) -> Result<(), DqmcError> {
         self.active_backend().notify_fault();
         self.cache.invalidate_all();
         let from = self.cache.cluster_size();
@@ -502,30 +565,71 @@ impl DqmcCore {
             RecoveryAction::TaintRepair
         };
         self.push_event(l, RecoveryCause::WrapDivergence { diff }, action);
-        self.recompute_greens(l);
+        self.recompute_greens_recovering(l)
     }
 
     /// Runs one full sweep (all `L·N` proposals); records measurements into
     /// `obs` afterwards when provided.
-    pub fn sweep(&mut self, mut obs: Option<&mut Observables>) {
+    ///
+    /// Infallible wrapper over [`Self::try_sweep`]: a classified failure
+    /// becomes a panic whose message is the error's `Display`, so the
+    /// original fault detail survives verbatim for `catch_unwind` backstops.
+    pub fn sweep(&mut self, obs: Option<&mut Observables>) {
+        if let Err(e) = self.try_sweep(obs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Runs one full sweep, surfacing classified failures instead of
+    /// panicking. On `Err` the core's dynamical state is mid-sweep and must
+    /// not be measured; supervisors discard it and resume from the last
+    /// checkpoint image (which is why the sweep consumes no Metropolis
+    /// randomness on the recovery paths — the resumed chain is
+    /// bit-identical).
+    pub fn try_sweep(&mut self, mut obs: Option<&mut Observables>) -> Result<(), DqmcError> {
         self.sweeps_run += 1;
-        let l_slices = self.params.model.slices;
         let n = self.nsites();
-        let nu = self.fac.nu();
-        let nb = self.params.delay_block;
 
         // Non-finite G here (an injected fault, or corruption inherited from
         // a previous phase) would poison every Metropolis ratio — and since
         // `f64::min(NaN, 1.0)` is 1.0, a NaN ratio *accepts everything*
         // rather than nothing. Scan up front and repair from the field; with
-        // recovery disabled the scan still runs so the panic names the taint
+        // recovery disabled the scan still runs so the error names the taint
         // before any kernel consumes it.
-        self.repair_if_tainted();
+        self.repair_if_tainted()?;
 
         // Wrap targets live for the whole sweep: at non-boundary slices the
         // wrapped pair is swapped into `self.g` and the old G matrices become
-        // the next slice's targets — no per-slice allocation.
+        // the next slice's targets — no per-slice allocation. On an abort the
+        // pair still goes back to the workspace pool.
         let mut wrapped = [workspace::take_matrix(n, n), workspace::take_matrix(n, n)];
+        let result = self.sweep_slices(&mut wrapped, &mut obs);
+        let [w0, w1] = wrapped;
+        workspace::put_matrix(w0);
+        workspace::put_matrix(w1);
+        result?;
+
+        if let Some(obs) = obs {
+            let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);
+            self.timer
+                .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
+        }
+        Ok(())
+    }
+
+    /// The slice loop of one sweep: Metropolis updates, wraps, boundary
+    /// recomputes and mid-sweep measurements. Factored out of
+    /// [`Self::try_sweep`] so the wrap workspace is returned to the pool on
+    /// both the success and the abort path.
+    fn sweep_slices(
+        &mut self,
+        wrapped: &mut [Matrix; 2],
+        obs: &mut Option<&mut Observables>,
+    ) -> Result<(), DqmcError> {
+        let l_slices = self.params.model.slices;
+        let n = self.nsites();
+        let nu = self.fac.nu();
+        let nb = self.params.delay_block;
 
         for l in 0..l_slices {
             // --- Metropolis site loop with delayed updates ---
@@ -570,14 +674,14 @@ impl DqmcCore {
             //     the old cadence stays a boundary under the new one ---
             let k = self.cache.cluster_size();
             let at_boundary = (l + 1) % k == 0 || l + 1 == l_slices;
-            let wrap_ok = self.wrap_with_recovery(l, at_boundary, &mut wrapped);
+            let wrap_ok = self.wrap_with_recovery(l, at_boundary, wrapped)?;
             if at_boundary {
                 let incr_sign = self.sign;
-                self.recompute_greens(l);
+                self.recompute_greens_recovering(l)?;
                 if wrap_ok {
                     let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
                     if self.params.recovery.enabled && diff > self.params.recovery.wrap_tolerance {
-                        self.note_wrap_divergence(l, diff);
+                        self.note_wrap_divergence(l, diff)?;
                     } else {
                         self.wrap_diff.push(diff);
                     }
@@ -604,16 +708,7 @@ impl DqmcCore {
             // wrap_ok == false mid-sweep: repair_greens_after already placed
             // clean post-wrap matrices in self.g.
         }
-
-        let [w0, w1] = wrapped;
-        workspace::put_matrix(w0);
-        workspace::put_matrix(w1);
-
-        if let Some(obs) = obs {
-            let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);
-            self.timer
-                .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
-        }
+        Ok(())
     }
 }
 
@@ -858,20 +953,20 @@ mod tests {
         let retries = core.params.recovery.max_retries;
         // One incident: exhaust retries, then shrink 4 → 2.
         for _ in 0..retries {
-            core.escalate(BackendFault::taint("test"), 0);
+            core.escalate(BackendFault::taint("test"), 0).unwrap();
         }
         assert_eq!(core.runtime_cluster_size(), 4);
-        core.escalate(BackendFault::taint("test"), 0);
+        core.escalate(BackendFault::taint("test"), 0).unwrap();
         assert_eq!(core.runtime_cluster_size(), 2);
         assert_eq!(core.fault_streak, 0, "streak resets after escalation");
         // Next incidents: 2 → 1, then host fallback.
         for _ in 0..=retries {
-            core.escalate(BackendFault::taint("test"), 0);
+            core.escalate(BackendFault::taint("test"), 0).unwrap();
         }
         assert_eq!(core.runtime_cluster_size(), 1);
         assert!(!core.use_host_fallback);
         for _ in 0..=retries {
-            core.escalate(BackendFault::taint("test"), 0);
+            core.escalate(BackendFault::taint("test"), 0).unwrap();
         }
         assert!(core.use_host_fallback);
         // The run must still be able to sweep correctly at k = 1 on host.
@@ -883,10 +978,96 @@ mod tests {
     #[test]
     #[should_panic(expected = "all recovery rungs exhausted")]
     fn exhausted_ladder_panics() {
+        // The classified error's Display embeds the legacy message, so the
+        // panic raised by an infallible wrapper still matches this pattern.
         let mut core = DqmcCore::new(small_params(4.0, 8, 47));
         for _ in 0..64 {
-            core.escalate(BackendFault::taint("test"), 0);
+            if let Err(e) = core.escalate(BackendFault::taint("test"), 0) {
+                panic!("{e}");
+            }
         }
+    }
+
+    #[test]
+    fn exhausted_ladder_error_is_fatal() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 47));
+        let err = loop {
+            if let Err(e) = core.escalate(BackendFault::taint("test"), 0) {
+                break e;
+            }
+        };
+        assert_eq!(err.severity, util::Severity::Fatal);
+        assert!(!err.retryable());
+        assert!(err.to_string().contains("all recovery rungs exhausted"));
+    }
+
+    #[test]
+    fn sick_faults_escape_the_ladder_without_consuming_rungs() {
+        let mut core = DqmcCore::new(small_params(4.0, 8, 61));
+        let soft = core
+            .escalate(BackendFault::sick("op missed its deadline", false), 0)
+            .unwrap_err();
+        assert_eq!(soft.severity, util::Severity::DeviceSick);
+        assert!(soft.quarantines_device());
+        assert!(!soft.hard);
+        let hard = core
+            .escalate(BackendFault::sick("device wedged", true), 0)
+            .unwrap_err();
+        assert!(hard.hard, "wedge is the worker-lost flavor");
+        // No rung was consumed: cluster size, backend and streak untouched.
+        assert_eq!(core.runtime_cluster_size(), 4);
+        assert!(!core.use_host_fallback);
+        assert_eq!(core.fault_streak, 0);
+        // Both incidents were logged as escalations for the report tallies.
+        assert_eq!(core.recovery_log().tallies().escalations, 2);
+    }
+
+    #[test]
+    fn try_sweep_aborts_with_classified_error_on_sick_backend() {
+        #[derive(Debug)]
+        struct SickOnce {
+            inner: HostBackend,
+            fired: bool,
+        }
+        impl ComputeBackend for SickOnce {
+            fn name(&self) -> &str {
+                "sick-once"
+            }
+            fn cluster(
+                &mut self,
+                fac: &BMatrixFactory,
+                h: &HsField,
+                lo: usize,
+                hi: usize,
+                spin: Spin,
+            ) -> Result<Matrix, BackendFault> {
+                if !self.fired {
+                    self.fired = true;
+                    return Err(BackendFault::sick("scripted sick window", false));
+                }
+                self.inner.cluster(fac, h, lo, hi, spin)
+            }
+            fn wrap_into(
+                &mut self,
+                fac: &BMatrixFactory,
+                h: &HsField,
+                l: usize,
+                spin: Spin,
+                g: &Matrix,
+                out: &mut Matrix,
+            ) -> Result<(), BackendFault> {
+                self.inner.wrap_into(fac, h, l, spin, g, out)
+            }
+        }
+        let mut core = DqmcCore::new(small_params(4.0, 8, 67));
+        core.set_backend(Box::new(SickOnce {
+            inner: HostBackend,
+            fired: false,
+        }));
+        let err = core.try_sweep(None).unwrap_err();
+        assert_eq!(err.severity, util::Severity::DeviceSick);
+        assert!(err.detail.contains("scripted sick window"), "{err}");
+        assert_eq!(core.recovery_log().tallies().escalations, 1);
     }
 
     #[test]
@@ -894,7 +1075,8 @@ mod tests {
         let mut core = DqmcCore::new(small_params(4.0, 8, 53));
         let retries = core.params.recovery.max_retries;
         for _ in 0..=retries {
-            core.escalate(BackendFault::device("transfer dropped"), 0);
+            core.escalate(BackendFault::device("transfer dropped"), 0)
+                .unwrap();
         }
         assert!(core.use_host_fallback, "device faults abandon the device");
         assert_eq!(

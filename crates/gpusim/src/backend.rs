@@ -15,9 +15,22 @@
 
 use crate::cluster::{try_cluster_custom_kernel, upload_expk};
 use crate::device::{DMatrix, Device, DeviceSpec};
+use crate::faults::DeviceError;
 use crate::wrap::{try_wrap_on_device_bitexact_into, try_wrap_on_device_into, upload_expk_inv};
 use dqmc::{BMatrixFactory, BackendFault, ComputeBackend, HsField, Spin};
 use linalg::Matrix;
+
+/// Classifies a [`DeviceError`] into the core fault taxonomy: hangs and
+/// sick-window failures indict the *device* (they must escape the in-core
+/// recovery ladder so the scheduler can quarantine the slot); everything
+/// else is an ordinary device-class fault the ladder handles in place.
+fn classify(e: DeviceError) -> BackendFault {
+    if e.is_sick() {
+        BackendFault::sick(e.to_string(), e.is_wedged())
+    } else {
+        BackendFault::device(e.to_string())
+    }
+}
 
 /// A [`ComputeBackend`] running cluster products and wraps on the simulated
 /// accelerator.
@@ -88,8 +101,7 @@ impl ComputeBackend for DeviceBackend {
         let expk = self
             .expk
             .get_or_insert_with(|| upload_expk(&mut self.dev, fac));
-        try_cluster_custom_kernel(&mut self.dev, expk, fac, h, lo, hi, spin)
-            .map_err(|e| BackendFault::device(e.to_string()))
+        try_cluster_custom_kernel(&mut self.dev, expk, fac, h, lo, hi, spin).map_err(classify)
     }
 
     fn wrap_into(
@@ -101,22 +113,18 @@ impl ComputeBackend for DeviceBackend {
         g: &Matrix,
         out: &mut Matrix,
     ) -> Result<(), BackendFault> {
-        if self.expk.is_none() {
-            self.expk = Some(upload_expk(&mut self.dev, fac));
-        }
-        if self.expk_inv.is_none() {
-            self.expk_inv = Some(upload_expk_inv(&mut self.dev, fac));
-        }
-        let (expk, expk_inv) = (
-            self.expk.as_ref().expect("just uploaded"),
-            self.expk_inv.as_ref().expect("just uploaded"),
-        );
+        let expk = self
+            .expk
+            .get_or_insert_with(|| upload_expk(&mut self.dev, fac));
+        let expk_inv = self
+            .expk_inv
+            .get_or_insert_with(|| upload_expk_inv(&mut self.dev, fac));
         if self.bitexact_wrap {
             try_wrap_on_device_bitexact_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
         } else {
             try_wrap_on_device_into(&mut self.dev, expk, expk_inv, fac, h, l, spin, g, out)
         }
-        .map_err(|e| BackendFault::device(e.to_string()))
+        .map_err(classify)
     }
 
     fn notify_fault(&mut self) {
@@ -213,6 +221,33 @@ mod tests {
         let want = fac.cluster(&h, 0, 6, Spin::Up);
         assert!(retried.max_abs_diff(&want) < 1e-12 * want.max_abs().max(1.0));
         assert_eq!(devb.device().faults_injected(), 1);
+    }
+
+    #[test]
+    fn hang_and_sick_window_classify_as_sick_faults() {
+        let (fac, h) = setup();
+        let mut devb = DeviceBackend::with_spec(DeviceSpec::tesla_c2050());
+        devb.device_mut().arm_faults(
+            FaultPlan::new()
+                .hang_at_launch(1)
+                .wedge_at_launch(2)
+                .sick_window(3, 3),
+        );
+        let soft = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap_err();
+        assert_eq!(soft.kind, dqmc::FaultKind::Sick, "{soft}");
+        assert!(soft.is_sick());
+        devb.notify_fault();
+        let hard = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap_err();
+        assert_eq!(hard.kind, dqmc::FaultKind::Wedged, "{hard}");
+        devb.notify_fault();
+        let sick = devb.cluster(&fac, &h, 0, 6, Spin::Up).unwrap_err();
+        assert_eq!(sick.kind, dqmc::FaultKind::Sick, "{sick}");
+        assert!(sick.detail.contains("sick window"), "{}", sick.detail);
+        devb.notify_fault();
+        assert!(
+            devb.cluster(&fac, &h, 0, 6, Spin::Up).is_ok(),
+            "past the storm the device works again"
+        );
     }
 
     #[test]

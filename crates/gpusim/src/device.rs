@@ -185,6 +185,15 @@ impl Device {
         self.clock.now()
     }
 
+    /// Attaches a shared logical-cost meter to the device clock: every
+    /// clock advance also accumulates into `meter` (integer nanoseconds),
+    /// surviving [`Device::reset_clock`]. The scheduler's quantum watchdog
+    /// reads the meter through the `Arc` while the device itself is owned
+    /// by a boxed backend it cannot see into.
+    pub fn set_cost_meter(&mut self, meter: std::sync::Arc<std::sync::atomic::AtomicU64>) {
+        self.clock.set_meter(meter);
+    }
+
     /// Total host↔device bytes moved.
     pub fn bytes_transferred(&self) -> u64 {
         self.bytes_transferred
@@ -238,11 +247,35 @@ impl Device {
     }
 
     /// Charges one kernel launch; fails if the armed plan scheduled this
-    /// launch ordinal to fail. The launch overhead is charged either way
-    /// (the driver burned the submission before rejecting it).
+    /// launch ordinal to fail, hang, or land in a sick window. The launch
+    /// overhead is charged either way (the driver burned the submission
+    /// before rejecting it), and scripted latency inflation multiplies it
+    /// even when the launch succeeds — fail-slow is invisible to numerics.
     fn try_launch(&mut self, kernel: &'static str) -> Result<(), DeviceError> {
         self.kernels_launched += 1;
         self.clock.advance(self.spec.kernel_launch_s);
+        if let Some(factor) = self.faults.take_slow(self.kernels_launched) {
+            // The launch already paid 1× overhead; charge the excess.
+            self.clock
+                .advance(self.spec.kernel_launch_s * (factor - 1.0));
+            self.faults_injected += 1;
+        }
+        if let Some(wedged) = self.faults.take_hang(self.kernels_launched) {
+            self.faults_injected += 1;
+            return Err(DeviceError::Hang {
+                kernel,
+                launch_index: self.kernels_launched,
+                wedged,
+            });
+        }
+        if let Some(window) = self.faults.sick_window_hit(self.kernels_launched) {
+            self.faults_injected += 1;
+            return Err(DeviceError::SickDevice {
+                kernel,
+                launch_index: self.kernels_launched,
+                window,
+            });
+        }
         if self.faults.take_launch_fault(self.kernels_launched) {
             self.faults_injected += 1;
             return Err(DeviceError::KernelLaunchFailure {
@@ -693,6 +726,80 @@ mod tests {
         ));
         assert!(d.try_dgemm(1.0, &da, &db, 0.0, &mut c).is_ok(), "retry ok");
         assert_eq!(d.faults_injected(), 1);
+    }
+
+    #[test]
+    fn scheduled_hang_wedge_and_sick_window_fire_at_launch() {
+        let mut d = dev();
+        d.arm_faults(
+            FaultPlan::new()
+                .hang_at_launch(1)
+                .wedge_at_launch(2)
+                .sick_window(3, 4),
+        );
+        let da = d.set_matrix(&Matrix::identity(8));
+        let db = d.set_matrix(&Matrix::identity(8));
+        let mut c = d.alloc(8, 8);
+        let e1 = d.try_dgemm(1.0, &da, &db, 0.0, &mut c).unwrap_err();
+        assert!(
+            matches!(e1, DeviceError::Hang { wedged: false, .. }),
+            "{e1}"
+        );
+        let e2 = d.try_dgemm(1.0, &da, &db, 0.0, &mut c).unwrap_err();
+        assert!(matches!(e2, DeviceError::Hang { wedged: true, .. }), "{e2}");
+        let e3 = d.try_dgemm(1.0, &da, &db, 0.0, &mut c).unwrap_err();
+        assert!(matches!(e3, DeviceError::SickDevice { .. }), "{e3}");
+        let e4 = d.try_dgemm(1.0, &da, &db, 0.0, &mut c).unwrap_err();
+        assert!(
+            matches!(e4, DeviceError::SickDevice { .. }),
+            "window persists"
+        );
+        assert!(
+            d.try_dgemm(1.0, &da, &db, 0.0, &mut c).is_ok(),
+            "window over"
+        );
+        assert_eq!(d.faults_injected(), 4);
+    }
+
+    #[test]
+    fn slow_launch_inflates_clock_only() {
+        // Latency inflation on the same op as silent corruption: the op is
+        // slow AND the download is poisoned, but the computed numerics are
+        // untouched — fail-slow composes with fail-silent.
+        let mut rng = Rng::new(6);
+        let a = Matrix::random(16, 16, &mut rng);
+        let run = |plan: Option<FaultPlan>| {
+            let mut d = dev();
+            if let Some(p) = plan {
+                d.arm_faults(p);
+            }
+            let da = d.set_matrix(&a);
+            let mut c = d.alloc(16, 16);
+            d.try_dgemm(1.0, &da, &da, 0.0, &mut c).unwrap();
+            let out = d.get_matrix(&c);
+            (out, d.elapsed())
+        };
+        let (clean, t_clean) = run(None);
+        let plan = FaultPlan::new()
+            .with_seed(3)
+            .slow_launch(1, 64.0)
+            .corrupt_transfer(1);
+        let (slow, t_slow) = run(Some(plan));
+        assert!(t_slow > t_clean, "inflation must show in the clock");
+        let spec = DeviceSpec::tesla_c2050();
+        assert!(
+            (t_slow - t_clean - 63.0 * spec.kernel_launch_s).abs() < 1e-12,
+            "excess is exactly (factor-1) x launch overhead"
+        );
+        let nans = slow.as_slice().iter().filter(|x| x.is_nan()).count();
+        assert_eq!(nans, 1, "corruption fired on the same op");
+        let agree = clean
+            .as_slice()
+            .iter()
+            .zip(slow.as_slice())
+            .filter(|(x, y)| x.to_bits() == y.to_bits())
+            .count();
+        assert_eq!(agree, 16 * 16 - 1, "all other elements bit-identical");
     }
 
     #[test]

@@ -14,6 +14,24 @@
 //! a retry of the same operation succeeds (unless another fault is scheduled
 //! at the retried ordinal). Persistent failure is modelled by scheduling a
 //! run of consecutive ordinals.
+//!
+//! # Fail-slow and fail-intermittent classes
+//!
+//! Beyond fail-stop errors, the plan scripts the classic *fleet* failure
+//! modes, all in logical cost units so runs stay byte-reproducible:
+//!
+//! - **latency inflation** ([`FaultPlan::slow_launch`]): the nth launch
+//!   costs `factor ×` its normal simulated time but still succeeds — the
+//!   numerics are untouched, only the cost model sees it;
+//! - **hang** ([`FaultPlan::hang_at_launch`]): the nth launch never
+//!   completes; the simulated watchdog kills it at its logical deadline and
+//!   the op reports [`DeviceError::Hang`] with `wedged = false`;
+//! - **wedge** ([`FaultPlan::wedge_at_launch`]): as hang, but the device is
+//!   stuck for good (`wedged = true`) — the supervisor must declare the
+//!   worker lost rather than wait for a cooperative park;
+//! - **sick window** ([`FaultPlan::sick_window`]): every launch whose
+//!   ordinal falls in `[lo, hi]` fails with [`DeviceError::SickDevice`] —
+//!   the intermittent flaky-device profile that defeats naive retry.
 
 use std::fmt;
 
@@ -40,6 +58,47 @@ pub enum DeviceError {
         /// Configured arena capacity (0 ⇒ the exhaustion was injected).
         limit: usize,
     },
+    /// A kernel launch hung: it never completed and the (simulated)
+    /// watchdog killed it at its logical deadline. `wedged` marks the
+    /// indefinite flavor — the device is stuck for good and the worker
+    /// driving it must be declared lost.
+    Hang {
+        /// Name of the kernel that hung.
+        kernel: &'static str,
+        /// 1-based global launch ordinal that hung.
+        launch_index: u64,
+        /// Indefinite hang: the device cannot be parked cooperatively.
+        wedged: bool,
+    },
+    /// The device is inside a scripted sick window: launches fail
+    /// intermittently until the window's last ordinal passes.
+    SickDevice {
+        /// Name of the kernel whose launch the sick device rejected.
+        kernel: &'static str,
+        /// 1-based global launch ordinal that failed.
+        launch_index: u64,
+        /// The `[lo, hi]` launch-ordinal window the device is sick in.
+        window: (u64, u64),
+    },
+}
+
+impl DeviceError {
+    /// Whether this error indicts the device itself (hang, wedge, sick
+    /// window) rather than the single operation — the `DeviceSick` class
+    /// of the error taxonomy. Such errors must escape the in-core recovery
+    /// ladder so the scheduler can quarantine the slot.
+    pub fn is_sick(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::Hang { .. } | DeviceError::SickDevice { .. }
+        )
+    }
+
+    /// Whether the device is wedged: the hard `DeviceSick` flavor where
+    /// the worker is declared lost instead of parking cooperatively.
+    pub fn is_wedged(&self) -> bool {
+        matches!(self, DeviceError::Hang { wedged: true, .. })
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -59,6 +118,26 @@ impl fmt::Display for DeviceError {
                 f,
                 "device arena exhausted: requested {requested} B with {in_use} B in use (limit {limit} B)"
             ),
+            DeviceError::Hang {
+                kernel,
+                launch_index,
+                wedged,
+            } => {
+                let kind = if *wedged { "wedged" } else { "hung" };
+                write!(
+                    f,
+                    "kernel {kind}: {kernel} (launch #{launch_index} missed its logical deadline)"
+                )
+            }
+            DeviceError::SickDevice {
+                kernel,
+                launch_index,
+                window,
+            } => write!(
+                f,
+                "sick device: {kernel} failed (launch #{launch_index} inside sick window [{}, {}])",
+                window.0, window.1
+            ),
         }
     }
 }
@@ -77,6 +156,10 @@ pub struct FaultPlan {
     failed_launches: Vec<u64>,
     failed_allocs: Vec<u64>,
     bit_flips: Vec<u64>,
+    hangs: Vec<u64>,
+    wedges: Vec<u64>,
+    slow_launches: Vec<(u64, f64)>,
+    sick_windows: Vec<(u64, u64)>,
     rng: Option<util::Rng>,
 }
 
@@ -123,6 +206,60 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules the `nth` (1-based) kernel launch to hang: it fails with
+    /// [`DeviceError::Hang`] (`wedged = false`) after the simulated watchdog
+    /// kills it at its logical deadline.
+    pub fn hang_at_launch(mut self, nth: u64) -> Self {
+        self.hangs.push(nth);
+        self
+    }
+
+    /// Schedules the `nth` (1-based) kernel launch to wedge the device:
+    /// [`DeviceError::Hang`] with `wedged = true` — the hard-deadline case
+    /// where the worker is declared lost.
+    pub fn wedge_at_launch(mut self, nth: u64) -> Self {
+        self.wedges.push(nth);
+        self
+    }
+
+    /// Schedules the `nth` (1-based) kernel launch to run `factor ×`
+    /// slower in simulated time while still succeeding: fail-slow latency
+    /// inflation, invisible to the numerics. `factor` must be ≥ 1.
+    pub fn slow_launch(mut self, nth: u64, factor: f64) -> Self {
+        assert!(factor >= 1.0, "latency factor must be >= 1");
+        self.slow_launches.push((nth, factor));
+        self
+    }
+
+    /// Declares the device sick for every launch ordinal in `[lo, hi]`
+    /// (1-based, inclusive): each such launch fails with
+    /// [`DeviceError::SickDevice`]. Unlike the one-shot classes the window
+    /// persists — retrying inside it keeps failing, which is exactly the
+    /// intermittent profile a circuit breaker exists for.
+    pub fn sick_window(mut self, lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "sick window wants 1 <= lo <= hi");
+        self.sick_windows.push((lo, hi));
+        self
+    }
+
+    /// Appends every schedule of `other` onto this plan — used to merge a
+    /// pool slot's health profile into a job's own fault plan at lease
+    /// time. The receiver's RNG seed wins when both are set.
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        self.corrupt_downloads.extend(other.corrupt_downloads);
+        self.failed_launches.extend(other.failed_launches);
+        self.failed_allocs.extend(other.failed_allocs);
+        self.bit_flips.extend(other.bit_flips);
+        self.hangs.extend(other.hangs);
+        self.wedges.extend(other.wedges);
+        self.slow_launches.extend(other.slow_launches);
+        self.sick_windows.extend(other.sick_windows);
+        if self.rng.is_none() {
+            self.rng = other.rng;
+        }
+        self
+    }
+
     /// A randomized plan: over the first `horizon` ordinals of each category,
     /// each ordinal independently faults with probability `rate`. Fully
     /// determined by `seed`.
@@ -154,6 +291,10 @@ impl FaultPlan {
             && self.failed_launches.is_empty()
             && self.failed_allocs.is_empty()
             && self.bit_flips.is_empty()
+            && self.hangs.is_empty()
+            && self.wedges.is_empty()
+            && self.slow_launches.is_empty()
+            && self.sick_windows.is_empty()
     }
 
     fn take(list: &mut Vec<u64>, n: u64) -> bool {
@@ -183,6 +324,35 @@ impl FaultPlan {
     /// Consumes a scheduled bit flip after compute op `n`, if any.
     pub(crate) fn take_bit_flip(&mut self, n: u64) -> bool {
         Self::take(&mut self.bit_flips, n)
+    }
+
+    /// Consumes a scheduled hang or wedge at launch `n`. Returns
+    /// `Some(wedged)` when one fires; a wedge scheduled at the same
+    /// ordinal as a hang wins (the worse failure dominates).
+    pub(crate) fn take_hang(&mut self, n: u64) -> Option<bool> {
+        if Self::take(&mut self.wedges, n) {
+            Some(true)
+        } else if Self::take(&mut self.hangs, n) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a scheduled latency inflation of launch `n`, returning its
+    /// factor.
+    pub(crate) fn take_slow(&mut self, n: u64) -> Option<f64> {
+        let pos = self.slow_launches.iter().position(|&(x, _)| x == n)?;
+        Some(self.slow_launches.remove(pos).1)
+    }
+
+    /// Whether launch ordinal `n` falls inside a scripted sick window
+    /// (non-consuming: the window persists), returning the window.
+    pub(crate) fn sick_window_hit(&self, n: u64) -> Option<(u64, u64)> {
+        self.sick_windows
+            .iter()
+            .copied()
+            .find(|&(lo, hi)| (lo..=hi).contains(&n))
     }
 
     fn rng(&mut self) -> &mut util::Rng {
@@ -248,6 +418,96 @@ mod tests {
             let b = p.pick_mantissa_bit();
             assert!((44..52).contains(&b));
         }
+    }
+
+    #[test]
+    fn ordinal_zero_never_fires() {
+        // Ordinals are 1-based; a plan armed at index 0 is inert — it can
+        // never match any real operation, no matter how long the run.
+        let mut p = FaultPlan::new()
+            .fail_launch(0)
+            .corrupt_transfer(0)
+            .oom_at_alloc(0)
+            .hang_at_launch(0)
+            .wedge_at_launch(0)
+            .slow_launch(0, 4.0);
+        assert!(!p.is_empty(), "the schedules exist, they just never match");
+        for n in 1..=1000 {
+            assert!(!p.take_launch_fault(n));
+            assert!(!p.take_download_fault(n));
+            assert!(!p.take_alloc_fault(n));
+            assert!(p.take_hang(n).is_none());
+            assert!(p.take_slow(n).is_none());
+            assert!(p.sick_window_hit(n).is_none());
+        }
+    }
+
+    #[test]
+    fn overlapping_latency_and_failure_on_same_op_both_fire() {
+        // Latency inflation and a fault scheduled at the same ordinal are
+        // independent: the op is slow *and* fails.
+        let mut p = FaultPlan::new().slow_launch(3, 8.0).fail_launch(3);
+        assert_eq!(p.take_slow(3), Some(8.0));
+        assert!(p.take_launch_fault(3));
+        // Both consumed; the retried ordinal is clean.
+        assert!(p.take_slow(3).is_none());
+        assert!(!p.take_launch_fault(3));
+    }
+
+    #[test]
+    fn wedge_dominates_hang_at_same_ordinal() {
+        let mut p = FaultPlan::new().hang_at_launch(5).wedge_at_launch(5);
+        assert_eq!(p.take_hang(5), Some(true), "the worse failure wins");
+        assert_eq!(p.take_hang(5), Some(false), "the hang is still scheduled");
+        assert_eq!(p.take_hang(5), None);
+    }
+
+    #[test]
+    fn sick_windows_persist_across_hits() {
+        let p = FaultPlan::new().sick_window(4, 6);
+        assert!(p.sick_window_hit(3).is_none());
+        assert_eq!(p.sick_window_hit(4), Some((4, 6)));
+        assert_eq!(p.sick_window_hit(6), Some((4, 6)), "non-consuming");
+        assert!(p.sick_window_hit(7).is_none());
+    }
+
+    #[test]
+    fn merge_concatenates_schedules() {
+        let job = FaultPlan::new().with_seed(9).fail_launch(2);
+        let slot = FaultPlan::new().hang_at_launch(1).sick_window(10, 12);
+        let mut merged = job.merge(slot);
+        assert!(merged.take_launch_fault(2));
+        assert_eq!(merged.take_hang(1), Some(false));
+        assert!(merged.sick_window_hit(11).is_some());
+    }
+
+    #[test]
+    fn sick_errors_classify_as_device_sick() {
+        let hang = DeviceError::Hang {
+            kernel: "dgemm",
+            launch_index: 3,
+            wedged: false,
+        };
+        let wedge = DeviceError::Hang {
+            kernel: "dgemm",
+            launch_index: 3,
+            wedged: true,
+        };
+        let sick = DeviceError::SickDevice {
+            kernel: "dgemm",
+            launch_index: 3,
+            window: (2, 5),
+        };
+        let launch = DeviceError::KernelLaunchFailure {
+            kernel: "dgemm",
+            launch_index: 3,
+        };
+        assert!(hang.is_sick() && !hang.is_wedged());
+        assert!(wedge.is_sick() && wedge.is_wedged());
+        assert!(sick.is_sick() && !sick.is_wedged());
+        assert!(!launch.is_sick());
+        assert!(hang.to_string().contains("deadline"), "{hang}");
+        assert!(sick.to_string().contains("sick window"), "{sick}");
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use device::{DMatrix, Device, DeviceSpec, HostSpec};
 pub use faults::{DeviceError, FaultPlan};
 pub use gpu_strat::{gpu_stratified_greens, GpuStratReport};
 pub use hybrid::{hybrid_greens, HybridReport};
-pub use pool::{DeviceLease, DevicePool};
+pub use pool::{BreakerPolicy, DeviceLease, DevicePool, HealthDecision, SlotHealthSnapshot};
 pub use wrap::{try_wrap_on_device_bitexact_into, try_wrap_on_device_into, wrap_on_device};

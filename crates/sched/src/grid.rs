@@ -68,6 +68,41 @@ pub enum FaultOp {
     Oom(u64),
     /// Silent NaN corruption of the nth download.
     CorruptTransfer(u64),
+    /// Latency inflation of the nth launch by an integer factor — a
+    /// fail-slow fault: numerics are untouched (bit-safe), only the logical
+    /// clock inflates, which the scheduler's quantum watchdog detects.
+    Slow(u64, u32),
+}
+
+/// One scripted *slot* fault: sickness as a property of a device in the
+/// pool, not of whichever job lands on it. Armed via
+/// [`DevicePool::set_slot_profile`](gpusim::DevicePool::set_slot_profile)
+/// and merged into every job plan placed on the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotFault {
+    /// Device-pool slot the fault is installed on.
+    pub slot: usize,
+    /// The scripted misbehaviour.
+    pub op: SlotFaultOp,
+    /// Persistent profiles survive a breaker opening (the device keeps
+    /// failing probation probes, exercising exponential backoff);
+    /// non-persistent ones heal while the slot rests in quarantine.
+    pub persistent: bool,
+}
+
+/// The slot-fault classes of the chaos DSL. Ordinals count the slot's
+/// launches within one job placement (each job gets a fresh device
+/// context, so the schedule replays per placement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotFaultOp {
+    /// The nth launch hangs; the logical watchdog kills it (soft deadline).
+    Hang(u64),
+    /// The nth launch wedges the device for good (hard deadline).
+    Wedge(u64),
+    /// The nth launch is inflated by an integer latency factor.
+    Slow(u64, u32),
+    /// Every launch in `[lo, hi]` fails sick (intermittent sick device).
+    SickWindow(u64, u64),
 }
 
 /// A declared sweep campaign: grid axes plus shared physics and scheduling
@@ -114,6 +149,8 @@ pub struct GridSpec {
     pub job_retries: u32,
     /// Scripted faults armed on every device-placed job.
     pub faults: Vec<FaultOp>,
+    /// Scripted sick-device profiles installed on pool slots.
+    pub slot_faults: Vec<SlotFault>,
 }
 
 impl Default for GridSpec {
@@ -139,6 +176,7 @@ impl Default for GridSpec {
             quantum: 0,
             job_retries: 1,
             faults: Vec::new(),
+            slot_faults: Vec::new(),
         }
     }
 }
@@ -206,6 +244,7 @@ impl GridSpec {
                 "quantum" => spec.quantum = parse_usize(value).map_err(bad)?,
                 "job_retries" => spec.job_retries = parse_u32(value).map_err(bad)?,
                 "faults" => spec.faults = parse_faults(value).map_err(bad)?,
+                "slot_faults" => spec.slot_faults = parse_slot_faults(value).map_err(bad)?,
                 other => {
                     return Err(GridError {
                         line,
@@ -240,6 +279,12 @@ impl GridSpec {
         }
         if self.workers == 0 {
             return bad("need at least one worker".into());
+        }
+        if let Some(sf) = self.slot_faults.iter().find(|sf| sf.slot >= self.devices) {
+            return bad(format!(
+                "slot_faults names slot {} but the pool has {} devices",
+                sf.slot, self.devices
+            ));
         }
         Ok(())
     }
@@ -314,9 +359,34 @@ impl GridSpec {
                 FaultOp::FailLaunch(n) => plan.fail_launch(n),
                 FaultOp::Oom(n) => plan.oom_at_alloc(n),
                 FaultOp::CorruptTransfer(n) => plan.corrupt_transfer(n),
+                FaultOp::Slow(n, factor) => plan.slow_launch(n, f64::from(factor)),
             };
         }
         Some(plan)
+    }
+
+    /// The scripted sick-device profiles, one merged [`FaultPlan`] per slot
+    /// (with its persistence flag), ready for
+    /// [`DevicePool::set_slot_profile`](gpusim::DevicePool::set_slot_profile).
+    /// A slot is persistent when *any* of its declared faults is.
+    pub fn slot_profiles(&self) -> Vec<(usize, FaultPlan, bool)> {
+        let mut out: Vec<(usize, FaultPlan, bool)> = Vec::new();
+        for sf in &self.slot_faults {
+            let plan = match sf.op {
+                SlotFaultOp::Hang(n) => FaultPlan::new().hang_at_launch(n),
+                SlotFaultOp::Wedge(n) => FaultPlan::new().wedge_at_launch(n),
+                SlotFaultOp::Slow(n, factor) => FaultPlan::new().slow_launch(n, f64::from(factor)),
+                SlotFaultOp::SickWindow(lo, hi) => FaultPlan::new().sick_window(lo, hi),
+            };
+            match out.iter_mut().find(|(slot, _, _)| *slot == sf.slot) {
+                Some((_, merged, persistent)) => {
+                    *merged = merged.clone().merge(plan);
+                    *persistent |= sf.persistent;
+                }
+                None => out.push((sf.slot, plan, sf.persistent)),
+            }
+        }
+        out
     }
 }
 
@@ -348,17 +418,27 @@ fn parse_faults(v: &str) -> Result<Vec<FaultOp>, String> {
     v.split(',')
         .map(|item| {
             let item = item.trim();
-            let Some((op, nth)) = item.split_once(':') else {
+            let Some((op, rest)) = item.split_once(':') else {
                 return Err(format!("bad fault '{item}' (want op:ordinal)"));
             };
-            let nth: u64 = nth
-                .trim()
-                .parse()
-                .map_err(|e| format!("bad ordinal in '{item}': {e}"))?;
-            if nth == 0 {
-                return Err(format!("fault ordinal in '{item}' is 1-based"));
+            let op = op.trim();
+            if op == "slow" {
+                // slow:nth:factor — the only per-job op with a second arg.
+                let Some((nth, factor)) = rest.split_once(':') else {
+                    return Err(format!("bad fault '{item}' (want slow:ordinal:factor)"));
+                };
+                let nth = parse_ordinal(nth, item)?;
+                let factor: u32 = factor
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad factor in '{item}': {e}"))?;
+                if factor < 2 {
+                    return Err(format!("slow factor in '{item}' must be >= 2"));
+                }
+                return Ok(FaultOp::Slow(nth, factor));
             }
-            match op.trim() {
+            let nth = parse_ordinal(rest, item)?;
+            match op {
                 "fail_launch" => Ok(FaultOp::FailLaunch(nth)),
                 "oom" => Ok(FaultOp::Oom(nth)),
                 "corrupt_transfer" => Ok(FaultOp::CorruptTransfer(nth)),
@@ -368,8 +448,85 @@ fn parse_faults(v: &str) -> Result<Vec<FaultOp>, String> {
                      unfaulted stream and would break sweep determinism"
                         .into(),
                 ),
+                "hang" | "wedge" | "sick" => Err(format!(
+                    "'{op}' is not allowed in per-job fault plans: sickness indicts \
+                     the *device*, and a job-carried sick plan would re-arm on every \
+                     placement, livelocking the requeue path — script it on a pool \
+                     slot via `slot_faults` instead"
+                )),
                 other => Err(format!("unknown fault op '{other}'")),
             }
+        })
+        .collect()
+}
+
+fn parse_ordinal(v: &str, item: &str) -> Result<u64, String> {
+    let nth: u64 = v
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad ordinal in '{item}': {e}"))?;
+    if nth == 0 {
+        return Err(format!("fault ordinal in '{item}' is 1-based"));
+    }
+    Ok(nth)
+}
+
+/// Parses the `slot_faults` DSL: comma-separated `kind@slot:args` items,
+/// `!`-suffixed for persistent profiles. `hang@1:3` (3rd launch on slot 1
+/// hangs), `wedge@0:2`, `slow@1:4:100` (4th launch 100× slower),
+/// `sick@2:1-6` (launches 1..=6 fail sick).
+fn parse_slot_faults(v: &str) -> Result<Vec<SlotFault>, String> {
+    v.split(',')
+        .map(|item| {
+            let item = item.trim();
+            let (body, persistent) = match item.strip_suffix('!') {
+                Some(b) => (b, true),
+                None => (item, false),
+            };
+            let Some((op, rest)) = body.split_once('@') else {
+                return Err(format!("bad slot fault '{item}' (want kind@slot:args)"));
+            };
+            let Some((slot, args)) = rest.split_once(':') else {
+                return Err(format!("bad slot fault '{item}' (want kind@slot:args)"));
+            };
+            let slot: usize = slot
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad slot in '{item}': {e}"))?;
+            let op = match op.trim() {
+                "hang" => SlotFaultOp::Hang(parse_ordinal(args, item)?),
+                "wedge" => SlotFaultOp::Wedge(parse_ordinal(args, item)?),
+                "slow" => {
+                    let Some((nth, factor)) = args.split_once(':') else {
+                        return Err(format!("bad slot fault '{item}' (want slow@slot:n:factor)"));
+                    };
+                    let factor: u32 = factor
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad factor in '{item}': {e}"))?;
+                    if factor < 2 {
+                        return Err(format!("slow factor in '{item}' must be >= 2"));
+                    }
+                    SlotFaultOp::Slow(parse_ordinal(nth, item)?, factor)
+                }
+                "sick" => {
+                    let Some((lo, hi)) = args.split_once('-') else {
+                        return Err(format!("bad slot fault '{item}' (want sick@slot:lo-hi)"));
+                    };
+                    let lo = parse_ordinal(lo, item)?;
+                    let hi = parse_ordinal(hi, item)?;
+                    if lo > hi {
+                        return Err(format!("empty sick window in '{item}' (lo > hi)"));
+                    }
+                    SlotFaultOp::SickWindow(lo, hi)
+                }
+                other => Err(format!("unknown slot fault kind '{other}'"))?,
+            };
+            Ok(SlotFault {
+                slot,
+                op,
+                persistent,
+            })
         })
         .collect()
 }
@@ -464,5 +621,79 @@ mod tests {
         assert!(spec.fault_plan(&pts[0], 0).is_some());
         let clean = GridSpec::default();
         assert!(clean.fault_plan(&pts[0], 0).is_none());
+    }
+
+    #[test]
+    fn fault_arming_edge_cases() {
+        // Ordinal 1 (the first operation) is valid — the off-by-one trap.
+        let spec = GridSpec::parse("faults = fail_launch:1").unwrap();
+        assert_eq!(spec.faults, vec![FaultOp::FailLaunch(1)]);
+        // Overlapping latency + corruption on the same ordinal both arm.
+        let spec = GridSpec::parse("faults = slow:3:10, corrupt_transfer:3").unwrap();
+        assert_eq!(
+            spec.faults,
+            vec![FaultOp::Slow(3, 10), FaultOp::CorruptTransfer(3)]
+        );
+        let plan = spec.fault_plan(&spec.points()[0], 0).unwrap();
+        assert!(!plan.is_empty());
+        // Factor below 2 would be a no-op disguised as a fault.
+        let err = GridSpec::parse("faults = slow:3:1").unwrap_err();
+        assert!(err.message.contains(">= 2"), "{err}");
+    }
+
+    #[test]
+    fn sick_classes_are_rejected_per_job_but_allowed_per_slot() {
+        for op in ["hang:2", "wedge:2", "sick:2"] {
+            let err = GridSpec::parse(&format!("faults = {op}")).unwrap_err();
+            assert!(err.message.contains("slot_faults"), "{err}");
+        }
+        let spec = GridSpec::parse(
+            "devices = 3\nslot_faults = hang@1:3, sick@2:1-6!, wedge@0:2, slow@1:4:100",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.slot_faults,
+            vec![
+                SlotFault {
+                    slot: 1,
+                    op: SlotFaultOp::Hang(3),
+                    persistent: false
+                },
+                SlotFault {
+                    slot: 2,
+                    op: SlotFaultOp::SickWindow(1, 6),
+                    persistent: true
+                },
+                SlotFault {
+                    slot: 0,
+                    op: SlotFaultOp::Wedge(2),
+                    persistent: false
+                },
+                SlotFault {
+                    slot: 1,
+                    op: SlotFaultOp::Slow(4, 100),
+                    persistent: false
+                },
+            ]
+        );
+        // Slot 1 has two ops: they merge into one profile.
+        let profiles = spec.slot_profiles();
+        assert_eq!(profiles.len(), 3);
+        let (slot, _, persistent) = &profiles[0];
+        assert_eq!((*slot, *persistent), (1, false));
+        assert!(profiles.iter().any(|(s, _, p)| *s == 2 && *p));
+    }
+
+    #[test]
+    fn slot_fault_dsl_rejects_malformed_and_out_of_pool() {
+        let err = GridSpec::parse("slot_faults = hang@0:0").unwrap_err();
+        assert!(err.message.contains("1-based"), "{err}");
+        let err = GridSpec::parse("slot_faults = sick@0:6-2").unwrap_err();
+        assert!(err.message.contains("lo > hi"), "{err}");
+        let err = GridSpec::parse("slot_faults = flip_bit@0:1").unwrap_err();
+        assert!(err.message.contains("unknown slot fault"), "{err}");
+        // Slot index must exist in the declared pool.
+        let err = GridSpec::parse("devices = 1\nslot_faults = hang@3:1").unwrap_err();
+        assert!(err.message.contains("pool has 1 devices"), "{err}");
     }
 }

@@ -17,10 +17,18 @@
 //!    on its cooperative time-slice) by serialising to an in-memory `DQCP`
 //!    image and requeueing; the resume is bit-identical, so preemption is
 //!    invisible in the physics.
-//! 4. **Retry** ([`runner`]): a job whose run panics (the recovery ladder's
-//!    last rung) restarts from its last checkpoint image, up to a per-job
-//!    budget, before being reported failed.
-//! 5. **Aggregation** ([`report`]): per-point chain observables merge in
+//! 4. **Retry** ([`runner`]): a job whose run fails with a classified
+//!    retryable error — or, as a backstop, panics — restarts from its last
+//!    checkpoint image, up to a per-job budget, before being reported
+//!    failed. `DeviceSick`-class failures requeue for *free* (the device
+//!    was at fault, not the job) with the suspect slot excluded.
+//! 5. **Liveness & health** ([`watchdog`], [`gpusim::pool`]): workers
+//!    stamp heartbeat tokens every sweep; a quantum watchdog charges each
+//!    quantum's logical device cost against a soft deadline (fail-slow
+//!    detection), and the device pool's circuit breaker quarantines slots
+//!    that accumulate sick reports, re-admitting them through
+//!    exponential-backoff probation probes.
+//! 6. **Aggregation** ([`report`]): per-point chain observables merge in
 //!    canonical (point, chain) order and are jackknifed
 //!    ([`util::jackknife_ratio`]) into a machine-readable [`SweepReport`].
 //!
@@ -47,9 +55,11 @@ pub mod queue;
 pub mod report;
 pub mod runner;
 pub mod trace;
+pub mod watchdog;
 
-pub use grid::{GridError, GridPoint, GridSpec};
-pub use queue::{JobQueue, QueueFull, SweepJob};
+pub use grid::{GridError, GridPoint, GridSpec, SlotFault, SlotFaultOp};
+pub use queue::{JobQueue, Pop, QueueFull, SweepJob};
 pub use report::{PointSummary, SweepReport};
 pub use runner::{run_sweep, run_sweep_observed, Injector, SchedConfig, SweepObserver};
 pub use trace::{EventLog, Placement, TraceEvent};
+pub use watchdog::{DeadlineVerdict, Heartbeats, QuantumWatchdog};

@@ -19,7 +19,21 @@
 use dqmc::SimParams;
 use gpusim::FaultPlan;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Recovers a poisoned guard. Queue invariants (`outstanding`, the heap)
+/// are each updated in a single short critical section with no partially
+/// applied state, so data behind a poisoned lock is still consistent: a
+/// worker that panicked mid-`push` never got the lock in the first place,
+/// and one that panicked *holding* it had already finished the mutation.
+/// Recovering keeps the whole scheduler alive through one worker's death —
+/// the chaos tier's first requirement.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
 
 /// One schedulable unit: a single Markov chain of a single grid point.
 #[derive(Debug)]
@@ -44,10 +58,19 @@ pub struct SweepJob {
     pub device_quanta: u64,
     /// Quanta executed on the host backend.
     pub host_quanta: u64,
+    /// Device-pool slots this job must not be placed on again (each slot
+    /// that failed it with a `DeviceSick`-class error).
+    pub excluded_slots: Vec<usize>,
+    /// Sick-classified placements survived (deadline parks / worker
+    /// losses); these do *not* consume [`SweepJob::attempts`] — the job is
+    /// innocent, the device was sick.
+    pub sick_strikes: u32,
 }
 
 impl SweepJob {
     /// A fresh job for (point, chain) at the default priority.
+    // dqmc-lint: allow(hot_alloc) — job construction is sweep setup, and
+    // `Vec::new` is capacity-zero (no heap touch until a slot is excluded).
     pub fn new(point: usize, chain: usize, params: SimParams) -> Self {
         SweepJob {
             point,
@@ -60,6 +83,8 @@ impl SweepJob {
             preemptions: 0,
             device_quanta: 0,
             host_quanta: 0,
+            excluded_slots: Vec::new(),
+            sick_strikes: 0,
         }
     }
 
@@ -121,6 +146,24 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Outcome of a bounded-wait pop ([`JobQueue::pop_timeout`]).
+// Boxing the job would put an allocation in the pop hot path, which this
+// module's deny_hot_alloc contract forbids; the enum lives only across the
+// caller's match.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum Pop {
+    /// A job was dequeued; the capacity slot stays held until
+    /// [`JobQueue::complete`].
+    Job(SweepJob),
+    /// The wait budget ran out with the heap empty but jobs still
+    /// outstanding — a running job may yet yield back in. The caller
+    /// should run its periodic bookkeeping (watchdog scan) and retry.
+    Empty,
+    /// The sweep is drained: nothing waiting, nothing outstanding.
+    Drained,
+}
+
 #[derive(Debug)]
 struct QueueState {
     heap: BinaryHeap<Entry>,
@@ -162,7 +205,7 @@ impl JobQueue {
     /// the bound. New jobs may be submitted while workers run (late
     /// arrivals / priority cut-ins).
     pub fn submit(&self, job: SweepJob) -> Result<(), QueueFull> {
-        let mut s = self.state.lock().expect("job queue poisoned");
+        let mut s = relock(self.state.lock());
         if s.outstanding >= self.bound {
             return Err(QueueFull { bound: self.bound });
         }
@@ -184,7 +227,7 @@ impl JobQueue {
     /// Termination waits for it, and its eventual [`JobQueue::requeue`]
     /// cannot overflow the reserved capacity.
     pub fn submit_held(&self) -> Result<(), QueueFull> {
-        let mut s = self.state.lock().expect("job queue poisoned");
+        let mut s = relock(self.state.lock());
         if s.outstanding >= self.bound {
             return Err(QueueFull { bound: self.bound });
         }
@@ -196,7 +239,7 @@ impl JobQueue {
     /// capacity is guaranteed; it draws a fresh sequence number and goes
     /// behind its priority class.
     pub fn requeue(&self, job: SweepJob) {
-        let mut s = self.state.lock().expect("job queue poisoned");
+        let mut s = relock(self.state.lock());
         debug_assert!(s.outstanding > 0, "requeue of a non-outstanding job");
         let seq = s.next_seq;
         s.next_seq += 1;
@@ -213,7 +256,7 @@ impl JobQueue {
     /// releasing its capacity slot. The last completion wakes every blocked
     /// worker so they can observe termination.
     pub fn complete(&self) {
-        let mut s = self.state.lock().expect("job queue poisoned");
+        let mut s = relock(self.state.lock());
         s.outstanding = s.outstanding.saturating_sub(1);
         let done = s.outstanding == 0;
         drop(s);
@@ -225,7 +268,7 @@ impl JobQueue {
     /// Pops the highest-priority job, blocking while the queue is empty but
     /// jobs are still outstanding. `None` means the sweep is drained.
     pub fn pop_blocking(&self) -> Option<SweepJob> {
-        let mut s = self.state.lock().expect("job queue poisoned");
+        let mut s = relock(self.state.lock());
         loop {
             if let Some(e) = s.heap.pop() {
                 return Some(e.job);
@@ -233,16 +276,45 @@ impl JobQueue {
             if s.outstanding == 0 {
                 return None;
             }
-            s = self.cv.wait(s).expect("job queue poisoned");
+            s = relock(self.cv.wait(s));
+        }
+    }
+
+    /// [`JobQueue::pop_blocking`] with a bounded wait, for workers that
+    /// must keep servicing a watchdog while idle. The budget is counted in
+    /// condvar *wakeups* (spurious or timed), not wall time, so a worker
+    /// polling with budget 1 re-checks its deadlines at a steady cadence.
+    ///
+    /// Returns [`Pop::Empty`] when the budget runs out with jobs still
+    /// outstanding — the two-phase-termination window where a running job
+    /// may yet yield back into the queue — and [`Pop::Drained`] only when
+    /// the last outstanding job has completed.
+    pub fn pop_timeout(&self, wait_budget: u32) -> Pop {
+        let mut s = relock(self.state.lock());
+        let mut waits = 0u32;
+        loop {
+            if let Some(e) = s.heap.pop() {
+                return Pop::Job(e.job);
+            }
+            if s.outstanding == 0 {
+                return Pop::Drained;
+            }
+            if waits >= wait_budget {
+                return Pop::Empty;
+            }
+            let (guard, _timed_out) = self
+                .cv
+                .wait_timeout(s, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+            waits += 1;
         }
     }
 
     /// True when a job with priority strictly above `p` is waiting — the
     /// preemption check run by workers at every quantum boundary.
     pub fn waiting_priority_above(&self, p: u8) -> bool {
-        self.state
-            .lock()
-            .expect("job queue poisoned")
+        relock(self.state.lock())
             .heap
             .peek()
             .is_some_and(|e| e.priority > p)
@@ -250,7 +322,20 @@ impl JobQueue {
 
     /// Jobs currently waiting in the queue (excludes running ones).
     pub fn waiting(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").heap.len()
+        relock(self.state.lock()).heap.len()
+    }
+
+    /// Poisons the state mutex by panicking while holding it — the
+    /// regression hook for the poison-recovery tests (release builds
+    /// included: the chaos CI tier runs `--release`). Panicking is the
+    /// whole point here.
+    // dqmc-lint: allow(panic_site)
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.state.lock().unwrap();
+            panic!("poisoning job queue for test");
+        }));
     }
 }
 
@@ -324,6 +409,49 @@ mod tests {
         assert!(q.waiting_priority_above(0));
         assert!(q.waiting_priority_above(1));
         assert!(!q.waiting_priority_above(2));
+    }
+
+    #[test]
+    fn queue_survives_poisoning_panic() {
+        let q = JobQueue::new(4);
+        q.submit(job(0, 0, 0)).unwrap();
+        // A worker dies while holding the state lock; the mutex is now
+        // poisoned. Every queue operation must recover, not propagate.
+        q.poison_for_test();
+        q.submit(job(1, 0, 1)).unwrap();
+        assert_eq!(q.waiting(), 2);
+        assert!(q.waiting_priority_above(0));
+        let j = q.pop_blocking().unwrap();
+        assert_eq!(j.point, 1, "priority order intact after poisoning");
+        q.requeue(j);
+        q.complete();
+        q.complete();
+        // Both capacity slots released; the heap still holds two entries
+        // that will never pop (the sweep is over), but no lock panicked.
+        assert!(q.submit(job(2, 0, 0)).is_ok());
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_drained() {
+        let q = JobQueue::new(2);
+        q.submit(job(0, 0, 0)).unwrap();
+        let j = match q.pop_timeout(0) {
+            Pop::Job(j) => j,
+            other => panic!("expected a job, got {other:?}"),
+        };
+        // Heap empty, one job outstanding: a bounded wait must wake up
+        // empty-handed rather than block or claim termination.
+        assert!(matches!(q.pop_timeout(2), Pop::Empty));
+        drop(j);
+        q.complete();
+        assert!(matches!(q.pop_timeout(0), Pop::Drained));
+    }
+
+    #[test]
+    fn new_jobs_carry_clean_health_state() {
+        let j = job(0, 0, 0);
+        assert!(j.excluded_slots.is_empty());
+        assert_eq!(j.sick_strikes, 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! shortest-roundtrip `Display`, so equal bits render as equal bytes, and
 //! non-finite values render as `null` to stay inside the JSON grammar.
 
-use dqmc::JackknifeScalars;
+use dqmc::{JackknifeScalars, RecoveryTallies};
 
 /// Pooled results for one grid point.
 #[derive(Clone, Debug)]
@@ -79,6 +79,25 @@ pub struct SweepReport {
     pub leases_granted: u64,
     /// Lease requests that fell back to the host.
     pub lease_misses: u64,
+    /// Circuit-breaker openings (first-time and re-openings).
+    pub quarantines: u64,
+    /// Probation probes granted to quarantined slots.
+    pub probes: u64,
+    /// Quarantined slots re-admitted after a clean probe.
+    pub readmissions: u64,
+    /// Lease requests that skipped a quarantined slot.
+    pub quarantine_skips: u64,
+    /// Soft-deadline cooperative parks (fail-slow / sick placements).
+    pub soft_parks: u64,
+    /// Hard-deadline worker losses (wedged placements resurrected from
+    /// their parked image).
+    pub worker_losses: u64,
+    /// Panics caught by the worker backstop. Classified errors return
+    /// `Err` instead of unwinding, so this stays 0 under scripted storms.
+    pub panics_caught: u64,
+    /// Recovery-ladder actions pooled over completed chains, broken down
+    /// by classification.
+    pub recovery_tallies: RecoveryTallies,
     /// Worker threads used.
     pub workers: usize,
     /// Device-pool slots.
@@ -162,14 +181,22 @@ impl SweepReport {
         )
     }
 
-    /// The full report: observables plus schedule diagnostics.
+    /// The full report: observables plus schedule diagnostics. The health
+    /// and recovery counters live *only* here — the observables section
+    /// must not move when the schedule gets chaotic.
     pub fn to_json(&self) -> String {
         let sched: Vec<String> = self.points.iter().map(|p| p.schedule_json()).collect();
+        let t = &self.recovery_tallies;
         format!(
             "{{\"observables\":{},\"schedule\":{{\"workers\":{},\"devices\":{},\
              \"total_jobs\":{},\"failed_jobs\":{},\"preemptions\":{},\"retries\":{},\
              \"device_quanta\":{},\"host_quanta\":{},\"leases_granted\":{},\
-             \"lease_misses\":{},\"wall_seconds\":{},\"points\":[{}]}}}}",
+             \"lease_misses\":{},\"health\":{{\"quarantines\":{},\"probes\":{},\
+             \"readmissions\":{},\"quarantine_skips\":{},\"soft_parks\":{},\
+             \"worker_losses\":{},\"panics_caught\":{}}},\
+             \"recovery\":{{\"retries\":{},\"shrinks\":{},\"fallbacks\":{},\
+             \"repairs\":{},\"escalations\":{}}},\
+             \"wall_seconds\":{},\"points\":[{}]}}}}",
             self.observables_json(),
             self.workers,
             self.devices,
@@ -181,6 +208,18 @@ impl SweepReport {
             self.host_quanta,
             self.leases_granted,
             self.lease_misses,
+            self.quarantines,
+            self.probes,
+            self.readmissions,
+            self.quarantine_skips,
+            self.soft_parks,
+            self.worker_losses,
+            self.panics_caught,
+            t.retries,
+            t.shrinks,
+            t.fallbacks,
+            t.repairs,
+            t.escalations,
             jnum(self.wall_seconds),
             sched.join(",")
         )
@@ -225,6 +264,24 @@ impl SweepReport {
             self.wall_seconds,
             self.workers,
             self.devices,
+        ));
+        let t = &self.recovery_tallies;
+        out.push_str(&format!(
+            "health: quarantines {} ({} readmitted, {} probes, {} skips) | \
+             soft parks {} | workers lost {} | panics caught {}\n\
+             recovery: {} retries, {} shrinks, {} fallbacks, {} repairs, {} escalations\n",
+            self.quarantines,
+            self.readmissions,
+            self.probes,
+            self.quarantine_skips,
+            self.soft_parks,
+            self.worker_losses,
+            self.panics_caught,
+            t.retries,
+            t.shrinks,
+            t.fallbacks,
+            t.repairs,
+            t.escalations,
         ));
         out
     }
@@ -271,6 +328,20 @@ mod tests {
             host_quanta: 2,
             leases_granted: 5,
             lease_misses: 2,
+            quarantines: 2,
+            probes: 3,
+            readmissions: 1,
+            quarantine_skips: 4,
+            soft_parks: 2,
+            worker_losses: 1,
+            panics_caught: 0,
+            recovery_tallies: RecoveryTallies {
+                retries: 2,
+                shrinks: 1,
+                fallbacks: 1,
+                repairs: 0,
+                escalations: 3,
+            },
             workers: 2,
             devices: 1,
             wall_seconds: 0.5,
@@ -330,5 +401,32 @@ mod tests {
         let s = sample().human_summary();
         assert!(s.contains("jobs 2/2 ok"));
         assert!(s.contains("2 workers, 1 devices"));
+        assert!(s.contains("quarantines 2 (1 readmitted, 3 probes, 4 skips)"));
+        assert!(s.contains("3 escalations"));
+    }
+
+    #[test]
+    fn health_counters_live_only_in_the_schedule_section() {
+        let r = sample();
+        let full = r.to_json();
+        assert!(full.contains("\"health\":{\"quarantines\":2,\"probes\":3,\"readmissions\":1"));
+        assert!(full.contains("\"quarantine_skips\":4,\"soft_parks\":2,\"worker_losses\":1"));
+        assert!(full.contains("\"panics_caught\":0"));
+        assert!(full.contains("\"recovery\":{\"retries\":2,\"shrinks\":1,\"fallbacks\":1"));
+        // The deterministic observables section must not grow new keys:
+        // chaos may reshape the schedule, never the physics bytes.
+        let obs = r.observables_json();
+        for key in [
+            "quarantine",
+            "probe",
+            "readmission",
+            "soft_park",
+            "worker_loss",
+            "panics",
+            "escalation",
+            "health",
+        ] {
+            assert!(!obs.contains(key), "observables leaked schedule key {key}");
+        }
     }
 }

@@ -1,17 +1,35 @@
-//! The worker pool: pops jobs, places them, preempts them, retries them,
-//! and folds the survivors into a [`SweepReport`].
+//! The worker pool: pops jobs, places them, preempts them, watches them,
+//! retries them, and folds the survivors into a [`SweepReport`].
 //!
 //! # Execution model
 //!
 //! Each worker loops: pop a job → try to lease a device from the shared
-//! [`DevicePool`] (host fallback on a miss) → run the simulation in quanta
-//! of `quantum` sweeps. At every quantum boundary the job checks whether it
-//! should yield — a higher-priority job is waiting, or its cooperative
-//! time-slice (`yield_every_quanta`) expired — and if so parks itself as an
-//! in-memory `DQCP` image and requeues. A panic escaping the simulation
-//! (the recovery ladder's terminal rung) is caught; the job restarts from
-//! its last parked image up to `job_retries` times before being recorded
-//! as failed.
+//! [`DevicePool`] (skipping the job's suspect slots; host fallback on a
+//! miss) → run the simulation in quanta of `quantum` sweeps. At every
+//! quantum boundary the job checks whether it should yield — a
+//! higher-priority job is waiting, or its cooperative time-slice
+//! (`yield_every_quanta`) expired — and if so parks itself as an in-memory
+//! `DQCP` image and requeues.
+//!
+//! # Failure handling is classification-keyed
+//!
+//! A failed quantum surfaces as a structured [`DqmcError`] whose severity
+//! drives the response:
+//!
+//! - **`DeviceSick`** — the run indicts the *device*, not the job. The job
+//!   requeues for free (no retry budget consumed) with the slot added to
+//!   its exclusion list, the pool's circuit breaker is fed a sick report,
+//!   and the trace records a [`TraceEvent::SoftDeadline`] park (or
+//!   [`TraceEvent::WorkerLost`] when the device wedged — the hard
+//!   deadline: progress since the last parked image is written off).
+//! - **`Transient` / `Corrupt`** — the job restarts from its last parked
+//!   image, consuming one of `job_retries`.
+//! - **`Fatal`** — no restart could help; the job is failed immediately.
+//!
+//! A panic escaping the simulation is *caught as a backstop*, classified
+//! by [`DqmcError::from_panic`], counted in
+//! [`SweepReport::panics_caught`], and fed through the same ladder — but
+//! every classified-recoverable path returns `Err`, it does not panic.
 //!
 //! # Why the result cannot see the schedule
 //!
@@ -20,15 +38,18 @@
 //! `DQCP` resume is bit-identical; and results land in a slot vector
 //! indexed by `job_id = point * chains + chain`, then merge in canonical
 //! chain order per point. Workers race only for *which* slot they fill
-//! next, never for what goes in it.
+//! next, never for what goes in it. Deadline parks and sick requeues
+//! re-run the same seeded sweeps elsewhere — slower, never different.
 
 use crate::grid::GridSpec;
-use crate::queue::{JobQueue, SweepJob};
+use crate::queue::{JobQueue, Pop, SweepJob};
 use crate::report::{PointSummary, SweepReport};
 use crate::trace::{EventLog, Placement, TraceEvent};
-use dqmc::{Observables, RecoveryLog, Simulation};
-use gpusim::{DevicePool, DeviceSpec};
+use crate::watchdog::{DeadlineVerdict, Heartbeats, QuantumWatchdog};
+use dqmc::{DqmcError, Observables, RecoveryLog, RecoveryTallies, RunToken, Severity, Simulation};
+use gpusim::{BreakerPolicy, DevicePool, DeviceSpec, HealthDecision};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -48,12 +69,38 @@ pub struct SchedConfig {
     /// Cooperative yield after this many quanta even with no higher-
     /// priority waiter; `0` disables time-slicing.
     pub yield_every_quanta: u64,
-    /// Scheduler-level restarts of a panicked job.
+    /// Restarts of a job that failed with a *retryable* classified error
+    /// (or a caught panic). Sick-device requeues are not counted here.
     pub job_retries: u32,
     /// Grid point indices whose jobs are *held back* from the initial
     /// submission; tests release them mid-sweep (via
     /// [`Injector::release_held`]) to force true priority preemption.
     pub hold_points: Vec<usize>,
+    /// Soft deadline per quantum in logical device-seconds (fail-slow
+    /// detection); `0.0` disables the quantum watchdog.
+    pub soft_quantum_cost_s: f64,
+    /// Heartbeat scans without progress before an idle worker cancels a
+    /// stalled peer's token; `0` disables cross-worker cancellation.
+    pub stall_scan_limit: u32,
+    /// Circuit-breaker policy for the device pool's health ledger.
+    pub breaker: BreakerPolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            workers: 1,
+            devices: 0,
+            queue_bound: 0,
+            quantum: 0,
+            yield_every_quanta: 0,
+            job_retries: 1,
+            hold_points: Vec::new(),
+            soft_quantum_cost_s: 0.0,
+            stall_scan_limit: 0,
+            breaker: BreakerPolicy::default(),
+        }
+    }
 }
 
 impl SchedConfig {
@@ -62,11 +109,9 @@ impl SchedConfig {
         SchedConfig {
             workers: spec.workers,
             devices: spec.devices,
-            queue_bound: 0,
             quantum: spec.quantum,
-            yield_every_quanta: 0,
             job_retries: spec.job_retries,
-            hold_points: Vec::new(),
+            ..SchedConfig::default()
         }
     }
 }
@@ -100,7 +145,7 @@ pub struct Injector<'a> {
 impl<'a> Injector<'a> {
     /// Jobs still held (not yet injected).
     pub fn held(&self) -> usize {
-        self.held.lock().expect("injector poisoned").len()
+        self.held.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Releases every held job into the queue at `priority`. Idempotent —
@@ -109,7 +154,7 @@ impl<'a> Injector<'a> {
     /// the queue always has room for them.
     pub fn release_held(&self, priority: u8) {
         let jobs: Vec<SweepJob> = {
-            let mut held = self.held.lock().expect("injector poisoned");
+            let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
             std::mem::take(&mut *held)
         };
         for job in jobs {
@@ -126,15 +171,51 @@ pub type SweepObserver = dyn for<'a> Fn(&TraceEvent, &Injector<'a>) + Sync;
 /// The result of one quantum-loop invocation.
 enum RunStep {
     Completed(Box<ChainOutcome>),
-    Yielded { sweeps_done: usize },
+    Yielded {
+        sweeps_done: usize,
+    },
+    /// The run stopped with a classified error; `job.checkpoint` holds the
+    /// image to resume from (freshly parked for cooperative soft parks,
+    /// the last successful park otherwise).
+    Aborted {
+        error: DqmcError,
+    },
 }
 
-/// Runs one job until it completes or decides to yield.
+/// Initial grid submission: the bound was sized to fit the whole grid
+/// above, so the queue cannot be full here.
+// dqmc-lint: allow(panic_site)
+fn submit_infallible(queue: &JobQueue, job: SweepJob) {
+    queue
+        .submit(job)
+        .expect("queue was sized to fit the whole grid");
+}
+
+/// Translates a breaker decision into trace events.
+fn emit_decision(events: &EventLog, decision: HealthDecision) {
+    match decision {
+        HealthDecision::None => {}
+        HealthDecision::Opened { slot, backoff } => events.push(TraceEvent::BreakerOpen {
+            slot,
+            backoff,
+            reopened: false,
+        }),
+        HealthDecision::Reopened { slot, backoff } => events.push(TraceEvent::BreakerOpen {
+            slot,
+            backoff,
+            reopened: true,
+        }),
+        HealthDecision::Readmitted { slot } => events.push(TraceEvent::SlotReadmitted { slot }),
+    }
+}
+
+/// Runs one job until it completes, yields, or aborts with a classified
+/// error. Returns the step and the device slot it ran on (`None` = host).
 ///
-/// On a yield the parked `DQCP` image replaces `job.checkpoint`; on a panic
-/// the *previous* image is still intact (this function never `take`s it),
-/// so a retried job resumes from its last successful park rather than from
-/// scratch-after-progress.
+/// On a yield (or a cooperative soft-deadline park) the parked `DQCP`
+/// image replaces `job.checkpoint`; on an abortive error the *previous*
+/// image is still intact, so the restart resumes from the last successful
+/// park rather than from scratch-after-progress.
 fn run_job(
     job: &mut SweepJob,
     worker: usize,
@@ -142,12 +223,19 @@ fn run_job(
     cfg: &SchedConfig,
     events: &EventLog,
     queue: &JobQueue,
-) -> RunStep {
-    let lease = pool.and_then(|p| p.try_lease());
-    let placement = match &lease {
-        Some(l) => Placement::Device { slot: l.slot() },
+    token: &RunToken,
+) -> (RunStep, Option<usize>) {
+    let lease = pool.and_then(|p| p.try_lease_excluding(&job.excluded_slots));
+    let slot = lease.as_ref().map(|l| l.slot());
+    let placement = match slot {
+        Some(slot) => Placement::Device { slot },
         None => Placement::Host,
     };
+    if let Some(l) = &lease {
+        if l.is_probe() {
+            events.push(TraceEvent::ProbeGranted { slot: l.slot() });
+        }
+    }
     events.push(TraceEvent::Started {
         point: job.point,
         chain: job.chain,
@@ -157,12 +245,27 @@ fn run_job(
     });
 
     let mut sim = match &job.checkpoint {
-        Some(bytes) => Simulation::resume_bytes(bytes, &job.params)
-            .expect("parked DQCP image must resume: it was produced this run"),
+        // The image was produced by this very run, so a decode failure
+        // means in-memory corruption: no restart can help.
+        Some(bytes) => match Simulation::resume_bytes(bytes, &job.params) {
+            Ok(sim) => sim,
+            Err(e) => {
+                let error =
+                    DqmcError::fatal("resume", format!("parked DQCP image failed to resume: {e}"));
+                return (RunStep::Aborted { error }, slot);
+            }
+        },
         None => Simulation::new(job.params.clone()),
     };
+    let mut watchdog = None;
     if let Some(l) = &lease {
-        sim = sim.with_backend(Box::new(l.backend(job.fault_plan.clone())));
+        let mut backend = l.backend(job.fault_plan.clone());
+        if cfg.soft_quantum_cost_s > 0.0 {
+            let wd = QuantumWatchdog::new(cfg.soft_quantum_cost_s);
+            backend.device_mut().set_cost_meter(wd.meter());
+            watchdog = Some(wd);
+        }
+        sim = sim.with_backend(Box::new(backend));
     }
 
     let quantum = if cfg.quantum == 0 {
@@ -172,7 +275,9 @@ fn run_job(
     };
     let mut quanta_run: u64 = 0;
     loop {
-        sim.step(quantum);
+        if let Err(error) = sim.try_step(quantum, token) {
+            return (RunStep::Aborted { error }, slot);
+        }
         quanta_run += 1;
         match placement {
             Placement::Device { .. } => job.device_quanta += 1,
@@ -184,27 +289,156 @@ fn run_job(
                 chain: job.chain,
                 worker,
             });
-            return RunStep::Completed(Box::new(ChainOutcome::Done {
-                observables: Box::new(sim.observables().clone()),
-                acceptance: sim.acceptance_rate(),
-                max_wrap_error: sim.max_wrap_error(),
-                recovery: sim.recovery_log().clone(),
-                preemptions: job.preemptions,
-                device_quanta: job.device_quanta,
-                host_quanta: job.host_quanta,
-            }));
+            return (
+                RunStep::Completed(Box::new(ChainOutcome::Done {
+                    observables: Box::new(sim.observables().clone()),
+                    acceptance: sim.acceptance_rate(),
+                    max_wrap_error: sim.max_wrap_error(),
+                    recovery: sim.recovery_log().clone(),
+                    preemptions: job.preemptions,
+                    device_quanta: job.device_quanta,
+                    host_quanta: job.host_quanta,
+                })),
+                slot,
+            );
+        }
+        if let Some(wd) = watchdog.as_mut() {
+            if let DeadlineVerdict::SoftExceeded { cost_s } = wd.observe_quantum() {
+                // The quantum finished cleanly (only slowly), so the state
+                // is consistent: park cooperatively from *current* progress.
+                job.checkpoint = Some(sim.checkpoint_bytes());
+                return (
+                    RunStep::Aborted {
+                        error: DqmcError::device_sick(
+                            "watchdog",
+                            format!(
+                                "quantum cost {cost_s:.3}s exceeded soft deadline {:.3}s",
+                                cfg.soft_quantum_cost_s
+                            ),
+                            false,
+                        ),
+                    },
+                    slot,
+                );
+            }
+        }
+        if token.is_cancelled() {
+            // A heartbeat scan requested a cooperative park.
+            job.checkpoint = Some(sim.checkpoint_bytes());
+            return (
+                RunStep::Aborted {
+                    error: DqmcError::device_sick(
+                        "heartbeat",
+                        "cooperative park after heartbeat stall",
+                        false,
+                    ),
+                },
+                slot,
+            );
         }
         let preempted = queue.waiting_priority_above(job.priority);
         let sliced = cfg.yield_every_quanta > 0 && quanta_run >= cfg.yield_every_quanta;
         if preempted || sliced {
             job.checkpoint = Some(sim.checkpoint_bytes());
             let (w, m) = sim.sweeps_done();
-            return RunStep::Yielded { sweeps_done: w + m };
+            return (RunStep::Yielded { sweeps_done: w + m }, slot);
         }
     }
 }
 
-/// One worker's lifetime: drain the queue until the sweep terminates.
+/// Handles a classified abort: the severity keys the recovery ladder.
+#[allow(clippy::too_many_arguments)]
+fn handle_abort(
+    mut job: SweepJob,
+    error: DqmcError,
+    slot: Option<usize>,
+    worker: usize,
+    pool: Option<&DevicePool>,
+    cfg: &SchedConfig,
+    events: &EventLog,
+    queue: &JobQueue,
+    results: &Mutex<Vec<Option<ChainOutcome>>>,
+    chains: usize,
+) {
+    match error.severity {
+        Severity::DeviceSick => {
+            // The device is indicted, not the job: requeue for free with
+            // the suspect slot excluded, and feed the circuit breaker.
+            job.sick_strikes += 1;
+            let slot_id = slot.unwrap_or(usize::MAX);
+            if let (Some(p), Some(s)) = (pool, slot) {
+                if !job.excluded_slots.contains(&s) {
+                    job.excluded_slots.push(s);
+                }
+                emit_decision(events, p.report_failure(s, true));
+            }
+            if error.hard {
+                events.push(TraceEvent::WorkerLost {
+                    point: job.point,
+                    chain: job.chain,
+                    worker,
+                    slot: slot_id,
+                });
+            } else {
+                events.push(TraceEvent::SoftDeadline {
+                    point: job.point,
+                    chain: job.chain,
+                    slot: slot_id,
+                });
+            }
+            queue.requeue(job);
+        }
+        Severity::Transient | Severity::Corrupt => {
+            if let (Some(p), Some(s)) = (pool, slot) {
+                emit_decision(events, p.report_failure(s, false));
+            }
+            job.attempts += 1;
+            if job.attempts <= cfg.job_retries {
+                events.push(TraceEvent::Retried {
+                    point: job.point,
+                    chain: job.chain,
+                    attempt: job.attempts,
+                });
+                // job.checkpoint still holds the last successful park, so
+                // the retry resumes there.
+                queue.requeue(job);
+            } else {
+                fail_job(job, events, results, chains, queue);
+            }
+        }
+        Severity::Fatal => {
+            // No restart could help (recovery disabled, ladder exhausted):
+            // fail fast regardless of remaining budget.
+            job.attempts += 1;
+            fail_job(job, events, results, chains, queue);
+        }
+    }
+}
+
+fn fail_job(
+    job: SweepJob,
+    events: &EventLog,
+    results: &Mutex<Vec<Option<ChainOutcome>>>,
+    chains: usize,
+    queue: &JobQueue,
+) {
+    events.push(TraceEvent::Failed {
+        point: job.point,
+        chain: job.chain,
+        attempts: job.attempts,
+    });
+    let slot = job.point * chains + job.chain;
+    results.lock().unwrap_or_else(|e| e.into_inner())[slot] = Some(ChainOutcome::Failed {
+        preemptions: job.preemptions as u64,
+        device_quanta: job.device_quanta,
+        host_quanta: job.host_quanta,
+    });
+    queue.complete();
+}
+
+/// One worker's lifetime: drain the queue until the sweep terminates,
+/// scanning the heartbeat registry whenever a bounded pop comes up empty.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     queue: &JobQueue,
@@ -215,10 +449,22 @@ fn worker_loop(
     chains: usize,
     injector: &Injector<'_>,
     observer: Option<&SweepObserver>,
+    hearts: &Heartbeats,
+    panics_caught: &AtomicU64,
 ) {
-    while let Some(mut job) = queue.pop_blocking() {
+    let token = hearts.token(worker);
+    loop {
+        let mut job = match queue.pop_timeout(1) {
+            Pop::Job(job) => job,
+            Pop::Empty => {
+                hearts.scan(worker, cfg.stall_scan_limit);
+                continue;
+            }
+            Pop::Drained => break,
+        };
+        token.reset();
         let step = catch_unwind(AssertUnwindSafe(|| {
-            run_job(&mut job, worker, pool, cfg, events, queue)
+            run_job(&mut job, worker, pool, cfg, events, queue, &token)
         }));
         // Observers see events only at job boundaries (not mid-quantum), so
         // an injection here lands before the next pop — deterministic with
@@ -230,12 +476,19 @@ fn worker_loop(
             }
         }
         match step {
-            Ok(RunStep::Completed(outcome)) => {
-                let slot = job.point * chains + job.chain;
-                results.lock().expect("results poisoned")[slot] = Some(*outcome);
+            Ok((RunStep::Completed(outcome), slot)) => {
+                if let (Some(p), Some(s)) = (pool, slot) {
+                    emit_decision(events, p.report_success(s));
+                }
+                let idx = job.point * chains + job.chain;
+                results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(*outcome);
                 queue.complete();
             }
-            Ok(RunStep::Yielded { sweeps_done }) => {
+            Ok((RunStep::Yielded { sweeps_done }, slot)) => {
+                // The quantum ran fine; a probe that got this far answered.
+                if let (Some(p), Some(s)) = (pool, slot) {
+                    emit_decision(events, p.report_success(s));
+                }
                 job.preemptions += 1;
                 events.push(TraceEvent::Yielded {
                     point: job.point,
@@ -244,31 +497,22 @@ fn worker_loop(
                 });
                 queue.requeue(job);
             }
-            Err(_) => {
-                job.attempts += 1;
-                if job.attempts <= cfg.job_retries {
-                    events.push(TraceEvent::Retried {
-                        point: job.point,
-                        chain: job.chain,
-                        attempt: job.attempts,
-                    });
-                    // job.checkpoint still holds the last *successful* park
-                    // (run_job never clears it), so the retry resumes there.
-                    queue.requeue(job);
-                } else {
-                    events.push(TraceEvent::Failed {
-                        point: job.point,
-                        chain: job.chain,
-                        attempts: job.attempts,
-                    });
-                    let slot = job.point * chains + job.chain;
-                    results.lock().expect("results poisoned")[slot] = Some(ChainOutcome::Failed {
-                        preemptions: job.preemptions as u64,
-                        device_quanta: job.device_quanta,
-                        host_quanta: job.host_quanta,
-                    });
-                    queue.complete();
-                }
+            Ok((RunStep::Aborted { error }, slot)) => {
+                handle_abort(
+                    job, error, slot, worker, pool, cfg, events, queue, results, chains,
+                );
+            }
+            Err(payload) => {
+                // Backstop only: classified-recoverable paths return Err
+                // above and never unwind. The chaos tier asserts this
+                // counter stays zero under pure-sick storms.
+                panics_caught.fetch_add(1, Ordering::Relaxed);
+                let error = DqmcError::from_panic(payload.as_ref());
+                // The lease dropped during unwinding; the slot cannot be
+                // indicted reliably, so the pool is not fed a report.
+                handle_abort(
+                    job, error, None, worker, pool, cfg, events, queue, results, chains,
+                );
             }
         }
     }
@@ -286,7 +530,8 @@ pub fn run_sweep(spec: &GridSpec, cfg: &SchedConfig, events: &EventLog) -> Sweep
 ///
 /// The returned report's [`SweepReport::observables_json`] is a pure
 /// function of `(spec physics, spec seeds)`: `cfg` may change workers,
-/// devices, quanta, holds — the observables section does not move.
+/// devices, quanta, holds, deadlines, breaker policy — the observables
+/// section does not move.
 pub fn run_sweep_observed(
     spec: &GridSpec,
     cfg: &SchedConfig,
@@ -321,21 +566,29 @@ pub fn run_sweep_observed(
                 // the heap until an observer releases it.
                 let placeholder = queue.submit_held();
                 debug_assert!(placeholder.is_ok(), "grid-sized queue cannot be full");
-                injector.held.lock().expect("injector poisoned").push(job);
+                injector
+                    .held
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(job);
             } else {
-                queue
-                    .submit(job)
-                    .expect("queue was sized to fit the whole grid");
+                submit_infallible(&queue, job);
             }
         }
     }
 
     let pool = if cfg.devices > 0 {
-        Some(DevicePool::new(DeviceSpec::tesla_c2050(), cfg.devices))
+        let p = DevicePool::with_policy(DeviceSpec::tesla_c2050(), cfg.devices, cfg.breaker);
+        for (slot, plan, persistent) in spec.slot_profiles() {
+            p.set_slot_profile(slot, plan, persistent);
+        }
+        Some(p)
     } else {
         None
     };
     let results: Mutex<Vec<Option<ChainOutcome>>> = Mutex::new((0..njobs).map(|_| None).collect());
+    let hearts = Heartbeats::new(cfg.workers.max(1));
+    let panics_caught = AtomicU64::new(0);
 
     if cfg.workers <= 1 {
         worker_loop(
@@ -348,6 +601,8 @@ pub fn run_sweep_observed(
             spec.chains,
             &injector,
             observer,
+            &hearts,
+            &panics_caught,
         );
     } else {
         std::thread::scope(|scope| {
@@ -356,6 +611,8 @@ pub fn run_sweep_observed(
                 let pool = pool.as_ref();
                 let results = &results;
                 let injector = &injector;
+                let hearts = &hearts;
+                let panics_caught = &panics_caught;
                 scope.spawn(move || {
                     worker_loop(
                         w,
@@ -367,26 +624,41 @@ pub fn run_sweep_observed(
                         spec.chains,
                         injector,
                         observer,
+                        hearts,
+                        panics_caught,
                     );
                 });
             }
         });
     }
 
-    let outcomes = results.into_inner().expect("results poisoned");
+    let outcomes = results.into_inner().unwrap_or_else(|e| e.into_inner());
     let retries = events.count(|e| matches!(e, TraceEvent::Retried { .. })) as u64;
-    assemble_report(spec, cfg, &points, outcomes, pool.as_ref(), retries, start)
+    assemble_report(
+        spec,
+        cfg,
+        &points,
+        outcomes,
+        pool.as_ref(),
+        events,
+        retries,
+        panics_caught.load(Ordering::Relaxed),
+        start,
+    )
 }
 
 /// Merges per-chain outcomes into per-point summaries in canonical chain
 /// order — the aggregation step the determinism contract protects.
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     spec: &GridSpec,
     cfg: &SchedConfig,
     points: &[crate::grid::GridPoint],
     outcomes: Vec<Option<ChainOutcome>>,
     pool: Option<&DevicePool>,
+    events: &EventLog,
     retries: u64,
+    panics_caught: u64,
     start: Instant,
 ) -> SweepReport {
     let mut summaries = Vec::with_capacity(points.len());
@@ -394,6 +666,7 @@ fn assemble_report(
     let mut total_preemptions = 0u64;
     let mut total_device_quanta = 0u64;
     let mut total_host_quanta = 0u64;
+    let mut recovery_tallies = RecoveryTallies::default();
 
     for point in points {
         let mut pooled: Option<Observables> = None;
@@ -426,6 +699,7 @@ fn assemble_report(
                     acc_sum += acceptance;
                     max_wrap = max_wrap.max(*max_wrap_error);
                     recovery_events += recovery.total();
+                    recovery_tallies.merge(&recovery.tallies());
                     preemptions += u64::from(*p);
                     device_quanta += dq;
                     host_quanta += hq;
@@ -490,6 +764,14 @@ fn assemble_report(
         host_quanta: total_host_quanta,
         leases_granted: pool.map_or(0, |p| p.leases_granted()),
         lease_misses: pool.map_or(0, |p| p.lease_misses()),
+        quarantines: pool.map_or(0, |p| p.quarantines()),
+        probes: pool.map_or(0, |p| p.probes()),
+        readmissions: pool.map_or(0, |p| p.readmissions()),
+        quarantine_skips: pool.map_or(0, |p| p.quarantine_skips()),
+        soft_parks: events.count(|e| matches!(e, TraceEvent::SoftDeadline { .. })) as u64,
+        worker_losses: events.count(|e| matches!(e, TraceEvent::WorkerLost { .. })) as u64,
+        panics_caught,
+        recovery_tallies,
         workers: cfg.workers,
         devices: cfg.devices,
         wall_seconds: start.elapsed().as_secs_f64(),

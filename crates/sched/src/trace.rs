@@ -11,7 +11,16 @@
 //! determinism contract covers the report's observables, never this stream.
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Recovers a poisoned guard: `Vec::push` either appended or it didn't —
+/// a panic unwinding through a worker must not take the whole trace (and
+/// with it the scheduler's liveness evidence) down.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
 
 /// Where a job ran for one scheduling quantum.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,6 +96,51 @@ pub enum TraceEvent {
         /// Total attempts consumed.
         attempts: u32,
     },
+    /// The watchdog's soft deadline fired: the job was asked to park
+    /// cooperatively from its last checkpoint image and was requeued with
+    /// the suspect slot excluded.
+    SoftDeadline {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// The suspect device slot (`usize::MAX` for a host placement).
+        slot: usize,
+    },
+    /// The hard deadline fired: the worker's run was declared lost (a
+    /// wedged device never returned) and the job was resurrected from its
+    /// last parked image.
+    WorkerLost {
+        /// Grid point index.
+        point: usize,
+        /// Chain index within the point.
+        chain: usize,
+        /// The worker whose run was written off.
+        worker: usize,
+        /// The suspect device slot (`usize::MAX` for a host placement).
+        slot: usize,
+    },
+    /// The device-pool circuit breaker opened (or re-opened after a failed
+    /// probation probe): the slot entered quarantine.
+    BreakerOpen {
+        /// The quarantined slot.
+        slot: usize,
+        /// Logical lease-clock ticks until a probation probe may go out.
+        backoff: u64,
+        /// True when a failed probe renewed the quarantine.
+        reopened: bool,
+    },
+    /// A quarantined slot's backoff elapsed and a probation probe lease
+    /// went out.
+    ProbeGranted {
+        /// The probed slot.
+        slot: usize,
+    },
+    /// A probation probe succeeded and the slot was re-admitted.
+    SlotReadmitted {
+        /// The healthy-again slot.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -122,6 +176,39 @@ impl fmt::Display for TraceEvent {
                 chain,
                 attempts,
             } => write!(f, "FAILED p{point}c{chain} after {attempts} attempts"),
+            TraceEvent::SoftDeadline { point, chain, slot } => {
+                write!(f, "soft-deadline park p{point}c{chain} (")?;
+                if *slot == usize::MAX {
+                    write!(f, "host")?;
+                } else {
+                    write!(f, "dev{slot}")?;
+                }
+                write!(f, " suspect)")
+            }
+            TraceEvent::WorkerLost {
+                point,
+                chain,
+                worker,
+                slot,
+            } => {
+                write!(f, "[w{worker}] LOST p{point}c{chain} (")?;
+                if *slot == usize::MAX {
+                    write!(f, "host")?;
+                } else {
+                    write!(f, "dev{slot}")?;
+                }
+                write!(f, " wedged); resurrecting from parked image")
+            }
+            TraceEvent::BreakerOpen {
+                slot,
+                backoff,
+                reopened,
+            } => {
+                let verb = if *reopened { "re-opened" } else { "opened" };
+                write!(f, "breaker {verb} on dev{slot} (backoff {backoff})")
+            }
+            TraceEvent::ProbeGranted { slot } => write!(f, "probation probe on dev{slot}"),
+            TraceEvent::SlotReadmitted { slot } => write!(f, "dev{slot} re-admitted"),
         }
     }
 }
@@ -141,22 +228,32 @@ impl EventLog {
 
     /// Appends one event.
     pub fn push(&self, e: TraceEvent) {
-        self.events.lock().expect("event log poisoned").push(e);
+        relock(self.events.lock()).push(e);
     }
 
     /// A snapshot of everything recorded so far.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("event log poisoned").clone()
+        relock(self.events.lock()).clone()
     }
 
     /// Count of events matching a predicate.
     pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.events
-            .lock()
-            .expect("event log poisoned")
+        relock(self.events.lock())
             .iter()
             .filter(|e| pred(e))
             .count()
+    }
+
+    /// Poisons the event mutex by panicking while holding it — the
+    /// regression hook for the poison-recovery tests. Panicking is the
+    /// whole point here.
+    // dqmc-lint: allow(panic_site)
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.events.lock().unwrap();
+            panic!("poisoning event log for test");
+        }));
     }
 }
 
@@ -198,5 +295,56 @@ mod tests {
         });
         assert_eq!(log.snapshot().len(), 2);
         assert_eq!(log.count(|e| matches!(e, TraceEvent::Yielded { .. })), 1);
+    }
+
+    #[test]
+    fn health_events_render_compactly() {
+        let s = TraceEvent::SoftDeadline {
+            point: 1,
+            chain: 0,
+            slot: 2,
+        };
+        assert_eq!(s.to_string(), "soft-deadline park p1c0 (dev2 suspect)");
+        let l = TraceEvent::WorkerLost {
+            point: 0,
+            chain: 1,
+            worker: 3,
+            slot: usize::MAX,
+        };
+        assert_eq!(
+            l.to_string(),
+            "[w3] LOST p0c1 (host wedged); resurrecting from parked image"
+        );
+        let b = TraceEvent::BreakerOpen {
+            slot: 1,
+            backoff: 8,
+            reopened: true,
+        };
+        assert_eq!(b.to_string(), "breaker re-opened on dev1 (backoff 8)");
+        assert_eq!(
+            TraceEvent::ProbeGranted { slot: 0 }.to_string(),
+            "probation probe on dev0"
+        );
+        assert_eq!(
+            TraceEvent::SlotReadmitted { slot: 0 }.to_string(),
+            "dev0 re-admitted"
+        );
+    }
+
+    #[test]
+    fn event_log_survives_poisoning_panic() {
+        let log = EventLog::new();
+        log.push(TraceEvent::Completed {
+            point: 0,
+            chain: 0,
+            worker: 0,
+        });
+        log.poison_for_test();
+        log.push(TraceEvent::ProbeGranted { slot: 0 });
+        assert_eq!(log.snapshot().len(), 2, "events intact through poisoning");
+        assert_eq!(
+            log.count(|e| matches!(e, TraceEvent::ProbeGranted { .. })),
+            1
+        );
     }
 }

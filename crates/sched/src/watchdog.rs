@@ -1,0 +1,204 @@
+//! Watchdogs: logical-cost deadlines and worker heartbeats.
+//!
+//! Two independent liveness layers, both keyed to *logical* clocks so every
+//! decision replays identically across runs and machines:
+//!
+//! - [`QuantumWatchdog`] — fail-slow detection. The device model charges
+//!   every operation's analytic cost to a [`util::SimClock`]; a shared
+//!   meter mirrors those advances as integer nanoseconds. The watchdog
+//!   reads the meter at each scheduling-quantum boundary and compares the
+//!   quantum's cost against a soft deadline. A latency-inflated device
+//!   (the `slow` fault class) produces bit-identical numerics but blows
+//!   the budget — which is exactly how a fail-slow device looks in a real
+//!   fleet: correct answers, uselessly late.
+//! - [`Heartbeats`] — lost-worker detection. Each worker stamps a shared
+//!   [`RunToken`] at every sweep boundary; idle workers scan the registry
+//!   and cancel the token of any peer whose progress has not moved for a
+//!   configured number of scans, requesting a cooperative park at the next
+//!   safe boundary. This is the backstop against *real* hangs (a logic bug
+//!   looping forever); the simulated fault classes never block a thread,
+//!   so in tests the scan only proves the machinery is wired.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use util::RunToken;
+
+/// Recovers a poisoned guard — the heartbeat registry must keep working
+/// when the very worker it was watching dies holding the lock.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// What the quantum watchdog concluded at a quantum boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeadlineVerdict {
+    /// The quantum's logical cost was within budget.
+    Healthy,
+    /// The soft deadline fired: the quantum cost more logical seconds than
+    /// the budget allows. The scheduler parks the job cooperatively and
+    /// indicts the device slot.
+    SoftExceeded {
+        /// The quantum's observed logical cost, in seconds.
+        cost_s: f64,
+    },
+}
+
+/// Per-placement fail-slow watchdog over the device's logical clock.
+///
+/// One watchdog is created per device placement; its meter is attached to
+/// the device clock before the first kernel, and
+/// [`QuantumWatchdog::observe_quantum`] is called after every quantum.
+#[derive(Debug)]
+pub struct QuantumWatchdog {
+    /// Soft deadline per quantum, in logical device-seconds.
+    budget_s: f64,
+    meter: Arc<AtomicU64>,
+    last_ns: u64,
+}
+
+impl QuantumWatchdog {
+    /// A watchdog allowing each quantum `budget_s` logical device-seconds.
+    pub fn new(budget_s: f64) -> Self {
+        QuantumWatchdog {
+            budget_s,
+            meter: Arc::new(AtomicU64::new(0)),
+            last_ns: 0,
+        }
+    }
+
+    /// The shared meter to install on the device clock
+    /// (`Device::set_cost_meter`).
+    pub fn meter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.meter)
+    }
+
+    /// Charges the logical cost accumulated since the previous call against
+    /// the per-quantum budget.
+    pub fn observe_quantum(&mut self) -> DeadlineVerdict {
+        let now = self.meter.load(Ordering::Relaxed);
+        let delta_ns = now.saturating_sub(self.last_ns);
+        self.last_ns = now;
+        let cost_s = delta_ns as f64 / 1e9;
+        if cost_s > self.budget_s {
+            DeadlineVerdict::SoftExceeded { cost_s }
+        } else {
+            DeadlineVerdict::Healthy
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct HeartState {
+    last_progress: u64,
+    stalls: u32,
+}
+
+/// Registry of per-worker liveness tokens.
+///
+/// Workers stamp their own token (via `Simulation::try_step`); any worker
+/// with idle time calls [`Heartbeats::scan`], which cancels the token of
+/// every peer that has gone `stall_limit` consecutive scans without
+/// progress — the hard-deadline path for a genuinely stuck thread.
+#[derive(Debug)]
+pub struct Heartbeats {
+    tokens: Vec<Arc<RunToken>>,
+    state: Mutex<Vec<HeartState>>,
+}
+
+impl Heartbeats {
+    /// A registry with one fresh token per worker.
+    pub fn new(workers: usize) -> Self {
+        Heartbeats {
+            tokens: (0..workers).map(|_| Arc::new(RunToken::new())).collect(),
+            state: Mutex::new(vec![HeartState::default(); workers]),
+        }
+    }
+
+    /// The liveness token of `worker`.
+    pub fn token(&self, worker: usize) -> Arc<RunToken> {
+        Arc::clone(&self.tokens[worker])
+    }
+
+    /// One scan round: updates each worker's stall counter and cancels the
+    /// token of any worker (other than `scanner`) whose progress has been
+    /// frozen for `stall_limit` consecutive scans. Returns the workers
+    /// cancelled *by this scan*. A `stall_limit` of 0 disables cancellation.
+    pub fn scan(&self, scanner: usize, stall_limit: u32) -> Vec<usize> {
+        let mut cancelled = Vec::new();
+        let mut state = relock(self.state.lock());
+        for (w, (token, heart)) in self.tokens.iter().zip(state.iter_mut()).enumerate() {
+            let progress = token.progress();
+            if progress != heart.last_progress {
+                heart.last_progress = progress;
+                heart.stalls = 0;
+                continue;
+            }
+            heart.stalls = heart.stalls.saturating_add(1);
+            if w != scanner
+                && stall_limit > 0
+                && heart.stalls >= stall_limit
+                && !token.is_cancelled()
+            {
+                token.cancel();
+                cancelled.push(w);
+            }
+        }
+        cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_watchdog_charges_meter_deltas() {
+        let mut wd = QuantumWatchdog::new(1.0);
+        let meter = wd.meter();
+        meter.fetch_add(900_000_000, Ordering::Relaxed); // 0.9 s
+        assert_eq!(wd.observe_quantum(), DeadlineVerdict::Healthy);
+        meter.fetch_add(1_500_000_000, Ordering::Relaxed); // +1.5 s
+        match wd.observe_quantum() {
+            DeadlineVerdict::SoftExceeded { cost_s } => {
+                assert!((cost_s - 1.5).abs() < 1e-9, "{cost_s}")
+            }
+            v => panic!("expected soft deadline, got {v:?}"),
+        }
+        // The deadline is per quantum, not cumulative: a clean quantum
+        // after a slow one is healthy again.
+        assert_eq!(wd.observe_quantum(), DeadlineVerdict::Healthy);
+    }
+
+    #[test]
+    fn heartbeat_scan_cancels_stalled_peers_only() {
+        let hearts = Heartbeats::new(2);
+        let busy = hearts.token(0);
+        // Worker 0 makes progress between scans; worker 1 is frozen.
+        for _ in 0..3 {
+            busy.tick();
+            let cancelled = hearts.scan(0, 2);
+            assert!(!busy.is_cancelled());
+            if hearts.token(1).is_cancelled() {
+                assert_eq!(cancelled, vec![1]);
+                return;
+            }
+        }
+        panic!("stalled worker 1 was never cancelled");
+    }
+
+    #[test]
+    fn scanner_never_cancels_itself_and_zero_limit_disables() {
+        let hearts = Heartbeats::new(1);
+        for _ in 0..10 {
+            assert!(hearts.scan(0, 2).is_empty(), "scanner must not self-cancel");
+        }
+        assert!(!hearts.token(0).is_cancelled());
+        let hearts = Heartbeats::new(2);
+        for _ in 0..10 {
+            assert!(hearts.scan(0, 0).is_empty(), "limit 0 disables the scan");
+        }
+        assert!(!hearts.token(1).is_cancelled());
+    }
+}

@@ -1,0 +1,190 @@
+//! Structured error taxonomy for the DQMC stack.
+//!
+//! Every failure that crosses a crate boundary — a device fault escaping
+//! the recovery ladder, a tainted Green's function with recovery disabled,
+//! a sick device declared by the watchdog — is classified into one
+//! [`Severity`] class. The class, not a string match, keys every policy
+//! decision downstream: whether the scheduler retries the job, whether the
+//! retry consumes an attempt, whether the suspect device slot is excluded
+//! from replacement, and whether the pool's circuit breaker records a
+//! strike against the slot.
+//!
+//! | severity     | meaning                                | scheduler policy              |
+//! |--------------|----------------------------------------|-------------------------------|
+//! | `Transient`  | retry may succeed as-is                | retry, consumes an attempt    |
+//! | `DeviceSick` | the *device* is suspect, not the job   | requeue free, exclude slot    |
+//! | `Corrupt`    | data damaged but reconstructible       | retry, consumes an attempt    |
+//! | `Fatal`      | no automatic recovery can help         | fail the job immediately      |
+//!
+//! The `Display` of a [`DqmcError`] embeds the original low-level detail
+//! verbatim, so legacy `#[should_panic(expected = "...")]` tests keep
+//! matching when an error is converted back into a panic by an infallible
+//! wrapper.
+
+use std::fmt;
+
+/// Failure classification: what a supervisor should *do* about the error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Retrying the same work, possibly on the same device, may succeed.
+    Transient,
+    /// The device (not the job) is suspect: requeue elsewhere, quarantine.
+    DeviceSick,
+    /// Data was damaged but can be rebuilt; retry consumes an attempt.
+    Corrupt,
+    /// No automatic recovery applies; fail fast and report.
+    Fatal,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Transient => "transient",
+            Severity::DeviceSick => "device-sick",
+            Severity::Corrupt => "corrupt",
+            Severity::Fatal => "fatal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A classified failure crossing a crate boundary.
+///
+/// `hard` distinguishes the two watchdog verdicts inside the `DeviceSick`
+/// class: a *soft* deadline miss (the op was killed after its logical
+/// deadline; the worker parks the job cooperatively) versus a *hard* one
+/// (the device wedged mid-op; the worker is declared lost and the job is
+/// resurrected from its parked image). It is meaningless — and `false` —
+/// for every other severity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DqmcError {
+    /// What a supervisor should do about it.
+    pub severity: Severity,
+    /// The subsystem that raised it (e.g. `"sweep"`, `"wrap"`, `"device"`).
+    pub origin: &'static str,
+    /// The low-level detail, preserved verbatim from the original fault.
+    pub detail: String,
+    /// Hard failure flavor (worker lost) within `DeviceSick`.
+    pub hard: bool,
+}
+
+impl DqmcError {
+    /// A transient failure: retry may succeed.
+    pub fn transient(origin: &'static str, detail: impl Into<String>) -> Self {
+        DqmcError {
+            severity: Severity::Transient,
+            origin,
+            detail: detail.into(),
+            hard: false,
+        }
+    }
+
+    /// A sick-device failure. `hard` marks the wedged (worker-lost) flavor.
+    pub fn device_sick(origin: &'static str, detail: impl Into<String>, hard: bool) -> Self {
+        DqmcError {
+            severity: Severity::DeviceSick,
+            origin,
+            detail: detail.into(),
+            hard,
+        }
+    }
+
+    /// A data-corruption failure: rebuildable, retry consumes an attempt.
+    pub fn corrupt(origin: &'static str, detail: impl Into<String>) -> Self {
+        DqmcError {
+            severity: Severity::Corrupt,
+            origin,
+            detail: detail.into(),
+            hard: false,
+        }
+    }
+
+    /// A fatal failure: no automatic recovery applies.
+    pub fn fatal(origin: &'static str, detail: impl Into<String>) -> Self {
+        DqmcError {
+            severity: Severity::Fatal,
+            origin,
+            detail: detail.into(),
+            hard: false,
+        }
+    }
+
+    /// Whether a supervisor should retry the same work (attempt-counted).
+    pub fn retryable(&self) -> bool {
+        matches!(self.severity, Severity::Transient | Severity::Corrupt)
+    }
+
+    /// Whether the failure indicts the device rather than the job.
+    pub fn quarantines_device(&self) -> bool {
+        self.severity == Severity::DeviceSick
+    }
+
+    /// Classifies a panic payload caught by a `catch_unwind` backstop.
+    ///
+    /// Panics are the legacy, last-resort failure channel; anything still
+    /// arriving this way is either one of the known terminal messages from
+    /// the recovery ladder (classified `Fatal` — the ladder already tried
+    /// everything) or an unknown bug (classified `Transient` so the legacy
+    /// attempt-counted retry path still applies as a backstop).
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let fatal = msg.contains("recovery disabled")
+            || msg.contains("all recovery rungs exhausted")
+            || msg.contains("unrecoverable");
+        if fatal {
+            DqmcError::fatal("panic", msg)
+        } else {
+            DqmcError::transient("panic", msg)
+        }
+    }
+}
+
+impl fmt::Display for DqmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.origin, self.detail)
+    }
+}
+
+impl std::error::Error for DqmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_keys_policy_predicates() {
+        assert!(DqmcError::transient("t", "x").retryable());
+        assert!(DqmcError::corrupt("t", "x").retryable());
+        assert!(!DqmcError::device_sick("t", "x", false).retryable());
+        assert!(!DqmcError::fatal("t", "x").retryable());
+        assert!(DqmcError::device_sick("t", "x", true).quarantines_device());
+        assert!(!DqmcError::fatal("t", "x").quarantines_device());
+    }
+
+    #[test]
+    fn display_preserves_detail_verbatim() {
+        let e = DqmcError::fatal("sweep", "backend fault with recovery disabled: boom");
+        let s = e.to_string();
+        assert!(s.contains("recovery disabled"), "{s}");
+        assert!(s.contains("[fatal]"), "{s}");
+    }
+
+    #[test]
+    fn panic_payload_classification() {
+        let p: Box<dyn std::any::Any + Send> =
+            Box::new("unrecoverable fault (all recovery rungs exhausted): x".to_string());
+        assert_eq!(DqmcError::from_panic(p.as_ref()).severity, Severity::Fatal);
+        let p: Box<dyn std::any::Any + Send> = Box::new("index out of bounds");
+        assert_eq!(
+            DqmcError::from_panic(p.as_ref()).severity,
+            Severity::Transient
+        );
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        let e = DqmcError::from_panic(p.as_ref());
+        assert!(e.detail.contains("non-string"), "{e}");
+    }
+}

@@ -14,15 +14,24 @@
 //! - [`table`]: minimal fixed-width table rendering for the figure/table
 //!   harness binaries,
 //! - [`codec`]: the little-endian byte codec, CRC-32 and FNV-1a hashes
-//!   backing the versioned checkpoint format in `core::checkpoint`.
+//!   backing the versioned checkpoint format in `core::checkpoint`,
+//! - [`error`]: the structured failure taxonomy ([`DqmcError`] with
+//!   [`Severity`] classes) that keys retry/quarantine policy across the
+//!   recovery ladder and the sweep scheduler,
+//! - [`liveness`]: the heartbeat/cancellation [`RunToken`] shared between
+//!   workers and the scheduler watchdog.
 
 pub mod codec;
+pub mod error;
+pub mod liveness;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod timer;
 
 pub use codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
+pub use error::{DqmcError, Severity};
+pub use liveness::RunToken;
 pub use rng::{derive_seed, Rng};
 pub use stats::{
     autocorrelation_time, jackknife_mean, jackknife_ratio, BinnedAccumulator, FiveNumber,

@@ -1,0 +1,79 @@
+//! Liveness primitives: heartbeat-stamped run tokens.
+//!
+//! A [`RunToken`] is shared between a worker running a simulation and the
+//! supervisor watching it. The worker *stamps* monotone progress (in
+//! logical units — sweeps executed, checkpoints written — never wall time,
+//! so watchdog decisions stay byte-reproducible) and polls the token for a
+//! cooperative cancellation request at every safe park point.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A progress/cancellation token shared between worker and watchdog.
+///
+/// All operations are lock-free; stamping in the hot loop costs one relaxed
+/// atomic store.
+#[derive(Debug, Default)]
+pub struct RunToken {
+    progress: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl RunToken {
+    /// A fresh token with zero progress and no cancellation pending.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records monotone progress; stale (smaller) stamps are kept anyway —
+    /// the watchdog only cares that the value *moved*.
+    pub fn stamp(&self, progress: u64) {
+        self.progress.store(progress, Ordering::Relaxed);
+    }
+
+    /// Advances progress by one logical unit (one sweep, one checkpoint) —
+    /// the common stamping pattern at loop boundaries.
+    pub fn tick(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recent progress stamp.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Requests a cooperative park at the next safe boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a cooperative park has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Clears both progress and any pending cancellation, so one token can
+    /// be reused across the jobs a worker runs back-to-back.
+    pub fn reset(&self) {
+        self.progress.store(0, Ordering::Relaxed);
+        self.cancelled.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_and_cancel_round_trip() {
+        let t = RunToken::new();
+        assert_eq!(t.progress(), 0);
+        assert!(!t.is_cancelled());
+        t.stamp(7);
+        t.cancel();
+        assert_eq!(t.progress(), 7);
+        assert!(t.is_cancelled());
+        t.reset();
+        assert_eq!(t.progress(), 0);
+        assert!(!t.is_cancelled());
+    }
+}

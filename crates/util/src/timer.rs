@@ -11,6 +11,8 @@
 //! machines without an accelerator.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Accumulates wall-clock time per named phase.
@@ -116,6 +118,7 @@ impl PhaseTimer {
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: f64,
+    meter: Option<Arc<AtomicU64>>,
 }
 
 impl SimClock {
@@ -129,6 +132,16 @@ impl SimClock {
         self.now
     }
 
+    /// Attaches a shared cost meter: every [`SimClock::advance`] also adds
+    /// the same duration (in integer nanoseconds) to `meter`. The meter is
+    /// cumulative — it survives [`SimClock::reset`] — so an external
+    /// watchdog can charge logical cost against a deadline even when it
+    /// only holds the `Arc`, not the clock's owner. Deterministic: the
+    /// nanosecond conversion is a pure function of the advance amounts.
+    pub fn set_meter(&mut self, meter: Arc<AtomicU64>) {
+        self.meter = Some(meter);
+    }
+
     /// Advances the clock by `seconds` (must be non-negative and finite).
     pub fn advance(&mut self, seconds: f64) {
         assert!(
@@ -136,9 +149,12 @@ impl SimClock {
             "invalid advance: {seconds}"
         );
         self.now += seconds;
+        if let Some(m) = &self.meter {
+            m.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+        }
     }
 
-    /// Resets to t = 0.
+    /// Resets to t = 0 (an attached meter keeps accumulating).
     pub fn reset(&mut self) {
         self.now = 0.0;
     }
@@ -215,5 +231,22 @@ mod tests {
     #[should_panic(expected = "invalid advance")]
     fn sim_clock_rejects_negative() {
         SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn sim_clock_meter_accumulates_across_resets() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let meter = Arc::new(AtomicU64::new(0));
+        let mut c = SimClock::new();
+        c.set_meter(Arc::clone(&meter));
+        c.advance(1.5);
+        c.reset();
+        c.advance(0.5);
+        assert_eq!(meter.load(Ordering::Relaxed), 2_000_000_000);
+        assert!(
+            (c.now() - 0.5).abs() < 1e-15,
+            "reset still zeroes the clock"
+        );
     }
 }

@@ -1,0 +1,21 @@
+//! R5 fixture: one unpardoned panic site in scheduler-scoped code.
+//! (Path matters: this file lives under `sched/src/`.)
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // line 5: flagged — classified errors, not unwinds
+}
+
+/// A documented invariant that genuinely cannot fail.
+// dqmc-lint: allow(panic_site)
+pub fn pardoned_expect(v: Option<u32>) -> u32 {
+    v.expect("checked by the caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        super::bad_unwrap(None); // .unwrap() in tests is fine
+        panic!("so is this");
+    }
+}

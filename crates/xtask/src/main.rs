@@ -221,16 +221,41 @@ mod tests {
     }
 
     #[test]
+    fn fixture_r5_panic_in_sched_scope() {
+        // The scan path mirrors the fixture's location so R5's path
+        // scoping (`sched/src/`) engages; the pragma'd fn and the
+        // `#[cfg(test)]` mod must stay silent.
+        let v = lint_fixture("sched/src/r5_panic.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PanicSite);
+        assert_eq!(v[0].line, 5, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r5_is_silent_outside_scope_and_when_allowlisted() {
+        let path = fixture_dir().join("sched/src/r5_panic.rs");
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        // Same text scanned under a non-sched path: out of jurisdiction.
+        let scanned = SourceFile::scan(PathBuf::from("linalg/src/r5_panic.rs"), &text);
+        assert!(check_file(&scanned, &Allowlist::default()).is_empty());
+        // In scope but file-allowlisted: pardoned wholesale.
+        let scanned = SourceFile::scan(PathBuf::from("sched/src/r5_panic.rs"), &text);
+        let allow = Allowlist::parse("panic-site sched/src/r5_panic.rs\n").unwrap();
+        assert!(check_file(&scanned, &allow).is_empty());
+    }
+
+    #[test]
     fn fixture_tree_has_one_violation_per_rule() {
-        // The CLI path over the whole fixture tree: 4 findings, one per rule.
+        // The CLI path over the whole fixture tree: 5 findings, one per rule.
         let allow = Allowlist::default();
         let v = lint_tree(&fixture_dir(), &allow).unwrap();
-        assert_eq!(v.len(), 4, "{v:?}");
+        assert_eq!(v.len(), 5, "{v:?}");
         for rule in [
             Rule::UnsafeSite,
             Rule::HotAlloc,
             Rule::UncheckedKernel,
             Rule::RayonRawPtr,
+            Rule::PanicSite,
         ] {
             assert_eq!(v.iter().filter(|x| x.rule == rule).count(), 1, "{rule:?}");
         }
@@ -250,6 +275,7 @@ mod tests {
     fn allowlist_rejects_unknown_categories() {
         assert!(Allowlist::parse("unsafe a.rs\n").is_ok());
         assert!(Allowlist::parse("rayon-raw-ptr a.rs::f\n").is_ok());
+        assert!(Allowlist::parse("panic-site a.rs\n").is_ok());
         assert!(Allowlist::parse("frobnicate a.rs\n").is_err());
         assert!(Allowlist::parse("rayon-raw-ptr missing-fn.rs\n").is_err());
     }

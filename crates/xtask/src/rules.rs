@@ -16,6 +16,12 @@
 //! - **rayon-raw-ptr** (R4): a function whose body contains both a Rayon
 //!   parallel-iterator call and raw-pointer manipulation must be on the
 //!   `rayon-raw-ptr` allowlist (audited for disjoint-write discipline).
+//! - **panic-site** (R5): in scheduler and device-pool sources
+//!   (`sched/src`, `gpusim/src`), non-test code must not introduce
+//!   `panic!` / `.expect(` / `.unwrap()` — failures there belong in the
+//!   structured error taxonomy, not in unwinding. Opt-outs: the
+//!   `// dqmc-lint: allow(panic_site)` pragma on the enclosing function,
+//!   or a `panic-site <file>` allowlist entry.
 
 use crate::lexer::{words, SourceFile};
 use std::fmt;
@@ -32,6 +38,8 @@ pub enum Rule {
     UncheckedKernel,
     /// R4: rayon closure over raw pointers outside the audited list.
     RayonRawPtr,
+    /// R5: panic/expect/unwrap in scheduler or device-pool non-test code.
+    PanicSite,
 }
 
 impl Rule {
@@ -42,6 +50,7 @@ impl Rule {
             Rule::HotAlloc => "hot-alloc",
             Rule::UncheckedKernel => "unchecked-kernel",
             Rule::RayonRawPtr => "rayon-raw-ptr",
+            Rule::PanicSite => "panic-site",
         }
     }
 }
@@ -79,11 +88,15 @@ pub struct Allowlist {
     pub unsafe_files: Vec<String>,
     /// `file::fn` entries audited for rayon-over-raw-pointer use.
     pub rayon_fns: Vec<(String, String)>,
+    /// Files (suffix-matched) where R5 panic sites are pardoned wholesale
+    /// (legacy infallible wrappers predating the error taxonomy).
+    pub panic_files: Vec<String>,
 }
 
 impl Allowlist {
-    /// Parses the `lint.allow` format: `unsafe <path>` and
-    /// `rayon-raw-ptr <path>::<fn>` lines; `#` starts a comment.
+    /// Parses the `lint.allow` format: `unsafe <path>`,
+    /// `rayon-raw-ptr <path>::<fn>` and `panic-site <path>` lines; `#`
+    /// starts a comment.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
         for (i, line) in text.lines().enumerate() {
@@ -103,6 +116,7 @@ impl Allowlist {
                         .ok_or_else(|| format!("lint.allow:{}: need <path>::<fn>", i + 1))?;
                     out.rayon_fns.push((file.to_owned(), func.to_owned()));
                 }
+                "panic-site" => out.panic_files.push(rest.to_owned()),
                 other => return Err(format!("lint.allow:{}: unknown category {other}", i + 1)),
             }
         }
@@ -117,6 +131,10 @@ impl Allowlist {
         self.rayon_fns
             .iter()
             .any(|(p, f)| f == func && suffix_match(path, p))
+    }
+
+    fn allows_panics(&self, path: &str) -> bool {
+        self.panic_files.iter().any(|p| suffix_match(path, p))
     }
 }
 
@@ -158,9 +176,19 @@ const PAR_TOKENS: [&str; 5] = [
 /// Raw-pointer manipulation markers for R4.
 const PTR_TOKENS: [&str; 4] = ["as_mut_ptr", ".as_ptr()", "*mut ", "*const "];
 
+/// Unwinding markers for R5. `.expect(` deliberately excludes
+/// `.expect_err(` (different token) and `unwrap_or_else` does not match
+/// `.unwrap()` — the poison-recovering relock idiom stays clean.
+const PANIC_TOKENS: [&str; 3] = ["panic!", ".expect(", ".unwrap()"];
+
+/// Path fragments that put a file in R5's jurisdiction: the subsystems
+/// whose failures must travel as classified [`DqmcError`]s, not unwinds.
+const PANIC_SCOPES: [&str; 2] = ["sched/src/", "gpusim/src/"];
+
 /// Opt-out pragmas (searched in the comment block above a function).
 const PRAGMA_HOT_ALLOC: &str = "dqmc-lint: allow(hot_alloc)";
 const PRAGMA_UNCHECKED: &str = "dqmc-lint: allow(unchecked_kernel)";
+const PRAGMA_PANIC: &str = "dqmc-lint: allow(panic_site)";
 
 /// Runs all four rules over one scanned file.
 pub fn check_file(f: &SourceFile, allow: &Allowlist) -> Vec<Violation> {
@@ -170,6 +198,7 @@ pub fn check_file(f: &SourceFile, allow: &Allowlist) -> Vec<Violation> {
     check_hot_alloc(f, &path, &mut out);
     check_kernels(f, &path, &mut out);
     check_rayon_ptrs(f, allow, &path, &mut out);
+    check_panic_sites(f, allow, &path, &mut out);
     out
 }
 
@@ -297,6 +326,35 @@ fn check_rayon_ptrs(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec
                     "`{}` mixes a rayon parallel iterator with raw pointers but \
                      is not on the rayon-raw-ptr allowlist",
                     func.name
+                ),
+            });
+        }
+    }
+}
+
+fn check_panic_sites(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
+    let norm = path.replace('\\', "/");
+    if !PANIC_SCOPES.iter().any(|s| norm.contains(s)) || allow.allows_panics(path) {
+        return;
+    }
+    for (ln, line) in f.code.iter().enumerate() {
+        if f.is_test[ln] {
+            continue;
+        }
+        let Some(tok) = PANIC_TOKENS.iter().find(|t| line.contains(*t)) else {
+            continue;
+        };
+        let pardoned = f
+            .enclosing_fn(ln)
+            .is_some_and(|func| f.comment_block_above_contains(func.sig_line, PRAGMA_PANIC));
+        if !pardoned {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: ln + 1,
+                rule: Rule::PanicSite,
+                msg: format!(
+                    "`{tok}` in scheduler/device-pool non-test code; return a \
+                     classified DqmcError (or justify with `// {PRAGMA_PANIC}`)"
                 ),
             });
         }

@@ -1,0 +1,239 @@
+//! Tier: chaos. Seeded fault storms against the scheduler's health layer.
+//!
+//! The determinism tier (`tests/sched_determinism.rs`) proves the *happy*
+//! schedules are invisible in the physics. This tier turns every health
+//! mechanism on at once — sick windows, fail-slow latency inflation with
+//! the quantum watchdog armed, wedged devices, circuit-breaker quarantine
+//! with probation probes — and proves three things:
+//!
+//! 1. the pooled observables are **byte-identical** to a clean serial run
+//!    (chaos reshapes the schedule, never the physics);
+//! 2. the trace stream shows each mechanism actually fired (soft-deadline
+//!    parks, a hard-deadline worker loss, a breaker open → probation probe
+//!    → re-admission cycle);
+//! 3. a pure sick-device storm completes with **zero panics caught** and
+//!    zero failed jobs — classification carries the whole failure path;
+//!    `catch_unwind` in the workers is a backstop that never engages.
+//!
+//! Every fault here is scripted and keyed to logical clocks (launch
+//! ordinals, simulated device seconds, lease-request counts), so the storm
+//! replays identically on any machine.
+
+use dqmc::{RunToken, Simulation};
+use gpusim::{BreakerPolicy, DevicePool, DeviceSpec};
+use sched::{EventLog, GridSpec, SchedConfig, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Physics section shared by the clean baseline and every storm grid: the
+/// determinism contract says these keys (plus the seed) fix the
+/// observables bytes.
+const PHYSICS: &str = "
+    lx = 2
+    ly = 2
+    u = 2.0, 4.0
+    beta = 1.0      # 8 slices
+    chains = 2
+    warmup = 4
+    sweeps = 8
+    bin_size = 2
+    cluster_size = 4
+    seed = 11
+";
+
+fn grid(schedule_keys: &str) -> GridSpec {
+    GridSpec::parse(&format!("{PHYSICS}\n{schedule_keys}\n")).expect("chaos grid parses")
+}
+
+/// Serial host-only reference for the shared physics.
+fn clean_baseline() -> String {
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 0,
+        ..SchedConfig::default()
+    };
+    sched::run_sweep(&grid("devices = 0"), &cfg, &EventLog::new()).observables_json()
+}
+
+/// Calibrates the quantum watchdog budget: runs one chain of `spec` clean
+/// on a pool device with a cost meter attached and returns the most
+/// expensive quantum's logical cost in seconds. Deterministic — the device
+/// clock is analytic, not wall time.
+fn max_clean_quantum_cost(spec: &GridSpec, quantum: usize) -> f64 {
+    let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 1);
+    let lease = pool.try_lease_excluding(&[]).expect("fresh pool grants");
+    let mut backend = lease.backend(None);
+    let meter = Arc::new(AtomicU64::new(0));
+    backend.device_mut().set_cost_meter(Arc::clone(&meter));
+    let point = &spec.points()[0];
+    let mut sim = Simulation::new(spec.chain_params(point, 0)).with_backend(Box::new(backend));
+    let token = RunToken::new();
+    let mut last = 0u64;
+    let mut max_s = 0.0f64;
+    while !sim.is_complete() {
+        sim.try_step(quantum, &token).expect("clean device run");
+        let now = meter.load(Ordering::Relaxed);
+        max_s = max_s.max((now - last) as f64 / 1e9);
+        last = now;
+    }
+    max_s
+}
+
+/// The full storm: slot 0 is intermittently sick (heals once the breaker
+/// opens — the re-admission path), slot 1 is persistently fail-slow (the
+/// watchdog path: numerics exact, logical cost inflated ~4·10⁹×), slot 2
+/// persistently wedges its first launch (the hard-deadline path).
+fn storm_grid() -> GridSpec {
+    grid(
+        "devices = 3\n\
+         slot_faults = sick@0:1-3, slow@1:1:4000000000!, wedge@2:1!",
+    )
+}
+
+fn storm_config(spec: &GridSpec) -> SchedConfig {
+    // Three clean worst-case quanta of headroom: no honest quantum can trip
+    // the soft deadline, while one inflated launch overshoots it by orders
+    // of magnitude.
+    let budget_s = 3.0 * max_clean_quantum_cost(spec, 2);
+    assert!(
+        budget_s > 0.0 && budget_s < 1.0,
+        "calibration out of range: {budget_s}"
+    );
+    SchedConfig {
+        workers: 3,
+        devices: 3,
+        quantum: 2,
+        yield_every_quanta: 1, // re-place after every quantum: maximum churn
+        job_retries: 1,
+        soft_quantum_cost_s: budget_s,
+        // One strike opens the breaker: only one job pays per sick slot, so
+        // later (non-excluded) jobs are available to run probation probes.
+        breaker: BreakerPolicy {
+            strikes: 1,
+            window: 8,
+            probation_backoff: 2,
+        },
+        ..SchedConfig::default()
+    }
+}
+
+#[test]
+fn storm_observables_are_byte_identical_to_clean_run() {
+    let spec = storm_grid();
+    let cfg = storm_config(&spec);
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+
+    // The storm completed: sick classification carried every failure, the
+    // panic backstop never engaged, and no job burned its retry budget.
+    assert_eq!(report.failed_jobs, 0, "sick storms must not fail jobs");
+    assert_eq!(report.panics_caught, 0, "classified errors must not unwind");
+
+    // And it was invisible in the physics.
+    assert_eq!(
+        report.observables_json(),
+        clean_baseline(),
+        "fault storm leaked into the observables bytes"
+    );
+}
+
+#[test]
+fn storm_trace_proves_every_health_mechanism_fired() {
+    let spec = storm_grid();
+    let cfg = storm_config(&spec);
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+    let trace = events.snapshot();
+
+    // Soft deadlines: sick launches on slot 0 park cooperatively, and the
+    // watchdog catches the fail-slow device on slot 1 — a park on slot 1
+    // can *only* come from the quantum-cost budget (its numerics are clean).
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SoftDeadline { .. })),
+        "no soft-deadline park in the storm trace"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SoftDeadline { slot: 1, .. })),
+        "quantum watchdog never caught the fail-slow device"
+    );
+    assert!(report.soft_parks >= 2, "report undercounts soft parks");
+
+    // Hard deadline: the wedged device on slot 2 costs a worker its
+    // placement; the job is resurrected from its parked image.
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WorkerLost { slot: 2, .. })),
+        "wedged device never produced a worker loss"
+    );
+    assert!(report.worker_losses >= 1);
+
+    // Breaker lifecycle on the healing slot 0: opened → probation probe →
+    // re-admitted, in that order.
+    let open_at = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::BreakerOpen { slot: 0, .. }))
+        .expect("breaker never opened on the sick slot");
+    let probe_at = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::ProbeGranted { slot: 0 }))
+        .expect("quarantined slot never got a probation probe");
+    let readmit_at = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::SlotReadmitted { slot: 0 }))
+        .expect("healed slot was never re-admitted");
+    assert!(
+        open_at < probe_at && probe_at < readmit_at,
+        "breaker lifecycle out of order: open {open_at}, probe {probe_at}, readmit {readmit_at}"
+    );
+    assert!(report.quarantines >= 1 && report.probes >= 1 && report.readmissions >= 1);
+}
+
+#[test]
+fn storm_is_reproducible_run_to_run() {
+    let spec = storm_grid();
+    let cfg = storm_config(&spec);
+    let a = sched::run_sweep(&spec, &cfg, &EventLog::new()).observables_json();
+    let b = sched::run_sweep(&spec, &cfg, &EventLog::new()).observables_json();
+    assert_eq!(
+        a, b,
+        "storm physics must be reproducible despite racing workers"
+    );
+}
+
+#[test]
+fn hang_class_parks_softly_without_worker_loss() {
+    // A non-wedged hang is the *soft* deadline: the simulated watchdog
+    // kills the launch, the job parks and excludes the slot, and nobody is
+    // declared lost.
+    let spec = grid("devices = 1\nchains = 1\nslot_faults = hang@0:1!");
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 1,
+        quantum: 2,
+        ..SchedConfig::default()
+    };
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+    assert_eq!(report.failed_jobs, 0);
+    assert_eq!(report.panics_caught, 0);
+    assert!(report.soft_parks >= 1, "hang must park softly");
+    assert_eq!(
+        report.worker_losses, 0,
+        "non-wedged hang is not a worker loss"
+    );
+    assert_eq!(
+        report.observables_json(),
+        sched::run_sweep(
+            &grid("devices = 0\nchains = 1"),
+            &SchedConfig::default(),
+            &EventLog::new()
+        )
+        .observables_json(),
+        "hang-and-requeue changed the physics"
+    );
+}

@@ -42,6 +42,7 @@ fn baseline() -> String {
         yield_every_quanta: 0,
         job_retries: 1,
         hold_points: Vec::new(),
+        ..SchedConfig::default()
     };
     sched::run_sweep(&spec, &cfg, &EventLog::new()).observables_json()
 }
@@ -62,6 +63,7 @@ fn worker_count_is_unobservable() {
         yield_every_quanta: 0,
         job_retries: 1,
         hold_points: Vec::new(),
+        ..SchedConfig::default()
     };
     let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
     assert_eq!(report.workers, 4);
@@ -80,6 +82,7 @@ fn device_pool_size_is_unobservable() {
             yield_every_quanta: 0,
             job_retries: 1,
             hold_points: Vec::new(),
+            ..SchedConfig::default()
         };
         let events = EventLog::new();
         let report = sched::run_sweep(&spec, &cfg, &events);
@@ -108,6 +111,7 @@ fn preemption_and_resume_are_unobservable() {
         yield_every_quanta: 1, // ...after every single quantum
         job_retries: 1,
         hold_points: Vec::new(),
+        ..SchedConfig::default()
     };
     let events = EventLog::new();
     let report = sched::run_sweep(&spec, &cfg, &events);
@@ -134,6 +138,7 @@ fn mid_sweep_priority_injection_is_unobservable() {
         yield_every_quanta: 1,
         job_retries: 1,
         hold_points: vec![1],
+        ..SchedConfig::default()
     };
     let events = EventLog::new();
     let report = sched::run_sweep_observed(
@@ -174,6 +179,7 @@ fn scripted_device_faults_heal_bit_identically() {
         yield_every_quanta: 0,
         job_retries: 1,
         hold_points: Vec::new(),
+        ..SchedConfig::default()
     };
     let report = sched::run_sweep(&faulty, &cfg, &EventLog::new());
     // The faults really fired and the recovery ladder really healed them.
