@@ -1,8 +1,12 @@
 //! Sweep-scheduler throughput: jobs/second versus worker count.
 //!
-//! Runs the same small campaign through `sched::run_sweep` with 1, 2 and 4
-//! workers (device pool fixed at 2 slots) and reports wall time, job
-//! throughput and scaling efficiency. Because each job is an independent
+//! Runs the same small campaign through `sched::run_sweep` with 1, 2, 4
+//! and 8 workers and reports wall time, job throughput and scaling
+//! efficiency. The device pool scales with the worker count by default so
+//! the rows measure scheduler overhead rather than device starvation; pin
+//! it with `--pool-size <n>` to measure contention (e.g. `--pool-size 2`
+//! reproduces the old fixed-pool shape, where the 4-worker row lost half
+//! its leases to misses). Because each job is an independent
 //! Markov chain, the campaign is embarrassingly parallel and the scheduler
 //! overhead (queue, leases, checkpoint parking) is exactly what the scaling
 //! gap measures. The observables section is also cross-checked between the
@@ -17,6 +21,7 @@ use sched::{EventLog, GridSpec, SchedConfig};
 
 struct Row {
     workers: usize,
+    pool: usize,
     wall_s: f64,
     jobs_per_s: f64,
     efficiency: f64,
@@ -66,16 +71,17 @@ fn main() {
         spec.warmup + spec.sweeps
     );
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8}",
-        "workers", "wall_s", "jobs/s", "effcy", "preemptions", "leases", "misses"
+        "{:>8} {:>6} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "workers", "pool", "wall_s", "jobs/s", "effcy", "preemptions", "leases", "misses"
     );
 
     let mut rows: Vec<Row> = Vec::new();
     let mut reference: Option<String> = None;
-    for workers in [1usize, 2, 4] {
+    for workers in [1usize, 2, 4, 8] {
+        let pool = opts.pool_size.unwrap_or(workers);
         let cfg = SchedConfig {
             workers,
-            devices: 2,
+            devices: pool,
             queue_bound: 0,
             quantum: spec.quantum,
             yield_every_quanta: 0,
@@ -99,8 +105,9 @@ fn main() {
             None => 1.0,
         };
         println!(
-            "{:>8} {:>10.3} {:>10.2} {:>10.2} {:>12} {:>8} {:>8}",
+            "{:>8} {:>6} {:>10.3} {:>10.2} {:>10.2} {:>12} {:>8} {:>8}",
             workers,
+            pool,
             wall,
             jobs_per_s,
             efficiency,
@@ -110,6 +117,7 @@ fn main() {
         );
         rows.push(Row {
             workers,
+            pool,
             wall_s: wall,
             jobs_per_s,
             efficiency,
@@ -140,9 +148,10 @@ fn render_json(spec: &GridSpec, njobs: usize, rows: &[Row]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"wall_s\": {:.3}, \"jobs_per_s\": {:.3}, \
+            "    {{\"workers\": {}, \"pool\": {}, \"wall_s\": {:.3}, \"jobs_per_s\": {:.3}, \
              \"efficiency\": {:.3}, \"preemptions\": {}, \"leases\": {}, \"lease_misses\": {}}}{}\n",
             r.workers,
+            r.pool,
             r.wall_s,
             r.jobs_per_s,
             r.efficiency,

@@ -20,10 +20,14 @@ pub struct BenchOpts {
     pub smoke: bool,
     /// Override the RNG seed.
     pub seed: Option<u64>,
+    /// Fixed device-pool size for scheduler benches; `None` scales the
+    /// pool with the worker count.
+    pub pool_size: Option<usize>,
 }
 
 impl BenchOpts {
-    /// Parses `--full` and `--seed <u64>` from `std::env::args`.
+    /// Parses `--full`, `--seed <u64>` and `--pool-size <usize>` from
+    /// `std::env::args`.
     pub fn from_env() -> Self {
         let mut opts = BenchOpts::default();
         let mut args = std::env::args().skip(1);
@@ -38,9 +42,17 @@ impl BenchOpts {
                         .expect("--seed requires an integer");
                     opts.seed = Some(v);
                 }
+                "--pool-size" => {
+                    let v = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--pool-size requires an integer");
+                    opts.pool_size = Some(v);
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --full (paper-scale parameters), --smoke (CI-scale), --seed <u64>"
+                        "options: --full (paper-scale parameters), --smoke (CI-scale), \
+                         --seed <u64>, --pool-size <usize> (fixed device pool)"
                     );
                     std::process::exit(0);
                 }

@@ -57,17 +57,25 @@ pub fn chain_seed(base: u64, point: u64, chain: u64) -> u64 {
 /// `(params, chains)` regardless of scheduling.
 pub fn run_ensemble(params: &SimParams, chains: usize) -> EnsembleResult {
     assert!(chains >= 1, "need at least one chain");
-    let sims: Vec<Simulation> = (0..chains)
-        .into_par_iter()
-        .map(|c| {
-            let p = params
-                .clone()
-                .with_seed(chain_seed(params.seed, 0, c as u64));
-            let mut sim = Simulation::new(p);
-            sim.run();
-            sim
-        })
-        .collect();
+    // Chains are the coarse grain of the hierarchy: each chain pins the
+    // linalg kernels it drives to their serial branch so C chains never
+    // stack kernel fan-out on the one global rayon pool (lint rule R9).
+    // Bit-identical either way: par and serial kernel branches agree, and
+    // chain seeds are scheduling-independent.
+    let run_chain = |c: usize| {
+        let _serial_kernels = linalg::enter_worker_scope();
+        let p = params
+            .clone()
+            .with_seed(chain_seed(params.seed, 0, c as u64));
+        let mut sim = Simulation::new(p);
+        sim.run();
+        sim
+    };
+    let sims: Vec<Simulation> = if linalg::par_enabled(true) {
+        (0..chains).into_par_iter().map(run_chain).collect()
+    } else {
+        (0..chains).map(run_chain).collect()
+    };
 
     let mut iter = sims.into_iter();
     let first = iter.next().expect("chains >= 1");

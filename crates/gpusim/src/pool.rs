@@ -44,7 +44,14 @@ use crate::backend::DeviceBackend;
 use crate::device::{Device, DeviceSpec};
 use crate::faults::FaultPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+// Poison recovery via util::relock is sound here: pool invariants (slot
+// ids, counters) are updated atomically under the lock, so the data is
+// consistent even when a worker panicked while holding it.
+//
+// Lock order (declared in lock_order.toml): `free` before `health`,
+// never the reverse — see `try_lease_excluding`.
+use util::sync::{relock, Mutex};
 
 /// Circuit-breaker parameters, all in logical units.
 #[derive(Clone, Copy, Debug)]
@@ -186,15 +193,6 @@ struct PoolInner {
     leases_granted: AtomicU64,
     lease_misses: AtomicU64,
     quarantine_skips: AtomicU64,
-}
-
-/// Recovers a poisoned guard: pool invariants (slot ids, counters) are
-/// updated atomically under the lock, so the data is consistent even when
-/// a worker panicked while holding it.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
 }
 
 /// A fixed pool of simulated accelerator slots shared by sweep workers.

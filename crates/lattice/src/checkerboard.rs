@@ -19,7 +19,7 @@
 //! exact similarity transform.
 
 use crate::geometry::Lattice;
-use linalg::Matrix;
+use linalg::{par_enabled, Matrix};
 use rayon::prelude::*;
 
 /// One hopping bond: `(site_i, site_j, amplitude)` with `amplitude` the
@@ -107,8 +107,10 @@ impl Checkerboard {
             (0..self.colors.len()).collect()
         };
         // Parallel over columns; bonds within a color are disjoint rows.
+        // Serial inside a scheduler worker (the worker is the coarse
+        // grain); both branches are bit-identical per column.
         let colors = &self.colors;
-        m.as_mut_slice().par_chunks_mut(nrows).for_each(|col| {
+        let work = |col: &mut [f64]| {
             for &c in &order {
                 for &(i, j, t) in &colors[c] {
                     // K_hop[i][j] = −t ⇒ e^{sK} bond block =
@@ -119,7 +121,12 @@ impl Checkerboard {
                     col[j] = sh * a + ch * b;
                 }
             }
-        });
+        };
+        if par_enabled(true) {
+            m.as_mut_slice().par_chunks_mut(nrows).for_each(work);
+        } else {
+            m.as_mut_slice().chunks_mut(nrows).for_each(work);
+        }
     }
 
     /// `M ← M · e^{s·K_hop}_cb` (column operations; `reverse` as above).

@@ -26,6 +26,7 @@
 #![warn(clippy::undocumented_unsafe_blocks)]
 
 use crate::matrix::Matrix;
+use crate::parallelism::par_enabled;
 use crate::simd::{self, KernelPath};
 use crate::workspace;
 use rayon::prelude::*;
@@ -192,7 +193,7 @@ fn gemm_blocked<const NR: usize>(
         let pa = &packed_a;
         let pb = &packed_b;
 
-        (0..mblocks * nblocks).into_par_iter().for_each(|t| {
+        let tile = |t: usize| {
             let bi = t % mblocks;
             let bj = t / mblocks;
             let ic = bi * MC;
@@ -202,7 +203,12 @@ fn gemm_blocked<const NR: usize>(
             // SAFETY: tasks write disjoint (ic..ic+mc) x (jc..jc+nc) tiles of C.
             let cptr = cdata;
             macro_kernel::<NR>(use_fma, alpha, pa, pb, kc, ic, jc, mc, nc, cptr.0, ldc);
-        });
+        };
+        if par_enabled(true) {
+            (0..mblocks * nblocks).into_par_iter().for_each(tile);
+        } else {
+            (0..mblocks * nblocks).for_each(tile);
+        }
         pc += kc;
     }
 
@@ -244,22 +250,25 @@ fn read_op(a: &Matrix, op: Op, i: usize, p: usize) -> f64 {
 /// are zero-padded.
 fn pack_a_full(a: &Matrix, opa: Op, pc: usize, kc: usize, m: usize, buf: &mut [f64]) {
     let panels = m.div_ceil(MR);
-    buf[..panels * kc * MR]
-        .par_chunks_mut(kc * MR)
-        .enumerate()
-        .for_each(|(pi, panel)| {
-            let r0 = pi * MR;
-            let rows = MR.min(m - r0);
-            for p in 0..kc {
-                let dst = &mut panel[p * MR..(p + 1) * MR];
-                for i in 0..rows {
-                    dst[i] = read_op(a, opa, r0 + i, pc + p);
-                }
-                for d in dst.iter_mut().take(MR).skip(rows) {
-                    *d = 0.0;
-                }
+    let pack_panel = |(pi, panel): (usize, &mut [f64])| {
+        let r0 = pi * MR;
+        let rows = MR.min(m - r0);
+        for p in 0..kc {
+            let dst = &mut panel[p * MR..(p + 1) * MR];
+            for i in 0..rows {
+                dst[i] = read_op(a, opa, r0 + i, pc + p);
             }
-        });
+            for d in dst.iter_mut().take(MR).skip(rows) {
+                *d = 0.0;
+            }
+        }
+    };
+    let buf = &mut buf[..panels * kc * MR];
+    if par_enabled(true) {
+        buf.par_chunks_mut(kc * MR).enumerate().for_each(pack_panel);
+    } else {
+        buf.chunks_mut(kc * MR).enumerate().for_each(pack_panel);
+    }
 }
 
 /// Packs all NR-column micro-panels of `op(B)[pc..pc+kc, 0..n]`.
@@ -275,22 +284,25 @@ fn pack_b_full<const NR: usize>(
     buf: &mut [f64],
 ) {
     let panels = n.div_ceil(NR);
-    buf[..panels * kc * NR]
-        .par_chunks_mut(kc * NR)
-        .enumerate()
-        .for_each(|(pi, panel)| {
-            let c0 = pi * NR;
-            let cols = NR.min(n - c0);
-            for p in 0..kc {
-                let dst = &mut panel[p * NR..(p + 1) * NR];
-                for j in 0..cols {
-                    dst[j] = read_op(b, opb, pc + p, c0 + j);
-                }
-                for d in dst.iter_mut().take(NR).skip(cols) {
-                    *d = 0.0;
-                }
+    let pack_panel = |(pi, panel): (usize, &mut [f64])| {
+        let c0 = pi * NR;
+        let cols = NR.min(n - c0);
+        for p in 0..kc {
+            let dst = &mut panel[p * NR..(p + 1) * NR];
+            for j in 0..cols {
+                dst[j] = read_op(b, opb, pc + p, c0 + j);
             }
-        });
+            for d in dst.iter_mut().take(NR).skip(cols) {
+                *d = 0.0;
+            }
+        }
+    };
+    let buf = &mut buf[..panels * kc * NR];
+    if par_enabled(true) {
+        buf.par_chunks_mut(kc * NR).enumerate().for_each(pack_panel);
+    } else {
+        buf.chunks_mut(kc * NR).enumerate().for_each(pack_panel);
+    }
 }
 
 /// Computes one MC×NC macro-tile of C from packed panels.

@@ -43,6 +43,7 @@ pub mod eig;
 pub mod expm;
 pub mod lu;
 pub mod matrix;
+pub mod parallelism;
 pub mod perm;
 pub mod qr;
 pub mod qrp;
@@ -58,6 +59,7 @@ pub use eig::SymEig;
 pub use expm::sym_expm;
 pub use lu::LuFactors;
 pub use matrix::Matrix;
+pub use parallelism::{enter_worker_scope, in_worker_scope, par_enabled, WorkerScope};
 pub use perm::Permutation;
 pub use qr::QrFactors;
 pub use qrp::QrpFactors;

@@ -1,0 +1,111 @@
+//! Worker-scope parallelism gate: keeps kernel-level Rayon fan-out off the
+//! scheduler's worker threads.
+//!
+//! The sweep scheduler (`sched::runner`) runs one Markov chain per worker
+//! thread, and every chain calls into this crate's Rayon-parallelised
+//! kernels (GEMM tiles, QRP downdates, the §IV-B scalings). With W workers
+//! all dispatching onto the *one global* Rayon pool, kernel tasks from
+//! different chains interleave on the same pool threads — nested
+//! parallelism by composition. That oversubscribes the machine (W × pool
+//! threads runnable), serializes workers behind each other's kernel tails,
+//! and is the prime suspect for the 0.301 parallel efficiency recorded in
+//! `BENCH_sched.json` at 4 workers.
+//!
+//! The fix is a thread-local scope flag: a scheduler worker calls
+//! [`enter_worker_scope`] once at the top of its loop, and every kernel
+//! dispatch site asks [`par_enabled`] instead of testing its size
+//! threshold directly. Inside a worker scope the kernels take their serial
+//! branches — each chain is already one unit of coarse-grained parallelism,
+//! exactly the hierarchical-parallelism discipline of the QMCPACK redesign
+//! (PAPERS.md, arXiv:2209.14487): parallelize across walkers *or* within a
+//! kernel, never both on the same pool.
+//!
+//! Numerics are unaffected: the parallel and serial branches of every
+//! kernel are bit-identical by the crate's determinism contract, so this
+//! gate changes scheduling only. `cargo xtask lint` rule R9 enforces that
+//! no new global-pool dispatch appears inside a worker body without going
+//! through this gate.
+
+use std::cell::Cell;
+
+thread_local! {
+    static IN_WORKER_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard for a worker scope; restores the previous state on drop so
+/// nested scopes (a worker running scheduler code reentrantly) compose.
+#[derive(Debug)]
+pub struct WorkerScope {
+    prev: bool,
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        IN_WORKER_SCOPE.with(|f| f.set(self.prev));
+    }
+}
+
+/// Marks the current thread as a scheduler worker until the returned guard
+/// drops. Kernel dispatch sites consulted through [`par_enabled`] take
+/// their serial branches while the scope is live.
+#[must_use = "the scope ends when the guard drops"]
+pub fn enter_worker_scope() -> WorkerScope {
+    IN_WORKER_SCOPE.with(|f| {
+        let prev = f.get();
+        f.set(true);
+        WorkerScope { prev }
+    })
+}
+
+/// True when the current thread is inside a scheduler worker scope.
+pub fn in_worker_scope() -> bool {
+    IN_WORKER_SCOPE.with(|f| f.get())
+}
+
+/// The single gate every kernel's parallel-dispatch decision goes through:
+/// `want` is the kernel's own size-threshold verdict, and the result is
+/// additionally false inside a worker scope.
+pub fn par_enabled(want: bool) -> bool {
+    want && !in_worker_scope()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_gates_and_restores() {
+        assert!(!in_worker_scope());
+        assert!(par_enabled(true));
+        assert!(!par_enabled(false));
+        {
+            let _scope = enter_worker_scope();
+            assert!(in_worker_scope());
+            assert!(!par_enabled(true), "worker scope forces serial branches");
+        }
+        assert!(!in_worker_scope(), "guard drop restores the previous state");
+        assert!(par_enabled(true));
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        let outer = enter_worker_scope();
+        {
+            let _inner = enter_worker_scope();
+            assert!(in_worker_scope());
+        }
+        assert!(
+            in_worker_scope(),
+            "inner drop must not clear the outer scope"
+        );
+        drop(outer);
+        assert!(!in_worker_scope());
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let _scope = enter_worker_scope();
+        let other = std::thread::spawn(in_worker_scope).join().unwrap();
+        assert!(!other, "worker scope must not leak across threads");
+    }
+}

@@ -23,6 +23,7 @@
 use crate::blas1;
 use crate::blas3::{gemm, Op};
 use crate::matrix::Matrix;
+use crate::parallelism::par_enabled;
 use crate::perm::Permutation;
 use crate::qr::{house, NB};
 use crate::workspace;
@@ -161,18 +162,20 @@ fn factor_panel(
                 let vj_col = a_ro.col(jj);
                 let fcol = f.col_mut(j);
                 fcol[..=j].fill(0.0);
-                fcol[j + 1..]
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(off, out)| {
-                        let c = a_ro.col(j0 + j + 1 + off);
-                        // v_j has implicit 1 at row jj.
-                        let mut s = c[jj];
-                        for r in (jj + 1)..m {
-                            s += vj_col[r] * c[r];
-                        }
-                        *out = tj * s;
-                    });
+                let dot_one = |(off, out): (usize, &mut f64)| {
+                    let c = a_ro.col(j0 + j + 1 + off);
+                    // v_j has implicit 1 at row jj.
+                    let mut s = c[jj];
+                    for r in (jj + 1)..m {
+                        s += vj_col[r] * c[r];
+                    }
+                    *out = tj * s;
+                };
+                if par_enabled(true) {
+                    fcol[j + 1..].par_iter_mut().enumerate().for_each(dot_one);
+                } else {
+                    fcol[j + 1..].iter_mut().enumerate().for_each(dot_one);
+                }
             }
             // w_l = v_lᵀ v_j over rows jj..m (v_j vanishes above jj).
             // j < nb ≤ NB, so stack scratch suffices.
@@ -224,7 +227,7 @@ fn factor_panel(
         // recompute *counter* is taken later from the flag buffer, serially,
         // so it is exact regardless of scheduling.
         let base = jj + 1;
-        let must_stop = if n - base >= PAR_DOWNDATE_CUTOFF {
+        let must_stop = if par_enabled(n - base >= PAR_DOWNDATE_CUTOFF) {
             let stop = AtomicBool::new(false);
             let a_ro: &Matrix = a;
             vn1[base..n]

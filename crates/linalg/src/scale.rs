@@ -15,6 +15,7 @@
 #![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::matrix::Matrix;
+use crate::parallelism::par_enabled;
 use rayon::prelude::*;
 
 /// Element count above which the scalings dispatch to the thread pool.
@@ -30,7 +31,7 @@ pub fn row_scale(d: &[f64], a: &mut Matrix) {
             *x *= d[i];
         }
     };
-    if a.as_slice().len() >= PAR_MIN {
+    if par_enabled(a.as_slice().len() >= PAR_MIN) {
         a.as_mut_slice().par_chunks_mut(m).for_each(work);
     } else {
         a.as_mut_slice().chunks_mut(m).for_each(work);
@@ -43,7 +44,7 @@ pub fn col_scale(d: &[f64], a: &mut Matrix) {
     let n = a.ncols();
     assert_eq!(d.len(), n, "col_scale: diagonal length mismatch");
     crate::check_finite!(d, "col_scale diagonal (len {n})");
-    if a.as_slice().len() >= PAR_MIN {
+    if par_enabled(a.as_slice().len() >= PAR_MIN) {
         a.as_mut_slice()
             .par_chunks_mut(m)
             .zip(d.par_iter())
@@ -81,7 +82,7 @@ pub fn row_scale_inv(d: &[f64], a: &mut Matrix) {
 // reuse it as the pre-pivoting key buffer.
 pub fn col_norms(a: &Matrix) -> Vec<f64> {
     let m = a.nrows();
-    let norms: Vec<f64> = if a.as_slice().len() >= PAR_MIN {
+    let norms: Vec<f64> = if par_enabled(a.as_slice().len() >= PAR_MIN) {
         a.as_slice().par_chunks(m).map(crate::blas1::nrm2).collect()
     } else {
         a.as_slice().chunks(m).map(crate::blas1::nrm2).collect()
@@ -102,7 +103,7 @@ pub fn row_col_scale(r: &[f64], c: &[f64], a: &mut Matrix) {
             *x *= r[i] * cj;
         }
     };
-    if a.as_slice().len() >= PAR_MIN {
+    if par_enabled(a.as_slice().len() >= PAR_MIN) {
         a.as_mut_slice()
             .par_chunks_mut(m)
             .zip(c.par_iter())

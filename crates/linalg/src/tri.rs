@@ -11,6 +11,7 @@
 #![cfg_attr(any(), deny_hot_alloc)]
 
 use crate::matrix::Matrix;
+use crate::parallelism::par_enabled;
 use rayon::prelude::*;
 
 /// Minimum RHS-columns × order before parallel dispatch pays off.
@@ -103,7 +104,7 @@ pub fn trmm_upper_t(a: &Matrix, b: &mut Matrix) {
 /// Runs a per-column kernel serially or in parallel depending on size.
 fn run_cols(b: &mut Matrix, n: usize, f: impl Fn(&mut [f64]) + Sync) {
     let ncols = b.ncols();
-    if n * ncols >= PAR_THRESHOLD && ncols > 1 {
+    if par_enabled(n * ncols >= PAR_THRESHOLD && ncols > 1) {
         b.as_mut_slice().par_chunks_mut(n).for_each(&f);
     } else {
         for j in 0..ncols {

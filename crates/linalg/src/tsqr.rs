@@ -16,6 +16,7 @@
 
 use crate::blas3::{gemm, Op};
 use crate::matrix::Matrix;
+use crate::parallelism::par_enabled;
 use crate::qr::qr_in_place;
 use rayon::prelude::*;
 
@@ -53,13 +54,15 @@ pub fn tsqr(a: &Matrix, block_rows: usize) -> Tsqr {
             (lo, hi)
         })
         .collect();
-    let level0: Vec<(Matrix, Matrix)> = blocks
-        .par_iter()
-        .map(|&(lo, hi)| {
-            let f = qr_in_place(a.submatrix(lo, 0, hi - lo, n));
-            (thin_q(&f, n), thin_r(&f.a, n))
-        })
-        .collect();
+    let leaf_qr = |&(lo, hi): &(usize, usize)| {
+        let f = qr_in_place(a.submatrix(lo, 0, hi - lo, n));
+        (thin_q(&f, n), thin_r(&f.a, n))
+    };
+    let level0: Vec<(Matrix, Matrix)> = if par_enabled(true) {
+        blocks.par_iter().map(leaf_qr).collect()
+    } else {
+        blocks.iter().map(leaf_qr).collect()
+    };
 
     // Combine up a binary tree; record the combine Qs to rebuild Q later.
     // state: per surviving leaf range, the current R; tree: per level, the
@@ -69,17 +72,19 @@ pub fn tsqr(a: &Matrix, block_rows: usize) -> Tsqr {
     while rs.len() > 1 {
         let pairs = rs.len() / 2;
         let carried = rs.len() % 2 == 1;
-        let combined: Vec<(Matrix, Matrix)> = (0..pairs)
-            .into_par_iter()
-            .map(|p| {
-                // Stack the two R's and QR the 2n × n stack.
-                let mut stack = Matrix::zeros(2 * n, n);
-                stack.set_submatrix(0, 0, &rs[2 * p]);
-                stack.set_submatrix(n, 0, &rs[2 * p + 1]);
-                let f = qr_in_place(stack);
-                (thin_q(&f, n), thin_r(&f.a, n))
-            })
-            .collect();
+        let combine_pair = |p: usize| {
+            // Stack the two R's and QR the 2n × n stack.
+            let mut stack = Matrix::zeros(2 * n, n);
+            stack.set_submatrix(0, 0, &rs[2 * p]);
+            stack.set_submatrix(n, 0, &rs[2 * p + 1]);
+            let f = qr_in_place(stack);
+            (thin_q(&f, n), thin_r(&f.a, n))
+        };
+        let combined: Vec<(Matrix, Matrix)> = if par_enabled(true) {
+            (0..pairs).into_par_iter().map(combine_pair).collect()
+        } else {
+            (0..pairs).map(combine_pair).collect()
+        };
         let mut level: Vec<Option<Matrix>> = Vec::with_capacity(pairs + 1);
         let mut next_rs = Vec::with_capacity(pairs + 1);
         for (q, r) in combined {
@@ -124,23 +129,24 @@ pub fn tsqr(a: &Matrix, block_rows: usize) -> Tsqr {
 
     // Q = block-diagonal(level-0 Qs) · coeff, assembled blockwise (parallel).
     let mut q = Matrix::zeros(m, n);
-    let parts: Vec<(usize, Matrix)> = blocks
-        .par_iter()
-        .enumerate()
-        .map(|(b, &(lo, hi))| {
-            let mut piece = Matrix::zeros(hi - lo, n);
-            gemm(
-                1.0,
-                &level0[b].0,
-                Op::NoTrans,
-                &coeff[b],
-                Op::NoTrans,
-                0.0,
-                &mut piece,
-            );
-            (lo, piece)
-        })
-        .collect();
+    let assemble_block = |(b, &(lo, hi)): (usize, &(usize, usize))| {
+        let mut piece = Matrix::zeros(hi - lo, n);
+        gemm(
+            1.0,
+            &level0[b].0,
+            Op::NoTrans,
+            &coeff[b],
+            Op::NoTrans,
+            0.0,
+            &mut piece,
+        );
+        (lo, piece)
+    };
+    let parts: Vec<(usize, Matrix)> = if par_enabled(true) {
+        blocks.par_iter().enumerate().map(assemble_block).collect()
+    } else {
+        blocks.iter().enumerate().map(assemble_block).collect()
+    };
     for (lo, piece) in parts {
         q.set_submatrix(lo, 0, &piece);
     }

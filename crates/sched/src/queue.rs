@@ -19,21 +19,15 @@
 use dqmc::SimParams;
 use gpusim::FaultPlan;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
-
-/// Recovers a poisoned guard. Queue invariants (`outstanding`, the heap)
-/// are each updated in a single short critical section with no partially
-/// applied state, so data behind a poisoned lock is still consistent: a
-/// worker that panicked mid-`push` never got the lock in the first place,
-/// and one that panicked *holding* it had already finished the mutation.
-/// Recovering keeps the whole scheduler alive through one worker's death —
-/// the chaos tier's first requirement.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
-}
+// Poison recovery via util::relock is sound here: queue invariants
+// (`outstanding`, the heap) are each updated in a single short critical
+// section with no partially applied state, so data behind a poisoned lock
+// is still consistent — a worker that panicked mid-`push` never got the
+// lock in the first place, and one that panicked *holding* it had already
+// finished the mutation. Recovering keeps the whole scheduler alive
+// through one worker's death — the chaos tier's first requirement.
+use util::sync::{relock, Condvar, Mutex};
 
 /// One schedulable unit: a single Markov chain of a single grid point.
 #[derive(Debug)]
@@ -302,10 +296,7 @@ impl JobQueue {
             if waits >= wait_budget {
                 return Pop::Empty;
             }
-            let (guard, _timed_out) = self
-                .cv
-                .wait_timeout(s, Duration::from_millis(10))
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _timed_out) = relock(self.cv.wait_timeout(s, Duration::from_millis(10)));
             s = guard;
             waits += 1;
         }
@@ -333,7 +324,7 @@ impl JobQueue {
     #[cfg(test)]
     pub(crate) fn poison_for_test(&self) {
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.state.lock().unwrap();
+            let _guard = relock(self.state.lock());
             panic!("poisoning job queue for test");
         }));
     }

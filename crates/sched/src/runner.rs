@@ -50,8 +50,8 @@ use dqmc::{DqmcError, Observables, RecoveryLog, RecoveryTallies, RunToken, Sever
 use gpusim::{BreakerPolicy, DevicePool, DeviceSpec, HealthDecision};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
+use util::sync::{relock, Mutex};
 
 /// Scheduler configuration, usually derived from a [`GridSpec`] via
 /// [`SchedConfig::from_spec`]; tests override individual knobs.
@@ -145,7 +145,7 @@ pub struct Injector<'a> {
 impl<'a> Injector<'a> {
     /// Jobs still held (not yet injected).
     pub fn held(&self) -> usize {
-        self.held.lock().unwrap_or_else(|e| e.into_inner()).len()
+        relock(self.held.lock()).len()
     }
 
     /// Releases every held job into the queue at `priority`. Idempotent —
@@ -154,7 +154,7 @@ impl<'a> Injector<'a> {
     /// the queue always has room for them.
     pub fn release_held(&self, priority: u8) {
         let jobs: Vec<SweepJob> = {
-            let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+            let mut held = relock(self.held.lock());
             std::mem::take(&mut *held)
         };
         for job in jobs {
@@ -428,7 +428,7 @@ fn fail_job(
         attempts: job.attempts,
     });
     let slot = job.point * chains + job.chain;
-    results.lock().unwrap_or_else(|e| e.into_inner())[slot] = Some(ChainOutcome::Failed {
+    relock(results.lock())[slot] = Some(ChainOutcome::Failed {
         preemptions: job.preemptions as u64,
         device_quanta: job.device_quanta,
         host_quanta: job.host_quanta,
@@ -452,6 +452,12 @@ fn worker_loop(
     hearts: &Heartbeats,
     panics_caught: &AtomicU64,
 ) {
+    // Workers are the coarse grain of the hierarchy: one chain per thread.
+    // Entering the worker scope flips every linalg kernel onto its serial
+    // branch for this thread, so W workers never stack kernel fan-out on
+    // the one global rayon pool (nested parallelism — lint rule R9, and
+    // the prime suspect for the 0.301 efficiency in BENCH_sched.json).
+    let _serial_kernels = linalg::parallelism::enter_worker_scope();
     let token = hearts.token(worker);
     loop {
         let mut job = match queue.pop_timeout(1) {
@@ -481,7 +487,7 @@ fn worker_loop(
                     emit_decision(events, p.report_success(s));
                 }
                 let idx = job.point * chains + job.chain;
-                results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(*outcome);
+                relock(results.lock())[idx] = Some(*outcome);
                 queue.complete();
             }
             Ok((RunStep::Yielded { sweeps_done }, slot)) => {
@@ -566,11 +572,7 @@ pub fn run_sweep_observed(
                 // the heap until an observer releases it.
                 let placeholder = queue.submit_held();
                 debug_assert!(placeholder.is_ok(), "grid-sized queue cannot be full");
-                injector
-                    .held
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(job);
+                relock(injector.held.lock()).push(job);
             } else {
                 submit_infallible(&queue, job);
             }
@@ -632,7 +634,7 @@ pub fn run_sweep_observed(
         });
     }
 
-    let outcomes = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    let outcomes = relock(results.into_inner());
     let retries = events.count(|e| matches!(e, TraceEvent::Retried { .. })) as u64;
     assemble_report(
         spec,

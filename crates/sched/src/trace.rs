@@ -11,16 +11,11 @@
 //! determinism contract covers the report's observables, never this stream.
 
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-
-/// Recovers a poisoned guard: `Vec::push` either appended or it didn't —
-/// a panic unwinding through a worker must not take the whole trace (and
-/// with it the scheduler's liveness evidence) down.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
-}
+use std::sync::Arc;
+// Poison recovery via util::relock is sound here: `Vec::push` either
+// appended or it didn't — a panic unwinding through a worker must not take
+// the whole trace (and with it the scheduler's liveness evidence) down.
+use util::sync::{relock, Mutex};
 
 /// Where a job ran for one scheduling quantum.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -251,7 +246,7 @@ impl EventLog {
     #[cfg(test)]
     pub(crate) fn poison_for_test(&self) {
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.events.lock().unwrap();
+            let _guard = relock(self.events.lock());
             panic!("poisoning event log for test");
         }));
     }

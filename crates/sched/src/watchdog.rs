@@ -20,16 +20,11 @@
 //!   so in tests the scan only proves the machinery is wired.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use util::RunToken;
-
-/// Recovers a poisoned guard — the heartbeat registry must keep working
-/// when the very worker it was watching dies holding the lock.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
-}
+// Poison recovery via util::relock — the heartbeat registry must keep
+// working when the very worker it was watching dies holding the lock.
+use util::sync::{relock, Mutex};
 
 /// What the quantum watchdog concluded at a quantum boundary.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -1,0 +1,211 @@
+//! Loom models of the scheduler's three lock-bearing protocols.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; in that configuration
+//! `util::sync` swaps its `Mutex`/`Condvar` onto the loom shim's
+//! schedule-perturbing wrappers, so the bodies below drive the
+//! *production* `JobQueue` / `DevicePool` / `Heartbeats` code — not a
+//! re-model of it — under hundreds of perturbed interleavings per test
+//! (`loom::model` reseeds the perturbator each iteration; see
+//! `shims/loom`).
+//!
+//! Each model checks the invariant the surrounding scheduler depends on:
+//!
+//! - queue: every submitted job completes exactly once through the
+//!   pop → requeue → pop → complete cycle, and termination (`None` /
+//!   `Pop::Drained`) is observed by *every* worker only after the last
+//!   completion — the two-phase-drain contract.
+//! - pool: leases are mutually exclusive per slot, slots return on drop,
+//!   and the quarantine → probation-probe → readmission cycle grants
+//!   exactly one probe no matter how many workers race for it.
+//! - heartbeats: concurrent scanners cancel a stalled peer exactly once
+//!   and never themselves.
+
+#![cfg(loom)]
+
+use dqmc::{ModelParams, SimParams};
+use gpusim::{BreakerPolicy, DevicePool, DeviceSpec, HealthDecision};
+use lattice::Lattice;
+use sched::{Heartbeats, JobQueue, Pop, SweepJob};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn job(point: usize) -> SweepJob {
+    let model = ModelParams::new(Lattice::square(2, 2, 1.0), 4.0, 0.0, 0.125, 4);
+    SweepJob::new(point, 0, SimParams::new(model))
+}
+
+/// A worker turn: requeue the job on its first pop (a simulated preemption
+/// yield), complete it on the second. Returns `true` when it completed.
+fn work_one(q: &JobQueue, mut j: SweepJob) -> bool {
+    if j.preemptions == 0 {
+        j.preemptions = 1;
+        q.requeue(j);
+        false
+    } else {
+        q.complete();
+        true
+    }
+}
+
+#[test]
+fn queue_two_phase_drain_completes_every_job_and_unblocks_all_workers() {
+    loom::model(|| {
+        let q = Arc::new(JobQueue::new(3));
+        let completed = Arc::new(AtomicUsize::new(0));
+        for p in 0..3 {
+            q.submit(job(p)).expect("bound holds the full batch");
+        }
+
+        // Worker A drains on the blocking path (the pop_blocking contract:
+        // None only once nothing is outstanding).
+        let (qa, ca) = (Arc::clone(&q), Arc::clone(&completed));
+        let a = loom::thread::spawn(move || {
+            while let Some(j) = qa.pop_blocking() {
+                if work_one(&qa, j) {
+                    ca.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // Worker B drains on the bounded-wait path the production runner
+        // uses, so Empty-vs-Drained is exercised in the same schedule.
+        let (qb, cb) = (Arc::clone(&q), Arc::clone(&completed));
+        let b = loom::thread::spawn(move || loop {
+            match qb.pop_timeout(1) {
+                Pop::Job(j) => {
+                    if work_one(&qb, j) {
+                        cb.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Pop::Empty => loom::thread::yield_now(),
+                Pop::Drained => return,
+            }
+        });
+
+        // Liveness: the last complete() must broadcast termination to the
+        // blocked peer — a lost wakeup hangs the joins right here.
+        a.join().expect("worker A exits");
+        b.join().expect("worker B exits");
+        assert_eq!(completed.load(Ordering::Relaxed), 3, "each job once");
+        assert_eq!(q.waiting(), 0);
+        assert!(matches!(q.pop_timeout(0), Pop::Drained));
+    });
+}
+
+#[test]
+fn pool_leases_stay_exclusive_and_return_on_drop() {
+    loom::model(|| {
+        let pool = DevicePool::new(DeviceSpec::tesla_c2050(), 2);
+        let busy: Arc<[AtomicBool; 2]> = Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let (pool, busy) = (pool.clone(), Arc::clone(&busy));
+                loom::thread::spawn(move || {
+                    for _ in 0..2 {
+                        if let Some(lease) = pool.try_lease() {
+                            let was = busy[lease.slot()].swap(true, Ordering::SeqCst);
+                            assert!(!was, "slot {} double-leased", lease.slot());
+                            loom::thread::yield_now();
+                            // Clear before drop: after drop the slot is
+                            // leasable again and a peer may assert on it.
+                            busy[lease.slot()].store(false, Ordering::SeqCst);
+                            drop(lease);
+                        } else {
+                            loom::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("lease worker exits");
+        }
+        assert_eq!(pool.available(), 2, "every slot returned on drop");
+    });
+}
+
+#[test]
+fn pool_quarantine_grants_one_probe_and_readmits_under_racing_leasers() {
+    loom::model(|| {
+        let policy = BreakerPolicy {
+            strikes: 1,
+            window: 2,
+            probation_backoff: 1,
+        };
+        let pool = DevicePool::with_policy(DeviceSpec::tesla_c2050(), 1, policy);
+        assert!(matches!(
+            pool.report_failure(0, true),
+            HealthDecision::Opened { .. }
+        ));
+
+        // Two workers race the quarantined slot. The state machine must
+        // hand out exactly one probation probe; the loser's grant comes
+        // only after the winner's success report re-admits the slot.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = pool.clone();
+                loom::thread::spawn(move || loop {
+                    let Some(lease) = pool.try_lease() else {
+                        loom::thread::yield_now();
+                        continue;
+                    };
+                    let probe = lease.is_probe();
+                    drop(lease);
+                    if probe {
+                        assert_eq!(
+                            pool.report_success(0),
+                            HealthDecision::Readmitted { slot: 0 }
+                        );
+                    } else {
+                        assert_eq!(
+                            pool.readmissions(),
+                            1,
+                            "healthy grant must follow the readmission"
+                        );
+                    }
+                    return probe;
+                })
+            })
+            .collect();
+        let probes_won: usize = workers
+            .into_iter()
+            .map(|w| usize::from(w.join().expect("prober exits")))
+            .sum();
+        assert_eq!(probes_won, 1, "exactly one worker held the probe");
+        assert_eq!((pool.probes(), pool.readmissions()), (1, 1));
+        assert_eq!(pool.quarantines(), 1, "success probe does not re-open");
+        let healthy = pool.try_lease().expect("slot is back in rotation");
+        assert!(!healthy.is_probe());
+    });
+}
+
+#[test]
+fn heartbeat_scanners_cancel_a_stalled_peer_exactly_once() {
+    loom::model(|| {
+        let hearts = Arc::new(Heartbeats::new(3));
+        let peer_cancels = Arc::new(AtomicUsize::new(0));
+        // Workers 0 and 1 tick and scan concurrently; worker 2 is stalled.
+        let scanners: Vec<_> = (0..2)
+            .map(|id| {
+                let (hearts, peer_cancels) = (Arc::clone(&hearts), Arc::clone(&peer_cancels));
+                loom::thread::spawn(move || {
+                    for _ in 0..4 {
+                        hearts.token(id).tick();
+                        let cancelled = hearts.scan(id, 2);
+                        assert!(!cancelled.contains(&id), "scanner cancelled itself");
+                        let hits = cancelled.iter().filter(|&&w| w == 2).count();
+                        peer_cancels.fetch_add(hits, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for s in scanners {
+            s.join().expect("scanner exits");
+        }
+        // 8 scans at stall limit 2 guarantee the cancellation fired, and
+        // the is_cancelled check inside the scan's critical section must
+        // keep concurrent scanners from double-reporting it.
+        assert!(hearts.token(2).is_cancelled(), "stalled worker cancelled");
+        assert_eq!(peer_cancels.load(Ordering::Relaxed), 1, "single cancel");
+    });
+}

@@ -19,13 +19,17 @@
 //!   [`Severity`] classes) that keys retry/quarantine policy across the
 //!   recovery ladder and the sweep scheduler,
 //! - [`liveness`]: the heartbeat/cancellation [`RunToken`] shared between
-//!   workers and the scheduler watchdog.
+//!   workers and the scheduler watchdog,
+//! - [`sync`]: the workspace's lock primitives — the single audited
+//!   poison-recovery helper ([`relock`]) and `Mutex`/`Condvar` types that
+//!   switch onto the loom model-checking shim under `--cfg loom`.
 
 pub mod codec;
 pub mod error;
 pub mod liveness;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod timer;
 
@@ -37,4 +41,5 @@ pub use stats::{
     autocorrelation_time, jackknife_mean, jackknife_ratio, BinnedAccumulator, FiveNumber,
     RunningStats,
 };
+pub use sync::relock;
 pub use timer::{PhaseTimer, SimClock};

@@ -1,0 +1,16 @@
+//! R8 fixture: a map with randomized iteration order feeding the
+//! observable byte encoder (this path is on the registry's [r8] list).
+//! One finding, on the line that names the map type.
+
+/// Encodes per-site occupancy into the checkpoint payload.
+pub fn encode_occupancy(w: &mut ByteWriter, sites: &[f64]) {
+    let mut acc = 0.0;
+    for (i, v) in sites.iter().enumerate() {
+        acc += v * i as f64;
+    }
+    let map = std::collections::HashMap::new();
+    for (_k, v) in &map {
+        w.write_f64(*v);
+    }
+    w.write_f64(acc);
+}

@@ -1,0 +1,20 @@
+//! R9 fixture: rayon fan-out must dispatch through `par_enabled(..)` so
+//! a scheduler worker's serial scope can switch it off. The gated
+//! function is silent; the unconditional one is flagged.
+
+use rayon::prelude::*;
+
+/// Gated: the parallel branch sits under a par_enabled dispatch.
+pub fn gated(a: &mut [f64]) {
+    let work = |c: &mut [f64]| c.iter_mut().for_each(|x| *x += 1.0);
+    if par_enabled(a.len() >= 1024) {
+        a.par_chunks_mut(64).for_each(work);
+    } else {
+        a.chunks_mut(64).for_each(work);
+    }
+}
+
+/// Ungated: fans out on the global pool unconditionally — flagged.
+pub fn ungated(a: &[f64]) -> f64 {
+    a.par_iter().sum()
+}

@@ -1,0 +1,21 @@
+//! R7 fixture: acquiring the queue lock while holding the trace lock
+//! inverts the registered hierarchy (queue before trace). One finding on
+//! line 11; the coarse-to-fine function is silent.
+
+struct S;
+
+impl S {
+    /// Trace first, then queue: flagged on the queue acquisition line.
+    fn inverted(&self) {
+        let t = relock(self.events.lock());
+        let q = relock(self.state.lock());
+        consume(t, q);
+    }
+
+    /// Coarse-to-fine matches the registry order — silent.
+    fn ordered(&self) {
+        let q = relock(self.state.lock());
+        let t = relock(self.events.lock());
+        consume(t, q);
+    }
+}

@@ -36,6 +36,10 @@ pub struct SourceFile {
     pub is_test: Vec<bool>,
     /// All named functions, in source order.
     pub fns: Vec<FnSpan>,
+    /// Brace depth at the start of each line.
+    pub depth_start: Vec<usize>,
+    /// Brace depth after the last brace of each line.
+    pub depth_end: Vec<usize>,
 }
 
 impl SourceFile {
@@ -46,12 +50,15 @@ impl SourceFile {
         debug_assert_eq!(code.len(), raw.len());
         let fns = find_fns(&code);
         let is_test = mark_test_lines(&code);
+        let (depth_start, depth_end) = line_depths(&code);
         SourceFile {
             path,
             raw,
             code,
             is_test,
             fns,
+            depth_start,
+            depth_end,
         }
     }
 
@@ -61,6 +68,32 @@ impl SourceFile {
             .iter()
             .filter(|f| f.body.0 <= line && line <= f.body.1)
             .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// Last line of the block a statement on `line` lives in: the first
+    /// subsequent line whose closing braces drop below the depth `line`
+    /// starts at. A `let` guard bound on `line` is dropped there (absent an
+    /// explicit `drop`). Returns the final line when the block never closes.
+    pub fn scope_end(&self, line: usize) -> usize {
+        let d = self.depth_start[line];
+        for m in line..self.code.len() {
+            if self.depth_end[m] < d {
+                return m;
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// The line that opened the innermost block containing `line`: the
+    /// nearest preceding line that starts at a shallower depth. Interior
+    /// lines of earlier sibling blocks start *deeper*, so the first
+    /// shallower line walking up is the opener (`if … {`, `for … {`, …).
+    pub fn block_opener(&self, line: usize) -> Option<usize> {
+        let d = self.depth_start[line];
+        if d == 0 {
+            return None;
+        }
+        (0..line).rev().find(|&j| self.depth_start[j] < d)
     }
 
     /// True if any raw line in the contiguous comment/attribute block
@@ -328,6 +361,26 @@ fn find_fns(code: &[String]) -> Vec<FnSpan> {
     fns
 }
 
+/// Brace depth at the start and end of every blanked code line. Uses the
+/// same counting discipline as [`find_fns`], so the two views agree.
+fn line_depths(code: &[String]) -> (Vec<usize>, Vec<usize>) {
+    let mut start = Vec::with_capacity(code.len());
+    let mut end = Vec::with_capacity(code.len());
+    let mut depth = 0usize;
+    for line in code {
+        start.push(depth);
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        end.push(depth);
+    }
+    (start, end)
+}
+
 /// Marks every line inside a `#[cfg(test)] mod … { … }` body.
 fn mark_test_lines(code: &[String]) -> Vec<bool> {
     let mut out = vec![false; code.len()];
@@ -444,10 +497,116 @@ mod tests {
     }
 
     #[test]
+    fn depths_and_scope_helpers() {
+        let src = "fn f() {\n    let g = m.lock();\n    if a {\n        x;\n    }\n    if b {\n        y;\n    }\n}\n";
+        let f = scan(src);
+        assert_eq!(f.depth_start, [0, 1, 1, 2, 2, 1, 2, 2, 1]);
+        assert_eq!(f.depth_end, [1, 1, 2, 2, 1, 2, 2, 1, 0]);
+        // The guard on line 1 lives until the fn's closing brace (line 8).
+        assert_eq!(f.scope_end(1), 8);
+        // Inner statements die at their own block's close.
+        assert_eq!(f.scope_end(3), 4);
+        // Opener of line 6's block is line 5, not sibling lines 2..4.
+        assert_eq!(f.block_opener(6), Some(5));
+        assert_eq!(f.block_opener(3), Some(2));
+        assert_eq!(f.block_opener(1), Some(0));
+        assert_eq!(f.block_opener(0), None);
+    }
+
+    #[test]
     fn comment_block_scan_stops_at_code() {
         let src = "let x = 1;\n// SAFETY: fine\n#[inline]\nunsafe { x }\nunsafe { x }\n";
         let f = scan(src);
         assert!(f.comment_block_above_contains(3, "SAFETY:"));
         assert!(!f.comment_block_above_contains(4, "SAFETY:"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a random well-formed source from op codes, returning the
+    /// text, the expected brace depth at the start of every line, and the
+    /// number of named fns emitted. Strings and comments deliberately
+    /// contain unbalanced braces and fake `fn` keywords.
+    fn build(ops: &[u8]) -> (String, Vec<usize>, usize) {
+        let mut src = String::new();
+        let mut depth = 0usize;
+        let mut starts = Vec::new();
+        let mut nfns = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            starts.push(depth);
+            match op {
+                0 => {
+                    src.push_str("if x {\n");
+                    depth += 1;
+                }
+                1 if depth > 0 => {
+                    src.push_str("}\n");
+                    depth -= 1;
+                }
+                1 | 2 => src.push_str("let a = b + 1;\n"),
+                3 => src.push_str("let s = \"} } fn bogus() { {\";\n"),
+                4 => src.push_str("// } fn nope() { unsafe\n"),
+                _ => {
+                    src.push_str(&format!("fn f{i}() {{\n"));
+                    depth += 1;
+                    nfns += 1;
+                }
+            }
+        }
+        while depth > 0 {
+            starts.push(depth);
+            src.push_str("}\n");
+            depth -= 1;
+        }
+        (src, starts, nfns)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn depths_track_braces_through_strings_and_comments(
+            ops in proptest::collection::vec(0u8..=5, 1..=60),
+        ) {
+            let (src, starts, nfns) = build(&ops);
+            let f = SourceFile::scan(PathBuf::from("gen.rs"), &src);
+            prop_assert_eq!(&f.depth_start, &starts);
+            // Start/end views agree line to line, and everything closes.
+            for i in 1..f.code.len() {
+                prop_assert_eq!(f.depth_start[i], f.depth_end[i - 1]);
+            }
+            prop_assert_eq!(*f.depth_end.last().unwrap(), 0);
+            // Braces in strings and comments never minted a phantom fn.
+            prop_assert_eq!(f.fns.len(), nfns);
+        }
+
+        #[test]
+        fn spans_and_scope_helpers_stay_consistent(
+            ops in proptest::collection::vec(0u8..=5, 1..=60),
+        ) {
+            let (src, _, _) = build(&ops);
+            let f = SourceFile::scan(PathBuf::from("gen.rs"), &src);
+            for fun in &f.fns {
+                prop_assert!(fun.body.0 <= fun.body.1);
+                prop_assert!(fun.body.1 < f.code.len());
+                let mid = (fun.body.0 + fun.body.1) / 2;
+                let enc = f.enclosing_fn(mid).expect("mid-body line has a fn");
+                prop_assert!(enc.body.0 <= mid && mid <= enc.body.1);
+            }
+            for ln in 0..f.code.len() {
+                let end = f.scope_end(ln);
+                prop_assert!(end >= ln && end < f.code.len());
+                if let Some(op) = f.block_opener(ln) {
+                    prop_assert!(op < ln);
+                    prop_assert!(f.depth_start[op] < f.depth_start[ln]);
+                }
+                // String contents are blanked wholesale.
+                prop_assert!(!f.code[ln].contains('"'));
+            }
+        }
     }
 }

@@ -10,12 +10,19 @@
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when violations are found, 2 on usage or
-//! I/O errors. The allowlist lives in `crates/xtask/lint.allow`.
+//! I/O errors. The allowlist lives in `crates/xtask/lint.allow`; the
+//! concurrency registry (lock hierarchy, observable-bytes files, worker
+//! entry points) in the workspace-root `lock_order.toml`. A lint run also
+//! fails when an allowlist entry pardoned nothing (stale-allow): dead
+//! entries would silently pardon whatever appears in that file next.
 
+mod conc;
 mod lexer;
+mod registry;
 mod rules;
 
 use lexer::SourceFile;
+use registry::Registry;
 use rules::{check_file, display_path, Allowlist, Violation};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -63,7 +70,18 @@ fn run_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match lint_tree(&root, &allow) {
+    let reg = match load_registry(&root, explicit_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = lint_tree(&root, &allow, &reg).map(|mut violations| {
+        violations.extend(allow.stale_violations("crates/xtask/lint.allow"));
+        violations
+    });
+    match result {
         Ok(violations) if violations.is_empty() => {
             println!("dqmc-lint: clean ({})", root.display());
             ExitCode::SUCCESS
@@ -116,12 +134,24 @@ fn load_allowlist(
     }
 }
 
+/// Loads the concurrency registry from `<root>/lock_order.toml`. Required
+/// for a workspace run; with an explicit `--root` (fixture mode) a missing
+/// registry degrades to an empty one (R7/R8 and the worker checks idle).
+fn load_registry(root: &Path, explicit_root: bool) -> Result<Registry, String> {
+    let path = root.join("lock_order.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Registry::parse(&text),
+        Err(_) if explicit_root => Ok(Registry::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
 /// Lints the source tree under `root` and returns all findings.
 ///
 /// For a workspace root (has a `crates/` directory) only `crates/*/src` and
 /// `shims/*/src` are walked; otherwise every `.rs` under `root` is linted
 /// (used by the fixture self-tests).
-fn lint_tree(root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+fn lint_tree(root: &Path, allow: &Allowlist, reg: &Registry) -> Result<Vec<Violation>, String> {
     let mut files = Vec::new();
     if root.join("crates").is_dir() {
         for tier in ["crates", "shims"] {
@@ -146,7 +176,7 @@ fn lint_tree(root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = PathBuf::from(display_path(&path, root));
         let scanned = SourceFile::scan(rel, &text);
-        out.extend(check_file(&scanned, allow));
+        out.extend(check_file(&scanned, allow, reg));
     }
     Ok(out)
 }
@@ -181,11 +211,17 @@ mod tests {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
     }
 
+    fn fixture_registry() -> Registry {
+        let text = std::fs::read_to_string(fixture_dir().join("lock_order.toml"))
+            .expect("fixture registry readable");
+        Registry::parse(&text).expect("fixture registry parses")
+    }
+
     fn lint_fixture(name: &str) -> Vec<Violation> {
         let path = fixture_dir().join(name);
         let text = std::fs::read_to_string(&path).expect("fixture readable");
         let scanned = SourceFile::scan(PathBuf::from(name), &text);
-        check_file(&scanned, &Allowlist::default())
+        check_file(&scanned, &Allowlist::default(), &fixture_registry())
     }
 
     #[test]
@@ -235,40 +271,105 @@ mod tests {
     fn fixture_r5_is_silent_outside_scope_and_when_allowlisted() {
         let path = fixture_dir().join("sched/src/r5_panic.rs");
         let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let reg = fixture_registry();
         // Same text scanned under a non-sched path: out of jurisdiction.
         let scanned = SourceFile::scan(PathBuf::from("linalg/src/r5_panic.rs"), &text);
-        assert!(check_file(&scanned, &Allowlist::default()).is_empty());
+        assert!(check_file(&scanned, &Allowlist::default(), &reg).is_empty());
         // In scope but file-allowlisted: pardoned wholesale.
         let scanned = SourceFile::scan(PathBuf::from("sched/src/r5_panic.rs"), &text);
         let allow = Allowlist::parse("panic-site sched/src/r5_panic.rs\n").unwrap();
-        assert!(check_file(&scanned, &allow).is_empty());
+        assert!(check_file(&scanned, &allow, &reg).is_empty());
+        // And the consulted entry is not stale.
+        assert!(allow.stale().is_empty());
     }
 
     #[test]
-    fn fixture_tree_has_one_violation_per_rule() {
-        // The CLI path over the whole fixture tree: 5 findings, one per rule.
+    fn fixture_r6_guard_across_expensive_calls() {
+        // Two findings: guard across gemm, guard across pop_timeout. The
+        // condvar-consuming wait and the dropped-guard fn stay silent.
+        let v = lint_fixture("core/src/r6_guard.rs");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::GuardAcrossCall));
+        assert_eq!(v[0].line, 10, "{}", v[0]);
+        assert_eq!(v[1].line, 17, "{}", v[1]);
+    }
+
+    #[test]
+    fn fixture_r7_lock_order_inversion() {
+        let v = lint_fixture("sched/src/r7_order.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::LockOrder);
+        assert_eq!(v[0].line, 11, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r8_nondet_on_observable_path() {
+        let v = lint_fixture("core/src/r8_nondet.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NondetSource);
+        assert_eq!(v[0].line, 11, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r9_ungated_fanout() {
+        // One finding for the ungated par_iter; the par_enabled-dispatched
+        // block is silent.
+        let v = lint_fixture("linalg/src/r9_nested.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NestedPar);
+        assert_eq!(v[0].line, 19, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_tree_has_expected_violations_per_rule() {
+        // The CLI path over the whole fixture tree: 10 findings.
         let allow = Allowlist::default();
-        let v = lint_tree(&fixture_dir(), &allow).unwrap();
-        assert_eq!(v.len(), 5, "{v:?}");
-        for rule in [
-            Rule::UnsafeSite,
-            Rule::HotAlloc,
-            Rule::UncheckedKernel,
-            Rule::RayonRawPtr,
-            Rule::PanicSite,
+        let v = lint_tree(&fixture_dir(), &allow, &fixture_registry()).unwrap();
+        assert_eq!(v.len(), 10, "{v:?}");
+        for (rule, n) in [
+            (Rule::UnsafeSite, 1),
+            (Rule::HotAlloc, 1),
+            (Rule::UncheckedKernel, 1),
+            (Rule::RayonRawPtr, 1),
+            (Rule::PanicSite, 1),
+            (Rule::GuardAcrossCall, 2),
+            (Rule::LockOrder, 1),
+            (Rule::NondetSource, 1),
+            (Rule::NestedPar, 1),
         ] {
-            assert_eq!(v.iter().filter(|x| x.rule == rule).count(), 1, "{rule:?}");
+            assert_eq!(v.iter().filter(|x| x.rule == rule).count(), n, "{rule:?}");
         }
     }
 
     #[test]
-    fn workspace_is_clean() {
-        // The real tree with the real allowlist must lint clean — this is
-        // the same invocation CI runs.
+    fn stale_allowlist_entries_become_violations() {
+        // An entry for a file with nothing to pardon must be reported.
+        let allow = Allowlist::parse("unsafe no/such/file.rs\n").unwrap();
+        let v = lint_tree(&fixture_dir(), &allow, &fixture_registry()).unwrap();
+        let stale = allow.stale_violations("lint.allow");
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].rule, Rule::StaleAllow);
+        assert_eq!(stale[0].line, 1);
+        assert!(stale[0].msg.contains("unsafe no/such/file.rs"));
+        // The fixture findings themselves are unaffected.
+        assert_eq!(v.len(), 10, "{v:?}");
+    }
+
+    #[test]
+    fn workspace_is_clean_with_no_stale_entries() {
+        // The real tree with the real allowlist and registry must lint
+        // clean — this is the same invocation CI runs — and every
+        // allowlist entry must have pardoned something.
         let root = workspace_root();
         let allow = load_allowlist(&root, None, false).unwrap();
-        let v = lint_tree(&root, &allow).unwrap();
+        let reg = load_registry(&root, false).unwrap();
+        let v = lint_tree(&root, &allow, &reg).unwrap();
         assert!(v.is_empty(), "workspace lint violations:\n{:#?}", v);
+        assert!(
+            allow.stale().is_empty(),
+            "stale lint.allow entries: {:?}",
+            allow.stale()
+        );
     }
 
     #[test]
@@ -276,7 +377,12 @@ mod tests {
         assert!(Allowlist::parse("unsafe a.rs\n").is_ok());
         assert!(Allowlist::parse("rayon-raw-ptr a.rs::f\n").is_ok());
         assert!(Allowlist::parse("panic-site a.rs\n").is_ok());
+        assert!(Allowlist::parse("guard-across-call a.rs::f\n").is_ok());
+        assert!(Allowlist::parse("lock-order a.rs::f\n").is_ok());
+        assert!(Allowlist::parse("nondet-source a.rs\n").is_ok());
+        assert!(Allowlist::parse("nested-par a.rs::f\n").is_ok());
         assert!(Allowlist::parse("frobnicate a.rs\n").is_err());
         assert!(Allowlist::parse("rayon-raw-ptr missing-fn.rs\n").is_err());
+        assert!(Allowlist::parse("nested-par missing-fn.rs\n").is_err());
     }
 }

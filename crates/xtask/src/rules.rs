@@ -1,6 +1,9 @@
 //! The dqmc-lint rule set.
 //!
-//! Four rules, all driven by the [`crate::lexer`] scan:
+//! Nine rules, all driven by the [`crate::lexer`] scan. R1–R5 are the
+//! line-oriented hygiene rules; R6–R9 (in [`crate::conc`]) are the
+//! block-aware concurrency-discipline rules introduced with the
+//! `lock_order.toml` registry.
 //!
 //! - **unsafe-site** (R1): `unsafe` and `*_unchecked` may only appear in
 //!   files on the `unsafe` allowlist, and every `unsafe` token must carry a
@@ -22,8 +25,16 @@
 //!   structured error taxonomy, not in unwinding. Opt-outs: the
 //!   `// dqmc-lint: allow(panic_site)` pragma on the enclosing function,
 //!   or a `panic-site <file>` allowlist entry.
+//! - **guard-across-call** (R6), **lock-order** (R7), **nondet-source**
+//!   (R8), **nested-par** (R9): see [`crate::conc`].
+//! - **stale-allow**: an allowlist entry no code needed during the run —
+//!   the pardoned pattern is gone, so the entry must be deleted before it
+//!   silently pardons something new.
 
+use crate::conc;
 use crate::lexer::{words, SourceFile};
+use crate::registry::Registry;
+use std::cell::Cell;
 use std::fmt;
 use std::path::Path;
 
@@ -40,6 +51,16 @@ pub enum Rule {
     RayonRawPtr,
     /// R5: panic/expect/unwrap in scheduler or device-pool non-test code.
     PanicSite,
+    /// R6: a MutexGuard held across an expensive (blocking/compute) call.
+    GuardAcrossCall,
+    /// R7: lock acquired out of hierarchy order, or not registered.
+    LockOrder,
+    /// R8: nondeterminism source on an observable-bytes path.
+    NondetSource,
+    /// R9: rayon fan-out not gated behind the worker-scope check.
+    NestedPar,
+    /// Allowlist entry that pardoned nothing during the run.
+    StaleAllow,
 }
 
 impl Rule {
@@ -51,6 +72,11 @@ impl Rule {
             Rule::UncheckedKernel => "unchecked-kernel",
             Rule::RayonRawPtr => "rayon-raw-ptr",
             Rule::PanicSite => "panic-site",
+            Rule::GuardAcrossCall => "guard-across-call",
+            Rule::LockOrder => "lock-order",
+            Rule::NondetSource => "nondet-source",
+            Rule::NestedPar => "nested-par",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 }
@@ -81,22 +107,102 @@ impl fmt::Display for Violation {
     }
 }
 
+/// One file-scoped allowlist entry, with use tracking for staleness.
+#[derive(Clone, Debug)]
+pub struct FileEntry {
+    /// Path suffix the entry pardons.
+    pub pat: String,
+    /// 1-based `lint.allow` line the entry came from.
+    pub line: usize,
+    /// Set when the entry pardoned (or was consulted for) a real site.
+    pub used: Cell<bool>,
+}
+
+/// One function-scoped allowlist entry (`<path>::<fn>`), with use tracking.
+#[derive(Clone, Debug)]
+pub struct FnEntry {
+    /// Path suffix of the file the function lives in.
+    pub file: String,
+    /// Function name.
+    pub func: String,
+    /// 1-based `lint.allow` line the entry came from.
+    pub line: usize,
+    /// Set when the entry pardoned a real site.
+    pub used: Cell<bool>,
+}
+
 /// Parsed `lint.allow`: per-category lists of allowed paths / functions.
+///
+/// Every lookup that matches marks its entry used; [`Allowlist::stale`]
+/// returns the leftovers so `xtask lint` can fail on entries whose
+/// pardoned pattern no longer exists (they would otherwise silently
+/// pardon whatever shows up in that file next).
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
     /// Files (suffix-matched) where `unsafe` is permitted.
-    pub unsafe_files: Vec<String>,
+    pub unsafe_files: Vec<FileEntry>,
     /// `file::fn` entries audited for rayon-over-raw-pointer use.
-    pub rayon_fns: Vec<(String, String)>,
+    pub rayon_fns: Vec<FnEntry>,
     /// Files (suffix-matched) where R5 panic sites are pardoned wholesale
     /// (legacy infallible wrappers predating the error taxonomy).
-    pub panic_files: Vec<String>,
+    pub panic_files: Vec<FileEntry>,
+    /// `file::fn` entries audited to hold a guard across expensive work.
+    pub guard_fns: Vec<FnEntry>,
+    /// `file::fn` entries audited for out-of-order lock acquisition.
+    pub order_fns: Vec<FnEntry>,
+    /// Files where R8 nondeterminism sources are pardoned wholesale.
+    pub nondet_files: Vec<FileEntry>,
+    /// `file::fn` entries audited for ungated rayon fan-out.
+    pub nested_fns: Vec<FnEntry>,
+}
+
+fn file_entry(pat: &str, line: usize) -> FileEntry {
+    FileEntry {
+        pat: pat.to_owned(),
+        line,
+        used: Cell::new(false),
+    }
+}
+
+fn fn_entry(rest: &str, line: usize) -> Result<FnEntry, String> {
+    let (file, func) = rest
+        .rsplit_once("::")
+        .ok_or_else(|| format!("lint.allow:{line}: need <path>::<fn>"))?;
+    Ok(FnEntry {
+        file: file.to_owned(),
+        func: func.to_owned(),
+        line,
+        used: Cell::new(false),
+    })
+}
+
+fn hit_file(entries: &[FileEntry], path: &str) -> bool {
+    let mut any = false;
+    for e in entries {
+        if suffix_match(path, &e.pat) {
+            e.used.set(true);
+            any = true;
+        }
+    }
+    any
+}
+
+fn hit_fn(entries: &[FnEntry], path: &str, func: &str) -> bool {
+    let mut any = false;
+    for e in entries {
+        if e.func == func && suffix_match(path, &e.file) {
+            e.used.set(true);
+            any = true;
+        }
+    }
+    any
 }
 
 impl Allowlist {
-    /// Parses the `lint.allow` format: `unsafe <path>`,
-    /// `rayon-raw-ptr <path>::<fn>` and `panic-site <path>` lines; `#`
-    /// starts a comment.
+    /// Parses the `lint.allow` format: `<category> <path>` or
+    /// `<category> <path>::<fn>` lines; `#` starts a comment. Categories:
+    /// `unsafe`, `rayon-raw-ptr`, `panic-site`, `guard-across-call`,
+    /// `lock-order`, `nondet-source`, `nested-par`.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
         for (i, line) in text.lines().enumerate() {
@@ -108,15 +214,15 @@ impl Allowlist {
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| format!("lint.allow:{}: missing path", i + 1))?;
             let rest = rest.trim();
+            let ln = i + 1;
             match cat {
-                "unsafe" => out.unsafe_files.push(rest.to_owned()),
-                "rayon-raw-ptr" => {
-                    let (file, func) = rest
-                        .rsplit_once("::")
-                        .ok_or_else(|| format!("lint.allow:{}: need <path>::<fn>", i + 1))?;
-                    out.rayon_fns.push((file.to_owned(), func.to_owned()));
-                }
-                "panic-site" => out.panic_files.push(rest.to_owned()),
+                "unsafe" => out.unsafe_files.push(file_entry(rest, ln)),
+                "rayon-raw-ptr" => out.rayon_fns.push(fn_entry(rest, ln)?),
+                "panic-site" => out.panic_files.push(file_entry(rest, ln)),
+                "guard-across-call" => out.guard_fns.push(fn_entry(rest, ln)?),
+                "lock-order" => out.order_fns.push(fn_entry(rest, ln)?),
+                "nondet-source" => out.nondet_files.push(file_entry(rest, ln)),
+                "nested-par" => out.nested_fns.push(fn_entry(rest, ln)?),
                 other => return Err(format!("lint.allow:{}: unknown category {other}", i + 1)),
             }
         }
@@ -124,22 +230,84 @@ impl Allowlist {
     }
 
     fn allows_unsafe(&self, path: &str) -> bool {
-        self.unsafe_files.iter().any(|p| suffix_match(path, p))
+        hit_file(&self.unsafe_files, path)
     }
 
     fn allows_rayon(&self, path: &str, func: &str) -> bool {
-        self.rayon_fns
-            .iter()
-            .any(|(p, f)| f == func && suffix_match(path, p))
+        hit_fn(&self.rayon_fns, path, func)
     }
 
     fn allows_panics(&self, path: &str) -> bool {
-        self.panic_files.iter().any(|p| suffix_match(path, p))
+        hit_file(&self.panic_files, path)
+    }
+
+    pub(crate) fn allows_guard(&self, path: &str, func: &str) -> bool {
+        hit_fn(&self.guard_fns, path, func)
+    }
+
+    pub(crate) fn allows_order(&self, path: &str, func: &str) -> bool {
+        hit_fn(&self.order_fns, path, func)
+    }
+
+    pub(crate) fn allows_nondet(&self, path: &str) -> bool {
+        hit_file(&self.nondet_files, path)
+    }
+
+    pub(crate) fn allows_nested(&self, path: &str, func: &str) -> bool {
+        hit_fn(&self.nested_fns, path, func)
+    }
+
+    /// Entries no lookup matched: `(lint.allow line, entry description)`.
+    pub fn stale(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        let files: [(&str, &[FileEntry]); 3] = [
+            ("unsafe", &self.unsafe_files),
+            ("panic-site", &self.panic_files),
+            ("nondet-source", &self.nondet_files),
+        ];
+        for (cat, entries) in files {
+            for e in entries {
+                if !e.used.get() {
+                    out.push((e.line, format!("{cat} {}", e.pat)));
+                }
+            }
+        }
+        let fns: [(&str, &[FnEntry]); 4] = [
+            ("rayon-raw-ptr", &self.rayon_fns),
+            ("guard-across-call", &self.guard_fns),
+            ("lock-order", &self.order_fns),
+            ("nested-par", &self.nested_fns),
+        ];
+        for (cat, entries) in fns {
+            for e in entries {
+                if !e.used.get() {
+                    out.push((e.line, format!("{cat} {}::{}", e.file, e.func)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Stale entries as reportable violations against `allow_path`.
+    pub fn stale_violations(&self, allow_path: &str) -> Vec<Violation> {
+        self.stale()
+            .into_iter()
+            .map(|(line, entry)| Violation {
+                path: allow_path.to_owned(),
+                line,
+                rule: Rule::StaleAllow,
+                msg: format!(
+                    "allowlist entry `{entry}` pardoned nothing this run; \
+                     delete it (the pattern it audited is gone)"
+                ),
+            })
+            .collect()
     }
 }
 
 /// `path` ends with allowlist entry `pat`, on a path-component boundary.
-fn suffix_match(path: &str, pat: &str) -> bool {
+pub(crate) fn suffix_match(path: &str, pat: &str) -> bool {
     let path = path.replace('\\', "/");
     path == pat || path.ends_with(&format!("/{pat}"))
 }
@@ -190,8 +358,8 @@ const PRAGMA_HOT_ALLOC: &str = "dqmc-lint: allow(hot_alloc)";
 const PRAGMA_UNCHECKED: &str = "dqmc-lint: allow(unchecked_kernel)";
 const PRAGMA_PANIC: &str = "dqmc-lint: allow(panic_site)";
 
-/// Runs all four rules over one scanned file.
-pub fn check_file(f: &SourceFile, allow: &Allowlist) -> Vec<Violation> {
+/// Runs every rule over one scanned file.
+pub fn check_file(f: &SourceFile, allow: &Allowlist, reg: &Registry) -> Vec<Violation> {
     let mut out = Vec::new();
     let path = f.path.display().to_string();
     check_unsafe(f, allow, &path, &mut out);
@@ -199,11 +367,14 @@ pub fn check_file(f: &SourceFile, allow: &Allowlist) -> Vec<Violation> {
     check_kernels(f, &path, &mut out);
     check_rayon_ptrs(f, allow, &path, &mut out);
     check_panic_sites(f, allow, &path, &mut out);
+    conc::check_concurrency(f, allow, reg, &path, &mut out);
     out
 }
 
 fn check_unsafe(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
-    let allowed = allow.allows_unsafe(path);
+    // Consulted lazily so an entry for a file with no unsafe left reads
+    // as unused (stale), not as pardoning thin air.
+    let mut allowed: Option<bool> = None;
     for (ln, line) in f.code.iter().enumerate() {
         for w in words(line) {
             let is_unsafe = w == "unsafe";
@@ -214,6 +385,7 @@ fn check_unsafe(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Vio
             if !(is_unsafe || is_unchecked) {
                 continue;
             }
+            let allowed = *allowed.get_or_insert_with(|| allow.allows_unsafe(path));
             if !allowed {
                 out.push(Violation {
                     path: path.to_owned(),
@@ -334,9 +506,12 @@ fn check_rayon_ptrs(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec
 
 fn check_panic_sites(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
     let norm = path.replace('\\', "/");
-    if !PANIC_SCOPES.iter().any(|s| norm.contains(s)) || allow.allows_panics(path) {
+    if !PANIC_SCOPES.iter().any(|s| norm.contains(s)) {
         return;
     }
+    // Like `check_unsafe`: the allowlist is consulted only once a panic
+    // token actually exists, so entries for cleaned-up files go stale.
+    let mut allowed: Option<bool> = None;
     for (ln, line) in f.code.iter().enumerate() {
         if f.is_test[ln] {
             continue;
@@ -344,6 +519,9 @@ fn check_panic_sites(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Ve
         let Some(tok) = PANIC_TOKENS.iter().find(|t| line.contains(*t)) else {
             continue;
         };
+        if *allowed.get_or_insert_with(|| allow.allows_panics(path)) {
+            continue;
+        }
         let pardoned = f
             .enclosing_fn(ln)
             .is_some_and(|func| f.comment_block_above_contains(func.sig_line, PRAGMA_PANIC));
