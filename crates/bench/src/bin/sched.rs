@@ -14,7 +14,10 @@
 //! measuring the wrong thing.
 //!
 //! `BENCH_sched.json` is the checked-in artifact; regenerate with
-//! `cargo run --release -p bench --bin sched`.
+//! `cargo run --release -p bench --bin sched`. `--lx <n>` and
+//! `--sweeps <n>` scale the workload (side length / measurement sweeps);
+//! `--crowd <B>` batches B chains per job through the strided-batch device
+//! path (see `--bin crowd` for the dedicated crowd-axis study).
 
 use bench::BenchOpts;
 use sched::{EventLog, GridSpec, SchedConfig};
@@ -37,8 +40,12 @@ fn grid(opts: &BenchOpts) -> GridSpec {
     } else if opts.smoke {
         (2, 12, 4)
     } else {
-        (4, 60, 8)
+        (6, 96, 8)
     };
+    // --lx / --sweeps tune the workload without editing the grid: the
+    // defaults above target a 1-worker wall of >= 10 s on a laptop core.
+    let l = opts.lx.unwrap_or(l);
+    let sweeps = opts.sweeps.unwrap_or(sweeps);
     let mut spec = GridSpec::parse(&format!(
         "
         lx = {l}
@@ -51,8 +58,10 @@ fn grid(opts: &BenchOpts) -> GridSpec {
         bin_size = 4
         cluster_size = 8
         quantum = 0
+        crowd = {}
         ",
         sweeps / 4,
+        opts.crowd.unwrap_or(1),
     ))
     .expect("benchmark grid parses");
     spec.seed = opts.seed();
@@ -138,10 +147,12 @@ fn main() {
 fn render_json(spec: &GridSpec, njobs: usize, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"grid\": {{\"lx\": {}, \"points\": {}, \"chains\": {}, \"jobs\": {}, \"sweeps\": {}}},\n",
+        "  \"grid\": {{\"lx\": {}, \"points\": {}, \"chains\": {}, \"crowd\": {}, \
+         \"jobs\": {}, \"sweeps\": {}}},\n",
         spec.lx,
         spec.us.len() * spec.betas.len(),
         spec.chains,
+        spec.crowd,
         njobs,
         spec.warmup + spec.sweeps
     ));

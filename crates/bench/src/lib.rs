@@ -23,14 +23,27 @@ pub struct BenchOpts {
     /// Fixed device-pool size for scheduler benches; `None` scales the
     /// pool with the worker count.
     pub pool_size: Option<usize>,
+    /// Override the lattice side for scheduler benches (`--lx`).
+    pub lx: Option<usize>,
+    /// Override the measurement sweeps per chain for scheduler benches
+    /// (`--sweeps`).
+    pub sweeps: Option<usize>,
+    /// Override the crowd size B for scheduler benches (`--crowd`).
+    pub crowd: Option<usize>,
 }
 
 impl BenchOpts {
-    /// Parses `--full`, `--seed <u64>` and `--pool-size <usize>` from
+    /// Parses `--full`, `--seed <u64>`, `--pool-size <usize>`,
+    /// `--lx <usize>`, `--sweeps <usize>` and `--crowd <usize>` from
     /// `std::env::args`.
     pub fn from_env() -> Self {
         let mut opts = BenchOpts::default();
         let mut args = std::env::args().skip(1);
+        let usize_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("{flag} requires an integer"))
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => opts.full = true,
@@ -42,17 +55,16 @@ impl BenchOpts {
                         .expect("--seed requires an integer");
                     opts.seed = Some(v);
                 }
-                "--pool-size" => {
-                    let v = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--pool-size requires an integer");
-                    opts.pool_size = Some(v);
-                }
+                "--pool-size" => opts.pool_size = Some(usize_arg(&mut args, "--pool-size")),
+                "--lx" => opts.lx = Some(usize_arg(&mut args, "--lx")),
+                "--sweeps" => opts.sweeps = Some(usize_arg(&mut args, "--sweeps")),
+                "--crowd" => opts.crowd = Some(usize_arg(&mut args, "--crowd")),
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --full (paper-scale parameters), --smoke (CI-scale), \
-                         --seed <u64>, --pool-size <usize> (fixed device pool)"
+                         --seed <u64>, --pool-size <usize> (fixed device pool), \
+                         --lx <usize> (lattice side), --sweeps <usize> (measurement \
+                         sweeps per chain), --crowd <usize> (walkers batched per job)"
                     );
                     std::process::exit(0);
                 }

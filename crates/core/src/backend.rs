@@ -127,6 +127,12 @@ pub trait ComputeBackend: fmt::Debug + Send {
     /// backends drop resident operands here so the retry re-uploads clean
     /// copies (healing a corrupted transfer); the default is a no-op.
     fn notify_fault(&mut self) {}
+
+    /// Modeled device-seconds consumed so far (simulated-clock backends);
+    /// `0.0` for backends with no device clock, like the host.
+    fn device_seconds(&self) -> f64 {
+        0.0
+    }
 }
 
 /// The infallible host path: delegates straight to [`BMatrixFactory`].

@@ -9,6 +9,7 @@
 //! thermalised), run on the Rayon pool, with the accumulated observables
 //! merged bin-wise at the end.
 
+use crate::crowd::Crowd;
 use crate::hubbard::SimParams;
 use crate::measure::Observables;
 use crate::recovery::RecoveryLog;
@@ -97,6 +98,68 @@ pub fn run_ensemble(params: &SimParams, chains: usize) -> EnsembleResult {
     }
 }
 
+/// Crowd-batched ensemble: the same chains as [`run_ensemble`], organized
+/// into crowds of up to `crowd_size` walkers stepped in lockstep (see
+/// [`crate::crowd`]).
+///
+/// Chain `c` receives the identical [`chain_seed`] it gets from
+/// [`run_ensemble`] and every crowd kernel is bit-identical to its solo
+/// form, so the result is byte-for-byte the same for **any** `crowd_size` —
+/// crowds change only the batching economics (one launch per crowd instead
+/// of per walker on a batched backend), never the statistics. Merge order
+/// is chain order, independent of crowd grouping.
+///
+/// Panics if `chains == 0` or `crowd_size == 0`.
+pub fn run_ensemble_crowd(params: &SimParams, chains: usize, crowd_size: usize) -> EnsembleResult {
+    assert!(chains >= 1, "need at least one chain");
+    assert!(crowd_size >= 1, "need a positive crowd size");
+    let ncrowds = chains.div_ceil(crowd_size);
+    // Crowds are the coarse grain here, exactly as chains are in
+    // run_ensemble: each crowd task pins its kernels serial (rule R9).
+    let run_crowd = |k: usize| {
+        let _serial_kernels = linalg::enter_worker_scope();
+        let c0 = k * crowd_size;
+        let width = crowd_size.min(chains - c0);
+        let ps: Vec<SimParams> = (c0..c0 + width)
+            .map(|c| {
+                params
+                    .clone()
+                    .with_seed(chain_seed(params.seed, 0, c as u64))
+            })
+            .collect();
+        let mut crowd = Crowd::new(ps);
+        crowd.run();
+        crowd
+    };
+    let crowds: Vec<Crowd> = if linalg::par_enabled(true) {
+        (0..ncrowds).into_par_iter().map(run_crowd).collect()
+    } else {
+        (0..ncrowds).map(run_crowd).collect()
+    };
+
+    let mut acceptance_rates = Vec::with_capacity(chains);
+    let mut recovery_logs = Vec::with_capacity(chains);
+    let mut max_wrap_error = 0.0f64;
+    let mut observables: Option<Observables> = None;
+    for crowd in &crowds {
+        for sim in crowd.walkers() {
+            match observables.as_mut() {
+                None => observables = Some(sim.observables().clone()),
+                Some(obs) => obs.merge(sim.observables()),
+            }
+            acceptance_rates.push(sim.acceptance_rate());
+            max_wrap_error = max_wrap_error.max(sim.max_wrap_error());
+            recovery_logs.push(sim.recovery_log().clone());
+        }
+    }
+    EnsembleResult {
+        observables: observables.expect("chains >= 1"),
+        acceptance_rates,
+        max_wrap_error,
+        recovery_logs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +229,28 @@ mod tests {
         // Equal bin counts per chain ⇒ exact average (up to ratio-estimator
         // nonlinearity in the sign, which is exactly 1 at half filling).
         assert!((dp - avg).abs() < 1e-12, "{dp} vs {avg}");
+    }
+
+    #[test]
+    fn crowd_ensemble_is_bit_identical_for_every_crowd_size() {
+        // Crowd size is a throughput knob, not a physics knob: pooled
+        // observables are byte-identical whether 5 chains run solo, in
+        // crowds of 2 (last crowd ragged), or in one crowd of 8 (capped at
+        // the chain count).
+        let p = params();
+        let solo = run_ensemble(&p, 5);
+        let (ds, es) = solo.observables.double_occupancy();
+        for crowd_size in [1, 2, 8] {
+            let crowd = run_ensemble_crowd(&p, 5, crowd_size);
+            let (dc, ec) = crowd.observables.double_occupancy();
+            assert_eq!(ds.to_bits(), dc.to_bits(), "crowd size {crowd_size}");
+            assert_eq!(es.to_bits(), ec.to_bits(), "crowd size {crowd_size}");
+            assert_eq!(solo.acceptance_rates, crowd.acceptance_rates);
+            assert_eq!(
+                solo.max_wrap_error.to_bits(),
+                crowd.max_wrap_error.to_bits()
+            );
+        }
     }
 
     #[test]

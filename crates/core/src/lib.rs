@@ -40,6 +40,7 @@
 pub mod backend;
 pub mod bmat;
 pub mod checkpoint;
+pub mod crowd;
 pub mod diagnostics;
 pub mod ensemble;
 pub mod greens;
@@ -58,8 +59,9 @@ pub mod update;
 pub use backend::{BackendFault, ComputeBackend, FaultKind, HostBackend};
 pub use bmat::BMatrixFactory;
 pub use checkpoint::{params_fingerprint, CheckpointError};
+pub use crowd::{Crowd, CrowdBackend, HostCrowdBackend};
 pub use diagnostics::{condition_profile, ConditionProfile};
-pub use ensemble::{chain_seed, run_ensemble, EnsembleResult};
+pub use ensemble::{chain_seed, run_ensemble, run_ensemble_crowd, EnsembleResult};
 pub use greens::{greens_from_udt, GreensFunction};
 pub use hs::HsField;
 pub use hubbard::{Acceptance, ModelParams, SimParams, Spin};

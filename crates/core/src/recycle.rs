@@ -105,6 +105,30 @@ impl ClusterCache {
         slot.as_ref().expect("just filled")
     }
 
+    /// Whether cluster `c` for `spin` would need a rebuild on next access
+    /// (empty or invalidated). Crowd drivers scan this to decide which
+    /// walkers join a batched prefill.
+    pub fn is_stale(&self, c: usize, spin: Spin) -> bool {
+        self.store[spin.index()][c].is_none()
+    }
+
+    /// Installs an externally computed product for cluster `c` (a crowd
+    /// prefill), scanning for non-finite taint *before* caching — same
+    /// contract as [`ClusterCache::get_with`]: a poisoned product never
+    /// enters the cache, and the caller decides how to heal (typically by
+    /// leaving the slot stale so the next access rebuilds on the host).
+    pub fn install(&mut self, c: usize, spin: Spin, m: Matrix) -> Result<(), BackendFault> {
+        let (lo, hi) = self.range(c);
+        if let Some((i, v)) = linalg::check::first_non_finite(m.as_slice()) {
+            return Err(BackendFault::taint(format!(
+                "{v} at flat index {i} in prefilled cluster [{lo}, {hi}) {spin:?}"
+            )));
+        }
+        self.store[spin.index()][c] = Some(m);
+        self.rebuilds += 1;
+        Ok(())
+    }
+
     /// Fallible [`ClusterCache::get`] through a [`ComputeBackend`]: rebuilds
     /// through `backend` if dirty, scanning the fresh product for
     /// non-finite taint *before* caching it — a poisoned product must never

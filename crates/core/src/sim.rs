@@ -211,6 +211,16 @@ impl Simulation {
     /// One fallible measurement sweep (dynamic measurements included).
     fn try_measure_one(&mut self) -> Result<(), DqmcError> {
         self.core.try_sweep(Some(&mut self.obs))?;
+        self.finish_measure_sweep();
+        Ok(())
+    }
+
+    /// Sweep-end bookkeeping of a measurement sweep once the equal-time
+    /// record has been taken (by [`DqmcCore::try_sweep`] here, or by the
+    /// crowd driver in lockstep mode): the dynamic measurement and the
+    /// counter bump. Shared with [`crate::crowd::Crowd`] so crowd and solo
+    /// runs take bit-identical measurements.
+    pub(crate) fn finish_measure_sweep(&mut self) {
         if let Some(tdm) = self.tdm.as_mut() {
             // Dynamic measurements via the stable block-matrix TDGF
             // (accurate at any β; see `tdm` module docs for why the
@@ -225,7 +235,6 @@ impl Simulation {
             self.core.timer.add(phases::MEASUREMENT, t0.elapsed());
         }
         self.measure_done += 1;
-        Ok(())
     }
 
     /// Runs `n` measurement sweeps.
@@ -261,6 +270,12 @@ impl Simulation {
     /// Metropolis acceptance rate.
     pub fn acceptance_rate(&self) -> f64 {
         self.core.acceptance_rate()
+    }
+
+    /// Modeled device-seconds consumed by the installed backend (`0.0` on
+    /// the host backend, which has no device clock).
+    pub fn device_seconds(&self) -> f64 {
+        self.core.backend.device_seconds()
     }
 
     /// Current Green's function for a spin (canonical position).

@@ -305,7 +305,7 @@ impl DqmcCore {
     /// shrinking here would grind against a failing part while the
     /// scheduler (which owns placement) is the layer that can actually fix
     /// it: park the job, exclude the slot, feed the pool's breaker.
-    fn escalate_sick(
+    pub(crate) fn escalate_sick(
         &mut self,
         origin: &'static str,
         fault: &BackendFault,
@@ -384,7 +384,12 @@ impl DqmcCore {
         ))
     }
 
-    fn push_event(&mut self, slice: usize, cause: RecoveryCause, action: RecoveryAction) {
+    pub(crate) fn push_event(
+        &mut self,
+        slice: usize,
+        cause: RecoveryCause,
+        action: RecoveryAction,
+    ) {
         self.recovery.push(RecoveryEvent {
             sweep: self.sweeps_run,
             slice,
@@ -398,7 +403,7 @@ impl DqmcCore {
     /// field at the canonical sweep-start position. The repair consumes no
     /// Metropolis randomness and reproduces exactly the matrix an untainted
     /// run holds at sweep start, so the repaired chain is bit-identical.
-    fn repair_if_tainted(&mut self) -> Result<(), DqmcError> {
+    pub(crate) fn repair_if_tainted(&mut self) -> Result<(), DqmcError> {
         let taint = first_non_finite(self.g[0].as_slice())
             .map(|(i, v)| (0usize, i, v))
             .or_else(|| first_non_finite(self.g[1].as_slice()).map(|(i, v)| (1usize, i, v)));
@@ -531,7 +536,7 @@ impl DqmcCore {
     /// directly from the HS field on the host path, using a temporary
     /// single-slice-cluster cache so *any* `l` is a valid boundary. Used for
     /// mid-sweep taint repair, where `l + 1` need not be a cluster boundary.
-    fn repair_greens_after(&mut self, l: usize) {
+    pub(crate) fn repair_greens_after(&mut self, l: usize) {
         let algo = self.params.algo;
         let mut tmp = ClusterCache::new(self.params.model.slices, 1);
         let mut sign = 1.0;
@@ -617,6 +622,89 @@ impl DqmcCore {
         Ok(())
     }
 
+    /// The Metropolis site loop for one time slice: delayed rank-1 updates
+    /// over every site, cache invalidation on any accepted flip. Shared
+    /// verbatim by the solo sweep ([`Self::sweep_slices`]) and the crowd
+    /// driver ([`crate::crowd::Crowd`]), so lockstep execution consumes the
+    /// Metropolis stream identically to a solo run.
+    pub(crate) fn metropolis_slice(&mut self, l: usize) {
+        let n = self.nsites();
+        let nu = self.fac.nu();
+        let nb = self.params.delay_block;
+        let t0 = std::time::Instant::now();
+        let gup = std::mem::replace(&mut self.g[0], Matrix::zeros(0, 0));
+        let gdn = std::mem::replace(&mut self.g[1], Matrix::zeros(0, 0));
+        let mut up = SliceUpdater::new(gup, nb);
+        let mut dn = SliceUpdater::new(gdn, nb);
+        let mut any_accept = false;
+        for i in 0..n {
+            let hli = self.h.get(l, i);
+            let alpha_up = (-2.0 * nu * hli).exp() - 1.0;
+            let alpha_dn = (2.0 * nu * hli).exp() - 1.0;
+            let d_up = 1.0 + alpha_up * (1.0 - up.gii(i));
+            let d_dn = 1.0 + alpha_dn * (1.0 - dn.gii(i));
+            let r = d_up * d_dn;
+            self.proposed += 1;
+            let p_accept = self.params.acceptance.probability(r.abs());
+            if self.rng.next_f64() < p_accept {
+                self.h.flip(l, i);
+                up.accept(i, alpha_up, d_up);
+                dn.accept(i, alpha_dn, d_dn);
+                if r < 0.0 {
+                    self.sign = -self.sign;
+                }
+                self.accepted += 1;
+                any_accept = true;
+            }
+        }
+        self.g[0] = up.into_g();
+        self.g[1] = dn.into_g();
+        self.timer.add(phases::DELAYED_UPDATE, t0.elapsed());
+        if any_accept {
+            self.cache.invalidate_slice(l);
+        }
+    }
+
+    /// The cluster-boundary block after wrapping past slice `l`: recompute
+    /// both Green's functions through the recovery ladder, monitor the
+    /// wrap-vs-recompute divergence (when the wrap produced a valid pair)
+    /// and take the optional mid-sweep measurement. Shared verbatim by the
+    /// solo sweep and the crowd driver.
+    pub(crate) fn boundary_recompute(
+        &mut self,
+        l: usize,
+        wrap_ok: bool,
+        wrapped: &mut [Matrix; 2],
+        obs: &mut Option<&mut Observables>,
+    ) -> Result<(), DqmcError> {
+        let l_slices = self.params.model.slices;
+        let incr_sign = self.sign;
+        self.recompute_greens_recovering(l)?;
+        if wrap_ok {
+            let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
+            if self.params.recovery.enabled && diff > self.params.recovery.wrap_tolerance {
+                self.note_wrap_divergence(l, diff)?;
+            } else {
+                self.wrap_diff.push(diff);
+            }
+        }
+        debug_assert!(
+            incr_sign == self.sign || !self.recovery.is_empty(),
+            "incremental sign diverged from determinant sign"
+        );
+        // Mid-sweep measurement: equal-time observables are
+        // τ-translation invariant, so the freshly recomputed G at
+        // this boundary is as good a sample as the sweep-end one.
+        if self.params.measure_per_cluster && l + 1 != l_slices {
+            if let Some(obs) = obs.as_deref_mut() {
+                let (gup, gdn, sign, u) = (&self.g[0], &self.g[1], self.sign, self.params.model.u);
+                self.timer
+                    .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
+            }
+        }
+        Ok(())
+    }
+
     /// The slice loop of one sweep: Metropolis updates, wraps, boundary
     /// recomputes and mid-sweep measurements. Factored out of
     /// [`Self::try_sweep`] so the wrap workspace is returned to the pool on
@@ -627,44 +715,10 @@ impl DqmcCore {
         obs: &mut Option<&mut Observables>,
     ) -> Result<(), DqmcError> {
         let l_slices = self.params.model.slices;
-        let n = self.nsites();
-        let nu = self.fac.nu();
-        let nb = self.params.delay_block;
 
         for l in 0..l_slices {
             // --- Metropolis site loop with delayed updates ---
-            let t0 = std::time::Instant::now();
-            let gup = std::mem::replace(&mut self.g[0], Matrix::zeros(0, 0));
-            let gdn = std::mem::replace(&mut self.g[1], Matrix::zeros(0, 0));
-            let mut up = SliceUpdater::new(gup, nb);
-            let mut dn = SliceUpdater::new(gdn, nb);
-            let mut any_accept = false;
-            for i in 0..n {
-                let hli = self.h.get(l, i);
-                let alpha_up = (-2.0 * nu * hli).exp() - 1.0;
-                let alpha_dn = (2.0 * nu * hli).exp() - 1.0;
-                let d_up = 1.0 + alpha_up * (1.0 - up.gii(i));
-                let d_dn = 1.0 + alpha_dn * (1.0 - dn.gii(i));
-                let r = d_up * d_dn;
-                self.proposed += 1;
-                let p_accept = self.params.acceptance.probability(r.abs());
-                if self.rng.next_f64() < p_accept {
-                    self.h.flip(l, i);
-                    up.accept(i, alpha_up, d_up);
-                    dn.accept(i, alpha_dn, d_dn);
-                    if r < 0.0 {
-                        self.sign = -self.sign;
-                    }
-                    self.accepted += 1;
-                    any_accept = true;
-                }
-            }
-            self.g[0] = up.into_g();
-            self.g[1] = dn.into_g();
-            self.timer.add(phases::DELAYED_UPDATE, t0.elapsed());
-            if any_accept {
-                self.cache.invalidate_slice(l);
-            }
+            self.metropolis_slice(l);
 
             // --- Advance to the next slice: wrap, and recompute at cluster
             //     boundaries (monitoring the wrap error there). The cluster
@@ -676,31 +730,7 @@ impl DqmcCore {
             let at_boundary = (l + 1) % k == 0 || l + 1 == l_slices;
             let wrap_ok = self.wrap_with_recovery(l, at_boundary, wrapped)?;
             if at_boundary {
-                let incr_sign = self.sign;
-                self.recompute_greens_recovering(l)?;
-                if wrap_ok {
-                    let diff = greens::relative_difference(&wrapped[0], &self.g[0]);
-                    if self.params.recovery.enabled && diff > self.params.recovery.wrap_tolerance {
-                        self.note_wrap_divergence(l, diff)?;
-                    } else {
-                        self.wrap_diff.push(diff);
-                    }
-                }
-                debug_assert!(
-                    incr_sign == self.sign || !self.recovery.is_empty(),
-                    "incremental sign diverged from determinant sign"
-                );
-                // Mid-sweep measurement: equal-time observables are
-                // τ-translation invariant, so the freshly recomputed G at
-                // this boundary is as good a sample as the sweep-end one.
-                if self.params.measure_per_cluster && l + 1 != l_slices {
-                    if let Some(obs) = obs.as_deref_mut() {
-                        let (gup, gdn, sign, u) =
-                            (&self.g[0], &self.g[1], self.sign, self.params.model.u);
-                        self.timer
-                            .time(phases::MEASUREMENT, || obs.record(u, gup, gdn, sign));
-                    }
-                }
+                self.boundary_recompute(l, wrap_ok, wrapped, obs)?;
             } else if wrap_ok {
                 std::mem::swap(&mut self.g[0], &mut wrapped[0]);
                 std::mem::swap(&mut self.g[1], &mut wrapped[1]);

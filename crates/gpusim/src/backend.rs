@@ -24,7 +24,7 @@ use linalg::Matrix;
 /// sick-window failures indict the *device* (they must escape the in-core
 /// recovery ladder so the scheduler can quarantine the slot); everything
 /// else is an ordinary device-class fault the ladder handles in place.
-fn classify(e: DeviceError) -> BackendFault {
+pub(crate) fn classify(e: DeviceError) -> BackendFault {
     if e.is_sick() {
         BackendFault::sick(e.to_string(), e.is_wedged())
     } else {
@@ -133,6 +133,10 @@ impl ComputeBackend for DeviceBackend {
         self.expk = None;
         self.expk_inv = None;
         self.dev.reset_arena();
+    }
+
+    fn device_seconds(&self) -> f64 {
+        self.dev.elapsed()
     }
 }
 

@@ -97,6 +97,25 @@ pub struct DMatrix {
     m: Matrix,
 }
 
+/// One side of a batched device GEMM: a single resident operand shared by
+/// every entry (uploaded once, read B times), or one operand per entry.
+#[derive(Clone, Copy, Debug)]
+pub enum DGemmOperand<'a> {
+    /// The same device matrix multiplies every entry of the stack.
+    Shared(&'a DMatrix),
+    /// Entry `e` uses `ds[e]`.
+    Each(&'a [DMatrix]),
+}
+
+impl<'a> DGemmOperand<'a> {
+    fn entry(&self, e: usize) -> &'a DMatrix {
+        match self {
+            DGemmOperand::Shared(d) => d,
+            DGemmOperand::Each(ds) => &ds[e],
+        }
+    }
+}
+
 impl DMatrix {
     /// Host view of the device contents (free of simulated cost — test hook;
     /// use [`Device::get_matrix`] to model the PCIe read).
@@ -525,6 +544,184 @@ impl Device {
     /// Algorithm 5 in column form: one launch, coalesced. `a ← a·diag(v)`.
     pub fn scale_cols_kernel(&mut self, v: &[f64], a: &mut DMatrix) {
         Self::infallible(self.try_scale_cols_kernel(v, a));
+    }
+
+    /// `cublasSetMatrix` of a whole crowd: one PCIe transaction moves B
+    /// stacked matrices, so the per-transfer latency is paid once per crowd
+    /// instead of once per walker. Numerics identical to B solo uploads.
+    pub fn set_matrix_stack(&mut self, hosts: &[&Matrix]) -> Vec<DMatrix> {
+        let total: usize = hosts.iter().map(|h| h.as_slice().len()).sum();
+        self.transfer(total * 8);
+        hosts.iter().map(|h| DMatrix { m: (*h).clone() }).collect()
+    }
+
+    /// `cublasSetVector` of a stacked crowd of vectors: one transfer.
+    pub fn set_vector_stack(&mut self, vs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let total: usize = vs.iter().map(|v| v.len()).sum();
+        self.transfer(total * 8);
+        vs.iter().map(|v| v.to_vec()).collect()
+    }
+
+    /// [`Device::set_vector_stack`] into pre-allocated device vectors.
+    pub fn set_vector_stack_into(&mut self, vs: &[&[f64]], dsts: &mut [Vec<f64>]) {
+        assert_eq!(vs.len(), dsts.len());
+        let total: usize = vs.iter().map(|v| v.len()).sum();
+        self.transfer(total * 8);
+        for (v, dst) in vs.iter().zip(dsts.iter_mut()) {
+            dst.clear();
+            dst.extend_from_slice(v);
+        }
+    }
+
+    /// `cublasGetMatrix` of a whole crowd: one PCIe transaction, one
+    /// download ordinal. Scheduled transfer corruption poisons exactly one
+    /// element of the stacked payload (landing in one walker's image), the
+    /// same observable granularity as the solo path — callers on the
+    /// recovery path must scan each received matrix.
+    pub fn get_matrix_stack_into(&mut self, ds: &[&DMatrix], outs: &mut [&mut Matrix]) {
+        assert_eq!(ds.len(), outs.len());
+        let mut total = 0usize;
+        for (d, out) in ds.iter().zip(outs.iter()) {
+            assert!(d.m.nrows() == out.nrows() && d.m.ncols() == out.ncols());
+            total += d.m.as_slice().len();
+        }
+        self.transfer(total * 8);
+        self.downloads += 1;
+        let corrupt = self.faults.take_download_fault(self.downloads);
+        for (d, out) in ds.iter().zip(outs.iter_mut()) {
+            out.as_mut_slice().copy_from_slice(d.m.as_slice());
+        }
+        if corrupt && total > 0 {
+            let mut i = self.faults.pick_index(total);
+            for out in outs.iter_mut() {
+                let data = out.as_mut_slice();
+                if i < data.len() {
+                    data[i] = f64::NAN;
+                    break;
+                }
+                i -= data.len();
+            }
+            self.faults_injected += 1;
+        }
+    }
+
+    /// Allocates a stack of B uninitialised device matrices (arena-charged
+    /// individually; allocation has no PCIe or launch cost to amortise).
+    pub fn try_alloc_stack(
+        &mut self,
+        nrows: usize,
+        ncols: usize,
+        count: usize,
+    ) -> Result<Vec<DMatrix>, DeviceError> {
+        (0..count).map(|_| self.try_alloc(nrows, ncols)).collect()
+    }
+
+    /// Fallible `cublasDgemmStridedBatched`: `C_e = alpha·A_e·B_e + beta·C_e`
+    /// for every entry of the crowd. Cost model: **one** kernel launch (the
+    /// batched driver submits the whole stack) plus B× the solo compute
+    /// time; per-entry completion still counts one compute op each, so
+    /// bit-flip fault ordinals see every entry. Numerics delegate to the
+    /// host batched kernel, which is bit-identical per entry to solo
+    /// [`Device::try_dgemm`].
+    pub fn try_dgemm_strided_batched(
+        &mut self,
+        alpha: f64,
+        a: DGemmOperand<'_>,
+        b: DGemmOperand<'_>,
+        beta: f64,
+        cs: &mut [DMatrix],
+    ) -> Result<(), DeviceError> {
+        if cs.is_empty() {
+            return Ok(());
+        }
+        self.try_launch("dgemm_strided_batched")?;
+        let (m, k) = (a.entry(0).nrows(), a.entry(0).ncols());
+        let n = b.entry(0).ncols();
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let order = ((m * n * k) as f64).cbrt() as usize;
+        let per_entry = flops / (self.spec.gemm_rate(order) * 1e9);
+        self.clock.advance(per_entry * cs.len() as f64);
+
+        let a_each: Vec<&Matrix>;
+        let a_op = match a {
+            DGemmOperand::Shared(d) => linalg::GemmOperand::Shared(&d.m),
+            DGemmOperand::Each(ds) => {
+                a_each = ds.iter().map(|d| &d.m).collect();
+                linalg::GemmOperand::Each(&a_each)
+            }
+        };
+        let b_each: Vec<&Matrix>;
+        let b_op = match b {
+            DGemmOperand::Shared(d) => linalg::GemmOperand::Shared(&d.m),
+            DGemmOperand::Each(ds) => {
+                b_each = ds.iter().map(|d| &d.m).collect();
+                linalg::GemmOperand::Each(&b_each)
+            }
+        };
+        let mut c_refs: Vec<&mut Matrix> = cs.iter_mut().map(|c| &mut c.m).collect();
+        linalg::dgemm_strided_batched(
+            alpha,
+            a_op,
+            Op::NoTrans,
+            b_op,
+            Op::NoTrans,
+            beta,
+            &mut c_refs,
+        );
+        for c in cs.iter_mut() {
+            self.finish_compute(&mut c.m);
+        }
+        Ok(())
+    }
+
+    /// Batched Algorithm 5 row scaling: one launch services the whole
+    /// crowd, streaming B matrices at full bandwidth. `a_e ← diag(v_e)·a_e`.
+    pub fn try_scale_rows_kernel_batched(
+        &mut self,
+        vs: &[Vec<f64>],
+        as_: &mut [DMatrix],
+    ) -> Result<(), DeviceError> {
+        assert_eq!(vs.len(), as_.len());
+        if as_.is_empty() {
+            return Ok(());
+        }
+        for (v, a) in vs.iter().zip(as_.iter()) {
+            assert_eq!(v.len(), a.m.nrows());
+        }
+        self.try_launch("scale_rows_kernel_batched")?;
+        let total: usize = as_.iter().map(|a| a.m.as_slice().len()).sum();
+        self.clock
+            .advance((total * 16) as f64 / (self.spec.mem_bandwidth_gbs * 1e9));
+        for (v, a) in vs.iter().zip(as_.iter_mut()) {
+            scale::row_scale(v, &mut a.m);
+            self.finish_compute(&mut a.m);
+        }
+        Ok(())
+    }
+
+    /// Batched Algorithm 5 column scaling: one launch per crowd.
+    /// `a_e ← a_e·diag(v_e)`.
+    pub fn try_scale_cols_kernel_batched(
+        &mut self,
+        vs: &[Vec<f64>],
+        as_: &mut [DMatrix],
+    ) -> Result<(), DeviceError> {
+        assert_eq!(vs.len(), as_.len());
+        if as_.is_empty() {
+            return Ok(());
+        }
+        for (v, a) in vs.iter().zip(as_.iter()) {
+            assert_eq!(v.len(), a.m.ncols());
+        }
+        self.try_launch("scale_cols_kernel_batched")?;
+        let total: usize = as_.iter().map(|a| a.m.as_slice().len()).sum();
+        self.clock
+            .advance((total * 16) as f64 / (self.spec.mem_bandwidth_gbs * 1e9));
+        for (v, a) in vs.iter().zip(as_.iter_mut()) {
+            scale::col_scale(v, &mut a.m);
+            self.finish_compute(&mut a.m);
+        }
+        Ok(())
     }
 
     /// Fallible [`Device::wrap_scale_kernel`].

@@ -31,6 +31,7 @@
 
 pub mod backend;
 pub mod cluster;
+pub mod crowd;
 pub mod device;
 pub mod faults;
 pub mod gpu_strat;
@@ -40,7 +41,8 @@ pub mod wrap;
 
 pub use backend::DeviceBackend;
 pub use cluster::{cluster_cublas, cluster_custom_kernel, try_cluster_custom_kernel};
-pub use device::{DMatrix, Device, DeviceSpec, HostSpec};
+pub use crowd::{try_cluster_crowd, try_wrap_crowd_bitexact_into, CrowdDeviceBackend};
+pub use device::{DGemmOperand, DMatrix, Device, DeviceSpec, HostSpec};
 pub use faults::{DeviceError, FaultPlan};
 pub use gpu_strat::{gpu_stratified_greens, GpuStratReport};
 pub use hybrid::{hybrid_greens, HybridReport};

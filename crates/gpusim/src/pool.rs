@@ -510,6 +510,28 @@ impl DeviceLease {
         }
         DeviceBackend::new(dev).with_bitexact_wrap(true)
     }
+
+    /// Builds a fresh *crowd* backend on the leased device — the batched
+    /// analogue of [`DeviceLease::backend`], used when the job unit is a
+    /// whole crowd of walkers. Same arming rules (job plan merged with the
+    /// slot's sick profile); the crowd backend is always in deterministic
+    /// mode, so neither placement nor batching shows up in observables.
+    // dqmc-lint: allow(hot_alloc) — backend construction is once per job
+    // placement, not per quantum; the Device itself owns fresh buffers.
+    pub fn crowd_backend(&self, plan: Option<FaultPlan>) -> crate::crowd::CrowdDeviceBackend {
+        let mut dev = Device::new(self.inner.spec.clone());
+        let profile = relock(self.inner.health.lock())[self.slot].profile.clone();
+        let armed = match (plan, profile) {
+            (Some(p), Some(s)) => Some(p.merge(s)),
+            (Some(p), None) => Some(p),
+            (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        if let Some(plan) = armed {
+            dev.arm_faults(plan);
+        }
+        crate::crowd::CrowdDeviceBackend::new(dev)
+    }
 }
 
 impl Drop for DeviceLease {

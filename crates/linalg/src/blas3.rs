@@ -42,14 +42,14 @@ pub enum Op {
 
 impl Op {
     /// Rows of `op(A)` given the stored shape.
-    fn rows(self, a: &Matrix) -> usize {
+    pub(crate) fn rows(self, a: &Matrix) -> usize {
         match self {
             Op::NoTrans => a.nrows(),
             Op::Trans => a.ncols(),
         }
     }
     /// Columns of `op(A)` given the stored shape.
-    fn cols(self, a: &Matrix) -> usize {
+    pub(crate) fn cols(self, a: &Matrix) -> usize {
         match self {
             Op::NoTrans => a.ncols(),
             Op::Trans => a.nrows(),
@@ -58,15 +58,15 @@ impl Op {
 }
 
 /// Micro-kernel tile height (rows of packed A panels; shared by both paths).
-const MR: usize = 8;
+pub(crate) const MR: usize = 8;
 /// Cache block for the k dimension.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Cache block for the m dimension (per parallel task).
-const MC: usize = 128;
+pub(crate) const MC: usize = 128;
 /// Cache block for the n dimension (per parallel task).
-const NC: usize = 512;
+pub(crate) const NC: usize = 512;
 /// Below this flop count the blocked/parallel machinery is pure overhead.
-const SMALL_FLOPS: usize = 48 * 48 * 48;
+pub(crate) const SMALL_FLOPS: usize = 48 * 48 * 48;
 
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
 ///
@@ -218,7 +218,7 @@ fn gemm_blocked<const NR: usize>(
 
 /// Raw pointer wrapper so disjoint C tiles can be written from Rayon tasks.
 #[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
+pub(crate) struct SendPtr(pub(crate) *mut f64);
 // SAFETY: SendPtr is only created in `gemm_blocked` and only dereferenced
 // inside `macro_kernel`, where each Rayon task writes a tile of C disjoint
 // from every other task's tile; no aliasing writes can occur.
@@ -227,7 +227,7 @@ unsafe impl Send for SendPtr {}
 // dereferences go through the disjoint-tile discipline above.
 unsafe impl Sync for SendPtr {}
 
-fn padded(x: usize, r: usize) -> usize {
+pub(crate) fn padded(x: usize, r: usize) -> usize {
     x.div_ceil(r) * r
 }
 
@@ -248,7 +248,7 @@ fn read_op(a: &Matrix, op: Op, i: usize, p: usize) -> f64 {
 /// Layout: panel r0 (rows r0..r0+MR) occupies `kc*MR` consecutive values,
 /// k-major: element (r0+i, pc+p) at `panel_base + p*MR + i`. Rows beyond `m`
 /// are zero-padded.
-fn pack_a_full(a: &Matrix, opa: Op, pc: usize, kc: usize, m: usize, buf: &mut [f64]) {
+pub(crate) fn pack_a_full(a: &Matrix, opa: Op, pc: usize, kc: usize, m: usize, buf: &mut [f64]) {
     let panels = m.div_ceil(MR);
     let pack_panel = |(pi, panel): (usize, &mut [f64])| {
         let r0 = pi * MR;
@@ -275,7 +275,7 @@ fn pack_a_full(a: &Matrix, opa: Op, pc: usize, kc: usize, m: usize, buf: &mut [f
 ///
 /// Layout: panel c0 occupies `kc*NR` consecutive values, k-major: element
 /// (pc+p, c0+j) at `panel_base + p*NR + j`. Columns beyond `n` are zero-padded.
-fn pack_b_full<const NR: usize>(
+pub(crate) fn pack_b_full<const NR: usize>(
     b: &Matrix,
     opb: Op,
     pc: usize,
@@ -307,7 +307,7 @@ fn pack_b_full<const NR: usize>(
 
 /// Computes one MC×NC macro-tile of C from packed panels.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel<const NR: usize>(
+pub(crate) fn macro_kernel<const NR: usize>(
     use_fma: bool,
     alpha: f64,
     packed_a: &[f64],
@@ -403,7 +403,7 @@ fn micro_kernel<const NR: usize>(
 }
 
 /// Serial path for small products: column-major friendly j-p-i loops.
-fn gemm_small(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, c: &mut Matrix) {
+pub(crate) fn gemm_small(alpha: f64, a: &Matrix, opa: Op, b: &Matrix, opb: Op, c: &mut Matrix) {
     let m = c.nrows();
     let n = c.ncols();
     let k = opa.cols(a);

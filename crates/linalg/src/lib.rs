@@ -35,6 +35,7 @@
 //! pivoted-QR diagonals) through the macros in [`check`]; without the
 //! feature the macros expand to nothing. See [`check`] for the contract.
 
+pub mod batch;
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;
@@ -54,6 +55,7 @@ pub mod tri;
 pub mod tsqr;
 pub mod workspace;
 
+pub use batch::{dgemm_strided_batched, qrp_batched, GemmOperand};
 pub use blas3::{gemm, gemm_naive, gemm_with_kernel, Op};
 pub use eig::SymEig;
 pub use expm::sym_expm;

@@ -125,6 +125,10 @@ pub struct GridSpec {
     pub betas: Vec<f64>,
     /// Independent Markov chains per grid point.
     pub chains: usize,
+    /// Crowd size B: chains batched per job, stepped in lockstep through
+    /// one (batched) backend. 1 = solo jobs; larger crowds amortise kernel
+    /// launches and transfer latency without changing any observable.
+    pub crowd: usize,
     /// Warmup sweeps per chain.
     pub warmup: usize,
     /// Measurement sweeps per chain.
@@ -164,6 +168,7 @@ impl Default for GridSpec {
             us: vec![4.0],
             betas: vec![2.0],
             chains: 2,
+            crowd: 1,
             warmup: 50,
             sweeps: 200,
             bin_size: 5,
@@ -227,6 +232,7 @@ impl GridSpec {
                 "u" => spec.us = parse_f64_list(value).map_err(bad)?,
                 "beta" => spec.betas = parse_f64_list(value).map_err(bad)?,
                 "chains" => spec.chains = parse_usize(value).map_err(bad)?,
+                "crowd" => spec.crowd = parse_usize(value).map_err(bad)?,
                 "warmup" => spec.warmup = parse_usize(value).map_err(bad)?,
                 "sweeps" => spec.sweeps = parse_usize(value).map_err(bad)?,
                 "bin_size" => spec.bin_size = parse_usize(value).map_err(bad)?,
@@ -273,6 +279,9 @@ impl GridSpec {
         }
         if self.chains == 0 || self.sweeps == 0 {
             return bad("chains and sweeps must be positive".into());
+        }
+        if self.crowd == 0 {
+            return bad("crowd must be positive (1 = solo jobs)".into());
         }
         if self.bin_size == 0 || self.cluster_size == 0 {
             return bad("bin_size and cluster_size must be positive".into());

@@ -29,17 +29,28 @@ use std::time::Duration;
 // through one worker's death — the chaos tier's first requirement.
 use util::sync::{relock, Condvar, Mutex};
 
-/// One schedulable unit: a single Markov chain of a single grid point.
+/// One schedulable unit: a *crowd* of `width` consecutive Markov chains of
+/// a single grid point, stepped in lockstep on one placement. `width == 1`
+/// is the classic solo job; wider jobs batch their walkers' wrap and
+/// cluster kernels through strided-batch device calls, so each device lease
+/// services `width` walkers per launch.
 #[derive(Debug)]
 pub struct SweepJob {
     /// Grid point index (the seed hash-split's stream id).
     pub point: usize,
-    /// Chain index within the point.
+    /// First chain index covered by this job; the job spans chains
+    /// `chain..chain + width`.
     pub chain: usize,
+    /// Walkers batched in this job (`1 + extra_params.len()`).
+    pub width: usize,
     /// Scheduling class; higher pops first and preempts lower.
     pub priority: u8,
-    /// Full simulation parameters (seed already hash-split).
+    /// Full simulation parameters of the base chain (seed already
+    /// hash-split).
     pub params: SimParams,
+    /// Parameters of the crowd's remaining walkers, chains
+    /// `chain + 1..chain + width`, each with its own hash-split seed.
+    pub extra_params: Vec<SimParams>,
     /// Scripted device faults to arm when the job lands on a device.
     pub fault_plan: Option<FaultPlan>,
     /// Parked `DQCP` image from the last yield; `None` for a fresh start.
@@ -52,6 +63,9 @@ pub struct SweepJob {
     pub device_quanta: u64,
     /// Quanta executed on the host backend.
     pub host_quanta: u64,
+    /// Modeled device-seconds accumulated across placements (each lease
+    /// starts a fresh simulated clock; parks fold it in here).
+    pub device_seconds: f64,
     /// Device-pool slots this job must not be placed on again (each slot
     /// that failed it with a `DeviceSick`-class error).
     pub excluded_slots: Vec<usize>,
@@ -69,14 +83,17 @@ impl SweepJob {
         SweepJob {
             point,
             chain,
+            width: 1,
             priority: 0,
             params,
+            extra_params: Vec::new(),
             fault_plan: None,
             checkpoint: None,
             attempts: 0,
             preemptions: 0,
             device_quanta: 0,
             host_quanta: 0,
+            device_seconds: 0.0,
             excluded_slots: Vec::new(),
             sick_strikes: 0,
         }
@@ -92,6 +109,25 @@ impl SweepJob {
     pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
         self.fault_plan = plan;
         self
+    }
+
+    /// Widens the job into a crowd: `extra` holds the parameters of the
+    /// walkers for chains `chain + 1..`, each with its own hash-split seed.
+    // dqmc-lint: allow(hot_alloc) — crowd construction is sweep setup.
+    pub fn with_crowd(mut self, extra: Vec<SimParams>) -> Self {
+        self.width = 1 + extra.len();
+        self.extra_params = extra;
+        self
+    }
+
+    /// All walker parameters in chain order (base chain first) — the list
+    /// `dqmc::Crowd::new` / `Crowd::resume_bytes` consume.
+    // dqmc-lint: allow(hot_alloc) — runs at job placement, not per sweep.
+    pub fn crowd_params(&self) -> Vec<SimParams> {
+        let mut all = Vec::with_capacity(self.width);
+        all.push(self.params.clone());
+        all.extend(self.extra_params.iter().cloned());
+        all
     }
 }
 

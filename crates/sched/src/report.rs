@@ -48,6 +48,9 @@ pub struct PointSummary {
     pub device_quanta: u64,
     /// Scheduling quanta run on the host backend.
     pub host_quanta: u64,
+    /// Modeled device-seconds consumed by this point's jobs (the simulated
+    /// accelerator clock — the schedule-layer throughput currency).
+    pub device_seconds: f64,
 }
 
 /// The full campaign result.
@@ -57,6 +60,9 @@ pub struct SweepReport {
     pub seed: u64,
     /// Chains per point.
     pub chains: usize,
+    /// Crowd size B: chains batched per job (1 = solo jobs). Lives in the
+    /// schedule layer — crowding may only change cost, never observables.
+    pub crowd: usize,
     /// Warmup sweeps per chain.
     pub warmup: usize,
     /// Measurement sweeps per chain.
@@ -75,6 +81,10 @@ pub struct SweepReport {
     pub device_quanta: u64,
     /// Quanta run on the host, campaign-wide.
     pub host_quanta: u64,
+    /// Modeled device-seconds consumed campaign-wide. Wall clock measures
+    /// the host running the simulation *of* the device; this measures the
+    /// device being simulated — the honest axis for batching speedups.
+    pub device_seconds: f64,
     /// Device leases granted by the pool.
     pub leases_granted: u64,
     /// Lease requests that fell back to the host.
@@ -152,7 +162,8 @@ impl PointSummary {
     fn schedule_json(&self) -> String {
         format!(
             "{{\"point\":{},\"acceptance\":{},\"max_wrap_error\":{},\"recovery_events\":{},\
-             \"failed_chains\":{},\"preemptions\":{},\"device_quanta\":{},\"host_quanta\":{}}}",
+             \"failed_chains\":{},\"preemptions\":{},\"device_quanta\":{},\"host_quanta\":{},\
+             \"device_seconds\":{}}}",
             self.point,
             jnum(self.mean_acceptance),
             jnum(self.max_wrap_error),
@@ -160,7 +171,8 @@ impl PointSummary {
             self.chains_failed,
             self.preemptions,
             self.device_quanta,
-            self.host_quanta
+            self.host_quanta,
+            jnum(self.device_seconds)
         )
     }
 }
@@ -188,9 +200,9 @@ impl SweepReport {
         let sched: Vec<String> = self.points.iter().map(|p| p.schedule_json()).collect();
         let t = &self.recovery_tallies;
         format!(
-            "{{\"observables\":{},\"schedule\":{{\"workers\":{},\"devices\":{},\
+            "{{\"observables\":{},\"schedule\":{{\"workers\":{},\"devices\":{},\"crowd\":{},\
              \"total_jobs\":{},\"failed_jobs\":{},\"preemptions\":{},\"retries\":{},\
-             \"device_quanta\":{},\"host_quanta\":{},\"leases_granted\":{},\
+             \"device_quanta\":{},\"host_quanta\":{},\"device_seconds\":{},\"leases_granted\":{},\
              \"lease_misses\":{},\"health\":{{\"quarantines\":{},\"probes\":{},\
              \"readmissions\":{},\"quarantine_skips\":{},\"soft_parks\":{},\
              \"worker_losses\":{},\"panics_caught\":{}}},\
@@ -200,12 +212,14 @@ impl SweepReport {
             self.observables_json(),
             self.workers,
             self.devices,
+            self.crowd,
             self.total_jobs,
             self.failed_jobs,
             self.preemptions,
             self.retries,
             self.device_quanta,
             self.host_quanta,
+            jnum(self.device_seconds),
             self.leases_granted,
             self.lease_misses,
             self.quarantines,
@@ -252,18 +266,20 @@ impl SweepReport {
         }
         out.push_str(&format!(
             "jobs {}/{} ok | preemptions {} | retries {} | quanta dev/host {}/{} | \
-             lease miss {}/{} | {:.2}s with {} workers, {} devices\n",
+             device {:.3}s | lease miss {}/{} | {:.2}s with {} workers, {} devices, crowd {}\n",
             self.total_jobs - self.failed_jobs,
             self.total_jobs,
             self.preemptions,
             self.retries,
             self.device_quanta,
             self.host_quanta,
+            self.device_seconds,
             self.lease_misses,
             self.leases_granted + self.lease_misses,
             self.wall_seconds,
             self.workers,
             self.devices,
+            self.crowd,
         ));
         let t = &self.recovery_tallies;
         out.push_str(&format!(
@@ -295,6 +311,7 @@ mod tests {
         SweepReport {
             seed: 7,
             chains: 2,
+            crowd: 1,
             warmup: 4,
             sweeps: 8,
             points: vec![PointSummary {
@@ -319,6 +336,7 @@ mod tests {
                 preemptions: 3,
                 device_quanta: 5,
                 host_quanta: 2,
+                device_seconds: 0.25,
             }],
             total_jobs: 2,
             failed_jobs: 0,
@@ -326,6 +344,7 @@ mod tests {
             retries: 0,
             device_quanta: 5,
             host_quanta: 2,
+            device_seconds: 0.25,
             leases_granted: 5,
             lease_misses: 2,
             quarantines: 2,
@@ -359,6 +378,8 @@ mod tests {
         assert!(!j.contains("recovery_events"));
         assert!(!j.contains("wall"));
         assert!(!j.contains("quanta"));
+        assert!(!j.contains("device_seconds"));
+        assert!(!j.contains("crowd"));
     }
 
     #[test]

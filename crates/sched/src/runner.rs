@@ -46,7 +46,9 @@ use crate::queue::{JobQueue, Pop, SweepJob};
 use crate::report::{PointSummary, SweepReport};
 use crate::trace::{EventLog, Placement, TraceEvent};
 use crate::watchdog::{DeadlineVerdict, Heartbeats, QuantumWatchdog};
-use dqmc::{DqmcError, Observables, RecoveryLog, RecoveryTallies, RunToken, Severity, Simulation};
+use dqmc::{
+    Crowd, DqmcError, Observables, RecoveryLog, RecoveryTallies, RunToken, Severity, Simulation,
+};
 use gpusim::{BreakerPolicy, DevicePool, DeviceSpec, HealthDecision};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,8 +118,11 @@ impl SchedConfig {
     }
 }
 
-/// What happened to one job. The accumulators are boxed so the `Failed`
-/// variant (and the slot vector's `None`s) stay pointer-sized.
+/// What happened to one *chain*. The accumulators are boxed so the `Failed`
+/// variant (and the slot vector's `None`s) stay pointer-sized. A crowd job
+/// of `width` chains produces `width` of these; its job-level scheduling
+/// counters (preemptions, quanta, device-seconds) are recorded on the base
+/// chain's outcome only, so campaign totals count each job once.
 enum ChainOutcome {
     Done {
         observables: Box<Observables>,
@@ -127,12 +132,87 @@ enum ChainOutcome {
         preemptions: u32,
         device_quanta: u64,
         host_quanta: u64,
+        device_seconds: f64,
     },
     Failed {
         preemptions: u64,
         device_quanta: u64,
         host_quanta: u64,
+        device_seconds: f64,
     },
+}
+
+/// The simulation a job drives: one walker, or `width` walkers in lockstep
+/// through a batched crowd backend. One quantum loop serves both — the
+/// crowd path differs only in construction and in fanning its result out
+/// to `width` chain slots.
+enum JobSim {
+    Solo(Box<Simulation>),
+    Crowd(Box<Crowd>),
+}
+
+impl JobSim {
+    fn try_step(&mut self, n: usize, token: &RunToken) -> Result<usize, DqmcError> {
+        match self {
+            JobSim::Solo(s) => s.try_step(n, token),
+            JobSim::Crowd(c) => c.try_step(n, token),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        match self {
+            JobSim::Solo(s) => s.is_complete(),
+            JobSim::Crowd(c) => c.is_complete(),
+        }
+    }
+
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        match self {
+            JobSim::Solo(s) => s.checkpoint_bytes(),
+            JobSim::Crowd(c) => c.checkpoint_bytes(),
+        }
+    }
+
+    /// Sweeps completed (warmup + measurement) — per walker; walkers run in
+    /// lockstep, so walker 0 speaks for a crowd.
+    fn sweeps_done(&self) -> usize {
+        let (w, m) = match self {
+            JobSim::Solo(s) => s.sweeps_done(),
+            JobSim::Crowd(c) => c.walker(0).sweeps_done(),
+        };
+        w + m
+    }
+
+    /// Modeled device-seconds this placement's backend has consumed.
+    fn device_seconds(&self) -> f64 {
+        match self {
+            JobSim::Solo(s) => s.device_seconds(),
+            JobSim::Crowd(c) => c.device_seconds(),
+        }
+    }
+
+    /// Per-chain outcomes in chain order; job-level counters land on the
+    /// base chain only.
+    fn outcomes(&self, job: &SweepJob) -> Vec<ChainOutcome> {
+        let walkers: Vec<&Simulation> = match self {
+            JobSim::Solo(s) => vec![s],
+            JobSim::Crowd(c) => c.walkers().iter().collect(),
+        };
+        walkers
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| ChainOutcome::Done {
+                observables: Box::new(w.observables().clone()),
+                acceptance: w.acceptance_rate(),
+                max_wrap_error: w.max_wrap_error(),
+                recovery: w.recovery_log().clone(),
+                preemptions: if i == 0 { job.preemptions } else { 0 },
+                device_quanta: if i == 0 { job.device_quanta } else { 0 },
+                host_quanta: if i == 0 { job.host_quanta } else { 0 },
+                device_seconds: if i == 0 { job.device_seconds } else { 0.0 },
+            })
+            .collect()
+    }
 }
 
 /// Mid-sweep injection handle passed to the observer callback: jobs held
@@ -170,7 +250,8 @@ pub type SweepObserver = dyn for<'a> Fn(&TraceEvent, &Injector<'a>) + Sync;
 
 /// The result of one quantum-loop invocation.
 enum RunStep {
-    Completed(Box<ChainOutcome>),
+    /// One outcome per chain the job covers, in chain order.
+    Completed(Vec<ChainOutcome>),
     Yielded {
         sweeps_done: usize,
     },
@@ -247,25 +328,49 @@ fn run_job(
     let mut sim = match &job.checkpoint {
         // The image was produced by this very run, so a decode failure
         // means in-memory corruption: no restart can help.
-        Some(bytes) => match Simulation::resume_bytes(bytes, &job.params) {
-            Ok(sim) => sim,
-            Err(e) => {
-                let error =
-                    DqmcError::fatal("resume", format!("parked DQCP image failed to resume: {e}"));
-                return (RunStep::Aborted { error }, slot);
+        Some(bytes) => {
+            let resumed = if job.width == 1 {
+                Simulation::resume_bytes(bytes, &job.params)
+                    .map(|s| JobSim::Solo(Box::new(s)))
+                    .map_err(|e| e.to_string())
+            } else {
+                Crowd::resume_bytes(bytes, &job.crowd_params())
+                    .map(|c| JobSim::Crowd(Box::new(c)))
+                    .map_err(|e| e.to_string())
+            };
+            match resumed {
+                Ok(sim) => sim,
+                Err(e) => {
+                    let error =
+                        DqmcError::fatal("resume", format!("parked image failed to resume: {e}"));
+                    return (RunStep::Aborted { error }, slot);
+                }
             }
-        },
-        None => Simulation::new(job.params.clone()),
+        }
+        None if job.width == 1 => JobSim::Solo(Box::new(Simulation::new(job.params.clone()))),
+        None => JobSim::Crowd(Box::new(Crowd::new(job.crowd_params()))),
     };
     let mut watchdog = None;
+    if cfg.soft_quantum_cost_s > 0.0 && lease.is_some() {
+        watchdog = Some(QuantumWatchdog::new(cfg.soft_quantum_cost_s));
+    }
     if let Some(l) = &lease {
-        let mut backend = l.backend(job.fault_plan.clone());
-        if cfg.soft_quantum_cost_s > 0.0 {
-            let wd = QuantumWatchdog::new(cfg.soft_quantum_cost_s);
-            backend.device_mut().set_cost_meter(wd.meter());
-            watchdog = Some(wd);
-        }
-        sim = sim.with_backend(Box::new(backend));
+        sim = match sim {
+            JobSim::Solo(s) => {
+                let mut backend = l.backend(job.fault_plan.clone());
+                if let Some(wd) = &watchdog {
+                    backend.device_mut().set_cost_meter(wd.meter());
+                }
+                JobSim::Solo(Box::new(s.with_backend(Box::new(backend))))
+            }
+            JobSim::Crowd(c) => {
+                let mut backend = l.crowd_backend(job.fault_plan.clone());
+                if let Some(wd) = &watchdog {
+                    backend.device_mut().set_cost_meter(wd.meter());
+                }
+                JobSim::Crowd(Box::new(c.with_backend(Box::new(backend))))
+            }
+        };
     }
 
     let quantum = if cfg.quantum == 0 {
@@ -276,6 +381,7 @@ fn run_job(
     let mut quanta_run: u64 = 0;
     loop {
         if let Err(error) = sim.try_step(quantum, token) {
+            job.device_seconds += sim.device_seconds();
             return (RunStep::Aborted { error }, slot);
         }
         quanta_run += 1;
@@ -289,24 +395,15 @@ fn run_job(
                 chain: job.chain,
                 worker,
             });
-            return (
-                RunStep::Completed(Box::new(ChainOutcome::Done {
-                    observables: Box::new(sim.observables().clone()),
-                    acceptance: sim.acceptance_rate(),
-                    max_wrap_error: sim.max_wrap_error(),
-                    recovery: sim.recovery_log().clone(),
-                    preemptions: job.preemptions,
-                    device_quanta: job.device_quanta,
-                    host_quanta: job.host_quanta,
-                })),
-                slot,
-            );
+            job.device_seconds += sim.device_seconds();
+            return (RunStep::Completed(sim.outcomes(job)), slot);
         }
         if let Some(wd) = watchdog.as_mut() {
             if let DeadlineVerdict::SoftExceeded { cost_s } = wd.observe_quantum() {
                 // The quantum finished cleanly (only slowly), so the state
                 // is consistent: park cooperatively from *current* progress.
                 job.checkpoint = Some(sim.checkpoint_bytes());
+                job.device_seconds += sim.device_seconds();
                 return (
                     RunStep::Aborted {
                         error: DqmcError::device_sick(
@@ -325,6 +422,7 @@ fn run_job(
         if token.is_cancelled() {
             // A heartbeat scan requested a cooperative park.
             job.checkpoint = Some(sim.checkpoint_bytes());
+            job.device_seconds += sim.device_seconds();
             return (
                 RunStep::Aborted {
                     error: DqmcError::device_sick(
@@ -340,8 +438,13 @@ fn run_job(
         let sliced = cfg.yield_every_quanta > 0 && quanta_run >= cfg.yield_every_quanta;
         if preempted || sliced {
             job.checkpoint = Some(sim.checkpoint_bytes());
-            let (w, m) = sim.sweeps_done();
-            return (RunStep::Yielded { sweeps_done: w + m }, slot);
+            job.device_seconds += sim.device_seconds();
+            return (
+                RunStep::Yielded {
+                    sweeps_done: sim.sweeps_done(),
+                },
+                slot,
+            );
         }
     }
 }
@@ -427,12 +530,19 @@ fn fail_job(
         chain: job.chain,
         attempts: job.attempts,
     });
-    let slot = job.point * chains + job.chain;
-    relock(results.lock())[slot] = Some(ChainOutcome::Failed {
-        preemptions: job.preemptions as u64,
-        device_quanta: job.device_quanta,
-        host_quanta: job.host_quanta,
-    });
+    // A crowd job fails as a unit: every chain it covers loses its data.
+    // Job-level counters land on the base slot only (see [`ChainOutcome`]).
+    let base = job.point * chains + job.chain;
+    let mut slots = relock(results.lock());
+    for i in 0..job.width {
+        slots[base + i] = Some(ChainOutcome::Failed {
+            preemptions: if i == 0 { job.preemptions as u64 } else { 0 },
+            device_quanta: if i == 0 { job.device_quanta } else { 0 },
+            host_quanta: if i == 0 { job.host_quanta } else { 0 },
+            device_seconds: if i == 0 { job.device_seconds } else { 0.0 },
+        });
+    }
+    drop(slots);
     queue.complete();
 }
 
@@ -482,12 +592,16 @@ fn worker_loop(
             }
         }
         match step {
-            Ok((RunStep::Completed(outcome), slot)) => {
+            Ok((RunStep::Completed(outcomes), slot)) => {
                 if let (Some(p), Some(s)) = (pool, slot) {
                     emit_decision(events, p.report_success(s));
                 }
-                let idx = job.point * chains + job.chain;
-                relock(results.lock())[idx] = Some(*outcome);
+                let base = job.point * chains + job.chain;
+                let mut slots = relock(results.lock());
+                for (i, outcome) in outcomes.into_iter().enumerate() {
+                    slots[base + i] = Some(outcome);
+                }
+                drop(slots);
                 queue.complete();
             }
             Ok((RunStep::Yielded { sweeps_done }, slot)) => {
@@ -562,10 +676,23 @@ pub fn run_sweep_observed(
         held: Mutex::new(Vec::new()),
     };
 
+    let crowd = spec.crowd.max(1);
     for point in &points {
-        for chain in 0..spec.chains {
-            let job = SweepJob::new(point.index, chain, spec.chain_params(point, chain))
+        let mut chain = 0;
+        while chain < spec.chains {
+            // One job per crowd of up to `crowd` consecutive chains; the
+            // tail crowd of a point may be narrower. Each walker keeps its
+            // own hash-split seed, so batching never reshapes the ensemble.
+            let width = crowd.min(spec.chains - chain);
+            let mut job = SweepJob::new(point.index, chain, spec.chain_params(point, chain))
                 .with_fault_plan(spec.fault_plan(point, chain));
+            if width > 1 {
+                let extra = (chain + 1..chain + width)
+                    .map(|c| spec.chain_params(point, c))
+                    .collect();
+                job = job.with_crowd(extra);
+            }
+            chain += width;
             if cfg.hold_points.contains(&point.index) {
                 // Count it outstanding now (so termination waits for it and
                 // requeue-on-release cannot overflow), but keep it out of
@@ -668,6 +795,7 @@ fn assemble_report(
     let mut total_preemptions = 0u64;
     let mut total_device_quanta = 0u64;
     let mut total_host_quanta = 0u64;
+    let mut total_device_seconds = 0.0f64;
     let mut recovery_tallies = RecoveryTallies::default();
 
     for point in points {
@@ -680,6 +808,7 @@ fn assemble_report(
         let mut preemptions = 0u64;
         let mut device_quanta = 0u64;
         let mut host_quanta = 0u64;
+        let mut device_seconds = 0.0f64;
 
         for chain in 0..spec.chains {
             let slot = point.index * spec.chains + chain;
@@ -692,6 +821,7 @@ fn assemble_report(
                     preemptions: p,
                     device_quanta: dq,
                     host_quanta: hq,
+                    device_seconds: ds,
                 }) => {
                     match &mut pooled {
                         Some(acc) => acc.merge(observables),
@@ -705,17 +835,20 @@ fn assemble_report(
                     preemptions += u64::from(*p);
                     device_quanta += dq;
                     host_quanta += hq;
+                    device_seconds += ds;
                 }
                 Some(ChainOutcome::Failed {
                     preemptions: p,
                     device_quanta: dq,
                     host_quanta: hq,
+                    device_seconds: ds,
                 }) => {
                     chains_failed += 1;
                     failed_jobs += 1;
                     preemptions += p;
                     device_quanta += dq;
                     host_quanta += hq;
+                    device_seconds += ds;
                 }
                 None => {
                     // Unreachable in a drained sweep; count it as failed so
@@ -729,6 +862,7 @@ fn assemble_report(
         total_preemptions += preemptions;
         total_device_quanta += device_quanta;
         total_host_quanta += host_quanta;
+        total_device_seconds += device_seconds;
 
         summaries.push(PointSummary {
             point: point.index,
@@ -749,12 +883,14 @@ fn assemble_report(
             preemptions,
             device_quanta,
             host_quanta,
+            device_seconds,
         });
     }
 
     SweepReport {
         seed: spec.seed,
         chains: spec.chains,
+        crowd: spec.crowd.max(1),
         warmup: spec.warmup,
         sweeps: spec.sweeps,
         points: summaries,
@@ -764,6 +900,7 @@ fn assemble_report(
         retries,
         device_quanta: total_device_quanta,
         host_quanta: total_host_quanta,
+        device_seconds: total_device_seconds,
         leases_granted: pool.map_or(0, |p| p.leases_granted()),
         lease_misses: pool.map_or(0, |p| p.lease_misses()),
         quarantines: pool.map_or(0, |p| p.quarantines()),

@@ -1,0 +1,29 @@
+//! R9 fixture: strided-batch kernel fan-out sites. A batched kernel's
+//! tile grid may fan out only under a `par_enabled(..)` dispatch — a
+//! scheduler worker (or a crowd job pinned to one lease) runs inside the
+//! serial scope, which must be able to switch the fan-out off. A loop
+//! over batch entries that fans out unconditionally is flagged.
+
+use rayon::prelude::*;
+
+/// Gated: the batched tile grid sits under a par_enabled dispatch (the
+/// `dgemm_strided_batched` shape).
+pub fn gated_strided_batch(tiles: usize) {
+    let tile = |t: usize| std::hint::black_box(t);
+    if par_enabled(tiles >= 4) {
+        (0..tiles).into_par_iter().for_each(|t| {
+            tile(t);
+        });
+    } else {
+        (0..tiles).for_each(|t| {
+            tile(t);
+        });
+    }
+}
+
+/// Ungated: fans out across batch entries unconditionally — flagged.
+pub fn ungated_batch_loop(entries: &mut [Vec<f64>]) {
+    entries
+        .par_iter_mut()
+        .for_each(|e| e.iter_mut().for_each(|x| *x += 1.0));
+}

@@ -321,11 +321,21 @@ mod tests {
     }
 
     #[test]
+    fn fixture_r9_batched_kernel_fanout_must_be_gated() {
+        // The strided-batch shape: the gated tile grid is silent, the
+        // unconditional per-entry batch loop is flagged.
+        let v = lint_fixture("linalg/src/r9_batched.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NestedPar);
+        assert_eq!(v[0].line, 27, "{}", v[0]);
+    }
+
+    #[test]
     fn fixture_tree_has_expected_violations_per_rule() {
-        // The CLI path over the whole fixture tree: 10 findings.
+        // The CLI path over the whole fixture tree: 11 findings.
         let allow = Allowlist::default();
         let v = lint_tree(&fixture_dir(), &allow, &fixture_registry()).unwrap();
-        assert_eq!(v.len(), 10, "{v:?}");
+        assert_eq!(v.len(), 11, "{v:?}");
         for (rule, n) in [
             (Rule::UnsafeSite, 1),
             (Rule::HotAlloc, 1),
@@ -335,7 +345,7 @@ mod tests {
             (Rule::GuardAcrossCall, 2),
             (Rule::LockOrder, 1),
             (Rule::NondetSource, 1),
-            (Rule::NestedPar, 1),
+            (Rule::NestedPar, 2),
         ] {
             assert_eq!(v.iter().filter(|x| x.rule == rule).count(), n, "{rule:?}");
         }
@@ -352,7 +362,7 @@ mod tests {
         assert_eq!(stale[0].line, 1);
         assert!(stale[0].msg.contains("unsafe no/such/file.rs"));
         // The fixture findings themselves are unaffected.
-        assert_eq!(v.len(), 10, "{v:?}");
+        assert_eq!(v.len(), 11, "{v:?}");
     }
 
     #[test]

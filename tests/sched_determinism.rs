@@ -197,3 +197,116 @@ fn flip_bit_faults_are_rejected_at_parse_time() {
     let err = GridSpec::parse(&format!("{GRID}\n    faults = flip_bit:3\n")).unwrap_err();
     assert!(err.to_string().contains("determinism"), "{err}");
 }
+
+// ---- crowd-size invariance ------------------------------------------------
+//
+// Crowd-batched execution (jobs of B chains stepped in lockstep through
+// strided-batch device kernels) is a *schedule-layer* optimisation: the
+// observables bytes must not move when B changes, whether the crowd runs on
+// the batched device backend, falls back to the host mid-run, or heals
+// storms of scripted faults inside a batch.
+
+const CROWD_GRID: &str = "
+    lx = 2
+    ly = 2
+    u = 2.0, 4.0
+    beta = 1.0      # 8 slices
+    chains = 8
+    warmup = 4
+    sweeps = 8
+    bin_size = 2
+    cluster_size = 4
+    seed = 7
+    workers = 1
+    devices = 0
+";
+
+fn crowd_spec(crowd: usize, extra: &str) -> GridSpec {
+    GridSpec::parse(&format!("{CROWD_GRID}\n    crowd = {crowd}\n{extra}"))
+        .expect("crowd grid parses")
+}
+
+/// Solo-job host reference for the crowd grid.
+fn crowd_baseline() -> String {
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 0,
+        ..SchedConfig::default()
+    };
+    sched::run_sweep(&crowd_spec(1, ""), &cfg, &EventLog::new()).observables_json()
+}
+
+#[test]
+fn crowd_size_is_unobservable() {
+    let base = crowd_baseline();
+    for crowd in [4, 8] {
+        let spec = crowd_spec(crowd, "");
+        let cfg = SchedConfig {
+            workers: 2,
+            devices: 2,
+            ..SchedConfig::default()
+        };
+        let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
+        assert_eq!(report.crowd, crowd);
+        // The batched device path really ran.
+        assert!(report.leases_granted > 0, "crowd {crowd}: no device lease");
+        assert!(report.device_quanta > 0);
+        assert!(report.device_seconds > 0.0);
+        assert_eq!(report.failed_jobs, 0);
+        assert_eq!(
+            report.observables_json(),
+            base,
+            "crowd size {crowd} changed the physics"
+        );
+    }
+}
+
+#[test]
+fn crowd_jobs_survive_preemption_and_resume() {
+    // Crowd checkpoints are DQCW envelopes of per-walker DQCP images; a
+    // preempted crowd must resume bit-identically mid-batch.
+    let spec = crowd_spec(4, "");
+    let cfg = SchedConfig {
+        workers: 1,
+        devices: 1,
+        quantum: 3,
+        yield_every_quanta: 1,
+        ..SchedConfig::default()
+    };
+    let events = EventLog::new();
+    let report = sched::run_sweep(&spec, &cfg, &events);
+    let yields = events.count(|e| matches!(e, TraceEvent::Yielded { .. }));
+    let resumes = events.count(|e| matches!(e, TraceEvent::Started { resumed: true, .. }));
+    assert!(yields >= 4, "expected forced crowd yields, saw {yields}");
+    assert!(resumes >= 4, "expected crowd resumes, saw {resumes}");
+    assert_eq!(report.failed_jobs, 0);
+    assert_eq!(report.observables_json(), crowd_baseline());
+}
+
+#[test]
+fn fault_storms_heal_mid_crowd_bit_identically() {
+    // Scripted device faults land *inside* crowd batches: launch failures
+    // retry the whole batch, silent corruption taints a single walker whose
+    // solo repair path heals it without touching its neighbours — and the
+    // pooled bytes still match the solo host reference.
+    let spec = crowd_spec(
+        4,
+        "    faults = fail_launch:2, oom:1, corrupt_transfer:4, corrupt_transfer:9\n",
+    );
+    let cfg = SchedConfig {
+        workers: 2,
+        devices: 2,
+        ..SchedConfig::default()
+    };
+    let report = sched::run_sweep(&spec, &cfg, &EventLog::new());
+    let recovery: u64 = report.points.iter().map(|p| p.recovery_events).sum();
+    assert!(
+        recovery > 0,
+        "scripted faults never fired inside a crowd — the test proves nothing"
+    );
+    assert_eq!(
+        report.failed_jobs, 0,
+        "crowd faults must heal, not kill jobs"
+    );
+    assert_eq!(report.observables_json(), crowd_baseline());
+}
