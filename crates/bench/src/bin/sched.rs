@@ -25,6 +25,10 @@ use sched::{EventLog, GridSpec, SchedConfig};
 struct Row {
     workers: usize,
     pool: usize,
+    /// Physical parallelism actually available to this run. Recorded per
+    /// row so an efficiency of 0.145 at 8 workers on a 1-core CI host
+    /// reads as oversubscription, not a scheduler regression.
+    host_cores: usize,
     wall_s: f64,
     jobs_per_s: f64,
     efficiency: f64,
@@ -72,12 +76,14 @@ fn main() {
     let opts = BenchOpts::from_env();
     let spec = grid(&opts);
     let njobs = spec.total_jobs();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "# sched throughput: {} points x {} chains = {} jobs, {} sweeps each",
+        "# sched throughput: {} points x {} chains = {} jobs, {} sweeps each, {} host cores",
         spec.us.len() * spec.betas.len(),
         spec.chains,
         njobs,
-        spec.warmup + spec.sweeps
+        spec.warmup + spec.sweeps,
+        host_cores
     );
     println!(
         "{:>8} {:>6} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8}",
@@ -127,6 +133,7 @@ fn main() {
         rows.push(Row {
             workers,
             pool,
+            host_cores,
             wall_s: wall,
             jobs_per_s,
             efficiency,
@@ -137,6 +144,13 @@ fn main() {
     }
 
     let json = render_json(&spec, njobs, &rows);
+    // Interpretability contract: every row must carry the host's core
+    // count — scaling numbers without it are unreadable across machines.
+    assert_eq!(
+        json.matches("\"host_cores\"").count(),
+        rows.len(),
+        "every BENCH_sched.json row must record host_cores"
+    );
     let path = "BENCH_sched.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("# wrote {path}"),
@@ -159,10 +173,12 @@ fn render_json(spec: &GridSpec, njobs: usize, rows: &[Row]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"pool\": {}, \"wall_s\": {:.3}, \"jobs_per_s\": {:.3}, \
-             \"efficiency\": {:.3}, \"preemptions\": {}, \"leases\": {}, \"lease_misses\": {}}}{}\n",
+            "    {{\"workers\": {}, \"pool\": {}, \"host_cores\": {}, \"wall_s\": {:.3}, \
+             \"jobs_per_s\": {:.3}, \"efficiency\": {:.3}, \"preemptions\": {}, \"leases\": {}, \
+             \"lease_misses\": {}}}{}\n",
             r.workers,
             r.pool,
+            r.host_cores,
             r.wall_s,
             r.jobs_per_s,
             r.efficiency,

@@ -1,0 +1,87 @@
+//! `dqmc-serve` — the resident sweep service.
+//!
+//! ```sh
+//! dqmc-serve --addr 127.0.0.1:7070 --workers 2 --cache-dir /var/cache/dqmc
+//! ```
+//!
+//! Accepts DQSF submissions (see `dqmc-run submit`), multiplexes tenants
+//! into one priority queue, streams per-point observables as they
+//! complete, and serves repeat requests from the content-addressed result
+//! cache. `GET /healthz` and `GET /stats` on the same port answer plain
+//! HTTP for probes.
+
+use serve::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: dqmc-serve [--addr host:port] [--workers N] [--devices N]");
+    eprintln!("         [--quantum SWEEPS] [--queue-bound N] [--job-retries N]");
+    eprintln!("         [--cache-dir PATH] [--max-tenant-campaigns N]");
+    eprintln!("defaults: --addr 127.0.0.1:7070, 1 worker, no devices, no cache");
+    std::process::exit(2);
+}
+
+fn parse_num(flag: &str, value: Option<&String>) -> usize {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an unsigned integer, got '{value}'");
+        usage();
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("--addr needs a value");
+                    usage();
+                }
+            },
+            "--workers" => cfg.service.workers = parse_num(a, it.next()).max(1),
+            "--devices" => cfg.service.devices = parse_num(a, it.next()),
+            "--quantum" => cfg.service.quantum = parse_num(a, it.next()),
+            "--queue-bound" => cfg.service.queue_bound = parse_num(a, it.next()),
+            "--job-retries" => cfg.service.job_retries = parse_num(a, it.next()) as u32,
+            "--max-tenant-campaigns" => cfg.max_tenant_campaigns = parse_num(a, it.next()),
+            "--cache-dir" => match it.next() {
+                Some(v) => cfg.cache_dir = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--cache-dir needs a path");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let server = Server::bind(&addr, &cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "dqmc-serve listening on {} ({} workers, {} devices, cache {})",
+        server.local_addr(),
+        cfg.service.workers,
+        cfg.service.devices,
+        cfg.cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |p| p.display().to_string()),
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -106,14 +106,131 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     std::process::exit(if report.failed_jobs == 0 { 0 } else { 1 });
 }
 
+/// `dqmc submit <grid-file> [--addr host:port] [--tenant NAME]
+/// [--priority N]`: submit a grid to a running `dqmc-serve`, print each
+/// point as it streams in, then the final observables document.
+fn run_submit_cmd(args: &[String]) -> ! {
+    let mut grid_file: Option<&str> = None;
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut tenant = "cli".to_string();
+    let mut priority: u8 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" | "--tenant" | "--priority" => {
+                let Some(v) = it.next() else {
+                    eprintln!("{a} needs a value");
+                    std::process::exit(2);
+                };
+                match a.as_str() {
+                    "--addr" => addr = v.clone(),
+                    "--tenant" => tenant = v.clone(),
+                    _ => {
+                        priority = v.parse().unwrap_or_else(|_| {
+                            eprintln!("--priority needs 0-255, got '{v}'");
+                            std::process::exit(2);
+                        })
+                    }
+                }
+            }
+            other if grid_file.is_none() => grid_file = Some(other),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(grid_file) = grid_file else {
+        eprintln!(
+            "usage: dqmc submit <grid-file> [--addr host:port] [--tenant NAME] [--priority N]"
+        );
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(grid_file).unwrap_or_else(|e| {
+        eprintln!("cannot read {grid_file}: {e}");
+        std::process::exit(2);
+    });
+    let mut client = serve::Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let outcome = client
+        .submit_with(&tenant, priority, &text, |p| {
+            println!(
+                "# point {} {}: {}",
+                p.index,
+                if p.cached { "cached" } else { "computed" },
+                p.json
+            );
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("submission failed: {e}");
+            std::process::exit(1);
+        });
+    println!("{}", outcome.observables);
+    println!(
+        "# done: {} points ({} cached, {} computed), jobs_run {}, failed_chains {}, \
+         recovery_events {}",
+        outcome.points.len(),
+        outcome.cached_points,
+        outcome.computed_points,
+        outcome.jobs_run,
+        outcome.failed_chains,
+        outcome.recovery_events,
+    );
+    std::process::exit(if outcome.failed_chains == 0 { 0 } else { 1 });
+}
+
+/// `dqmc serve-shutdown [--addr host:port]`: ask a running `dqmc-serve` to
+/// drain and exit.
+fn run_serve_shutdown_cmd(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("--addr needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut client = serve::Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    client.shutdown().unwrap_or_else(|e| {
+        eprintln!("shutdown failed: {e}");
+        std::process::exit(1);
+    });
+    println!("# server at {addr} acknowledged shutdown");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep_cmd(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("submit") {
+        run_submit_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-shutdown") {
+        run_serve_shutdown_cmd(&args[1..]);
+    }
     if args.len() != 1 || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: dqmc <input-file>   (or 'dqmc -' to read stdin)");
         eprintln!("       dqmc sweep <grid-file> [-o report.json] [--trace]");
+        eprintln!(
+            "       dqmc submit <grid-file> [--addr host:port] [--tenant NAME] [--priority N]"
+        );
+        eprintln!("       dqmc serve-shutdown [--addr host:port]");
         eprintln!("input keys: lx ly layers periodic_z t tz u mu_tilde dtau");
         eprintln!("  slices|beta warmup sweeps seed cluster_size delay_block");
         eprintln!("  algorithm(qrp|prepivot) recycle checkerboard unequal_time bin_size");

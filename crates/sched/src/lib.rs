@@ -54,12 +54,17 @@ pub mod grid;
 pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod trace;
 pub mod watchdog;
 
 pub use grid::{GridError, GridPoint, GridSpec, SlotFault, SlotFaultOp};
-pub use queue::{JobQueue, Pop, QueueFull, SweepJob};
-pub use report::{PointSummary, SweepReport};
+pub use queue::{AdmitError, JobQueue, Pop, QueueFull, SweepJob};
+pub use report::{observables_json_for, PointSummary, SweepReport};
 pub use runner::{run_sweep, run_sweep_observed, Injector, SchedConfig, SweepObserver};
+pub use service::{
+    CampaignHandle, CampaignOutcome, CampaignRequest, PointObserver, ServiceConfig, SubmitError,
+    SweepService,
+};
 pub use trace::{EventLog, Placement, TraceEvent};
 pub use watchdog::{DeadlineVerdict, Heartbeats, QuantumWatchdog};

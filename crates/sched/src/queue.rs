@@ -13,6 +13,10 @@
 //! Termination: a worker blocks while the queue is empty but jobs are
 //! still outstanding — a running job may yet yield back into the queue —
 //! and unblocks with `None` only when the last outstanding job completes.
+//! A *resident* queue ([`JobQueue::new_resident`]) serves a long-lived
+//! service instead of one batch sweep: an empty drained queue parks its
+//! workers rather than terminating them, and termination additionally
+//! requires [`JobQueue::close`].
 
 #![cfg_attr(any(), deny_hot_alloc)]
 
@@ -73,6 +77,9 @@ pub struct SweepJob {
     /// losses); these do *not* consume [`SweepJob::attempts`] — the job is
     /// innocent, the device was sick.
     pub sick_strikes: u32,
+    /// Campaign tag routing this job's outcome in a resident service
+    /// (`0` for classic one-shot sweeps, which route by slot index).
+    pub tag: u64,
 }
 
 impl SweepJob {
@@ -96,12 +103,19 @@ impl SweepJob {
             device_seconds: 0.0,
             excluded_slots: Vec::new(),
             sick_strikes: 0,
+            tag: 0,
         }
     }
 
     /// Sets the scheduling class.
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Tags the job with the campaign it belongs to (resident service).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
         self
     }
 
@@ -176,6 +190,36 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Error from [`JobQueue::submit_batch`]: the whole batch was refused.
+#[derive(Debug)]
+pub enum AdmitError {
+    /// Admitting the batch would push `outstanding` past the bound. The
+    /// all-or-nothing refusal is the fair-admission primitive: a campaign
+    /// too large for the remaining capacity cannot squat part of it and
+    /// starve smaller tenants into deadlock.
+    Full {
+        /// The configured bound.
+        bound: usize,
+        /// Jobs the refused batch asked for.
+        want: usize,
+    },
+    /// The queue was closed for new work ([`JobQueue::close`]).
+    Closed,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Full { bound, want } => {
+                write!(f, "batch of {want} refused: job queue bound is {bound}")
+            }
+            AdmitError::Closed => write!(f, "job queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
 /// Outcome of a bounded-wait pop ([`JobQueue::pop_timeout`]).
 // Boxing the job would put an allocation in the pop hot path, which this
 // module's deny_hot_alloc contract forbids; the enum lives only across the
@@ -200,6 +244,9 @@ struct QueueState {
     next_seq: u64,
     /// Jobs submitted and not yet completed/failed (running jobs included).
     outstanding: usize,
+    /// Set by [`JobQueue::close`]; a resident queue only reports
+    /// [`Pop::Drained`] once closed *and* drained.
+    closed: bool,
 }
 
 /// The shared bounded priority queue.
@@ -208,21 +255,39 @@ pub struct JobQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     bound: usize,
+    /// Resident queues park idle workers on an empty drained queue
+    /// instead of terminating them; batch queues terminate on drain.
+    resident: bool,
 }
 
 impl JobQueue {
     /// An empty queue refusing more than `bound` outstanding jobs.
+    pub fn new(bound: usize) -> Self {
+        JobQueue::with_mode(bound, false)
+    }
+
+    /// A *resident* queue for a long-lived service: when the queue is
+    /// empty and nothing is outstanding, pops report [`Pop::Empty`] (the
+    /// worker parks and re-checks) rather than [`Pop::Drained`] — more
+    /// campaigns may arrive at any time. Only [`JobQueue::close`] lets
+    /// pops observe termination.
+    pub fn new_resident(bound: usize) -> Self {
+        JobQueue::with_mode(bound, true)
+    }
+
     // dqmc-lint: allow(hot_alloc) — one-time construction; the heap is
     // sized here so pushes on the scheduling path never reallocate.
-    pub fn new(bound: usize) -> Self {
+    fn with_mode(bound: usize, resident: bool) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
                 heap: BinaryHeap::with_capacity(bound),
                 next_seq: 0,
                 outstanding: 0,
+                closed: false,
             }),
             cv: Condvar::new(),
             bound,
+            resident,
         }
     }
 
@@ -250,6 +315,47 @@ impl JobQueue {
         drop(s);
         self.cv.notify_one();
         Ok(())
+    }
+
+    /// Atomically admits a whole campaign's batch: either every job is
+    /// admitted or none are. Refusal never partially consumes capacity,
+    /// so concurrent tenants racing for the tail of the bound cannot
+    /// strand each other's half-admitted campaigns.
+    pub fn submit_batch(&self, jobs: Vec<SweepJob>) -> Result<(), AdmitError> {
+        let mut s = relock(self.state.lock());
+        if s.closed {
+            return Err(AdmitError::Closed);
+        }
+        if s.outstanding + jobs.len() > self.bound {
+            return Err(AdmitError::Full {
+                bound: self.bound,
+                want: jobs.len(),
+            });
+        }
+        for job in jobs {
+            s.outstanding += 1;
+            let seq = s.next_seq;
+            s.next_seq += 1;
+            s.heap.push(Entry {
+                priority: job.priority,
+                seq,
+                job,
+            });
+        }
+        drop(s);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Closes the queue for new work: [`JobQueue::submit_batch`] refuses
+    /// from now on, outstanding jobs drain normally, and once the last
+    /// one completes pops report [`Pop::Drained`] — the resident-service
+    /// shutdown sequence. Idempotent.
+    pub fn close(&self) {
+        let mut s = relock(self.state.lock());
+        s.closed = true;
+        drop(s);
+        self.cv.notify_all();
     }
 
     /// Reserves one capacity slot for a job that exists but is deliberately
@@ -296,14 +402,15 @@ impl JobQueue {
     }
 
     /// Pops the highest-priority job, blocking while the queue is empty but
-    /// jobs are still outstanding. `None` means the sweep is drained.
+    /// jobs are still outstanding. `None` means the sweep is drained (for
+    /// a resident queue: drained *and* closed).
     pub fn pop_blocking(&self) -> Option<SweepJob> {
         let mut s = relock(self.state.lock());
         loop {
             if let Some(e) = s.heap.pop() {
                 return Some(e.job);
             }
-            if s.outstanding == 0 {
+            if s.outstanding == 0 && (!self.resident || s.closed) {
                 return None;
             }
             s = relock(self.cv.wait(s));
@@ -326,7 +433,7 @@ impl JobQueue {
             if let Some(e) = s.heap.pop() {
                 return Pop::Job(e.job);
             }
-            if s.outstanding == 0 {
+            if s.outstanding == 0 && (!self.resident || s.closed) {
                 return Pop::Drained;
             }
             if waits >= wait_budget {
@@ -479,6 +586,76 @@ mod tests {
         let j = job(0, 0, 0);
         assert!(j.excluded_slots.is_empty());
         assert_eq!(j.sick_strikes, 0);
+    }
+
+    #[test]
+    fn resident_queue_parks_instead_of_draining() {
+        let q = JobQueue::new_resident(4);
+        // Empty and nothing outstanding: a batch queue would drain; a
+        // resident one reports Empty (park, re-check) until closed.
+        assert!(matches!(q.pop_timeout(0), Pop::Empty));
+        q.submit(job(0, 0, 0)).unwrap();
+        assert!(matches!(q.pop_timeout(0), Pop::Job(_)));
+        q.complete();
+        assert!(matches!(q.pop_timeout(0), Pop::Empty));
+        q.close();
+        assert!(matches!(q.pop_timeout(0), Pop::Drained));
+    }
+
+    #[test]
+    fn close_drains_outstanding_work_first() {
+        let q = JobQueue::new_resident(4);
+        q.submit(job(0, 0, 0)).unwrap();
+        q.close();
+        // Closed but not drained: the queued job must still pop and the
+        // queue must wait for its completion before declaring Drained.
+        let j = match q.pop_timeout(0) {
+            Pop::Job(j) => j,
+            other => panic!("expected the queued job, got {other:?}"),
+        };
+        assert!(matches!(q.pop_timeout(1), Pop::Empty));
+        drop(j);
+        q.complete();
+        assert!(matches!(q.pop_timeout(0), Pop::Drained));
+    }
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let q = JobQueue::new_resident(3);
+        q.submit_batch(vec![job(0, 0, 0), job(0, 1, 0)]).unwrap();
+        // Two slots taken, batch of two refused — and nothing admitted.
+        let err = q
+            .submit_batch(vec![job(1, 0, 0), job(1, 1, 0)])
+            .unwrap_err();
+        match err {
+            AdmitError::Full { bound, want } => {
+                assert_eq!((bound, want), (3, 2));
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.waiting(), 2);
+        // A batch that fits the remaining slot is admitted.
+        q.submit_batch(vec![job(1, 0, 0)]).unwrap();
+        assert_eq!(q.waiting(), 3);
+    }
+
+    #[test]
+    fn closed_queue_refuses_batches() {
+        let q = JobQueue::new_resident(4);
+        q.close();
+        assert!(matches!(
+            q.submit_batch(vec![job(0, 0, 0)]),
+            Err(AdmitError::Closed)
+        ));
+    }
+
+    #[test]
+    fn tags_ride_through_the_queue() {
+        let q = JobQueue::new(2);
+        q.submit(job(0, 0, 0).with_tag(17)).unwrap();
+        let j = q.pop_blocking().unwrap();
+        assert_eq!(j.tag, 17);
+        q.complete();
     }
 
     #[test]

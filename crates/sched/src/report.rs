@@ -15,6 +15,7 @@
 //! non-finite values render as `null` to stay inside the JSON grammar.
 
 use dqmc::{JackknifeScalars, RecoveryTallies};
+use util::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Pooled results for one grid point.
 #[derive(Clone, Debug)]
@@ -129,8 +130,30 @@ fn jpair((v, e): (f64, f64)) -> String {
     format!("{{\"value\":{},\"err\":{}}}", jnum(v), jnum(e))
 }
 
+/// Assembles the deterministic observables section from per-point
+/// summaries in point order — shared by [`SweepReport::observables_json`]
+/// and by the result-cache service, which reassembles campaigns from a
+/// mix of cached and freshly computed points. One emitter means a served
+/// response can be compared byte-for-byte against an in-process run.
+pub fn observables_json_for(
+    seed: u64,
+    chains: usize,
+    warmup: usize,
+    sweeps: usize,
+    points: &[PointSummary],
+) -> String {
+    let points: Vec<String> = points.iter().map(|p| p.observables_json()).collect();
+    format!(
+        "{{\"seed\":{seed},\"chains\":{chains},\"warmup\":{warmup},\"sweeps\":{sweeps},\
+         \"points\":[{}]}}",
+        points.join(",")
+    )
+}
+
 impl PointSummary {
-    fn observables_json(&self) -> String {
+    /// This point's fragment of the observables section — the payload a
+    /// service streams to clients as the point completes.
+    pub fn observables_json(&self) -> String {
         let mut s = format!(
             "{{\"point\":{},\"u\":{},\"beta\":{},\"slices\":{},\"chains\":{},\"bins\":{}",
             self.point,
@@ -159,6 +182,90 @@ impl PointSummary {
         s
     }
 
+    /// Serialises the observables-layer fields (the pure function of
+    /// (grid, seeds)) for a content-addressed result-cache entry. The
+    /// schedule-layer fields — acceptance, wrap error, recovery and quanta
+    /// counters — are *deliberately excluded*: they describe how one
+    /// particular run was scheduled, and a cache replay has no schedule.
+    pub fn encode_observables(&self, w: &mut ByteWriter) {
+        w.put_u64(self.point as u64);
+        w.put_f64(self.u);
+        w.put_f64(self.beta);
+        w.put_u64(self.slices as u64);
+        w.put_u64(self.chains_ok as u64);
+        w.put_u64(self.chains_failed as u64);
+        w.put_u64(self.bin_count as u64);
+        match &self.scalars {
+            Some(sc) => {
+                w.put_u8(1);
+                for (v, e) in [
+                    sc.sign,
+                    sc.density,
+                    sc.double_occ,
+                    sc.kinetic,
+                    sc.potential,
+                    sc.saf,
+                ] {
+                    w.put_f64(v);
+                    w.put_f64(e);
+                }
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Decodes a summary written by [`PointSummary::encode_observables`].
+    /// Schedule-layer fields come back zeroed — a cache hit never claims
+    /// to have a schedule.
+    pub fn decode_observables(r: &mut ByteReader<'_>) -> Result<PointSummary, CodecError> {
+        let point = r.get_u64()? as usize;
+        let u = r.get_f64()?;
+        let beta = r.get_f64()?;
+        let slices = r.get_u64()? as usize;
+        let chains_ok = r.get_u64()? as usize;
+        let chains_failed = r.get_u64()? as usize;
+        let bin_count = r.get_u64()? as usize;
+        let scalars = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let mut pairs = [(0.0f64, 0.0f64); 6];
+                for p in pairs.iter_mut() {
+                    *p = (r.get_f64()?, r.get_f64()?);
+                }
+                Some(JackknifeScalars {
+                    sign: pairs[0],
+                    density: pairs[1],
+                    double_occ: pairs[2],
+                    kinetic: pairs[3],
+                    potential: pairs[4],
+                    saf: pairs[5],
+                })
+            }
+            other => {
+                return Err(CodecError::Invalid(format!(
+                    "scalars presence flag must be 0 or 1, found {other}"
+                )))
+            }
+        };
+        Ok(PointSummary {
+            point,
+            u,
+            beta,
+            slices,
+            chains_ok,
+            chains_failed,
+            bin_count,
+            scalars,
+            mean_acceptance: 0.0,
+            max_wrap_error: 0.0,
+            recovery_events: 0,
+            preemptions: 0,
+            device_quanta: 0,
+            host_quanta: 0,
+            device_seconds: 0.0,
+        })
+    }
+
     fn schedule_json(&self) -> String {
         format!(
             "{{\"point\":{},\"acceptance\":{},\"max_wrap_error\":{},\"recovery_events\":{},\
@@ -182,14 +289,12 @@ impl SweepReport {
     /// (grid, seeds) no matter how the sweep was scheduled. This is the
     /// string the determinism tests and the CI smoke job compare.
     pub fn observables_json(&self) -> String {
-        let points: Vec<String> = self.points.iter().map(|p| p.observables_json()).collect();
-        format!(
-            "{{\"seed\":{},\"chains\":{},\"warmup\":{},\"sweeps\":{},\"points\":[{}]}}",
+        observables_json_for(
             self.seed,
             self.chains,
             self.warmup,
             self.sweeps,
-            points.join(",")
+            &self.points,
         )
     }
 
@@ -424,6 +529,49 @@ mod tests {
         assert!(s.contains("2 workers, 1 devices"));
         assert!(s.contains("quarantines 2 (1 readmitted, 3 probes, 4 skips)"));
         assert!(s.contains("3 escalations"));
+    }
+
+    #[test]
+    fn point_observables_codec_round_trips_bit_exactly() {
+        let p = sample().points[0].clone();
+        let mut w = ByteWriter::new();
+        p.encode_observables(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let q = PointSummary::decode_observables(&mut r).expect("round trip");
+        assert!(r.is_exhausted(), "decoder must consume the whole payload");
+        // The observables fragment — the byte contract — is identical...
+        assert_eq!(p.observables_json(), q.observables_json());
+        // ...while the schedule layer is zeroed, not resurrected.
+        assert_eq!(q.recovery_events, 0);
+        assert_eq!(q.preemptions, 0);
+        assert_eq!(q.device_seconds, 0.0);
+    }
+
+    #[test]
+    fn point_observables_decoder_rejects_bad_flag_and_truncation() {
+        let p = sample().points[0].clone();
+        let mut w = ByteWriter::new();
+        p.encode_observables(&mut w);
+        let mut bytes = w.into_bytes();
+        // Truncated payload.
+        let cut = bytes.len() - 3;
+        assert!(PointSummary::decode_observables(&mut ByteReader::new(&bytes[..cut])).is_err());
+        // Scalars-presence flag outside {0, 1}.
+        bytes[7 * 8] = 2;
+        assert!(matches!(
+            PointSummary::decode_observables(&mut ByteReader::new(&bytes)),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn shared_assembler_matches_report_emitter() {
+        let r = sample();
+        assert_eq!(
+            r.observables_json(),
+            observables_json_for(r.seed, r.chains, r.warmup, r.sweeps, &r.points)
+        );
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl SchedConfig {
 /// of `width` chains produces `width` of these; its job-level scheduling
 /// counters (preemptions, quanta, device-seconds) are recorded on the base
 /// chain's outcome only, so campaign totals count each job once.
-enum ChainOutcome {
+pub(crate) enum ChainOutcome {
     Done {
         observables: Box<Observables>,
         acceptance: f64,
@@ -223,6 +223,15 @@ pub struct Injector<'a> {
 }
 
 impl<'a> Injector<'a> {
+    /// An injector holding nothing — the resident service runs without
+    /// hold-point choreography but shares [`worker_loop`].
+    pub(crate) fn idle(queue: &'a JobQueue) -> Self {
+        Injector {
+            queue,
+            held: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Jobs still held (not yet injected).
     pub fn held(&self) -> usize {
         relock(self.held.lock()).len()
@@ -247,6 +256,77 @@ impl<'a> Injector<'a> {
 /// Callback observing the trace stream at job boundaries; the [`Injector`]
 /// lets it submit held jobs mid-sweep.
 pub type SweepObserver = dyn for<'a> Fn(&TraceEvent, &Injector<'a>) + Sync;
+
+/// Where finished jobs deliver their per-chain outcomes. The classic
+/// one-shot sweep routes by slot index ([`SlotSink`]); the resident
+/// service routes by campaign tag. Workers race only for *which* sink
+/// call runs next, never for what a given (point, chain) receives — the
+/// determinism contract is the sink's to keep.
+pub(crate) trait OutcomeSink: Sync {
+    /// Delivers a completed job's outcomes, one per covered chain in
+    /// chain order.
+    fn deliver(&self, job: &SweepJob, outcomes: Vec<ChainOutcome>);
+
+    /// Records a permanently failed job: every chain it covers lost its
+    /// data, with the job-level counters folded onto the base chain.
+    fn deliver_failure(&self, job: &SweepJob);
+}
+
+/// The classic per-sweep sink: a slot vector indexed by
+/// `point * chains + chain`, drained once the sweep terminates.
+pub(crate) struct SlotSink {
+    results: Mutex<Vec<Option<ChainOutcome>>>,
+    chains: usize,
+}
+
+impl SlotSink {
+    // dqmc-lint: allow(hot_alloc) — one-time construction at sweep setup.
+    pub(crate) fn new(njobs: usize, chains: usize) -> Self {
+        SlotSink {
+            results: Mutex::new((0..njobs).map(|_| None).collect()),
+            chains,
+        }
+    }
+
+    /// Consumes the sink after every worker has exited.
+    pub(crate) fn into_outcomes(self) -> Vec<Option<ChainOutcome>> {
+        relock(self.results.into_inner())
+    }
+}
+
+impl OutcomeSink for SlotSink {
+    fn deliver(&self, job: &SweepJob, outcomes: Vec<ChainOutcome>) {
+        let base = job.point * self.chains + job.chain;
+        let mut slots = relock(self.results.lock());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            slots[base + i] = Some(outcome);
+        }
+    }
+
+    fn deliver_failure(&self, job: &SweepJob) {
+        // A crowd job fails as a unit: every chain it covers loses its
+        // data. Job-level counters land on the base slot only (see
+        // [`ChainOutcome`]).
+        let base = job.point * self.chains + job.chain;
+        let mut slots = relock(self.results.lock());
+        for i in 0..job.width {
+            slots[base + i] = Some(ChainOutcome::failed_slot(job, i));
+        }
+    }
+}
+
+impl ChainOutcome {
+    /// The `Failed` record for covered-chain `i` of a failed job:
+    /// job-level counters fold onto the base chain only.
+    pub(crate) fn failed_slot(job: &SweepJob, i: usize) -> ChainOutcome {
+        ChainOutcome::Failed {
+            preemptions: if i == 0 { job.preemptions as u64 } else { 0 },
+            device_quanta: if i == 0 { job.device_quanta } else { 0 },
+            host_quanta: if i == 0 { job.host_quanta } else { 0 },
+            device_seconds: if i == 0 { job.device_seconds } else { 0.0 },
+        }
+    }
+}
 
 /// The result of one quantum-loop invocation.
 enum RunStep {
@@ -460,8 +540,7 @@ fn handle_abort(
     cfg: &SchedConfig,
     events: &EventLog,
     queue: &JobQueue,
-    results: &Mutex<Vec<Option<ChainOutcome>>>,
-    chains: usize,
+    sink: &dyn OutcomeSink,
 ) {
     match error.severity {
         Severity::DeviceSick => {
@@ -506,57 +585,38 @@ fn handle_abort(
                 // the retry resumes there.
                 queue.requeue(job);
             } else {
-                fail_job(job, events, results, chains, queue);
+                fail_job(job, events, sink, queue);
             }
         }
         Severity::Fatal => {
             // No restart could help (recovery disabled, ladder exhausted):
             // fail fast regardless of remaining budget.
             job.attempts += 1;
-            fail_job(job, events, results, chains, queue);
+            fail_job(job, events, sink, queue);
         }
     }
 }
 
-fn fail_job(
-    job: SweepJob,
-    events: &EventLog,
-    results: &Mutex<Vec<Option<ChainOutcome>>>,
-    chains: usize,
-    queue: &JobQueue,
-) {
+fn fail_job(job: SweepJob, events: &EventLog, sink: &dyn OutcomeSink, queue: &JobQueue) {
     events.push(TraceEvent::Failed {
         point: job.point,
         chain: job.chain,
         attempts: job.attempts,
     });
-    // A crowd job fails as a unit: every chain it covers loses its data.
-    // Job-level counters land on the base slot only (see [`ChainOutcome`]).
-    let base = job.point * chains + job.chain;
-    let mut slots = relock(results.lock());
-    for i in 0..job.width {
-        slots[base + i] = Some(ChainOutcome::Failed {
-            preemptions: if i == 0 { job.preemptions as u64 } else { 0 },
-            device_quanta: if i == 0 { job.device_quanta } else { 0 },
-            host_quanta: if i == 0 { job.host_quanta } else { 0 },
-            device_seconds: if i == 0 { job.device_seconds } else { 0.0 },
-        });
-    }
-    drop(slots);
+    sink.deliver_failure(&job);
     queue.complete();
 }
 
 /// One worker's lifetime: drain the queue until the sweep terminates,
 /// scanning the heartbeat registry whenever a bounded pop comes up empty.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
+pub(crate) fn worker_loop(
     worker: usize,
     queue: &JobQueue,
     pool: Option<&DevicePool>,
     cfg: &SchedConfig,
     events: &EventLog,
-    results: &Mutex<Vec<Option<ChainOutcome>>>,
-    chains: usize,
+    sink: &dyn OutcomeSink,
     injector: &Injector<'_>,
     observer: Option<&SweepObserver>,
     hearts: &Heartbeats,
@@ -596,12 +656,7 @@ fn worker_loop(
                 if let (Some(p), Some(s)) = (pool, slot) {
                     emit_decision(events, p.report_success(s));
                 }
-                let base = job.point * chains + job.chain;
-                let mut slots = relock(results.lock());
-                for (i, outcome) in outcomes.into_iter().enumerate() {
-                    slots[base + i] = Some(outcome);
-                }
-                drop(slots);
+                sink.deliver(&job, outcomes);
                 queue.complete();
             }
             Ok((RunStep::Yielded { sweeps_done }, slot)) => {
@@ -618,9 +673,7 @@ fn worker_loop(
                 queue.requeue(job);
             }
             Ok((RunStep::Aborted { error }, slot)) => {
-                handle_abort(
-                    job, error, slot, worker, pool, cfg, events, queue, results, chains,
-                );
+                handle_abort(job, error, slot, worker, pool, cfg, events, queue, sink);
             }
             Err(payload) => {
                 // Backstop only: classified-recoverable paths return Err
@@ -630,9 +683,7 @@ fn worker_loop(
                 let error = DqmcError::from_panic(payload.as_ref());
                 // The lease dropped during unwinding; the slot cannot be
                 // indicted reliably, so the pool is not fed a report.
-                handle_abort(
-                    job, error, None, worker, pool, cfg, events, queue, results, chains,
-                );
+                handle_abort(job, error, None, worker, pool, cfg, events, queue, sink);
             }
         }
     }
@@ -715,7 +766,7 @@ pub fn run_sweep_observed(
     } else {
         None
     };
-    let results: Mutex<Vec<Option<ChainOutcome>>> = Mutex::new((0..njobs).map(|_| None).collect());
+    let sink = SlotSink::new(njobs, spec.chains);
     let hearts = Heartbeats::new(cfg.workers.max(1));
     let panics_caught = AtomicU64::new(0);
 
@@ -726,8 +777,7 @@ pub fn run_sweep_observed(
             pool.as_ref(),
             cfg,
             events,
-            &results,
-            spec.chains,
+            &sink,
             &injector,
             observer,
             &hearts,
@@ -738,7 +788,7 @@ pub fn run_sweep_observed(
             for w in 0..cfg.workers {
                 let queue = &queue;
                 let pool = pool.as_ref();
-                let results = &results;
+                let sink = &sink;
                 let injector = &injector;
                 let hearts = &hearts;
                 let panics_caught = &panics_caught;
@@ -749,8 +799,7 @@ pub fn run_sweep_observed(
                         pool,
                         cfg,
                         events,
-                        results,
-                        spec.chains,
+                        sink,
                         injector,
                         observer,
                         hearts,
@@ -761,7 +810,7 @@ pub fn run_sweep_observed(
         });
     }
 
-    let outcomes = relock(results.into_inner());
+    let outcomes = sink.into_outcomes();
     let retries = events.count(|e| matches!(e, TraceEvent::Retried { .. })) as u64;
     assemble_report(
         spec,
@@ -774,6 +823,98 @@ pub fn run_sweep_observed(
         panics_caught.load(Ordering::Relaxed),
         start,
     )
+}
+
+/// Pools one point's chain outcomes — `outcomes[chain]` in canonical
+/// chain order — into its summary plus its pooled recovery tallies. This
+/// is the aggregation step the determinism contract protects, shared by
+/// the one-shot [`assemble_report`] and the resident service (which
+/// summarises each point the moment its last chain lands, to stream and
+/// cache it).
+pub(crate) fn summarize_point(
+    point: &crate::grid::GridPoint,
+    outcomes: &[Option<ChainOutcome>],
+) -> (PointSummary, RecoveryTallies) {
+    let mut pooled: Option<Observables> = None;
+    let mut chains_ok = 0usize;
+    let mut chains_failed = 0usize;
+    let mut acc_sum = 0.0f64;
+    let mut max_wrap = 0.0f64;
+    let mut recovery_events = 0u64;
+    let mut preemptions = 0u64;
+    let mut device_quanta = 0u64;
+    let mut host_quanta = 0u64;
+    let mut device_seconds = 0.0f64;
+    let mut tallies = RecoveryTallies::default();
+
+    for outcome in outcomes {
+        match outcome {
+            Some(ChainOutcome::Done {
+                observables,
+                acceptance,
+                max_wrap_error,
+                recovery,
+                preemptions: p,
+                device_quanta: dq,
+                host_quanta: hq,
+                device_seconds: ds,
+            }) => {
+                match &mut pooled {
+                    Some(acc) => acc.merge(observables),
+                    None => pooled = Some(observables.as_ref().clone()),
+                }
+                chains_ok += 1;
+                acc_sum += acceptance;
+                max_wrap = max_wrap.max(*max_wrap_error);
+                recovery_events += recovery.total();
+                tallies.merge(&recovery.tallies());
+                preemptions += u64::from(*p);
+                device_quanta += dq;
+                host_quanta += hq;
+                device_seconds += ds;
+            }
+            Some(ChainOutcome::Failed {
+                preemptions: p,
+                device_quanta: dq,
+                host_quanta: hq,
+                device_seconds: ds,
+            }) => {
+                chains_failed += 1;
+                preemptions += p;
+                device_quanta += dq;
+                host_quanta += hq;
+                device_seconds += ds;
+            }
+            None => {
+                // Unreachable in a drained sweep; count it as failed so
+                // a scheduler bug shows up as data loss, not a panic.
+                chains_failed += 1;
+            }
+        }
+    }
+
+    let summary = PointSummary {
+        point: point.index,
+        u: point.u,
+        beta: point.beta,
+        slices: point.slices,
+        chains_ok,
+        chains_failed,
+        bin_count: pooled.as_ref().map_or(0, |o| o.bin_count()),
+        scalars: pooled.as_ref().map(|o| o.jackknife_scalars()),
+        mean_acceptance: if chains_ok > 0 {
+            acc_sum / chains_ok as f64
+        } else {
+            0.0
+        },
+        max_wrap_error: max_wrap,
+        recovery_events,
+        preemptions,
+        device_quanta,
+        host_quanta,
+        device_seconds,
+    };
+    (summary, tallies)
 }
 
 /// Merges per-chain outcomes into per-point summaries in canonical chain
@@ -799,92 +940,15 @@ fn assemble_report(
     let mut recovery_tallies = RecoveryTallies::default();
 
     for point in points {
-        let mut pooled: Option<Observables> = None;
-        let mut chains_ok = 0usize;
-        let mut chains_failed = 0usize;
-        let mut acc_sum = 0.0f64;
-        let mut max_wrap = 0.0f64;
-        let mut recovery_events = 0u64;
-        let mut preemptions = 0u64;
-        let mut device_quanta = 0u64;
-        let mut host_quanta = 0u64;
-        let mut device_seconds = 0.0f64;
-
-        for chain in 0..spec.chains {
-            let slot = point.index * spec.chains + chain;
-            match &outcomes[slot] {
-                Some(ChainOutcome::Done {
-                    observables,
-                    acceptance,
-                    max_wrap_error,
-                    recovery,
-                    preemptions: p,
-                    device_quanta: dq,
-                    host_quanta: hq,
-                    device_seconds: ds,
-                }) => {
-                    match &mut pooled {
-                        Some(acc) => acc.merge(observables),
-                        None => pooled = Some(observables.as_ref().clone()),
-                    }
-                    chains_ok += 1;
-                    acc_sum += acceptance;
-                    max_wrap = max_wrap.max(*max_wrap_error);
-                    recovery_events += recovery.total();
-                    recovery_tallies.merge(&recovery.tallies());
-                    preemptions += u64::from(*p);
-                    device_quanta += dq;
-                    host_quanta += hq;
-                    device_seconds += ds;
-                }
-                Some(ChainOutcome::Failed {
-                    preemptions: p,
-                    device_quanta: dq,
-                    host_quanta: hq,
-                    device_seconds: ds,
-                }) => {
-                    chains_failed += 1;
-                    failed_jobs += 1;
-                    preemptions += p;
-                    device_quanta += dq;
-                    host_quanta += hq;
-                    device_seconds += ds;
-                }
-                None => {
-                    // Unreachable in a drained sweep; count it as failed so
-                    // a scheduler bug shows up as data loss, not a panic.
-                    chains_failed += 1;
-                    failed_jobs += 1;
-                }
-            }
-        }
-
-        total_preemptions += preemptions;
-        total_device_quanta += device_quanta;
-        total_host_quanta += host_quanta;
-        total_device_seconds += device_seconds;
-
-        summaries.push(PointSummary {
-            point: point.index,
-            u: point.u,
-            beta: point.beta,
-            slices: point.slices,
-            chains_ok,
-            chains_failed,
-            bin_count: pooled.as_ref().map_or(0, |o| o.bin_count()),
-            scalars: pooled.as_ref().map(|o| o.jackknife_scalars()),
-            mean_acceptance: if chains_ok > 0 {
-                acc_sum / chains_ok as f64
-            } else {
-                0.0
-            },
-            max_wrap_error: max_wrap,
-            recovery_events,
-            preemptions,
-            device_quanta,
-            host_quanta,
-            device_seconds,
-        });
+        let base = point.index * spec.chains;
+        let (summary, tallies) = summarize_point(point, &outcomes[base..base + spec.chains]);
+        failed_jobs += summary.chains_failed;
+        total_preemptions += summary.preemptions;
+        total_device_quanta += summary.device_quanta;
+        total_host_quanta += summary.host_quanta;
+        total_device_seconds += summary.device_seconds;
+        recovery_tallies.merge(&tallies);
+        summaries.push(summary);
     }
 
     SweepReport {

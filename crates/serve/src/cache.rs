@@ -1,0 +1,208 @@
+//! Content-addressed on-disk result cache for per-point observables.
+//!
+//! The determinism contract (tests/sched_determinism.rs) makes a point's
+//! pooled observables a pure function of its physics: the model, every
+//! algorithmic knob, the per-chain seeds, and how many chains pool into
+//! the point. [`point_key`] fingerprints exactly that closure — each
+//! chain's [`dqmc::params_fingerprint`] (which covers the model, seed and
+//! sweep counts) plus the chain count and crowd width — so two requests
+//! collide only when the engine guarantees byte-identical results, and a
+//! grid differing in any seed, sweep count or crowd width keys elsewhere.
+//!
+//! Entries are `DQRC` frames under the checkpoint discipline: magic,
+//! version, key echo, payload, CRC-32 trailer. Writes go through a
+//! process-unique temp file, `fsync`, then atomic rename — concurrent
+//! writers race benignly (last rename wins, every intermediate state is a
+//! complete entry) and readers never observe a torn write. Any entry that
+//! fails validation is evicted on sight and the caller recomputes.
+
+use sched::{GridPoint, GridSpec, PointSummary};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use util::codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
+
+/// Entry magic: "DQRC" (DQmc Result Cache).
+const MAGIC: &[u8; 4] = b"DQRC";
+/// Entry format version.
+const ENTRY_VERSION: u32 = 1;
+
+/// What a cache probe found.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// A valid entry; schedule-layer fields of the summary are zeroed.
+    Hit(Box<PointSummary>),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but failed validation; it has been deleted and
+    /// the caller must recompute.
+    Evicted,
+}
+
+/// Content address of one grid point's pooled observables.
+///
+/// Folds the physics closure only: per-chain parameter fingerprints
+/// (model + knobs + hash-split seed + warmup/measure sweeps), the chain
+/// count, and the crowd width. Scheduling inputs — workers, devices,
+/// quanta, fault plans — are deliberately excluded: the determinism tier
+/// proves they cannot move observable bytes. Crowd width *is* included:
+/// the engine proves it unobservable too, but the cache stays conservative
+/// about the one knob that changes which backend executes the chains.
+pub fn point_key(spec: &GridSpec, point: &GridPoint) -> u64 {
+    let mut f = Fnv1a::new();
+    f.update(b"dqmc-serve-point-v1");
+    f.update_u64(spec.chains as u64);
+    f.update_u64(spec.crowd.max(1) as u64);
+    for chain in 0..spec.chains {
+        f.update_u64(dqmc::params_fingerprint(&spec.chain_params(point, chain)));
+    }
+    f.finish()
+}
+
+/// A directory of `DQRC` entries, one per point key.
+pub struct ResultCache {
+    dir: PathBuf,
+    /// Temp-file sequence; with the pid it makes writer names unique.
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        })
+    }
+
+    /// The entry path for a key.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.dqrc"))
+    }
+
+    /// Probes the cache for `key`, evicting any invalid entry it finds.
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss;
+            }
+        };
+        match decode_entry(key, &bytes) {
+            Ok(summary) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Box::new(summary))
+            }
+            Err(_) => {
+                // A corrupt entry must not shadow the recompute path; the
+                // remove may itself fail (already evicted by a racer) and
+                // that is fine.
+                let _ = std::fs::remove_file(&path);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                Lookup::Evicted
+            }
+        }
+    }
+
+    /// Stores a point summary under `key`: temp file, fsync, atomic
+    /// rename. Concurrent writers of the same key race benignly — the
+    /// entries they write are byte-identical by the determinism contract.
+    pub fn store(&self, key: u64, summary: &PointSummary) -> std::io::Result<()> {
+        let bytes = encode_entry(key, summary);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        match std::fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Valid entries served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted as corrupt.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+}
+
+/// Serialises one entry: header, key echo, observables payload, CRC.
+fn encode_entry(key: u64, summary: &PointSummary) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u32(ENTRY_VERSION);
+    w.put_u64(key);
+    summary.encode_observables(&mut w);
+    let body = w.into_bytes();
+    let mut out = ByteWriter::new();
+    out.put_bytes(&body);
+    out.put_u32(crc32(&body));
+    out.into_bytes()
+}
+
+/// Validates and decodes one entry; any failure means eviction.
+fn decode_entry(key: u64, bytes: &[u8]) -> Result<PointSummary, CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            remaining: bytes.len(),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { stored, computed });
+    }
+    let mut r = ByteReader::new(body);
+    if r.get_bytes(4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != ENTRY_VERSION {
+        return Err(CodecError::BadVersion {
+            found: version,
+            expected: ENTRY_VERSION,
+        });
+    }
+    let echoed = r.get_u64()?;
+    if echoed != key {
+        return Err(CodecError::Invalid(format!(
+            "entry keyed {echoed:#018x} found under {key:#018x}"
+        )));
+    }
+    let summary = PointSummary::decode_observables(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid(format!(
+            "{} trailing entry bytes",
+            r.remaining()
+        )));
+    }
+    Ok(summary)
+}

@@ -1,0 +1,206 @@
+//! DQSF client: submit grids to a running `dqmc-serve`, stream the
+//! per-point frames, and collect the final document.
+
+use crate::protocol::{read_frame, write_frame, Frame, WireError};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One streamed point as the client saw it.
+#[derive(Clone, Debug)]
+pub struct StreamedPoint {
+    /// Canonical point index.
+    pub index: u64,
+    /// True when served from the result cache.
+    pub cached: bool,
+    /// The point's observables-JSON fragment.
+    pub json: String,
+}
+
+/// Everything a completed submission returned.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// Points in arrival order (cached points come first).
+    pub points: Vec<StreamedPoint>,
+    /// The full observables document.
+    pub observables: String,
+    /// Jobs the server enqueued for this request (0 = full warm hit).
+    pub jobs_run: u64,
+    /// Points served from cache.
+    pub cached_points: u64,
+    /// Points computed this request.
+    pub computed_points: u64,
+    /// Chains that permanently failed.
+    pub failed_chains: u64,
+    /// Recovery-ladder actions over the computed points.
+    pub recovery_events: u64,
+}
+
+/// Service counters, as returned by `StatsRequest`.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Jobs enqueued since the service started.
+    pub jobs_submitted: u64,
+    /// Campaigns fully completed.
+    pub campaigns_completed: u64,
+    /// Campaigns currently in flight.
+    pub active_campaigns: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Cache entries evicted as corrupt.
+    pub cache_corrupt: u64,
+}
+
+/// A connected DQSF client. One submission at a time per connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address like `127.0.0.1:7070`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Connects with retries — for racing a server that is still binding.
+    pub fn connect_retry(addr: &str, attempts: u32, delay: Duration) -> std::io::Result<Client> {
+        let mut last: Option<std::io::Error> = None;
+        for _ in 0..attempts.max(1) {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(Client { stream }),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "no connection attempts made")
+        }))
+    }
+
+    /// Submits a grid and drives the stream to completion, invoking
+    /// `on_point` for every streamed point as it arrives.
+    ///
+    /// Returns [`WireError::Rejected`] when the server refuses the
+    /// submission (the connection stays usable).
+    pub fn submit_with(
+        &mut self,
+        tenant: &str,
+        priority: u8,
+        grid: &str,
+        mut on_point: impl FnMut(&StreamedPoint),
+    ) -> Result<SubmitOutcome, WireError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::Submit {
+                tenant: tenant.to_string(),
+                priority,
+                grid: grid.to_string(),
+            },
+        )?;
+        match read_frame(&mut self.stream)? {
+            Frame::Accepted { .. } => {}
+            Frame::Rejected { reason } => return Err(WireError::Rejected(reason)),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected Accepted/Rejected, got frame kind {}",
+                    other.kind()
+                )))
+            }
+        }
+        let mut points = Vec::new();
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::Point {
+                    index,
+                    cached,
+                    json,
+                } => {
+                    let p = StreamedPoint {
+                        index,
+                        cached,
+                        json,
+                    };
+                    on_point(&p);
+                    points.push(p);
+                }
+                Frame::Done {
+                    observables,
+                    jobs_run,
+                    cached_points,
+                    computed_points,
+                    failed_chains,
+                    recovery_events,
+                } => {
+                    return Ok(SubmitOutcome {
+                        points,
+                        observables,
+                        jobs_run,
+                        cached_points,
+                        computed_points,
+                        failed_chains,
+                        recovery_events,
+                    })
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "expected Point/Done, got frame kind {}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// [`Client::submit_with`] without a streaming callback.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: u8,
+        grid: &str,
+    ) -> Result<SubmitOutcome, WireError> {
+        self.submit_with(tenant, priority, grid, |_| {})
+    }
+
+    /// Fetches the service counters.
+    pub fn stats(&mut self) -> Result<Stats, WireError> {
+        write_frame(&mut self.stream, &Frame::StatsRequest)?;
+        match read_frame(&mut self.stream)? {
+            Frame::StatsReply {
+                jobs_submitted,
+                campaigns_completed,
+                active_campaigns,
+                cache_hits,
+                cache_misses,
+                cache_corrupt,
+            } => Ok(Stats {
+                jobs_submitted,
+                campaigns_completed,
+                active_campaigns,
+                cache_hits,
+                cache_misses,
+                cache_corrupt,
+            }),
+            other => Err(WireError::Protocol(format!(
+                "expected StatsReply, got frame kind {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit; resolves on its acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        write_frame(&mut self.stream, &Frame::Shutdown)?;
+        match read_frame(&mut self.stream)? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(WireError::Protocol(format!(
+                "expected ShutdownAck, got frame kind {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Sweep-as-a-service on top of the [`sched`] scheduler.
+//!
+//! The scheduler's determinism contract — pooled observables are a pure
+//! function of (grid, seeds) — is what makes a *service* out of a batch
+//! runner: results can be streamed point by point, cached by content
+//! address, and replayed byte-identically for any tenant that asks the
+//! same question. This crate provides the three layers:
+//!
+//! 1. **Protocol** ([`protocol`]): `DQSF` frames — length-prefixed,
+//!    CRC-guarded, capped — carrying submissions, streamed points, and
+//!    final documents over TCP. No decode path panics on arbitrary bytes.
+//! 2. **Cache** ([`cache`]): `DQRC` entries keyed by the physics closure
+//!    (per-chain parameter fingerprints + chain count + crowd width),
+//!    written atomically (tmp, fsync, rename) and self-evicting on any
+//!    validation failure.
+//! 3. **Server/client** ([`server`], [`client`]): a resident accept loop
+//!    multiplexing tenants into one [`sched::SweepService`], streaming
+//!    each point as it completes, short-circuiting warm hits without
+//!    enqueueing a single job; and the matching blocking client.
+//!
+//! `tests/serve.rs` at the workspace root drives a real server on an
+//! ephemeral port through cold/warm/concurrent/disconnect/corruption
+//! scenarios.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{point_key, Lookup, ResultCache};
+pub use client::{Client, Stats, StreamedPoint, SubmitOutcome};
+pub use protocol::{
+    encode_frame, parse_frame, read_frame, write_frame, Frame, WireError, MAX_FRAME,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,219 @@
+//! Unit tests of the content-addressed result cache: the fingerprint
+//! distinguishes physics (seed, sweeps, crowd) and ignores scheduling
+//! (workers, devices, quantum); single-byte corruption is detected and
+//! evicted; and the atomic tmp+fsync+rename path survives concurrent
+//! writers.
+
+use dqmc::JackknifeScalars;
+use sched::{GridSpec, PointSummary};
+use serve::{point_key, Lookup, ResultCache};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const GRID: &str = "
+    lx = 2
+    ly = 2
+    u = 2.0, 4.0
+    beta = 1.0
+    chains = 2
+    warmup = 2
+    sweeps = 4
+    bin_size = 2
+    cluster_size = 4
+    seed = 11
+";
+
+fn spec_with(extra: &str) -> GridSpec {
+    GridSpec::parse(&format!("{GRID}\n{extra}")).expect("grid parses")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dqmc_serve_cache_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn summary(point: usize) -> PointSummary {
+    PointSummary {
+        point,
+        u: 4.0,
+        beta: 1.0,
+        slices: 8,
+        chains_ok: 2,
+        chains_failed: 0,
+        bin_count: 4,
+        scalars: Some(JackknifeScalars {
+            sign: (1.0, 0.0),
+            density: (0.987_654_321, 0.001_5),
+            double_occ: (0.123, 0.004),
+            kinetic: (-1.234_567, 0.01),
+            potential: (0.493_8, 0.002),
+            saf: (0.333_333_333_333, 0.05),
+        }),
+        mean_acceptance: 0.42,
+        max_wrap_error: 1e-9,
+        recovery_events: 3,
+        preemptions: 1,
+        device_quanta: 5,
+        host_quanta: 2,
+        device_seconds: 0.75,
+    }
+}
+
+#[test]
+fn fingerprint_distinguishes_physics_and_ignores_scheduling() {
+    let base = spec_with("");
+    let p = base.points()[1];
+    let key = point_key(&base, &p);
+
+    // Physics knobs move the key — even when everything else is identical.
+    for (name, changed) in [
+        ("seed", spec_with("seed = 12")),
+        ("sweeps", spec_with("sweeps = 8")),
+        ("warmup", spec_with("warmup = 4")),
+        ("chains", spec_with("chains = 3")),
+        ("crowd", spec_with("crowd = 2")),
+    ] {
+        let q = changed.points()[1];
+        assert_ne!(
+            key,
+            point_key(&changed, &q),
+            "changing {name} must change the content address"
+        );
+    }
+
+    // Scheduling knobs must NOT move the key: the determinism tier proves
+    // they cannot move observable bytes, so caching across them is sound.
+    for (name, changed) in [
+        ("workers", spec_with("workers = 8")),
+        ("devices", spec_with("devices = 4")),
+        ("quantum", spec_with("quantum = 2")),
+        ("job_retries", spec_with("job_retries = 3")),
+    ] {
+        let q = changed.points()[1];
+        assert_eq!(
+            key,
+            point_key(&changed, &q),
+            "changing {name} must not change the content address"
+        );
+    }
+
+    // Different points of the same grid key apart (seed stream ids differ).
+    assert_ne!(key, point_key(&base, &base.points()[0]));
+}
+
+#[test]
+fn entries_round_trip_and_misses_are_clean() {
+    let dir = scratch("roundtrip");
+    let cache = ResultCache::open(&dir).expect("open");
+    let spec = spec_with("");
+    let p = spec.points()[0];
+    let key = point_key(&spec, &p);
+
+    assert!(matches!(cache.lookup(key), Lookup::Miss));
+    let s = summary(p.index);
+    cache.store(key, &s).expect("store");
+    match cache.lookup(key) {
+        Lookup::Hit(got) => {
+            // Observable bytes survive the disk round trip exactly...
+            assert_eq!(got.observables_json(), s.observables_json());
+            // ...while schedule-layer fields are zeroed: a cache replay has
+            // no schedule.
+            assert_eq!(got.recovery_events, 0);
+            assert_eq!(got.device_quanta, 0);
+            assert_eq!(got.device_seconds, 0.0);
+        }
+        other => panic!("expected hit, got {other:?}"),
+    }
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.misses(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_single_byte_corruption_is_detected_and_evicted() {
+    let dir = scratch("corrupt");
+    let cache = ResultCache::open(&dir).expect("open");
+    let spec = spec_with("");
+    let p = spec.points()[0];
+    let key = point_key(&spec, &p);
+    cache.store(key, &summary(p.index)).expect("store");
+    let path = cache.entry_path(key);
+    let good = std::fs::read(&path).expect("read entry");
+
+    for pos in 0..good.len() {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x20;
+        std::fs::write(&path, &bad).expect("write corrupt");
+        assert!(
+            matches!(cache.lookup(key), Lookup::Evicted),
+            "corruption at byte {pos} of {} went undetected",
+            good.len()
+        );
+        // Eviction removed the entry: the next probe is a miss, i.e. the
+        // caller recomputes instead of re-reading poison.
+        assert!(!path.exists(), "corrupt entry at byte {pos} not evicted");
+        assert!(matches!(cache.lookup(key), Lookup::Miss));
+    }
+    assert_eq!(cache.corrupt(), good.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_entry_under_the_wrong_key_is_evicted() {
+    let dir = scratch("wrongkey");
+    let cache = ResultCache::open(&dir).expect("open");
+    let spec = spec_with("");
+    let points = spec.points();
+    let key_a = point_key(&spec, &points[0]);
+    let key_b = point_key(&spec, &points[1]);
+    cache.store(key_a, &summary(0)).expect("store");
+    // A valid entry copied under another key must not answer for it: the
+    // key echo inside the checksummed payload catches the rename.
+    std::fs::copy(cache.entry_path(key_a), cache.entry_path(key_b)).expect("copy");
+    assert!(matches!(cache.lookup(key_b), Lookup::Evicted));
+    assert!(matches!(cache.lookup(key_a), Lookup::Hit(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_of_one_key_leave_a_valid_entry() {
+    let dir = scratch("racers");
+    let cache = Arc::new(ResultCache::open(&dir).expect("open"));
+    let spec = spec_with("");
+    let p = spec.points()[0];
+    let key = point_key(&spec, &p);
+    let s = summary(p.index);
+
+    // Every writer stores the same bytes — exactly the service's situation
+    // when two tenants compute the same point simultaneously. The atomic
+    // rename means any interleaving leaves one complete, valid entry.
+    let mut threads = Vec::new();
+    for _ in 0..8 {
+        let cache = Arc::clone(&cache);
+        let s = s.clone();
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..16 {
+                cache.store(key, &s).expect("store");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("writer thread");
+    }
+    match cache.lookup(key) {
+        Lookup::Hit(got) => assert_eq!(got.observables_json(), s.observables_json()),
+        other => panic!("expected hit after racing writers, got {other:?}"),
+    }
+    // No temp droppings left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,137 @@
+//! Property tests of the DQSF wire codec: round-trip identity for every
+//! frame shape, and the guarantee that arbitrary, truncated, corrupted, or
+//! oversized bytes from a socket error cleanly — no decode path panics.
+
+use proptest::prelude::*;
+use serve::protocol::{encode_frame, parse_frame, read_frame, Frame, WireError, HEADER_LEN};
+
+/// Maps arbitrary bytes onto a valid (possibly multi-byte UTF-8) string so
+/// string fields get exercised with embedded NULs, quotes, and high code
+/// points without violating the UTF-8 invariant the codec enforces.
+fn stringify(bytes: Vec<u8>) -> String {
+    bytes
+        .into_iter()
+        .map(|b| char::from_u32(b as u32).unwrap_or('\u{FFFD}'))
+        .collect()
+}
+
+/// Strategy: one frame of every wire shape, fields drawn broadly.
+fn arbitrary_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u8..9,
+        proptest::collection::vec(0u8..=255, 0..48),
+        proptest::collection::vec(0u8..=255, 0..160),
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        0u8..=255,
+    )
+        .prop_map(|(kind, a, b, x, y, p)| {
+            let sa = stringify(a);
+            let sb = stringify(b);
+            match kind {
+                0 => Frame::Submit {
+                    tenant: sa,
+                    priority: p,
+                    grid: sb,
+                },
+                1 => Frame::Accepted {
+                    request: x,
+                    points: y,
+                    cached: x.min(y),
+                    jobs: y.wrapping_sub(x),
+                },
+                2 => Frame::Rejected { reason: sa },
+                3 => Frame::Point {
+                    index: x,
+                    cached: p % 2 == 0,
+                    json: sb,
+                },
+                4 => Frame::Done {
+                    observables: sb,
+                    jobs_run: x,
+                    cached_points: y,
+                    computed_points: x.wrapping_mul(3),
+                    failed_chains: y % 7,
+                    recovery_events: x % 11,
+                },
+                5 => Frame::StatsRequest,
+                6 => Frame::StatsReply {
+                    jobs_submitted: x,
+                    campaigns_completed: y,
+                    active_campaigns: x % 13,
+                    cache_hits: y % 17,
+                    cache_misses: x % 19,
+                    cache_corrupt: y % 23,
+                },
+                7 => Frame::Shutdown,
+                _ => Frame::ShutdownAck,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn frames_round_trip_exactly(frame in arbitrary_frame()) {
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = parse_frame(&bytes).expect("round trip");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(consumed, bytes.len());
+        // The stream reader agrees with the slice parser.
+        let mut cursor = std::io::Cursor::new(&bytes);
+        prop_assert_eq!(&read_frame(&mut cursor).expect("stream read"), &frame);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        // Any outcome but a panic is acceptable; random bytes essentially
+        // never spell a valid header, so also check short inputs error.
+        let r = parse_frame(&bytes);
+        if bytes.len() < HEADER_LEN {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors(frame in arbitrary_frame()) {
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            prop_assert!(parse_frame(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_always_detected(
+        frame in arbitrary_frame(),
+        flip in 0u8..8,
+        pos in proptest::collection::vec(0usize..usize::MAX, 1..2),
+    ) {
+        let bytes = encode_frame(&frame);
+        let payload_len = bytes.len() - HEADER_LEN - 4;
+        if payload_len == 0 {
+            return;
+        }
+        // Flip one bit of one payload byte: the CRC trailer must catch it.
+        let at = HEADER_LEN + pos[0] % payload_len;
+        let mut bad = bytes.clone();
+        bad[at] ^= 1 << (flip % 8);
+        prop_assert!(
+            matches!(parse_frame(&bad), Err(WireError::Codec(_))),
+            "payload corruption at byte {at} went undetected"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected(extra in 1u64..u64::MAX / 2) {
+        // A header whose length field exceeds the cap must be refused
+        // before any allocation happens.
+        let mut bytes = encode_frame(&Frame::StatsRequest);
+        let len = (serve::MAX_FRAME as u64).saturating_add(extra);
+        bytes[9..17].copy_from_slice(&len.to_le_bytes());
+        prop_assert!(matches!(
+            parse_frame(&bytes),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

@@ -206,6 +206,58 @@ fn storm_is_reproducible_run_to_run() {
 }
 
 #[test]
+fn fault_storm_over_the_socket_streams_clean_bytes() {
+    // The service tier, under fire: a grid whose every device-placed job
+    // is armed with one-shot launch failures and transfer corruption is
+    // submitted over a real TCP socket. The recovery ladder must fire
+    // (visible in the Done frame's counters) and the streamed bytes must
+    // still equal the in-process clean run — chaos reshapes the schedule,
+    // never the physics, and the socket adds nothing.
+    use serve::{Client, Server, ServerConfig};
+
+    let storm = "faults = fail_launch:1, corrupt_transfer:3";
+    let spec = grid(storm);
+    assert!(!spec.faults.is_empty(), "storm grid must arm job faults");
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            service: sched::ServiceConfig {
+                workers: 2,
+                devices: 2,
+                quantum: 2,
+                job_retries: 1,
+                ..sched::ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let handle = server.handle();
+    let addr = server.local_addr().to_string();
+    let accept = std::thread::spawn(move || server.run());
+
+    let outcome = Client::connect_retry(&addr, 50, std::time::Duration::from_millis(20))
+        .expect("connect")
+        .submit("chaos", 0, &format!("{PHYSICS}\n{storm}\n"))
+        .expect("storm submission");
+
+    assert_eq!(outcome.failed_chains, 0, "one-shot faults must heal");
+    assert!(
+        outcome.recovery_events > 0,
+        "the storm never engaged the recovery ladder"
+    );
+    assert_eq!(
+        outcome.observables,
+        clean_baseline(),
+        "socket-served storm leaked into the observables bytes"
+    );
+
+    handle.request_shutdown();
+    let _ = accept.join();
+}
+
+#[test]
 fn hang_class_parks_softly_without_worker_loss() {
     // A non-wedged hang is the *soft* deadline: the simulated watchdog
     // kills the launch, the job parks and excludes the slot, and nobody is
