@@ -508,3 +508,60 @@ mod tests {
         assert!(!p.recycle);
     }
 }
+
+/// Exit codes for `dqmc-run submit`, distinguishing server back-pressure
+/// from server shutdown so shell callers can choose between retrying with
+/// backoff (full) and giving up or failing over (closed).
+pub mod submit_exit {
+    /// Submission refused for any other reason (bad grid, tenant cap,
+    /// protocol trouble, socket loss).
+    pub const FAILED: i32 = 1;
+    /// The shared job queue had no room for the campaign — transient
+    /// back-pressure; retry later.
+    pub const QUEUE_FULL: i32 = 3;
+    /// The job queue is closed — the server is draining for shutdown;
+    /// retrying the same server cannot succeed.
+    pub const QUEUE_CLOSED: i32 = 4;
+
+    /// Maps a server rejection reason to the submit exit code by its
+    /// stable machine-readable prefix (see [`serve::REASON_QUEUE_FULL`]).
+    pub fn for_rejection(reason: &str) -> i32 {
+        if reason.starts_with(serve::REASON_QUEUE_FULL) {
+            QUEUE_FULL
+        } else if reason.starts_with(serve::REASON_QUEUE_CLOSED) {
+            QUEUE_CLOSED
+        } else {
+            FAILED
+        }
+    }
+}
+
+#[cfg(test)]
+mod submit_exit_tests {
+    use super::submit_exit;
+
+    #[test]
+    fn queue_pressure_maps_to_distinct_codes() {
+        assert_eq!(
+            submit_exit::for_rejection("queue-full: batch of 9 refused: job queue bound is 4"),
+            submit_exit::QUEUE_FULL
+        );
+        assert_eq!(
+            submit_exit::for_rejection("queue-closed: job queue is closed"),
+            submit_exit::QUEUE_CLOSED
+        );
+        assert_eq!(
+            submit_exit::for_rejection("tenant 'x' at campaign capacity (2 in flight)"),
+            submit_exit::FAILED
+        );
+        assert_ne!(submit_exit::QUEUE_FULL, submit_exit::QUEUE_CLOSED);
+    }
+
+    #[test]
+    fn prefixes_match_the_server_constants() {
+        // The mapping contract lives in the serve crate's constants; a
+        // drifted literal here would silently collapse the codes to 1.
+        assert!("queue-full: x".starts_with(serve::REASON_QUEUE_FULL));
+        assert!("queue-closed: x".starts_with(serve::REASON_QUEUE_CLOSED));
+    }
+}

@@ -4,21 +4,25 @@
 //! dqmc path/to/input.in           # or: dqmc - < input.in
 //! dqmc sweep grid.sweep           # parameter-sweep campaign
 //! dqmc sweep grid.sweep -o r.json # also write the JSON report
+//! dqmc shard grid.sweep --procs 4 --workdir shards/   # process fleet
+//! dqmc merge shards/ -o obs.json  # recombine shard reports
 //! ```
 
 use dqmc::Simulation;
-use dqmc_cli::{Backend, InputFile};
+use dqmc_cli::{submit_exit, Backend, InputFile};
+use fleet::{ChildCommand, FleetConfig};
 use sched::{EventLog, GridSpec, SchedConfig, TraceEvent};
 use std::io::Read;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use util::table::{fmt_f, Table};
 
-/// `dqmc sweep <grid-file> [-o report.json] [--trace]`: run a declared
-/// (U, β) grid through the checkpoint-aware scheduler and print the pooled
-/// jackknife estimates per point.
+/// `dqmc sweep <grid-file> [-o report.json] [--obs-out obs.json]
+/// [--trace]`: run a declared (U, β) grid through the checkpoint-aware
+/// scheduler and print the pooled jackknife estimates per point.
 fn run_sweep_cmd(args: &[String]) -> ! {
     let mut grid_file: Option<&str> = None;
     let mut out: Option<&str> = None;
+    let mut obs_out: Option<&str> = None;
     let mut trace = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -27,6 +31,13 @@ fn run_sweep_cmd(args: &[String]) -> ! {
                 Some(p) => out = Some(p),
                 None => {
                     eprintln!("{a} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--obs-out" => match it.next() {
+                Some(p) => obs_out = Some(p),
+                None => {
+                    eprintln!("--obs-out needs a path");
                     std::process::exit(2);
                 }
             },
@@ -39,7 +50,7 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         }
     }
     let Some(grid_file) = grid_file else {
-        eprintln!("usage: dqmc sweep <grid-file> [-o report.json] [--trace]");
+        eprintln!("usage: dqmc sweep <grid-file> [-o report.json] [--obs-out obs.json] [--trace]");
         eprintln!("grid keys: lx ly t mu dtau u(list) beta(list) chains warmup");
         eprintln!("  sweeps bin_size cluster_size seed recovery max_retries");
         eprintln!("  workers devices quantum job_retries faults slot_faults");
@@ -103,7 +114,203 @@ fn run_sweep_cmd(args: &[String]) -> ! {
         });
         println!("# report written to {path}");
     }
+    if let Some(path) = obs_out {
+        // The observables document alone — the byte-deterministic layer a
+        // fleet merge (or served campaign) is compared against.
+        std::fs::write(path, report.observables_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("# observables written to {path}");
+    }
     std::process::exit(if report.failed_jobs == 0 { 0 } else { 1 });
+}
+
+/// `dqmc shard <grid-file> --procs P [--workdir DIR] [-o obs.json]
+/// [--keep] [--trace]`: run the grid as a supervised process fleet and
+/// print the byte-deterministically merged observables document.
+fn run_shard_cmd(args: &[String]) -> ! {
+    let mut grid_file: Option<&str> = None;
+    let mut procs: usize = 2;
+    let mut workdir: Option<PathBuf> = None;
+    let mut out: Option<&str> = None;
+    let mut keep = false;
+    let mut trace = false;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--procs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => procs = n,
+                _ => {
+                    eprintln!("--procs needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--heartbeat-timeout-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => heartbeat_ms = Some(n),
+                _ => {
+                    eprintln!("--heartbeat-timeout-ms needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--workdir" => match it.next() {
+                Some(p) => workdir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--workdir needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "-o" | "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("{a} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--keep" => keep = true,
+            "--trace" => trace = true,
+            other if grid_file.is_none() => grid_file = Some(other),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(grid_file) = grid_file else {
+        eprintln!(
+            "usage: dqmc shard <grid-file> --procs P [--workdir DIR] [-o obs.json] \
+             [--keep] [--trace] [--heartbeat-timeout-ms N]"
+        );
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(grid_file).unwrap_or_else(|e| {
+        eprintln!("cannot read {grid_file}: {e}");
+        std::process::exit(2);
+    });
+    let child = ChildCommand::current_exe("shard-child").unwrap_or_else(|e| {
+        eprintln!("cannot locate own executable: {e}");
+        std::process::exit(1);
+    });
+    // An explicit workdir implies the caller wants the shard files (for a
+    // later `dqmc merge`); a scratch dir is cleaned up unless --keep.
+    let explicit_workdir = workdir.is_some();
+    let dir = workdir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("dqmc-shard-{}", std::process::id())));
+    let mut cfg = FleetConfig::new(procs, child, dir);
+    cfg.keep_files = keep || explicit_workdir;
+    if let Some(ms) = heartbeat_ms {
+        cfg.heartbeat_timeout = std::time::Duration::from_millis(ms);
+    }
+    let outcome = fleet::run_fleet(&text, &cfg).unwrap_or_else(|e| {
+        eprintln!("fleet run failed: {e}");
+        std::process::exit(1);
+    });
+    if trace {
+        eprintln!("## process health ledger");
+        for line in &outcome.ledger {
+            eprintln!("# {line}");
+        }
+    }
+    eprintln!(
+        "# fleet: {} shards, {} respawns, {} kills, {:.2}s wall",
+        outcome.shards, outcome.respawns, outcome.kills, outcome.wall_seconds
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &outcome.observables).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("# observables written to {path}");
+        }
+        None => println!("{}", outcome.observables),
+    }
+    std::process::exit(if outcome.merged.failed_chains == 0 {
+        0
+    } else {
+        1
+    });
+}
+
+/// `dqmc merge <dir-or-report.dqsr...> [-o obs.json]`: recombine shard
+/// report files into the single-process observables document.
+fn run_merge_cmd(args: &[String]) -> ! {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("{a} needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => inputs.push(PathBuf::from(other)),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: dqmc merge <workdir | shard-*.dqsr ...> [-o obs.json]");
+        std::process::exit(2);
+    }
+    // A directory argument expands to its *.dqsr files, sorted by name so
+    // the merge input set is deterministic.
+    let mut reports: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut found: Vec<PathBuf> = match std::fs::read_dir(&input) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "dqsr"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("cannot list {}: {e}", input.display());
+                    std::process::exit(2);
+                }
+            };
+            found.sort();
+            reports.extend(found);
+        } else {
+            reports.push(input);
+        }
+    }
+    if reports.is_empty() {
+        eprintln!("no shard reports (*.dqsr) found");
+        std::process::exit(2);
+    }
+    let mut decoded = Vec::with_capacity(reports.len());
+    for path in &reports {
+        match fleet::ShardReport::read(path) {
+            Ok(r) => decoded.push(r),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let merged = fleet::merge_reports(&decoded).unwrap_or_else(|e| {
+        eprintln!("merge refused: {e}");
+        std::process::exit(1);
+    });
+    let observables = merged.observables_json();
+    eprintln!(
+        "# merged {} points from {} shard reports",
+        merged.points.len(),
+        decoded.len()
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(path, &observables).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("# observables written to {path}");
+        }
+        None => println!("{observables}"),
+    }
+    std::process::exit(if merged.failed_chains == 0 { 0 } else { 1 });
 }
 
 /// `dqmc submit <grid-file> [--addr host:port] [--tenant NAME]
@@ -165,7 +372,13 @@ fn run_submit_cmd(args: &[String]) -> ! {
         })
         .unwrap_or_else(|e| {
             eprintln!("submission failed: {e}");
-            std::process::exit(1);
+            // Queue back-pressure and shutdown get distinct exit codes so
+            // shell callers can retry-with-backoff vs fail over.
+            let code = match &e {
+                serve::WireError::Rejected(reason) => submit_exit::for_rejection(reason),
+                _ => submit_exit::FAILED,
+            };
+            std::process::exit(code);
         });
     println!("{}", outcome.observables);
     println!(
@@ -218,6 +431,17 @@ fn main() {
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep_cmd(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("shard") {
+        run_shard_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("merge") {
+        run_merge_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("shard-child") {
+        // Fleet re-entry point: the supervisor launches this same binary
+        // with `shard-child <manifest> <report> <heartbeat>`.
+        std::process::exit(fleet::child_main(&args[1..]));
+    }
     if args.first().map(String::as_str) == Some("submit") {
         run_submit_cmd(&args[1..]);
     }
@@ -226,7 +450,12 @@ fn main() {
     }
     if args.len() != 1 || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: dqmc <input-file>   (or 'dqmc -' to read stdin)");
-        eprintln!("       dqmc sweep <grid-file> [-o report.json] [--trace]");
+        eprintln!("       dqmc sweep <grid-file> [-o report.json] [--obs-out obs.json] [--trace]");
+        eprintln!(
+            "       dqmc shard <grid-file> --procs P [--workdir DIR] [-o obs.json] \
+             [--keep] [--trace]"
+        );
+        eprintln!("       dqmc merge <workdir | shard-*.dqsr ...> [-o obs.json]");
         eprintln!(
             "       dqmc submit <grid-file> [--addr host:port] [--tenant NAME] [--priority N]"
         );

@@ -1,0 +1,267 @@
+//! The shard worker: what runs inside each fleet child process.
+//!
+//! A child is handed three paths — manifest in, report out, heartbeat
+//! out — and nothing else; all campaign state reconstructs from the
+//! manifest. It re-parses the grid text, verifies the physics fingerprint,
+//! resumes from any partial report left by a previous incarnation, and
+//! then runs one [`sched::SweepService`] campaign per remaining point,
+//! atomically rewriting the report after each. The report *is* the
+//! checkpoint: restart granularity is a whole point, and a rerun point
+//! reproduces the dead process's bytes because point summaries are pure
+//! functions of (grid, seeds).
+//!
+//! Health is a heartbeat counter file rewritten on a short cadence by a
+//! dedicated thread; the supervisor calls a child dead when the counter
+//! stops moving. Scripted fault hooks (env vars, test-only) let the fleet
+//! tier rehearse crash and wedge recovery deterministically:
+//!
+//! - `DQMC_FLEET_EXIT_AFTER=n` — exit with code 86 once the report holds
+//!   `n` fragments;
+//! - `DQMC_FLEET_HANG_AFTER=n` — freeze the heartbeat and sleep forever
+//!   once the report holds `n` fragments (exercises the kill path);
+//! - `DQMC_FLEET_FAULT_SHARD=k` — scope either hook to shard `k`.
+//!
+//! The supervisor strips these variables when it respawns a child, so a
+//! scripted fault fires exactly once and the respawn completes the shard.
+
+use sched::{CampaignRequest, GridSpec, ServiceConfig, SweepService};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::manifest::ShardManifest;
+use crate::report::ShardReport;
+
+/// Exit code for a scripted `DQMC_FLEET_EXIT_AFTER` crash.
+pub const SCRIPTED_EXIT_CODE: i32 = 86;
+/// Heartbeat rewrite cadence.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(25);
+
+/// Env hook names, shared with the supervisor (which strips them on
+/// respawn).
+pub const ENV_EXIT_AFTER: &str = "DQMC_FLEET_EXIT_AFTER";
+/// See [`ENV_EXIT_AFTER`].
+pub const ENV_HANG_AFTER: &str = "DQMC_FLEET_HANG_AFTER";
+/// See [`ENV_EXIT_AFTER`].
+pub const ENV_FAULT_SHARD: &str = "DQMC_FLEET_FAULT_SHARD";
+
+/// Scripted fault hooks decoded from the environment.
+#[derive(Clone, Copy, Debug, Default)]
+struct FaultHooks {
+    exit_after: Option<usize>,
+    hang_after: Option<usize>,
+}
+
+impl FaultHooks {
+    fn from_env(shard: usize) -> FaultHooks {
+        let scoped = |name: &str| -> Option<usize> {
+            let v = std::env::var(name).ok()?.parse().ok()?;
+            match std::env::var(ENV_FAULT_SHARD) {
+                Ok(k) if k.parse() != Ok(shard) => None,
+                _ => Some(v),
+            }
+        };
+        FaultHooks {
+            exit_after: scoped(ENV_EXIT_AFTER),
+            hang_after: scoped(ENV_HANG_AFTER),
+        }
+    }
+}
+
+/// Heartbeat writer: a thread rewriting a counter file until stopped.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(path: PathBuf) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let beats = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fleet-heartbeat".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    let n = beats.fetch_add(1, Ordering::Relaxed) + 1;
+                    // Atomic rewrite: the supervisor must never read a
+                    // half-written counter.
+                    let _ = crate::write_atomic(&path, &n.to_le_bytes());
+                    std::thread::sleep(HEARTBEAT_PERIOD);
+                }
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the writer; the counter file goes permanently stale.
+    fn freeze(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.freeze();
+    }
+}
+
+/// Runs a shard to completion. Returns the process exit code.
+///
+/// `args` are the child's positional arguments:
+/// `<manifest> <report> <heartbeat>`.
+pub fn child_main(args: &[String]) -> i32 {
+    let [manifest_path, report_path, heartbeat_path] = args else {
+        eprintln!("usage: shard-child <manifest.dqsm> <report.dqsr> <heartbeat>");
+        return 2;
+    };
+    match run_shard(
+        Path::new(manifest_path),
+        Path::new(report_path),
+        Path::new(heartbeat_path),
+    ) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("shard child failed: {e}");
+            2
+        }
+    }
+}
+
+fn run_shard(
+    manifest_path: &Path,
+    report_path: &Path,
+    heartbeat_path: &Path,
+) -> Result<i32, String> {
+    let manifest = ShardManifest::read(manifest_path)?;
+    let mut spec =
+        GridSpec::parse(&manifest.grid_text).map_err(|e| format!("manifest grid: {e:?}"))?;
+    let fingerprint = sched::grid_fingerprint(&spec);
+    if fingerprint != manifest.fingerprint {
+        return Err(format!(
+            "grid fingerprint {fingerprint:#018x} does not match manifest \
+             {:#018x}: stale or foreign manifest",
+            manifest.fingerprint
+        ));
+    }
+    // Slot-fault scripts are pool-level scheduling chaos; the resident
+    // service refuses them and the determinism tier proves they cannot
+    // move observable bytes, so a fleet child simply drops them.
+    spec.slot_faults.clear();
+
+    let mut report = resume_or_fresh(report_path, &manifest, &spec);
+    report
+        .write(report_path)
+        .map_err(|e| format!("cannot write shard report {}: {e}", report_path.display()))?;
+
+    let hooks = FaultHooks::from_env(manifest.shard);
+    let mut heartbeat = Heartbeat::start(heartbeat_path.to_path_buf());
+
+    let service = SweepService::start(&ServiceConfig {
+        workers: spec.workers,
+        devices: spec.devices,
+        quantum: spec.quantum,
+        job_retries: spec.job_retries,
+        // Namespace the campaign tags by shard so no two fleet processes
+        // ever mint the same tag — shard-scoped provenance in traces.
+        tag_namespace: manifest.shard as u64 + 1,
+        ..ServiceConfig::default()
+    });
+
+    let todo = report.missing_points();
+    for point in todo {
+        if let Some(code) = fire_hooks(&hooks, &report, &mut heartbeat) {
+            return Ok(code);
+        }
+        let handle = service
+            .submit(
+                &CampaignRequest {
+                    spec: spec.clone(),
+                    priority: 0,
+                    points: Some(vec![point]),
+                },
+                None,
+            )
+            .map_err(|e| format!("point {point} refused: {e:?}"))?;
+        let outcome = handle.wait();
+        report.failed_chains += outcome.failed_chains;
+        report.fragments.extend(outcome.points);
+        // Checkpoint: the report on disk always describes a prefix of the
+        // shard's work, atomically replaced per finished point.
+        report.write(report_path).map_err(|e| {
+            format!(
+                "cannot checkpoint shard report {}: {e}",
+                report_path.display()
+            )
+        })?;
+    }
+    if let Some(code) = fire_hooks(&hooks, &report, &mut heartbeat) {
+        return Ok(code);
+    }
+    service.shutdown();
+    heartbeat.freeze();
+    Ok(0)
+}
+
+/// Applies scripted fault hooks against the current fragment count.
+fn fire_hooks(hooks: &FaultHooks, report: &ShardReport, heartbeat: &mut Heartbeat) -> Option<i32> {
+    if hooks
+        .exit_after
+        .is_some_and(|n| report.fragments.len() >= n)
+    {
+        return Some(SCRIPTED_EXIT_CODE);
+    }
+    if hooks
+        .hang_after
+        .is_some_and(|n| report.fragments.len() >= n)
+    {
+        // A wedge: heartbeat frozen, process alive. Only the supervisor's
+        // kill ends this incarnation.
+        heartbeat.freeze();
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    None
+}
+
+/// Resumes from a valid partial report for this exact shard, else starts
+/// fresh. Any decode or identity failure falls back to fresh — a corrupt
+/// checkpoint costs recomputation, never wrong bytes.
+fn resume_or_fresh(path: &Path, manifest: &ShardManifest, spec: &GridSpec) -> ShardReport {
+    let fresh = ShardReport {
+        shard: manifest.shard,
+        nshards: manifest.nshards,
+        fingerprint: manifest.fingerprint,
+        seed: spec.seed,
+        chains: spec.chains,
+        warmup: spec.warmup,
+        sweeps: spec.sweeps,
+        assigned: manifest.points.clone(),
+        fragments: Vec::new(),
+        failed_chains: 0,
+    };
+    let Ok(prev) = ShardReport::read(path) else {
+        return fresh;
+    };
+    let identity_holds = prev.shard == manifest.shard
+        && prev.nshards == manifest.nshards
+        && prev.fingerprint == manifest.fingerprint
+        && prev.assigned == manifest.points
+        && prev.seed == spec.seed
+        && prev.chains == spec.chains
+        && prev.warmup == spec.warmup
+        && prev.sweeps == spec.sweeps;
+    if identity_holds {
+        prev
+    } else {
+        fresh
+    }
+}

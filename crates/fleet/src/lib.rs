@@ -1,0 +1,80 @@
+//! Multi-process sweep sharding with byte-deterministic merge.
+//!
+//! One DQMC campaign, many OS processes: the grid is split into
+//! contiguous (U, β) point blocks ([`sched::plan_shards`]), each block
+//! becomes a [`ShardManifest`] handed to a supervised child process, each
+//! child runs its points through a private [`sched::SweepService`] and
+//! checkpoints a [`ShardReport`] after every finished point, and the
+//! supervisor recombines the reports into the **exact bytes** the
+//! single-process sweep would have produced.
+//!
+//! The identity is structural, not statistical. The shard unit is a whole
+//! grid point, canonical point indices are the seed stream ids, and a
+//! point summary is a pure function of (grid, seeds) — pinned by the
+//! determinism test tier. Merging therefore reassembles finished
+//! fragments in canonical order and emits them through the one shared
+//! [`sched::observables_json_for`] formatter; no float is ever
+//! re-associated across processes. Crashes, wedges, and respawns cannot
+//! move the bytes either: a restarted child reruns only its unfinished
+//! points, and those rerun to the same summaries the lost process would
+//! have written.
+//!
+//! Layout:
+//!
+//! - [`manifest`]: `DQSM` work orders (grid text + point block +
+//!   fingerprint);
+//! - [`report`]: `DQSR` result/checkpoint files and the merge;
+//! - [`child`]: the shard worker loop (resume, heartbeat, fault hooks);
+//! - [`supervisor`]: process spawning, heartbeat watchdog,
+//!   respawn-from-checkpoint, quarantine, and the health ledger.
+
+pub mod child;
+pub mod manifest;
+pub mod report;
+pub mod supervisor;
+
+pub use child::{child_main, SCRIPTED_EXIT_CODE};
+pub use manifest::ShardManifest;
+pub use report::{merge_reports, MergeError, MergedReport, ShardReport};
+pub use supervisor::{
+    run_fleet, run_fleet_subset, ChildCommand, FleetConfig, FleetError, FleetOutcome,
+};
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` atomically: temp file in the same directory, flush,
+/// fsync, rename. Readers (supervisor polls, resumed children) see either
+/// the old complete file or the new complete file, never a torn write.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "fleet".to_string())
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_contents_whole() {
+        let dir = std::env::temp_dir().join(format!("fleet-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("x.bin");
+        write_atomic(&path, b"first").expect("write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"first");
+        write_atomic(&path, b"second-longer").expect("rewrite");
+        assert_eq!(std::fs::read(&path).expect("read"), b"second-longer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

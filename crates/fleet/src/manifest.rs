@@ -1,0 +1,187 @@
+//! `DQSM` shard manifests: the work order a supervisor hands a child
+//! process.
+//!
+//! A manifest carries everything a child needs to reproduce its slice of
+//! the campaign from nothing: the grid text verbatim (the child re-parses
+//! it, so both processes run the *same* `GridSpec::parse` — one source of
+//! truth, no struct-serialisation skew), the canonical point indices the
+//! shard owns, and the grid's physics fingerprint so a child started
+//! against a stale manifest refuses to run rather than producing
+//! unmergeable bytes.
+//!
+//! Framing follows the checkpoint discipline shared by `DQCP`/`DQRC`:
+//! magic, version, payload, CRC-32 trailer; any validation failure is an
+//! error, never a guess.
+
+use std::path::Path;
+use util::codec::{crc32, ByteReader, ByteWriter, CodecError};
+
+/// Manifest magic: "DQSM" (DQmc Shard Manifest).
+const MAGIC: &[u8; 4] = b"DQSM";
+/// Manifest format version.
+const VERSION: u32 = 1;
+
+/// One shard's work order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Shard id, `0..nshards`.
+    pub shard: usize,
+    /// Total shards in the fleet.
+    pub nshards: usize,
+    /// [`sched::grid_fingerprint`] of the grid below; children refuse a
+    /// mismatch between this and what they parse.
+    pub fingerprint: u64,
+    /// The campaign grid, verbatim — the child re-parses it.
+    pub grid_text: String,
+    /// Canonical (u-major) point indices this shard owns, ascending.
+    pub points: Vec<usize>,
+}
+
+impl ShardManifest {
+    /// Serialises the manifest: header, payload, CRC trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(VERSION);
+        w.put_u64(self.shard as u64);
+        w.put_u64(self.nshards as u64);
+        w.put_u64(self.fingerprint);
+        let grid = self.grid_text.as_bytes();
+        w.put_u64(grid.len() as u64);
+        w.put_bytes(grid);
+        w.put_u64(self.points.len() as u64);
+        for &p in &self.points {
+            w.put_u64(p as u64);
+        }
+        let body = w.into_bytes();
+        let mut out = ByteWriter::new();
+        out.put_bytes(&body);
+        out.put_u32(crc32(&body));
+        out.into_bytes()
+    }
+
+    /// Validates and decodes a manifest produced by
+    /// [`ShardManifest::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<ShardManifest, CodecError> {
+        let body = split_checked_body(bytes)?;
+        let mut r = ByteReader::new(body);
+        if r.get_bytes(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion {
+                found: version,
+                expected: VERSION,
+            });
+        }
+        let shard = r.get_u64()? as usize;
+        let nshards = r.get_u64()? as usize;
+        if nshards == 0 || shard >= nshards {
+            return Err(CodecError::Invalid(format!(
+                "shard {shard} outside fleet of {nshards}"
+            )));
+        }
+        let fingerprint = r.get_u64()?;
+        let grid_len = r.get_u64()? as usize;
+        let grid_text = String::from_utf8(r.get_bytes(grid_len)?.to_vec())
+            .map_err(|e| CodecError::Invalid(format!("grid text is not UTF-8: {e}")))?;
+        let npoints = r.get_u64()? as usize;
+        let mut points = Vec::with_capacity(npoints.min(1 << 20));
+        for _ in 0..npoints {
+            points.push(r.get_u64()? as usize);
+        }
+        if !points.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CodecError::Invalid(
+                "manifest points must be strictly ascending".into(),
+            ));
+        }
+        if !r.is_exhausted() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing manifest bytes",
+                r.remaining()
+            )));
+        }
+        Ok(ShardManifest {
+            shard,
+            nshards,
+            fingerprint,
+            grid_text,
+            points,
+        })
+    }
+
+    /// Reads and decodes a manifest file.
+    pub fn read(path: &Path) -> Result<ShardManifest, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        ShardManifest::decode(&bytes)
+            .map_err(|e| format!("invalid manifest {}: {e}", path.display()))
+    }
+
+    /// Writes the manifest atomically (temp file + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        crate::write_atomic(path, &self.encode())
+    }
+}
+
+/// Splits off and verifies the CRC-32 trailer, returning the body.
+pub(crate) fn split_checked_body(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            remaining: bytes.len(),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CodecError::BadChecksum { stored, computed });
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            shard: 1,
+            nshards: 3,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            grid_text: "lx = 2\nly = 2\nu = 2.0\nbeta = 1.0\n".into(),
+            points: vec![2, 3, 5],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let m = sample();
+        assert_eq!(ShardManifest::decode(&m.encode()).expect("round trip"), m);
+    }
+
+    #[test]
+    fn rejects_corruption_truncation_and_bad_version() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(ShardManifest::decode(&bad).is_err(), "flip at byte {i}");
+        }
+        for cut in 0..bytes.len() {
+            assert!(ShardManifest::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsorted_points_and_bad_shard_ids() {
+        let mut m = sample();
+        m.points = vec![3, 2];
+        assert!(ShardManifest::decode(&m.encode()).is_err());
+        let mut m = sample();
+        m.shard = 3; // == nshards
+        assert!(ShardManifest::decode(&m.encode()).is_err());
+    }
+}

@@ -55,6 +55,7 @@ pub mod queue;
 pub mod report;
 pub mod runner;
 pub mod service;
+pub mod shard;
 pub mod trace;
 pub mod watchdog;
 
@@ -66,5 +67,6 @@ pub use service::{
     CampaignHandle, CampaignOutcome, CampaignRequest, PointObserver, ServiceConfig, SubmitError,
     SweepService,
 };
+pub use shard::{grid_fingerprint, plan_shard_subset, plan_shards, ShardBlock, ShardPlan};
 pub use trace::{EventLog, Placement, TraceEvent};
 pub use watchdog::{DeadlineVerdict, Heartbeats, QuantumWatchdog};

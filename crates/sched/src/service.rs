@@ -64,6 +64,12 @@ pub struct ServiceConfig {
     pub stall_scan_limit: u32,
     /// Circuit-breaker policy for the shared device pool.
     pub breaker: BreakerPolicy,
+    /// Campaign-tag namespace: tags are drawn from
+    /// `(tag_namespace << 32) + 1` upward. A fleet shard child sets this
+    /// to `shard + 1`, so every job tag in a multi-process campaign names
+    /// the shard that ran it — cross-process traces stay attributable.
+    /// `0` (the default) keeps the classic small tags.
+    pub tag_namespace: u64,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +84,7 @@ impl Default for ServiceConfig {
             soft_quantum_cost_s: 0.0,
             stall_scan_limit: 0,
             breaker: BreakerPolicy::default(),
+            tag_namespace: 0,
         }
     }
 }
@@ -367,7 +374,7 @@ impl SweepService {
             events: EventLog::new(),
             panics_caught: AtomicU64::new(0),
             campaigns: Mutex::new(Vec::new()),
-            next_tag: AtomicU64::new(0),
+            next_tag: AtomicU64::new(cfg.tag_namespace << 32),
             jobs_submitted: AtomicU64::new(0),
             campaigns_completed: AtomicU64::new(0),
         });

@@ -32,4 +32,6 @@ pub use client::{Client, Stats, StreamedPoint, SubmitOutcome};
 pub use protocol::{
     encode_frame, parse_frame, read_frame, write_frame, Frame, WireError, MAX_FRAME,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{
+    FleetPolicy, Server, ServerConfig, ServerHandle, REASON_QUEUE_CLOSED, REASON_QUEUE_FULL,
+};

@@ -16,13 +16,38 @@
 
 use crate::cache::{point_key, Lookup, ResultCache};
 use crate::protocol::{read_frame, write_frame, Frame, WireError};
-use sched::{CampaignRequest, GridSpec, PointObserver, PointSummary, ServiceConfig, SweepService};
+use fleet::{ChildCommand, FleetConfig};
+use sched::{
+    AdmitError, CampaignRequest, GridSpec, PointObserver, PointSummary, ServiceConfig, SubmitError,
+    SweepService,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use util::sync::{relock, Condvar, Mutex};
+
+/// Machine-readable prefix on a `Rejected` reason when the shared job
+/// queue was full. The wire carries only a reason string, so clients that
+/// need to distinguish back-pressure from shutdown (distinct exit codes,
+/// retry policies) match on these stable prefixes rather than on prose.
+pub const REASON_QUEUE_FULL: &str = "queue-full: ";
+/// Machine-readable prefix on a `Rejected` reason when the queue was
+/// closed (the service is draining for shutdown).
+pub const REASON_QUEUE_CLOSED: &str = "queue-closed: ";
+
+/// Multi-process execution policy for a fleet-enabled server.
+#[derive(Clone, Debug)]
+pub struct FleetPolicy {
+    /// Shard processes per campaign.
+    pub procs: usize,
+    /// How to launch shard children (usually the server binary re-entered
+    /// in `shard-child` mode).
+    pub child: ChildCommand,
+    /// Scratch root for per-request shard files.
+    pub dir: PathBuf,
+}
 
 /// Server configuration: the shared execution resources plus service
 /// policy.
@@ -34,11 +59,18 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Campaigns one tenant may have in flight; `0` = unlimited.
     pub max_tenant_campaigns: usize,
+    /// When set, cache-missed points execute on a local process fleet
+    /// instead of the in-process service; the DQRC cache stays shared at
+    /// the server, which probes before and backfills after each fleet
+    /// run. Byte output is identical either way — that is the fleet
+    /// merge's contract.
+    pub fleet: Option<FleetPolicy>,
 }
 
 struct ServerInner {
     service: SweepService,
     cache: Option<ResultCache>,
+    fleet: Option<FleetPolicy>,
     shutdown: AtomicBool,
     /// (tenant, campaigns in flight) — linear scan; tenant counts are
     /// small and the Vec keeps iteration deterministic.
@@ -144,6 +176,7 @@ impl Server {
         let inner = Arc::new(ServerInner {
             service: SweepService::start(&cfg.service),
             cache,
+            fleet: cfg.fleet.clone(),
             shutdown: AtomicBool::new(false),
             tenants: Mutex::new(Vec::new()),
             max_tenant: cfg.max_tenant_campaigns,
@@ -378,6 +411,13 @@ fn handle_submit(
         return;
     }
 
+    if let Some(policy) = &inner.fleet {
+        handle_submit_fleet(
+            inner, writer, policy, &spec, grid, request, &cached, missed, &keys,
+        );
+        return;
+    }
+
     // The observer streams each computed point and backfills the cache.
     // It runs on worker threads: the dead flag keeps a lost client from
     // turning every later point into a blocking write attempt.
@@ -459,7 +499,7 @@ fn handle_submit(
                 let _ = write_frame(
                     &mut *g,
                     &Frame::Rejected {
-                        reason: e.to_string(),
+                        reason: rejection_reason(&e),
                     },
                 );
                 return;
@@ -497,6 +537,104 @@ fn handle_submit(
             computed_points: computed,
             failed_chains: outcome.failed_chains as u64,
             recovery_events,
+        },
+    );
+}
+
+/// Renders a submission failure as a `Rejected` reason, prefixing the
+/// queue-pressure cases with their stable machine-readable codes.
+fn rejection_reason(e: &SubmitError) -> String {
+    match e {
+        SubmitError::Queue(AdmitError::Full { .. }) => format!("{REASON_QUEUE_FULL}{e}"),
+        SubmitError::Queue(AdmitError::Closed) => format!("{REASON_QUEUE_CLOSED}{e}"),
+        other => other.to_string(),
+    }
+}
+
+/// Executes a submission's cache-missed points on a local process fleet.
+///
+/// The preamble (Accepted + cached points) goes out first; the fleet then
+/// runs the missed points to completion, after which each computed point
+/// streams in canonical order and backfills the shared DQRC cache.
+/// Because the fleet merge is byte-deterministic, the Done document is
+/// identical to what the in-process service path would have produced —
+/// only the streaming cadence differs (per-merge rather than per-point).
+#[allow(clippy::too_many_arguments)]
+fn handle_submit_fleet(
+    inner: &Arc<ServerInner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    policy: &FleetPolicy,
+    spec: &GridSpec,
+    grid: &str,
+    request: u64,
+    cached: &[PointSummary],
+    missed: Vec<usize>,
+    keys: &[(usize, u64)],
+) {
+    let jobs = (missed.len() * spec.chains) as u64;
+    stream_accept_and_cached(
+        writer,
+        request,
+        spec.points().len() as u64,
+        cached.len() as u64,
+        jobs,
+        cached,
+    );
+    let cfg = FleetConfig::new(
+        policy.procs,
+        policy.child.clone(),
+        policy.dir.join(format!("req-{request}")),
+    );
+    let outcome = match fleet::run_fleet_subset(grid, Some(&missed), &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            send(
+                writer,
+                &Frame::Rejected {
+                    reason: format!("fleet execution failed: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    {
+        let mut g = relock(writer.lock());
+        for p in &outcome.merged.points {
+            if let Some(cache) = &inner.cache {
+                if p.chains_failed == 0 {
+                    if let Some(&(_, key)) = keys.iter().find(|(i, _)| *i == p.point) {
+                        let _ = cache.store(key, p);
+                    }
+                }
+            }
+            let frame = Frame::Point {
+                index: p.point as u64,
+                cached: false,
+                json: p.observables_json(),
+            };
+            if write_frame(&mut *g, &frame).is_err() {
+                break;
+            }
+        }
+    }
+    let computed = outcome.merged.points.len() as u64;
+    let failed_chains = outcome.merged.failed_chains as u64;
+    let mut all: Vec<PointSummary> = cached.to_vec();
+    all.extend(outcome.merged.points);
+    all.sort_by_key(|p| p.point);
+    let observables =
+        sched::observables_json_for(spec.seed, spec.chains, spec.warmup, spec.sweeps, &all);
+    send(
+        writer,
+        &Frame::Done {
+            observables,
+            jobs_run: jobs,
+            cached_points: cached.len() as u64,
+            computed_points: computed,
+            failed_chains,
+            // Recovery tallies are schedule-layer diagnostics the shard
+            // report codec deliberately omits; the fleet path reports none.
+            recovery_events: 0,
         },
     );
 }

@@ -667,3 +667,102 @@ mod tests {
         assert_eq!(acc.bin_size(), 2);
     }
 }
+
+#[cfg(test)]
+mod shard_merge_props {
+    //! Property tests for the fleet-sharding stats contract: splitting a
+    //! series across shard accumulators, serialising each, and merging the
+    //! decoded copies must be indistinguishable from merging the live
+    //! accumulators — and, when splits are bin-aligned, from never having
+    //! sharded at all.
+
+    use super::{jackknife_mean, BinnedAccumulator};
+    use crate::codec::{ByteReader, ByteWriter};
+    use proptest::prelude::*;
+
+    /// Strategy: a sample series, bin size, and shard split points.
+    fn series_and_splits() -> impl Strategy<Value = (Vec<f64>, usize, Vec<usize>)> {
+        (1usize..=6, 1usize..=5, 0u64..1000).prop_map(|(nshards, bin, seed)| {
+            let mut rng = crate::Rng::new(seed);
+            let len = 8 + (rng.next_u64() % 120) as usize;
+            let xs: Vec<f64> = (0..len).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+            // nshards-1 split points anywhere in the series, sorted.
+            let mut cuts: Vec<usize> = (1..nshards)
+                .map(|_| (rng.next_u64() % (len as u64 + 1)) as usize)
+                .collect();
+            cuts.sort_unstable();
+            (xs, bin, cuts)
+        })
+    }
+
+    fn segments<'a>(xs: &'a [f64], cuts: &[usize]) -> Vec<&'a [f64]> {
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0;
+        for &c in cuts {
+            out.push(&xs[start..c]);
+            start = c;
+        }
+        out.push(&xs[start..]);
+        out
+    }
+
+    fn accumulate(bin: usize, xs: &[f64]) -> BinnedAccumulator {
+        let mut acc = BinnedAccumulator::new(bin);
+        for &x in xs {
+            acc.push(x);
+        }
+        acc
+    }
+
+    fn round_trip(acc: &BinnedAccumulator) -> BinnedAccumulator {
+        let mut w = ByteWriter::new();
+        acc.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = BinnedAccumulator::decode(&mut r).expect("round trip");
+        assert!(r.is_exhausted(), "codec left trailing bytes");
+        back
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn decoded_shard_merge_equals_live_merge((xs, bin, cuts) in series_and_splits()) {
+            let shards: Vec<BinnedAccumulator> =
+                segments(&xs, &cuts).iter().map(|s| accumulate(bin, s)).collect();
+
+            let mut live = BinnedAccumulator::new(bin);
+            let mut decoded = BinnedAccumulator::new(bin);
+            for s in &shards {
+                live.merge(s);
+                decoded.merge(&round_trip(s));
+            }
+
+            // Bit-for-bit equality: the codec may not perturb a single bin,
+            // so every downstream estimator agrees exactly.
+            prop_assert_eq!(live.bins(), decoded.bins());
+            prop_assert_eq!(live.mean_and_err(), decoded.mean_and_err());
+            prop_assert_eq!(
+                jackknife_mean(live.bins()),
+                jackknife_mean(decoded.bins())
+            );
+        }
+
+        #[test]
+        fn bin_aligned_shards_merge_back_to_the_unsharded_bins(
+            (xs, bin, cuts) in series_and_splits()
+        ) {
+            // Align every split to a bin boundary — the fleet invariant: a
+            // shard boundary never cuts a measurement bin in half.
+            let aligned: Vec<usize> = cuts.iter().map(|c| c - c % bin).collect();
+            let mono = accumulate(bin, &xs);
+            let mut merged = BinnedAccumulator::new(bin);
+            for s in segments(&xs, &aligned) {
+                merged.merge(&round_trip(&accumulate(bin, s)));
+            }
+            prop_assert_eq!(mono.bins(), merged.bins());
+            prop_assert_eq!(jackknife_mean(mono.bins()), jackknife_mean(merged.bins()));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! R7 fixture for the serve scope: an unregistered lock receiver in
+//! `serve/src/` must be flagged (line 11); the registered receiver and
+//! the test module stay silent.
+
+struct S;
+
+impl S {
+    /// `inbox` is not in the fixture registry: one finding.
+    fn unregistered(&self) {
+        let g = relock(self.inbox.lock());
+        consume(g);
+    }
+
+    /// `writer` is registered for this path — silent.
+    fn registered(&self) {
+        let g = relock(self.writer.lock());
+        consume(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is out of jurisdiction even for unregistered locks.
+    fn in_test_scope(s: &super::S) {
+        let g = relock(s.inbox.lock());
+        consume(g);
+    }
+}

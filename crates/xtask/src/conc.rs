@@ -78,7 +78,16 @@ const PAR_TOKENS: [&str; 5] = [
 ];
 
 /// Path fragments in R6/R7 jurisdiction: the lock-holding subsystems.
-const LOCK_SCOPES: [&str; 3] = ["sched/src/", "gpusim/src/", "core/src/"];
+/// `fleet/src/` is deliberately lock-free (see lock_order.toml); keeping
+/// it in scope means the first mutex anyone adds there must be
+/// registered, not discovered in a deadlock.
+const LOCK_SCOPES: [&str; 5] = [
+    "sched/src/",
+    "gpusim/src/",
+    "core/src/",
+    "serve/src/",
+    "fleet/src/",
+];
 
 /// Path fragments in R9 jurisdiction: library crates whose fan-out must
 /// be worker-scope gated. (The rayon shim itself and xtask are out.)

@@ -303,6 +303,17 @@ mod tests {
     }
 
     #[test]
+    fn fixture_r7_serve_scope_requires_registered_locks() {
+        // The serve subsystem is in R6/R7 jurisdiction: an unregistered
+        // receiver is flagged, the registered one and test code are not.
+        let v = lint_fixture("serve/src/r7_unregistered.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::LockOrder);
+        assert_eq!(v[0].line, 10, "{}", v[0]);
+        assert!(v[0].msg.contains("not in the lock_order.toml"), "{}", v[0]);
+    }
+
+    #[test]
     fn fixture_r8_nondet_on_observable_path() {
         let v = lint_fixture("core/src/r8_nondet.rs");
         assert_eq!(v.len(), 1, "{v:?}");
@@ -332,10 +343,10 @@ mod tests {
 
     #[test]
     fn fixture_tree_has_expected_violations_per_rule() {
-        // The CLI path over the whole fixture tree: 11 findings.
+        // The CLI path over the whole fixture tree: 12 findings.
         let allow = Allowlist::default();
         let v = lint_tree(&fixture_dir(), &allow, &fixture_registry()).unwrap();
-        assert_eq!(v.len(), 11, "{v:?}");
+        assert_eq!(v.len(), 12, "{v:?}");
         for (rule, n) in [
             (Rule::UnsafeSite, 1),
             (Rule::HotAlloc, 1),
@@ -343,7 +354,7 @@ mod tests {
             (Rule::RayonRawPtr, 1),
             (Rule::PanicSite, 1),
             (Rule::GuardAcrossCall, 2),
-            (Rule::LockOrder, 1),
+            (Rule::LockOrder, 2),
             (Rule::NondetSource, 1),
             (Rule::NestedPar, 2),
         ] {
@@ -362,7 +373,7 @@ mod tests {
         assert_eq!(stale[0].line, 1);
         assert!(stale[0].msg.contains("unsafe no/such/file.rs"));
         // The fixture findings themselves are unaffected.
-        assert_eq!(v.len(), 11, "{v:?}");
+        assert_eq!(v.len(), 12, "{v:?}");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Standalone fleet shard worker.
+//!
+//! The production binaries (`dqmc-run`, `dqmc-serve`) re-enter themselves
+//! in `shard-child` mode; this thin wrapper exists so the workspace-root
+//! integration tests (`tests/fleet.rs`) get a child executable through
+//! `CARGO_BIN_EXE_fleet-child` — Cargo only builds *this* package's bins
+//! for its tests.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(fleet::child_main(&args));
+}

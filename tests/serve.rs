@@ -355,3 +355,83 @@ fn rejects_are_clean_and_the_connection_survives() {
     let ok = client.submit("alice", 0, GRID_A).expect("valid submission");
     assert_eq!(ok.observables, baseline(GRID_A));
 }
+
+#[test]
+fn future_protocol_version_gets_a_clean_error_frame_not_a_hang() {
+    use std::io::Write;
+
+    let server = TestServer::start(&ServerConfig::default());
+    // Speak DQSF version+1 by hand: a well-formed frame whose version
+    // field is one past what this build understands.
+    let mut bytes = serve::encode_frame(&Frame::StatsRequest);
+    let next = serve::protocol::VERSION + 1;
+    bytes[4..8].copy_from_slice(&next.to_le_bytes());
+
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    stream.write_all(&bytes).expect("send tampered frame");
+
+    // The server must answer with a Rejected frame naming the version
+    // problem — not stall, not slam the socket shut unannounced.
+    match read_frame(&mut stream).expect("an error frame, not a hang") {
+        Frame::Rejected { reason } => {
+            assert!(
+                reason.contains("version"),
+                "reason should name the version mismatch: {reason}"
+            );
+            assert!(
+                reason.contains(&next.to_string()),
+                "reason should cite the offending version: {reason}"
+            );
+        }
+        other => panic!("expected Rejected, got frame kind {}", other.kind()),
+    }
+    // After the error frame the connection is closed cleanly.
+    assert!(
+        matches!(read_frame(&mut stream), Err(serve::WireError::Io(_))),
+        "connection should be closed after the version error"
+    );
+
+    // The server itself is unharmed: a fresh, correct-version client is
+    // served as usual.
+    let ok = server
+        .client()
+        .submit("alice", 0, GRID_A)
+        .expect("submission");
+    assert_eq!(ok.observables, baseline(GRID_A));
+}
+
+#[test]
+fn queue_full_and_queue_closed_rejections_are_machine_distinguishable() {
+    // GRID_A is 2 points x 2 chains = 4 jobs; admission is atomic, so a
+    // bound of 3 can never fit it no matter how fast workers drain.
+    let server = TestServer::start(&ServerConfig {
+        service: ServiceConfig {
+            queue_bound: 3,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let err = server
+        .client()
+        .submit("alice", 0, GRID_A)
+        .expect_err("4 jobs cannot fit a bound of 3");
+    let serve::WireError::Rejected(reason) = err else {
+        panic!("expected Rejected, got {err}");
+    };
+    assert!(
+        reason.starts_with(serve::REASON_QUEUE_FULL),
+        "full-queue reason must carry the stable prefix: {reason}"
+    );
+    // The prefix is what `dqmc-run submit` maps to its exit codes.
+    assert_eq!(
+        dqmc_cli::submit_exit::for_rejection(&reason),
+        dqmc_cli::submit_exit::QUEUE_FULL
+    );
+    assert_ne!(
+        dqmc_cli::submit_exit::QUEUE_FULL,
+        dqmc_cli::submit_exit::QUEUE_CLOSED
+    );
+}
