@@ -227,7 +227,7 @@ fn main() {
     out.push_str("}\n");
 
     let path = "BENCH_crowd.json";
-    match std::fs::write(path, &out) {
+    match util::vfs::write_atomic(std::path::Path::new(path), out.as_bytes()) {
         Ok(()) => println!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
     }

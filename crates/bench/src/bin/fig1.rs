@@ -104,7 +104,7 @@ fn main() {
 
     let json = render_json(dispatched, &rows);
     let path = "BENCH_fig1.json";
-    match std::fs::write(path, &json) {
+    match util::vfs::write_atomic(std::path::Path::new(path), json.as_bytes()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

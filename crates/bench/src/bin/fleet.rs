@@ -141,7 +141,7 @@ fn main() {
         "every BENCH_fleet.json row must record host_cores"
     );
     let path = "BENCH_fleet.json";
-    match std::fs::write(path, &json) {
+    match util::vfs::write_atomic(std::path::Path::new(path), json.as_bytes()) {
         Ok(()) => println!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
     }

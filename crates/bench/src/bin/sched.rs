@@ -152,7 +152,7 @@ fn main() {
         "every BENCH_sched.json row must record host_cores"
     );
     let path = "BENCH_sched.json";
-    match std::fs::write(path, &json) {
+    match util::vfs::write_atomic(std::path::Path::new(path), json.as_bytes()) {
         Ok(()) => println!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
     }

@@ -14,7 +14,11 @@ use fleet::{ChildCommand, FleetConfig};
 use sched::{EventLog, GridSpec, SchedConfig, TraceEvent};
 use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use util::table::{fmt_f, Table};
+
+/// Base backoff between `dqmc submit` resubmission attempts.
+const SUBMIT_BACKOFF: Duration = Duration::from_millis(100);
 
 /// `dqmc sweep <grid-file> [-o report.json] [--obs-out obs.json]
 /// [--trace]`: run a declared (U, β) grid through the checkpoint-aware
@@ -108,19 +112,22 @@ fn run_sweep_cmd(args: &[String]) -> ! {
     }
 
     if let Some(path) = out {
-        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
+        util::vfs::write_atomic(Path::new(path), report.to_json().as_bytes()).unwrap_or_else(
+            |e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            },
+        );
         println!("# report written to {path}");
     }
     if let Some(path) = obs_out {
         // The observables document alone — the byte-deterministic layer a
         // fleet merge (or served campaign) is compared against.
-        std::fs::write(path, report.observables_json()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
+        util::vfs::write_atomic(Path::new(path), report.observables_json().as_bytes())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
         println!("# observables written to {path}");
     }
     std::process::exit(if report.failed_jobs == 0 { 0 } else { 1 });
@@ -218,10 +225,11 @@ fn run_shard_cmd(args: &[String]) -> ! {
     );
     match out {
         Some(path) => {
-            std::fs::write(path, &outcome.observables).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            });
+            util::vfs::write_atomic(Path::new(path), outcome.observables.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                });
             eprintln!("# observables written to {path}");
         }
         None => println!("{}", outcome.observables),
@@ -260,6 +268,22 @@ fn run_merge_cmd(args: &[String]) -> ! {
     let mut reports: Vec<PathBuf> = Vec::new();
     for input in inputs {
         if input.is_dir() {
+            // Scrub atomic-write debris a crashed fleet may have left
+            // before collecting reports: a stranded temp file is not a
+            // shard report and must never reach the merge.
+            match util::vfs::scrub_tmp(&input) {
+                Ok(scrubbed) if scrubbed.count() > 0 => eprintln!(
+                    "# scrubbed {} stranded tmp file(s) from {}: {}",
+                    scrubbed.count(),
+                    input.display(),
+                    scrubbed.removed.join(", ")
+                ),
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("cannot scrub {}: {e}", input.display());
+                    std::process::exit(2);
+                }
+            }
             let mut found: Vec<PathBuf> = match std::fs::read_dir(&input) {
                 Ok(entries) => entries
                     .filter_map(|e| e.ok().map(|e| e.path()))
@@ -302,10 +326,12 @@ fn run_merge_cmd(args: &[String]) -> ! {
     );
     match out {
         Some(path) => {
-            std::fs::write(path, &observables).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            });
+            util::vfs::write_atomic(Path::new(path), observables.as_bytes()).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                },
+            );
             eprintln!("# observables written to {path}");
         }
         None => println!("{observables}"),
@@ -357,12 +383,11 @@ fn run_submit_cmd(args: &[String]) -> ! {
         eprintln!("cannot read {grid_file}: {e}");
         std::process::exit(2);
     });
-    let mut client = serve::Client::connect(&addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    });
-    let outcome = client
-        .submit_with(&tenant, priority, &text, |p| {
+    // Resilient submission: reconnect and resubmit after a mid-stream
+    // disconnect. The server's content-addressed cache makes the retry
+    // idempotent — completed points replay as cache hits, not reruns.
+    let outcome =
+        serve::Client::submit_resilient(&addr, &tenant, priority, &text, 5, SUBMIT_BACKOFF, |p| {
             println!(
                 "# point {} {}: {}",
                 p.index,
@@ -515,6 +540,22 @@ fn main() {
 
     let params = cfg.sim_params();
     let ckpt = cfg.checkpoint.clone();
+    // A run killed mid-checkpoint strands a temp file next to the
+    // checkpoint; scrub it before resuming so debris never accumulates.
+    if let Some(path) = ckpt.as_deref().map(Path::new) {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        match util::vfs::scrub_tmp(dir) {
+            Ok(scrubbed) if scrubbed.count() > 0 => println!(
+                "# scrubbed {} stranded tmp file(s) near checkpoint {}",
+                scrubbed.count(),
+                path.display()
+            ),
+            _ => {}
+        }
+    }
     let mut sim = match ckpt.as_deref().map(Path::new) {
         Some(path) if path.exists() => {
             println!("# resuming from checkpoint {}", path.display());

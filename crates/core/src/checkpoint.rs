@@ -38,7 +38,6 @@ use crate::tdm::TimeDependentObs;
 use linalg::Matrix;
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 use util::codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
 use util::Rng;
@@ -344,25 +343,13 @@ pub(crate) fn decode_payload(
     })
 }
 
-/// Atomically writes a checkpoint of `sim` to `path` (tmp file + fsync +
-/// rename; a kill at any point leaves either the old checkpoint or the new
-/// one, never a torn file).
+/// Atomically writes a checkpoint of `sim` to `path` through the
+/// workspace's single audited write path ([`util::vfs::write_atomic`]:
+/// tmp file + fsync + rename + parent-directory fsync; a kill at any
+/// point leaves either the old checkpoint or the new one, never a torn
+/// file).
 pub fn save(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
-    let bytes = to_bytes(sim);
-    let tmp = match path.file_name() {
-        Some(name) => {
-            let mut t = name.to_os_string();
-            t.push(".tmp");
-            path.with_file_name(t)
-        }
-        None => return Err(CheckpointError::Io(format!("bad path {}", path.display()))),
-    };
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
+    util::vfs::write_atomic(path, &to_bytes(sim))?;
     Ok(())
 }
 

@@ -19,7 +19,10 @@
 //!   `n` fragments;
 //! - `DQMC_FLEET_HANG_AFTER=n` — freeze the heartbeat and sleep forever
 //!   once the report holds `n` fragments (exercises the kill path);
-//! - `DQMC_FLEET_FAULT_SHARD=k` — scope either hook to shard `k`.
+//! - `DQMC_FLEET_FAULT_SHARD=k` — scope either hook to shard `k`;
+//! - `DQMC_FLEET_BEAT_STREAK=n` — lower the heartbeat-failure escalation
+//!   streak so the escalation path can be rehearsed without waiting out
+//!   the production ~0.5 s window.
 //!
 //! The supervisor strips these variables when it respawns a child, so a
 //! scripted fault fires exactly once and the respawn completes the shard.
@@ -35,8 +38,15 @@ use crate::report::ShardReport;
 
 /// Exit code for a scripted `DQMC_FLEET_EXIT_AFTER` crash.
 pub const SCRIPTED_EXIT_CODE: i32 = 86;
+/// Exit code when heartbeat writes fail [`HEARTBEAT_FAILURE_STREAK`]
+/// times in a row: the child cannot prove liveness, so it turns itself
+/// in instead of running invisible to the watchdog.
+pub const HEARTBEAT_EXIT_CODE: i32 = 87;
 /// Heartbeat rewrite cadence.
 const HEARTBEAT_PERIOD: Duration = Duration::from_millis(25);
+/// Consecutive heartbeat write failures tolerated before escalation
+/// (~0.5 s of a dead counter file at the 25 ms cadence).
+const HEARTBEAT_FAILURE_STREAK: u64 = 20;
 
 /// Env hook names, shared with the supervisor (which strips them on
 /// respawn).
@@ -45,6 +55,18 @@ pub const ENV_EXIT_AFTER: &str = "DQMC_FLEET_EXIT_AFTER";
 pub const ENV_HANG_AFTER: &str = "DQMC_FLEET_HANG_AFTER";
 /// See [`ENV_EXIT_AFTER`].
 pub const ENV_FAULT_SHARD: &str = "DQMC_FLEET_FAULT_SHARD";
+/// See [`ENV_EXIT_AFTER`].
+pub const ENV_BEAT_STREAK: &str = "DQMC_FLEET_BEAT_STREAK";
+
+/// The escalation streak: [`HEARTBEAT_FAILURE_STREAK`] unless the
+/// test-only [`ENV_BEAT_STREAK`] hook lowers it.
+fn failure_streak() -> u64 {
+    std::env::var(ENV_BEAT_STREAK)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(HEARTBEAT_FAILURE_STREAK)
+}
 
 /// Scripted fault hooks decoded from the environment.
 #[derive(Clone, Copy, Debug, Default)]
@@ -72,30 +94,55 @@ impl FaultHooks {
 /// Heartbeat writer: a thread rewriting a counter file until stopped.
 struct Heartbeat {
     stop: Arc<AtomicBool>,
+    failed: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Heartbeat {
     fn start(path: PathBuf) -> Heartbeat {
         let stop = Arc::new(AtomicBool::new(false));
+        let failed = Arc::new(AtomicBool::new(false));
         let beats = Arc::new(AtomicU64::new(0));
         let flag = Arc::clone(&stop);
+        let broke = Arc::clone(&failed);
         let handle = std::thread::Builder::new()
             .name("fleet-heartbeat".into())
             .spawn(move || {
+                let escalate_at = failure_streak();
+                let mut streak = 0u64;
                 while !flag.load(Ordering::Acquire) {
                     let n = beats.fetch_add(1, Ordering::Relaxed) + 1;
                     // Atomic rewrite: the supervisor must never read a
                     // half-written counter.
-                    let _ = crate::write_atomic(&path, &n.to_le_bytes());
+                    match util::vfs::write_atomic(&path, &n.to_le_bytes()) {
+                        Ok(()) => streak = 0,
+                        Err(e) => {
+                            streak += 1;
+                            if streak >= escalate_at {
+                                eprintln!(
+                                    "heartbeat {}: {streak} consecutive write failures (last: {e}); escalating",
+                                    path.display()
+                                );
+                                broke.store(true, Ordering::Release);
+                                return;
+                            }
+                        }
+                    }
                     std::thread::sleep(HEARTBEAT_PERIOD);
                 }
             })
             .expect("spawn heartbeat thread");
         Heartbeat {
             stop,
+            failed,
             handle: Some(handle),
         }
+    }
+
+    /// True once the writer has given up after a bounded failure streak;
+    /// the counter file is permanently stale and the child must exit.
+    fn broken(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
     }
 
     /// Stops the writer; the counter file goes permanently stale.
@@ -180,6 +227,9 @@ fn run_shard(
         if let Some(code) = fire_hooks(&hooks, &report, &mut heartbeat) {
             return Ok(code);
         }
+        if heartbeat.broken() {
+            return Ok(HEARTBEAT_EXIT_CODE);
+        }
         let handle = service
             .submit(
                 &CampaignRequest {
@@ -204,6 +254,9 @@ fn run_shard(
     }
     if let Some(code) = fire_hooks(&hooks, &report, &mut heartbeat) {
         return Ok(code);
+    }
+    if heartbeat.broken() {
+        return Ok(HEARTBEAT_EXIT_CODE);
     }
     service.shutdown();
     heartbeat.freeze();

@@ -33,48 +33,13 @@ pub mod manifest;
 pub mod report;
 pub mod supervisor;
 
-pub use child::{child_main, SCRIPTED_EXIT_CODE};
+pub use child::{child_main, HEARTBEAT_EXIT_CODE, SCRIPTED_EXIT_CODE};
 pub use manifest::ShardManifest;
 pub use report::{merge_reports, MergeError, MergedReport, ShardReport};
 pub use supervisor::{
     run_fleet, run_fleet_subset, ChildCommand, FleetConfig, FleetError, FleetOutcome,
 };
 
-use std::io::Write;
-use std::path::Path;
-
-/// Writes `bytes` atomically: temp file in the same directory, flush,
-/// fsync, rename. Readers (supervisor polls, resumed children) see either
-/// the old complete file or the new complete file, never a torn write.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let dir = path.parent().unwrap_or_else(|| Path::new("."));
-    let tmp = dir.join(format!(
-        ".{}.tmp",
-        path.file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "fleet".to_string())
-    ));
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn write_atomic_replaces_contents_whole() {
-        let dir = std::env::temp_dir().join(format!("fleet-atomic-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let path = dir.join("x.bin");
-        write_atomic(&path, b"first").expect("write");
-        assert_eq!(std::fs::read(&path).expect("read"), b"first");
-        write_atomic(&path, b"second-longer").expect("rewrite");
-        assert_eq!(std::fs::read(&path).expect("read"), b"second-longer");
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-}
+// All fleet files — manifests, reports, heartbeats — publish through the
+// workspace's single audited write path, `util::vfs::write_atomic`; the
+// bespoke copy this crate once carried is gone.

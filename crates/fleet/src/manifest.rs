@@ -119,9 +119,10 @@ impl ShardManifest {
             .map_err(|e| format!("invalid manifest {}: {e}", path.display()))
     }
 
-    /// Writes the manifest atomically (temp file + rename).
+    /// Writes the manifest atomically and durably through the single
+    /// audited write path.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        crate::write_atomic(path, &self.encode())
+        util::vfs::write_atomic(path, &self.encode())
     }
 }
 

@@ -188,10 +188,18 @@ impl ShardReport {
         ShardReport::decode(&bytes).map_err(|e| format!("invalid report {}: {e}", path.display()))
     }
 
-    /// Writes the report atomically (temp file + rename) — the child's
-    /// per-point checkpoint.
+    /// Writes the report atomically and durably — the child's per-point
+    /// checkpoint. Transient failures (a briefly-full disk, EIO) are
+    /// retried with the workspace's deterministic bounded backoff before
+    /// surfacing: losing a checkpoint costs a whole point rerun, so the
+    /// child rides out short outages.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        crate::write_atomic(path, &self.encode())
+        util::vfs::write_atomic_retry(
+            path,
+            &self.encode(),
+            util::vfs::RETRY_ATTEMPTS,
+            util::vfs::RETRY_BASE_DELAY,
+        )
     }
 }
 

@@ -188,6 +188,18 @@ pub fn run_fleet_subset(
         .map_err(|e| FleetError::Io(format!("workdir {}: {e}", cfg.workdir.display())))?;
 
     let mut ledger: Vec<String> = Vec::new();
+    // Scrub crash debris from earlier incarnations before writing new
+    // manifests: stranded `.tmp` files from a killed fleet are dead
+    // weight and must never be mistaken for live work.
+    let scrubbed = util::vfs::scrub_tmp(&cfg.workdir)
+        .map_err(|e| FleetError::Io(format!("scrub workdir {}: {e}", cfg.workdir.display())))?;
+    if scrubbed.count() > 0 {
+        ledger.push(format!(
+            "fleet: scrubbed {} stranded tmp file(s) from workdir: {}",
+            scrubbed.count(),
+            scrubbed.removed.join(", ")
+        ));
+    }
     let mut states: Vec<ShardState> = Vec::with_capacity(plan.blocks.len());
     for block in &plan.blocks {
         let manifest = ShardManifest {
@@ -326,9 +338,13 @@ fn spawn_child(
         cmd.env(k, v);
     }
     if is_respawn {
+        // Scripted hooks and any armed I/O fault plan fire exactly once:
+        // the respawn must run clean or recovery could never converge.
         cmd.env_remove(ENV_EXIT_AFTER)
             .env_remove(ENV_HANG_AFTER)
-            .env_remove(ENV_FAULT_SHARD);
+            .env_remove(ENV_FAULT_SHARD)
+            .env_remove(crate::child::ENV_BEAT_STREAK)
+            .env_remove(util::vfs::ENV_FAULTS);
     }
     let child = cmd
         .spawn()
@@ -377,11 +393,20 @@ fn poll_shard(
                 st.done = true;
                 return Ok(());
             }
-            ledger.push(format!(
-                "shard {}: exited {status}, report {}",
-                st.shard,
-                if complete { "complete" } else { "incomplete" }
-            ));
+            if status.code() == Some(crate::child::HEARTBEAT_EXIT_CODE) {
+                ledger.push(format!(
+                    "shard {}: heartbeat write failures escalated (exit {}), report {}",
+                    st.shard,
+                    crate::child::HEARTBEAT_EXIT_CODE,
+                    if complete { "complete" } else { "incomplete" }
+                ));
+            } else {
+                ledger.push(format!(
+                    "shard {}: exited {status}, report {}",
+                    st.shard,
+                    if complete { "complete" } else { "incomplete" }
+                ));
+            }
             respawn_or_quarantine(st, cfg, ledger, respawns)
         }
         Ok(None) => {

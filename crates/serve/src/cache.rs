@@ -10,14 +10,19 @@
 //! grid differing in any seed, sweep count or crowd width keys elsewhere.
 //!
 //! Entries are `DQRC` frames under the checkpoint discipline: magic,
-//! version, key echo, payload, CRC-32 trailer. Writes go through a
-//! process-unique temp file, `fsync`, then atomic rename — concurrent
-//! writers race benignly (last rename wins, every intermediate state is a
-//! complete entry) and readers never observe a torn write. Any entry that
-//! fails validation is evicted on sight and the caller recomputes.
+//! version, key echo, payload, CRC-32 trailer. Writes go through the
+//! workspace's single audited write path, [`util::vfs::write_atomic`]
+//! (process-unique temp file, `fsync`, atomic rename, parent-directory
+//! `fsync`) — concurrent writers race benignly (last rename wins, every
+//! intermediate state is a complete entry) and readers never observe a
+//! torn write. Any entry that fails validation is evicted on sight and
+//! the caller recomputes.
+//!
+//! Opening a cache **scrubs** it first: temp debris stranded by a crashed
+//! writer is deleted and corrupt or foreign `.dqrc` entries are moved to
+//! a `quarantine/` subdirectory; both counts surface in `/stats`.
 
 use sched::{GridPoint, GridSpec, PointSummary};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use util::codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
@@ -59,26 +64,37 @@ pub fn point_key(spec: &GridSpec, point: &GridPoint) -> u64 {
     f.finish()
 }
 
+/// Name of the subdirectory corrupt entries are moved into at open.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 /// A directory of `DQRC` entries, one per point key.
 pub struct ResultCache {
     dir: PathBuf,
-    /// Temp-file sequence; with the pid it makes writer names unique.
-    seq: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    scrubbed_debris: u64,
+    scrubbed_corrupt: u64,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, scrubbing it
+    /// first: stranded atomic-write temp files are removed, and `.dqrc`
+    /// entries that fail validation are moved into [`QUARANTINE_DIR`]
+    /// (preserved for post-mortems rather than deleted — corruption found
+    /// at startup, unlike a racing eviction, may indicate a storage
+    /// problem worth diagnosing).
     pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
         std::fs::create_dir_all(dir)?;
+        let scrubbed_debris = util::vfs::scrub_tmp(dir)?.count();
+        let scrubbed_corrupt = quarantine_corrupt_entries(dir)?;
         Ok(ResultCache {
             dir: dir.to_path_buf(),
-            seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            scrubbed_debris,
+            scrubbed_corrupt,
         })
     }
 
@@ -113,27 +129,25 @@ impl ResultCache {
         }
     }
 
-    /// Stores a point summary under `key`: temp file, fsync, atomic
-    /// rename. Concurrent writers of the same key race benignly — the
-    /// entries they write are byte-identical by the determinism contract.
+    /// Stores a point summary under `key` through the single audited
+    /// write path (temp file, fsync, atomic rename, parent-dir fsync;
+    /// the temp file is cleaned up on every error path). Concurrent
+    /// writers of the same key race benignly — the entries they write
+    /// are byte-identical by the determinism contract.
     pub fn store(&self, key: u64, summary: &PointSummary) -> std::io::Result<()> {
-        let bytes = encode_entry(key, summary);
-        let tmp = self.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
-        file.sync_all()?;
-        drop(file);
-        match std::fs::rename(&tmp, self.entry_path(key)) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        util::vfs::write_atomic(&self.entry_path(key), &encode_entry(key, summary))
+    }
+
+    /// [`store`](ResultCache::store) with the workspace's deterministic
+    /// bounded backoff on transient failures — the backfill path: losing
+    /// a backfill silently would cost a recompute on every future probe.
+    pub fn store_retry(&self, key: u64, summary: &PointSummary) -> std::io::Result<()> {
+        util::vfs::write_atomic_retry(
+            &self.entry_path(key),
+            &encode_entry(key, summary),
+            util::vfs::RETRY_ATTEMPTS,
+            util::vfs::RETRY_BASE_DELAY,
+        )
     }
 
     /// Valid entries served.
@@ -150,6 +164,57 @@ impl ResultCache {
     pub fn corrupt(&self) -> u64 {
         self.corrupt.load(Ordering::Relaxed)
     }
+
+    /// Stranded temp files removed by the open-time scrub.
+    pub fn scrubbed_debris(&self) -> u64 {
+        self.scrubbed_debris
+    }
+
+    /// Corrupt entries quarantined by the open-time scrub.
+    pub fn scrubbed_corrupt(&self) -> u64 {
+        self.scrubbed_corrupt
+    }
+}
+
+/// Moves every invalid `.dqrc` entry in `dir` into [`QUARANTINE_DIR`],
+/// returning how many were moved. An entry is invalid when its name is
+/// not a 16-digit hex key or its frame fails validation against that
+/// key. Deterministic (sorted) scan order.
+///
+/// The rename here *moves* an existing file rather than publishing new
+/// bytes, so the atomic-write discipline does not apply.
+// dqmc-lint: allow(direct_fs)
+fn quarantine_corrupt_entries(dir: &Path) -> std::io::Result<u64> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".dqrc") && entry.path().is_file() {
+            names.push(name);
+        }
+    }
+    names.sort_unstable();
+    let mut moved = 0u64;
+    for name in names {
+        let path = dir.join(&name);
+        let valid = name
+            .strip_suffix(".dqrc")
+            .filter(|stem| stem.len() == 16)
+            .and_then(|stem| u64::from_str_radix(stem, 16).ok())
+            .is_some_and(|key| {
+                std::fs::read(&path)
+                    .map(|bytes| decode_entry(key, &bytes).is_ok())
+                    .unwrap_or(false)
+            });
+        if valid {
+            continue;
+        }
+        let pen = dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&pen)?;
+        std::fs::rename(&path, pen.join(&name))?;
+        moved += 1;
+    }
+    Ok(moved)
 }
 
 /// Serialises one entry: header, key echo, observables payload, CRC.

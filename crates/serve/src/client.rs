@@ -5,6 +5,10 @@ use crate::protocol::{read_frame, write_frame, Frame, WireError};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Ceiling on one exponential-backoff sleep in [`Client::connect_retry`]
+/// and [`Client::submit_resilient`].
+pub const CONNECT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
 /// One streamed point as the client saw it.
 #[derive(Clone, Debug)]
 pub struct StreamedPoint {
@@ -65,20 +69,78 @@ impl Client {
         })
     }
 
-    /// Connects with retries — for racing a server that is still binding.
+    /// Connects with retries — for racing a server that is still binding
+    /// or briefly away. Deterministic bounded exponential backoff: the
+    /// n-th failure sleeps `min(delay * 2^n, CONNECT_BACKOFF_CAP)`, no
+    /// jitter, no sleep after the last attempt.
     pub fn connect_retry(addr: &str, attempts: u32, delay: Duration) -> std::io::Result<Client> {
+        let attempts = attempts.max(1);
+        let mut backoff = delay;
         let mut last: Option<std::io::Error> = None;
-        for _ in 0..attempts.max(1) {
+        for attempt in 0..attempts {
             match TcpStream::connect(addr) {
                 Ok(stream) => return Ok(Client { stream }),
                 Err(e) => {
                     last = Some(e);
-                    std::thread::sleep(delay);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
+                    }
                 }
             }
         }
         Err(last.unwrap_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::TimedOut, "no connection attempts made")
+        }))
+    }
+
+    /// Submits a grid, transparently reconnecting and resubmitting after
+    /// a mid-stream disconnect (a dropped connection, a bounced server).
+    ///
+    /// Resubmission is idempotent by construction: point summaries are
+    /// pure functions of (grid, seeds) and the server's content-addressed
+    /// cache already holds every point the lost stream completed, so a
+    /// retried campaign recomputes nothing and returns the same bytes.
+    /// Only transport errors ([`WireError::Io`]) trigger a retry;
+    /// rejections and protocol violations surface immediately. `on_point`
+    /// may observe the same point more than once across attempts (the
+    /// re-streamed prefix arrives cache-flagged); the returned outcome is
+    /// entirely from the attempt that completed.
+    pub fn submit_resilient(
+        addr: &str,
+        tenant: &str,
+        priority: u8,
+        grid: &str,
+        attempts: u32,
+        delay: Duration,
+        mut on_point: impl FnMut(&StreamedPoint),
+    ) -> Result<SubmitOutcome, WireError> {
+        let attempts = attempts.max(1);
+        let mut backoff = delay;
+        let mut last: Option<WireError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
+            }
+            let mut client = match Client::connect_retry(addr, attempts, delay) {
+                Ok(c) => c,
+                Err(e) => {
+                    last = Some(WireError::Io(e));
+                    continue;
+                }
+            };
+            match client.submit_with(tenant, priority, grid, &mut on_point) {
+                Ok(outcome) => return Ok(outcome),
+                Err(WireError::Io(e)) => last = Some(WireError::Io(e)),
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no submission attempts made",
+            ))
         }))
     }
 

@@ -95,13 +95,16 @@ impl ServerInner {
     fn stats_json(&self) -> String {
         format!(
             "{{\"jobs_submitted\":{},\"campaigns_completed\":{},\"active_campaigns\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"cache_corrupt\":{}}}",
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_corrupt\":{},\
+             \"cache_scrubbed_debris\":{},\"cache_scrubbed_corrupt\":{}}}",
             self.service.jobs_submitted(),
             self.service.campaigns_completed(),
             self.service.active_campaigns(),
             self.cache.as_ref().map_or(0, |c| c.hits()),
             self.cache.as_ref().map_or(0, |c| c.misses()),
             self.cache.as_ref().map_or(0, |c| c.corrupt()),
+            self.cache.as_ref().map_or(0, |c| c.scrubbed_debris()),
+            self.cache.as_ref().map_or(0, |c| c.scrubbed_corrupt()),
         )
     }
 
@@ -438,7 +441,12 @@ fn handle_submit(
             if let Some(cache) = &inner.cache {
                 if p.chains_failed == 0 {
                     if let Some(&(_, key)) = keys.iter().find(|(i, _)| *i == p.point) {
-                        let _ = cache.store(key, p);
+                        // Backfill rides out transient disk trouble with
+                        // the deterministic bounded backoff; a write that
+                        // still fails only costs a future recompute.
+                        if let Err(e) = cache.store_retry(key, p) {
+                            eprintln!("cache backfill for point {} failed: {e}", p.point);
+                        }
                     }
                 }
             }
@@ -603,7 +611,12 @@ fn handle_submit_fleet(
             if let Some(cache) = &inner.cache {
                 if p.chains_failed == 0 {
                     if let Some(&(_, key)) = keys.iter().find(|(i, _)| *i == p.point) {
-                        let _ = cache.store(key, p);
+                        // Backfill rides out transient disk trouble with
+                        // the deterministic bounded backoff; a write that
+                        // still fails only costs a future recompute.
+                        if let Err(e) = cache.store_retry(key, p) {
+                            eprintln!("cache backfill for point {} failed: {e}", p.point);
+                        }
                     }
                 }
             }

@@ -206,14 +206,96 @@ fn concurrent_writers_of_one_key_leave_a_valid_entry() {
         other => panic!("expected hit after racing writers, got {other:?}"),
     }
     // No temp droppings left behind.
-    let leftovers: Vec<_> = std::fs::read_dir(&dir)
-        .expect("read dir")
-        .filter_map(|e| e.ok())
-        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
-        .collect();
     assert!(
-        leftovers.is_empty(),
-        "temp files left behind: {leftovers:?}"
+        tmp_debris(&dir).is_empty(),
+        "temp files left behind: {:?}",
+        tmp_debris(&dir)
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Names of atomic-write temp files (`.{name}.{pid}.{seq}.tmp`) in `dir`.
+fn tmp_debris(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with('.') && n.ends_with(".tmp"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn failed_stores_leak_no_tmp_files_and_keep_the_old_entry() {
+    let dir = scratch("faulted_store");
+    let cache = ResultCache::open(&dir).expect("open");
+    let spec = spec_with("");
+    let p = spec.points()[0];
+    let key = point_key(&spec, &p);
+    cache.store(key, &summary(p.index)).expect("seed store");
+    let old = std::fs::read(cache.entry_path(key)).expect("seed bytes");
+
+    let scope = dir.file_name().unwrap().to_string_lossy().into_owned();
+    // Every injectable failure mode of the write sequence, one store each:
+    // the temp file must be gone and the published entry untouched.
+    for (what, plan) in [
+        ("create", util::vfs::FaultPlan::new().fail_create(1)),
+        ("enospc", util::vfs::FaultPlan::new().enospc(1)),
+        ("short write", util::vfs::FaultPlan::new().short_write(1)),
+        ("fsync", util::vfs::FaultPlan::new().fail_fsync(1)),
+        ("rename", util::vfs::FaultPlan::new().fail_rename(1)),
+    ] {
+        let _g = util::vfs::arm(plan.with_scope(&scope).with_seed(9));
+        let err = cache.store(key, &summary(p.index + 1));
+        assert!(err.is_err(), "injected {what} failure must surface");
+        drop(_g);
+        assert!(
+            tmp_debris(&dir).is_empty(),
+            "{what} failure leaked tmp files: {:?}",
+            tmp_debris(&dir)
+        );
+        let now = std::fs::read(cache.entry_path(key)).expect("entry readable");
+        assert_eq!(now, old, "{what} failure disturbed the published entry");
+    }
+    // And the entry still decodes through the front door.
+    assert!(matches!(cache.lookup(key), Lookup::Hit(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_scrubs_debris_and_quarantines_corrupt_entries() {
+    let dir = scratch("scrub_open");
+    {
+        let cache = ResultCache::open(&dir).expect("open");
+        cache.store(0x1111, &summary(0)).expect("valid entry");
+        assert_eq!(cache.scrubbed_debris(), 0);
+        assert_eq!(cache.scrubbed_corrupt(), 0);
+    }
+    // Plant the three kinds of damage a crashed or sick writer leaves:
+    // stranded atomic-write temp files, a torn entry, and an entry whose
+    // name is not a cache key at all.
+    std::fs::write(dir.join(".deadbeef.dqrc.123.0.tmp"), b"torn").unwrap();
+    std::fs::write(dir.join(".other.999.1.tmp"), b"").unwrap();
+    let torn = std::fs::read(dir.join(format!("{:016x}.dqrc", 0x1111u64))).unwrap();
+    std::fs::write(
+        dir.join(format!("{:016x}.dqrc", 0x2222u64)),
+        &torn[..torn.len() / 2],
+    )
+    .unwrap();
+    std::fs::write(dir.join("not-a-key.dqrc"), b"foreign").unwrap();
+
+    let cache = ResultCache::open(&dir).expect("reopen scrubs");
+    assert_eq!(cache.scrubbed_debris(), 2, "both tmp files removed");
+    assert_eq!(cache.scrubbed_corrupt(), 2, "torn + foreign quarantined");
+    assert!(tmp_debris(&dir).is_empty());
+    // The survivors: the valid entry (still a hit) and the quarantine pen.
+    assert!(matches!(cache.lookup(0x1111), Lookup::Hit(_)));
+    let pen = dir.join(serve::cache::QUARANTINE_DIR);
+    assert!(pen.join(format!("{:016x}.dqrc", 0x2222u64)).exists());
+    assert!(pen.join("not-a-key.dqrc").exists());
+    // Scrubbing is not eviction: a probe for the quarantined key is a
+    // plain miss, so the caller recomputes.
+    assert!(matches!(cache.lookup(0x2222), Lookup::Miss));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -20,6 +20,11 @@
 //!   recovery ladder and the sweep scheduler,
 //! - [`liveness`]: the heartbeat/cancellation [`RunToken`] shared between
 //!   workers and the scheduler watchdog,
+//! - [`vfs`]: the workspace's single audited atomic-write path
+//!   (temp + fsync + rename + parent-directory fsync) with a
+//!   deterministic, scriptable I/O fault-injection plan mirroring
+//!   `gpusim::faults` — every on-disk format publishes through
+//!   [`vfs::write_atomic`],
 //! - [`sync`]: the workspace's lock primitives — the single audited
 //!   poison-recovery helper ([`relock`]) and `Mutex`/`Condvar` types that
 //!   switch onto the loom model-checking shim under `--cfg loom`.
@@ -32,6 +37,7 @@ pub mod stats;
 pub mod sync;
 pub mod table;
 pub mod timer;
+pub mod vfs;
 
 pub use codec::{crc32, ByteReader, ByteWriter, CodecError, Fnv1a};
 pub use error::{DqmcError, Severity};

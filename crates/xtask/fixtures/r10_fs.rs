@@ -1,0 +1,29 @@
+//! R10 fixture: direct filesystem mutation outside the audited write
+//! path. Exactly one finding — the bare `std::fs::write` below; the
+//! pragma'd move, the vfs-routed write, and the test-scoped scratch
+//! files all stay silent.
+
+fn bad_publish(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+/// Routed through the one audited write path: silent.
+fn good_publish(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    util::vfs::write_atomic(path, bytes)
+}
+
+/// Moves an existing file rather than publishing new bytes.
+// dqmc-lint: allow(direct_fs)
+fn audited_move(from: &std::path::Path, to: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_fine() {
+        let _ = std::fs::File::create("scratch.bin");
+        let _ = std::fs::write("scratch.json", "{}");
+        let _ = std::fs::rename("scratch.bin", "scratch.old");
+    }
+}

@@ -342,11 +342,36 @@ mod tests {
     }
 
     #[test]
+    fn fixture_r10_direct_fs() {
+        // One finding — the bare `std::fs::write` publish; the vfs-routed
+        // write, the pragma'd move, and the test mod stay silent.
+        let v = lint_fixture("r10_fs.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::DirectFs);
+        assert_eq!(v[0].line, 7, "{}", v[0]);
+    }
+
+    #[test]
+    fn fixture_r10_exempts_vfs_and_honours_allowlist() {
+        let path = fixture_dir().join("r10_fs.rs");
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let reg = fixture_registry();
+        // The same text under the audited module's own path: exempt.
+        let scanned = SourceFile::scan(PathBuf::from("util/src/vfs.rs"), &text);
+        assert!(check_file(&scanned, &Allowlist::default(), &reg).is_empty());
+        // File-allowlisted under its own path: pardoned, entry consulted.
+        let scanned = SourceFile::scan(PathBuf::from("r10_fs.rs"), &text);
+        let allow = Allowlist::parse("direct-fs r10_fs.rs\n").unwrap();
+        assert!(check_file(&scanned, &allow, &reg).is_empty());
+        assert!(allow.stale().is_empty());
+    }
+
+    #[test]
     fn fixture_tree_has_expected_violations_per_rule() {
-        // The CLI path over the whole fixture tree: 12 findings.
+        // The CLI path over the whole fixture tree: 13 findings.
         let allow = Allowlist::default();
         let v = lint_tree(&fixture_dir(), &allow, &fixture_registry()).unwrap();
-        assert_eq!(v.len(), 12, "{v:?}");
+        assert_eq!(v.len(), 13, "{v:?}");
         for (rule, n) in [
             (Rule::UnsafeSite, 1),
             (Rule::HotAlloc, 1),
@@ -357,6 +382,7 @@ mod tests {
             (Rule::LockOrder, 2),
             (Rule::NondetSource, 1),
             (Rule::NestedPar, 2),
+            (Rule::DirectFs, 1),
         ] {
             assert_eq!(v.iter().filter(|x| x.rule == rule).count(), n, "{rule:?}");
         }
@@ -373,7 +399,7 @@ mod tests {
         assert_eq!(stale[0].line, 1);
         assert!(stale[0].msg.contains("unsafe no/such/file.rs"));
         // The fixture findings themselves are unaffected.
-        assert_eq!(v.len(), 12, "{v:?}");
+        assert_eq!(v.len(), 13, "{v:?}");
     }
 
     #[test]
@@ -402,6 +428,7 @@ mod tests {
         assert!(Allowlist::parse("lock-order a.rs::f\n").is_ok());
         assert!(Allowlist::parse("nondet-source a.rs\n").is_ok());
         assert!(Allowlist::parse("nested-par a.rs::f\n").is_ok());
+        assert!(Allowlist::parse("direct-fs a.rs\n").is_ok());
         assert!(Allowlist::parse("frobnicate a.rs\n").is_err());
         assert!(Allowlist::parse("rayon-raw-ptr missing-fn.rs\n").is_err());
         assert!(Allowlist::parse("nested-par missing-fn.rs\n").is_err());

@@ -1,7 +1,7 @@
 //! The dqmc-lint rule set.
 //!
-//! Nine rules, all driven by the [`crate::lexer`] scan. R1–R5 are the
-//! line-oriented hygiene rules; R6–R9 (in [`crate::conc`]) are the
+//! Ten rules, all driven by the [`crate::lexer`] scan. R1–R5 and R10 are
+//! the line-oriented hygiene rules; R6–R9 (in [`crate::conc`]) are the
 //! block-aware concurrency-discipline rules introduced with the
 //! `lock_order.toml` registry.
 //!
@@ -27,6 +27,12 @@
 //!   or a `panic-site <file>` allowlist entry.
 //! - **guard-across-call** (R6), **lock-order** (R7), **nondet-source**
 //!   (R8), **nested-par** (R9): see [`crate::conc`].
+//! - **direct-fs** (R10): non-test code outside `util/src/vfs.rs` must not
+//!   call `std::fs::{File::create, write, rename}` directly — every file
+//!   publication goes through `util::vfs::write_atomic`, the one audited
+//!   path where fault injection, scrubbing and durability live. Opt-outs:
+//!   the `// dqmc-lint: allow(direct_fs)` pragma on the enclosing
+//!   function, or a `direct-fs <file>` allowlist entry.
 //! - **stale-allow**: an allowlist entry no code needed during the run —
 //!   the pardoned pattern is gone, so the entry must be deleted before it
 //!   silently pardons something new.
@@ -59,6 +65,8 @@ pub enum Rule {
     NondetSource,
     /// R9: rayon fan-out not gated behind the worker-scope check.
     NestedPar,
+    /// R10: direct filesystem mutation outside the audited write path.
+    DirectFs,
     /// Allowlist entry that pardoned nothing during the run.
     StaleAllow,
 }
@@ -76,6 +84,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::NondetSource => "nondet-source",
             Rule::NestedPar => "nested-par",
+            Rule::DirectFs => "direct-fs",
             Rule::StaleAllow => "stale-allow",
         }
     }
@@ -154,6 +163,8 @@ pub struct Allowlist {
     pub nondet_files: Vec<FileEntry>,
     /// `file::fn` entries audited for ungated rayon fan-out.
     pub nested_fns: Vec<FnEntry>,
+    /// Files where R10 direct filesystem calls are pardoned wholesale.
+    pub direct_fs_files: Vec<FileEntry>,
 }
 
 fn file_entry(pat: &str, line: usize) -> FileEntry {
@@ -202,7 +213,7 @@ impl Allowlist {
     /// Parses the `lint.allow` format: `<category> <path>` or
     /// `<category> <path>::<fn>` lines; `#` starts a comment. Categories:
     /// `unsafe`, `rayon-raw-ptr`, `panic-site`, `guard-across-call`,
-    /// `lock-order`, `nondet-source`, `nested-par`.
+    /// `lock-order`, `nondet-source`, `nested-par`, `direct-fs`.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
         let mut out = Allowlist::default();
         for (i, line) in text.lines().enumerate() {
@@ -223,6 +234,7 @@ impl Allowlist {
                 "lock-order" => out.order_fns.push(fn_entry(rest, ln)?),
                 "nondet-source" => out.nondet_files.push(file_entry(rest, ln)),
                 "nested-par" => out.nested_fns.push(fn_entry(rest, ln)?),
+                "direct-fs" => out.direct_fs_files.push(file_entry(rest, ln)),
                 other => return Err(format!("lint.allow:{}: unknown category {other}", i + 1)),
             }
         }
@@ -257,13 +269,18 @@ impl Allowlist {
         hit_fn(&self.nested_fns, path, func)
     }
 
+    fn allows_direct_fs(&self, path: &str) -> bool {
+        hit_file(&self.direct_fs_files, path)
+    }
+
     /// Entries no lookup matched: `(lint.allow line, entry description)`.
     pub fn stale(&self) -> Vec<(usize, String)> {
         let mut out = Vec::new();
-        let files: [(&str, &[FileEntry]); 3] = [
+        let files: [(&str, &[FileEntry]); 4] = [
             ("unsafe", &self.unsafe_files),
             ("panic-site", &self.panic_files),
             ("nondet-source", &self.nondet_files),
+            ("direct-fs", &self.direct_fs_files),
         ];
         for (cat, entries) in files {
             for e in entries {
@@ -353,10 +370,20 @@ const PANIC_TOKENS: [&str; 3] = ["panic!", ".expect(", ".unwrap()"];
 /// whose failures must travel as classified [`DqmcError`]s, not unwinds.
 const PANIC_SCOPES: [&str; 2] = ["sched/src/", "gpusim/src/"];
 
+/// Direct filesystem-mutation markers for R10. `fs::write(` cannot match
+/// `vfs::write_atomic(` (the character after `write` differs), so the
+/// audited path itself never trips the rule at call sites.
+const FS_TOKENS: [&str; 3] = ["File::create(", "fs::write(", "fs::rename("];
+
+/// The one file allowed to perform direct filesystem mutation: the
+/// audited write path itself (and its fault-injection residues).
+const FS_EXEMPT: &str = "util/src/vfs.rs";
+
 /// Opt-out pragmas (searched in the comment block above a function).
 const PRAGMA_HOT_ALLOC: &str = "dqmc-lint: allow(hot_alloc)";
 const PRAGMA_UNCHECKED: &str = "dqmc-lint: allow(unchecked_kernel)";
 const PRAGMA_PANIC: &str = "dqmc-lint: allow(panic_site)";
+const PRAGMA_DIRECT_FS: &str = "dqmc-lint: allow(direct_fs)";
 
 /// Runs every rule over one scanned file.
 pub fn check_file(f: &SourceFile, allow: &Allowlist, reg: &Registry) -> Vec<Violation> {
@@ -367,6 +394,7 @@ pub fn check_file(f: &SourceFile, allow: &Allowlist, reg: &Registry) -> Vec<Viol
     check_kernels(f, &path, &mut out);
     check_rayon_ptrs(f, allow, &path, &mut out);
     check_panic_sites(f, allow, &path, &mut out);
+    check_direct_fs(f, allow, &path, &mut out);
     conc::check_concurrency(f, allow, reg, &path, &mut out);
     out
 }
@@ -533,6 +561,42 @@ fn check_panic_sites(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Ve
                 msg: format!(
                     "`{tok}` in scheduler/device-pool non-test code; return a \
                      classified DqmcError (or justify with `// {PRAGMA_PANIC}`)"
+                ),
+            });
+        }
+    }
+}
+
+fn check_direct_fs(f: &SourceFile, allow: &Allowlist, path: &str, out: &mut Vec<Violation>) {
+    if suffix_match(path, FS_EXEMPT) {
+        return;
+    }
+    // Like `check_panic_sites`: consult the allowlist only once a token
+    // actually exists, so entries for cleaned-up files go stale.
+    let mut allowed: Option<bool> = None;
+    for (ln, line) in f.code.iter().enumerate() {
+        if f.is_test[ln] {
+            continue;
+        }
+        let Some(tok) = FS_TOKENS.iter().find(|t| line.contains(*t)) else {
+            continue;
+        };
+        if *allowed.get_or_insert_with(|| allow.allows_direct_fs(path)) {
+            continue;
+        }
+        let pardoned = f
+            .enclosing_fn(ln)
+            .is_some_and(|func| f.comment_block_above_contains(func.sig_line, PRAGMA_DIRECT_FS));
+        if !pardoned {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: ln + 1,
+                rule: Rule::DirectFs,
+                msg: format!(
+                    "direct filesystem mutation (`{tok}`) outside util::vfs; \
+                     publish through util::vfs::write_atomic so faults, \
+                     scrubbing and durability stay centralised (or justify \
+                     with `// {PRAGMA_DIRECT_FS}`)"
                 ),
             });
         }

@@ -1,0 +1,137 @@
+//! Crash-point probe for the durability test tier.
+//!
+//! Performs exactly one real on-disk publication of one of the
+//! workspace's durable formats, through the production code path for
+//! that format, then exits. The harness (`tests/durability.rs`) arms
+//! I/O faults through the `DQMC_VFS_FAULTS` environment DSL, so a
+//! scripted `crash@N` kills this process mid-write exactly as a power
+//! failure would — and the test then inspects the residue the real
+//! writer left behind.
+//!
+//! Usage: `durability-probe write <dqcp|dqrc|dqsm|dqsr> <old|new> <path>`
+//!
+//! `old` and `new` are two distinct, deterministic payloads per format;
+//! crash-point tests seed `old`, crash while publishing `new`, and
+//! assert the destination still holds `old` byte-for-byte. For `dqrc`
+//! the path is the cache *directory* (the entry lands at
+//! `<path>/<DQRC_KEY as 016x>.dqrc`); for the other formats it is the
+//! destination file itself.
+
+use fleet::{ShardManifest, ShardReport};
+use sched::PointSummary;
+use std::path::Path;
+
+/// Fixed cache key the `dqrc` probe stores under.
+pub const DQRC_KEY: u64 = 0xD0_0DF00D_u64;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (format, variant, path) = match args.as_slice() {
+        [cmd, format, variant, path] if cmd == "write" => (format.as_str(), variant.as_str(), path),
+        _ => {
+            eprintln!("usage: durability-probe write <dqcp|dqrc|dqsm|dqsr> <old|new> <path>");
+            std::process::exit(2);
+        }
+    };
+    let new = match variant {
+        "old" => false,
+        "new" => true,
+        other => {
+            eprintln!("unknown variant {other:?} (want old|new)");
+            std::process::exit(2);
+        }
+    };
+    let path = Path::new(path);
+    let result = match format {
+        "dqcp" => write_dqcp(new, path),
+        "dqrc" => write_dqrc(new, path),
+        "dqsm" => write_dqsm(new, path),
+        "dqsr" => write_dqsr(new, path),
+        other => {
+            eprintln!("unknown format {other:?} (want dqcp|dqrc|dqsm|dqsr)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("durability-probe: {format}/{variant} write failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// The fixed simulation parameters both checkpoint variants share; the
+/// variants differ only in progress, mirroring a checkpoint being
+/// replaced by a later one of the same run.
+fn probe_params() -> dqmc::SimParams {
+    let model = dqmc::ModelParams::new(lattice::Lattice::square(2, 2, 1.0), 4.0, 0.1, 0.125, 6);
+    dqmc::SimParams::new(model)
+        .with_sweeps(2, 4)
+        .with_seed(7)
+        .with_cluster_size(3)
+        .with_bin_size(2)
+}
+
+fn write_dqcp(new: bool, path: &Path) -> Result<(), String> {
+    let mut sim = dqmc::Simulation::new(probe_params());
+    sim.step(if new { 5 } else { 2 });
+    dqmc::checkpoint::save(&sim, path).map_err(|e| e.to_string())
+}
+
+fn probe_summary(new: bool) -> PointSummary {
+    PointSummary {
+        point: 3,
+        u: if new { 6.0 } else { 2.0 },
+        beta: 1.5,
+        slices: 12,
+        chains_ok: 2,
+        chains_failed: 0,
+        bin_count: if new { 8 } else { 4 },
+        scalars: None,
+        mean_acceptance: 0.5,
+        max_wrap_error: 1e-9,
+        recovery_events: 0,
+        preemptions: 0,
+        device_quanta: 0,
+        host_quanta: 0,
+        device_seconds: 0.0,
+    }
+}
+
+fn write_dqrc(new: bool, dir: &Path) -> Result<(), String> {
+    // The production open path scrubs first — a rerun after a crash
+    // exercises exactly the recovery the tier is proving.
+    let cache = serve::ResultCache::open(dir).map_err(|e| e.to_string())?;
+    cache
+        .store(DQRC_KEY, &probe_summary(new))
+        .map_err(|e| e.to_string())
+}
+
+fn write_dqsm(new: bool, path: &Path) -> Result<(), String> {
+    let m = ShardManifest {
+        shard: 0,
+        nshards: 2,
+        fingerprint: 0xFEED_0000_0000_0001,
+        grid_text: "lx = 2\nly = 2\nu = 2.0\nbeta = 1.0\n".into(),
+        points: if new { vec![0, 1, 2] } else { vec![0, 1] },
+    };
+    m.write(path).map_err(|e| e.to_string())
+}
+
+fn write_dqsr(new: bool, path: &Path) -> Result<(), String> {
+    let r = ShardReport {
+        shard: 0,
+        nshards: 1,
+        fingerprint: 0xFEED_0000_0000_0002,
+        seed: 42,
+        chains: 2,
+        warmup: 2,
+        sweeps: 4,
+        assigned: vec![3, 4],
+        fragments: if new {
+            vec![probe_summary(false), probe_summary(true)]
+        } else {
+            vec![probe_summary(false)]
+        },
+        failed_chains: 0,
+    };
+    r.write(path).map_err(|e| e.to_string())
+}

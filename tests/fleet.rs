@@ -136,6 +136,35 @@ fn wedged_child_is_killed_on_stale_heartbeat_and_bytes_match() {
 }
 
 #[test]
+fn child_with_failing_heartbeat_writes_escalates_and_respawn_recovers() {
+    let want = baseline(GRID);
+    let mut cfg = config("beatfail", 2);
+    // Every heartbeat write in the children fails (simulated full disk,
+    // scoped to `.beat` files so reports and manifests are untouched),
+    // and the escalation streak is lowered to 1 so the very first failed
+    // beat escalates — deterministically before any point completes. The
+    // child exits with the heartbeat code and the supervisor respawns it
+    // with both hooks stripped — bytes must still match.
+    cfg.child.envs = vec![
+        (
+            util::vfs::ENV_FAULTS.into(),
+            "scope=.beat;enospc@1-1000000;mode=sim".into(),
+        ),
+        (fleet::child::ENV_BEAT_STREAK.into(), "1".into()),
+    ];
+    let out = fleet::run_fleet(GRID, &cfg).expect("fleet survives heartbeat escalation");
+    assert_eq!(out.observables, want, "heartbeat escalation moved bytes");
+    assert!(out.respawns >= 1, "escalated children must be respawned");
+    assert!(
+        out.ledger
+            .iter()
+            .any(|l| l.contains("heartbeat write failures escalated")),
+        "ledger records the escalation: {:?}",
+        out.ledger
+    );
+}
+
+#[test]
 fn unrecoverable_shard_is_quarantined_after_respawn_budget() {
     let mut cfg = config("quarantine", 2);
     // A child that is not a shard worker at all: exits 1 instantly, never

@@ -292,6 +292,92 @@ fn disconnect_mid_stream_does_not_poison_the_queue() {
 }
 
 #[test]
+fn resilient_resubmission_after_mid_stream_disconnect_is_idempotent() {
+    let dir = scratch("resilient");
+    let server = TestServer::start(&ServerConfig {
+        service: ServiceConfig {
+            workers: 1,
+            quantum: 2,
+            ..ServiceConfig::default()
+        },
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+
+    // A client loses its connection mid-stream: submit, read Accepted,
+    // vanish. The server keeps running the orphaned campaign.
+    {
+        let mut raw = TcpStream::connect(&server.addr).expect("connect raw");
+        write_frame(
+            &mut raw,
+            &Frame::Submit {
+                tenant: "flaky".into(),
+                priority: 0,
+                grid: GRID_A.into(),
+            },
+        )
+        .expect("submit frame");
+        match read_frame(&mut raw).expect("accepted frame") {
+            Frame::Accepted { .. } => {}
+            other => panic!("expected Accepted, got kind {}", other.kind()),
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while server.handle.campaigns_completed() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned campaign never completed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The interrupted client's recovery procedure is simply to resubmit:
+    // the campaign is content-addressed, so the retry is idempotent — a
+    // full warm hit, not a recompute, byte-identical to the baseline.
+    let mut streamed = 0usize;
+    let outcome = Client::submit_resilient(
+        &server.addr,
+        "flaky",
+        0,
+        GRID_A,
+        5,
+        Duration::from_millis(10),
+        |_| streamed += 1,
+    )
+    .expect("resilient resubmission");
+    assert_eq!(outcome.observables, baseline(GRID_A));
+    assert_eq!(outcome.jobs_run, 0, "idempotent retry must not recompute");
+    assert_eq!(outcome.cached_points, 2);
+    assert_eq!(streamed, 2, "every point streams on the surviving attempt");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resilient_submission_fails_cleanly_when_no_server_ever_answers() {
+    // A port nobody listens on: the bounded retry loop must give up with
+    // the underlying transport error instead of spinning forever.
+    let t = std::time::Instant::now();
+    let err = Client::submit_resilient(
+        "127.0.0.1:9",
+        "nobody",
+        0,
+        GRID_A,
+        2,
+        Duration::from_millis(5),
+        |_| {},
+    )
+    .expect_err("no server must mean an error");
+    assert!(
+        matches!(err, serve::protocol::WireError::Io(_)),
+        "transport failure surfaces as Io, got {err:?}"
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(30),
+        "bounded backoff must not spin for long"
+    );
+}
+
+#[test]
 fn corrupt_cache_entry_is_evicted_and_recomputed_identically() {
     let dir = scratch("corrupt");
     let server = TestServer::start(&ServerConfig {
